@@ -1,0 +1,177 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every experiment of the reproduction (the paper has
+   no tables/figures of its own; each experiment id maps to a theorem,
+   lemma or appendix construction — see DESIGN.md §5 and EXPERIMENTS.md).
+
+   Part 2 runs Bechamel microbenchmarks for the engineering-side
+   questions: engine throughput per policy, reduction overhead, and the
+   hot data structures. *)
+
+open Bechamel
+open Rrs_core
+module Families = Rrs_workload.Families
+module Adv = Rrs_workload.Adversarial
+module Rng = Rrs_prng.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: experiments                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_experiments () =
+  print_endline "================================================================";
+  print_endline " Reproduction experiments (one per paper claim; DESIGN.md §5)";
+  print_endline "================================================================";
+  Rrs_experiments.Registry.run_and_print_all ()
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: microbenchmarks                                             *)
+(* ------------------------------------------------------------------ *)
+
+let uniform_instance =
+  (Option.get (Families.find "uniform")).build ~seed:1
+
+let router_instance = (Option.get (Families.find "router")).build ~seed:1
+
+let oversized_instance =
+  (Option.get (Families.find "oversized")).build ~seed:1
+
+let unbatched_instance =
+  (Option.get (Families.find "unbatched")).build ~seed:1
+
+let adversarial_instance =
+  Adv.dlru_instance { n = 8; delta = 2; j = 5; k = 7 }
+
+let bench_policy name instance factory =
+  Test.make ~name (Staged.stage (fun () ->
+      ignore (Engine.run (Engine.config ~n:8 ()) instance factory)))
+
+let engine_tests =
+  Test.make_grouped ~name:"engine"
+    [
+      bench_policy "lru-edf/uniform" uniform_instance Lru_edf.policy;
+      bench_policy "lru-edf/router" router_instance Lru_edf.policy;
+      bench_policy "lru-edf/adversarial" adversarial_instance Lru_edf.policy;
+      bench_policy "dlru/uniform" uniform_instance Delta_lru.policy;
+      bench_policy "edf/uniform" uniform_instance Edf_policy.policy;
+      bench_policy "static/uniform" uniform_instance (Static_policy.static [ 0 ]);
+      bench_policy "greedy-backlog/uniform" uniform_instance
+        Naive_policies.greedy_backlog;
+      Test.make ~name:"par-edf/uniform"
+        (Staged.stage (fun () -> ignore (Par_edf.run uniform_instance ~m:2)));
+    ]
+
+let reduction_tests =
+  (* constructive transformations need a recorded input schedule *)
+  let offline_input =
+    let cfg = Engine.config ~n:2 ~record_schedule:true () in
+    let r =
+      Engine.run cfg uniform_instance
+        (Offline_heuristics.interval_plan uniform_instance ~m:2 ~window:16)
+    in
+    Option.get r.schedule
+  in
+  let aggregate_mapping = Distribute.transform uniform_instance in
+  Test.make_grouped ~name:"reductions"
+    [
+      Test.make ~name:"distribute/transform"
+        (Staged.stage (fun () ->
+             ignore (Distribute.transform oversized_instance)));
+      Test.make ~name:"distribute/full-run"
+        (Staged.stage (fun () -> ignore (Distribute.run oversized_instance ~n:8)));
+      Test.make ~name:"varbatch/transform"
+        (Staged.stage (fun () -> ignore (Var_batch.transform unbatched_instance)));
+      Test.make ~name:"varbatch/full-run"
+        (Staged.stage (fun () -> ignore (Var_batch.run unbatched_instance ~n:8)));
+      Test.make ~name:"aggregate/transform"
+        (Staged.stage (fun () ->
+             ignore
+               (Aggregate.transform uniform_instance ~mapping:aggregate_mapping
+                  offline_input)));
+      Test.make ~name:"punctual/transform"
+        (Staged.stage (fun () ->
+             ignore (Punctual.make_punctual uniform_instance offline_input)));
+    ]
+
+let dstruct_tests =
+  let heap_input = Array.init 1024 (fun i -> (i * 7919) mod 1024) in
+  Test.make_grouped ~name:"dstruct"
+    [
+      Test.make ~name:"binary-heap/1k-push-pop"
+        (Staged.stage (fun () ->
+             let h = Rrs_dstruct.Binary_heap.create ~cmp:compare () in
+             Array.iter (Rrs_dstruct.Binary_heap.add h) heap_input;
+             while not (Rrs_dstruct.Binary_heap.is_empty h) do
+               ignore (Rrs_dstruct.Binary_heap.pop_min h)
+             done));
+      Test.make ~name:"indexed-heap/1k-update-pop"
+        (Staged.stage (fun () ->
+             let h = Rrs_dstruct.Indexed_heap.create ~cmp:compare ~capacity:1024 in
+             Array.iteri (fun k p -> Rrs_dstruct.Indexed_heap.update h k p) heap_input;
+             Array.iteri (fun k p -> Rrs_dstruct.Indexed_heap.update h k (p * 3 mod 1024)) heap_input;
+             while not (Rrs_dstruct.Indexed_heap.is_empty h) do
+               ignore (Rrs_dstruct.Indexed_heap.pop_min h)
+             done));
+      Test.make ~name:"fenwick/1k-add-search"
+        (Staged.stage (fun () ->
+             let f = Rrs_dstruct.Fenwick.create ~size:1024 in
+             Array.iter (fun v -> Rrs_dstruct.Fenwick.add f v 1) heap_input;
+             for k = 1 to 512 do
+               ignore (Rrs_dstruct.Fenwick.search f k)
+             done));
+    ]
+
+let workload_tests =
+  Test.make_grouped ~name:"workload"
+    [
+      Test.make ~name:"generate/uniform"
+        (Staged.stage (fun () ->
+             ignore ((Option.get (Families.find "uniform")).build ~seed:3)));
+      Test.make ~name:"generate/datacenter"
+        (Staged.stage (fun () ->
+             ignore ((Option.get (Families.find "datacenter")).build ~seed:3)));
+      Test.make ~name:"prng/zipf-4k"
+        (Staged.stage (fun () ->
+             let rng = Rng.create ~seed:9 in
+             for _ = 1 to 4096 do
+               ignore (Rng.zipf rng ~n:64 ~s:1.1)
+             done));
+    ]
+
+let run_microbenchmarks () =
+  print_endline "================================================================";
+  print_endline " Bechamel microbenchmarks (ns per run, OLS on monotonic clock)";
+  print_endline "================================================================";
+  let all_tests =
+    Test.make_grouped ~name:"rrs"
+      [ engine_tests; reduction_tests; dstruct_tests; workload_tests ]
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let table = Rrs_report.Table.create ~columns:[ "benchmark"; "time/run" ] in
+  List.iter
+    (fun (name, ols) ->
+      let cell =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) ->
+            if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
+            else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
+            else Printf.sprintf "%.0f ns" t
+        | Some [] | None -> "n/a"
+      in
+      Rrs_report.Table.add_row table [ name; cell ])
+    (List.sort compare rows);
+  Rrs_report.Table.print table
+
+let () =
+  run_experiments ();
+  run_microbenchmarks ();
+  print_endline "bench: done"

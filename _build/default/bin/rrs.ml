@@ -1,0 +1,341 @@
+(* rrs — command-line driver for the reconfigurable-resource-scheduling
+   reproduction.
+
+     rrs list                         show workload families and experiments
+     rrs simulate -f router -p dlru-edf -n 8 --validate
+     rrs experiment EXP-A             run one experiment (or all, no arg)
+     rrs opt -f uniform -s 1 -m 1     bracket / solve the offline optimum *)
+
+open Cmdliner
+open Rrs_core
+module Families = Rrs_workload.Families
+module Table = Rrs_report.Table
+
+(* ------------------------------------------------------------------ *)
+(* shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let family_arg =
+  let doc =
+    "Workload family id (see $(b,rrs list)).  The family determines which \
+     solver layer applies."
+  in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "f"; "family" ] ~docv:"FAMILY" ~doc)
+
+let seed_arg =
+  let doc = "Generator seed; the (family, seed) pair is reproducible." in
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let resources_arg =
+  let doc = "Resources given to the online algorithm (multiple of 4)." in
+  Arg.(value & opt int 8 & info [ "n"; "resources" ] ~docv:"N" ~doc)
+
+let lookup_family id =
+  match Families.find id with
+  | Some f -> Ok f
+  | None ->
+      Error
+        (Printf.sprintf "unknown family %S; known: %s" id
+           (String.concat ", " (Families.ids ())))
+
+(* ------------------------------------------------------------------ *)
+(* rrs list                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    let table = Table.create ~columns:[ "family"; "layer"; "description" ] in
+    List.iter
+      (fun (f : Families.family) ->
+        Table.add_row table
+          [ f.id; Families.layer_to_string f.layer; f.description ])
+      Families.all;
+    Table.print ~title:"workload families" table;
+    let table = Table.create ~columns:[ "experiment" ] in
+    List.iter
+      (fun id -> Table.add_row table [ id ])
+      (Rrs_experiments.Registry.ids ());
+    Table.print ~title:"experiments (run with: rrs experiment <id>)" table;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workload families and experiments")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* rrs simulate                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let policy_arg =
+  let policies =
+    [
+      ("dlru-edf", `Lru_edf);
+      ("dlru", `Dlru);
+      ("edf", `Edf);
+      ("seq-edf", `Seq_edf);
+      ("black", `Black);
+      ("pipeline", `Pipeline);
+      ("greedy", `Greedy);
+      ("greedy-hysteresis", `Greedy_hysteresis);
+      ("round-robin", `Round_robin);
+    ]
+  in
+  let doc =
+    "Policy: $(b,dlru-edf) (the paper's algorithm), $(b,dlru), $(b,edf), \
+     $(b,seq-edf), $(b,black) (drop everything), $(b,pipeline) (VarBatch + \
+     Distribute + dLRU-EDF; required for unbatched families), or the naive \
+     baselines $(b,greedy), $(b,greedy-hysteresis), $(b,round-robin)."
+  in
+  Arg.(
+    value
+    & opt (enum policies) `Lru_edf
+    & info [ "p"; "policy" ] ~docv:"POLICY" ~doc)
+
+let validate_arg =
+  let doc = "Replay the schedule through the independent validator." in
+  Arg.(value & flag & info [ "validate" ] ~doc)
+
+let metrics_arg =
+  let doc = "Write per-round metrics (backlog, cache, cumulative costs) to \
+             this CSV file.  Not available with the pipeline policy." in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let save_instance_arg =
+  let doc = "Also save the generated instance to this CSV file." in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-instance" ] ~docv:"FILE" ~doc)
+
+let simulate family seed n policy validate metrics_file save_instance =
+  match lookup_family family with
+  | Error msg ->
+      prerr_endline msg;
+      1
+  | Ok f -> (
+      let instance = f.build ~seed in
+      Format.printf "%a@." Instance.pp instance;
+      Option.iter
+        (fun path ->
+          Rrs_trace.Instance_io.save path instance;
+          Format.printf "instance saved to %s@." path)
+        save_instance;
+      let run_plain factory =
+        let cfg = Engine.config ~n ~record_schedule:validate () in
+        let collector, policy =
+          let policy = factory instance ~n in
+          match metrics_file with
+          | None -> (None, policy)
+          | Some _ ->
+              let m, p = Rrs_trace.Metrics.instrument policy in
+              (Some m, p)
+        in
+        let r = Engine.run_policy cfg instance policy in
+        (match (collector, metrics_file) with
+        | Some m, Some path ->
+            Out_channel.with_open_text path (fun oc ->
+                output_string oc (Rrs_trace.Metrics.to_csv m));
+            Format.printf "metrics written to %s@." path
+        | _ -> ());
+        (r, if validate then Some (Validator.check_result instance r) else None)
+      in
+      let outcome =
+        match policy with
+        | `Lru_edf -> Some (run_plain Lru_edf.policy)
+        | `Dlru -> Some (run_plain Delta_lru.policy)
+        | `Edf -> Some (run_plain Edf_policy.policy)
+        | `Seq_edf -> Some (run_plain Edf_policy.seq_policy)
+        | `Black -> Some (run_plain Static_policy.black)
+        | `Greedy -> Some (run_plain Naive_policies.greedy_backlog)
+        | `Greedy_hysteresis ->
+            Some
+              (run_plain
+                 (Naive_policies.greedy_backlog_hysteresis
+                    ~threshold:instance.delta))
+        | `Round_robin -> Some (run_plain Naive_policies.round_robin)
+        | `Pipeline ->
+            let r = Var_batch.run instance ~n in
+            Some (r, None)
+      in
+      match outcome with
+      | None -> 1
+      | Some (r, report) ->
+          Format.printf "cost: %a@." Cost.pp r.cost;
+          Format.printf "executed %d, dropped %d, %d recolorings over %d rounds@."
+            r.executed r.dropped r.reconfigurations r.rounds_simulated;
+          let lb = Offline_bounds.lower_bound instance ~m:(max 1 (n / 8)) in
+          Format.printf "OPT(m=%d) lower bound: %d (ratio upper estimate %.2f)@."
+            (max 1 (n / 8))
+            lb
+            (Cost.ratio r.cost (Cost.make ~reconfig:lb ~drop:0));
+          (match report with
+          | Some report ->
+              Format.printf "validator: %a@." Validator.pp_report report;
+              if not report.ok then exit 2
+          | None -> ());
+          0)
+
+let simulate_cmd =
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run one policy on one workload")
+    Term.(
+      const simulate $ family_arg $ seed_arg $ resources_arg $ policy_arg
+      $ validate_arg $ metrics_arg $ save_instance_arg)
+
+(* ------------------------------------------------------------------ *)
+(* rrs experiment                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_cmd =
+  let id_arg =
+    let doc = "Experiment id (e.g. EXP-A); omit to run every experiment." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let markdown_arg =
+    let doc = "Emit GitHub-markdown tables (for EXPERIMENTS.md updates)." in
+    Arg.(value & flag & info [ "markdown" ] ~doc)
+  in
+  let run id markdown =
+    let emit =
+      if markdown then Rrs_experiments.Harness.print_markdown
+      else Rrs_experiments.Harness.print
+    in
+    match id with
+    | None ->
+        List.iter
+          (fun (_, f) -> emit (f ()))
+          Rrs_experiments.Registry.all;
+        0
+    | Some id -> (
+        match Rrs_experiments.Registry.find id with
+        | Some f ->
+            emit (f ());
+            0
+        | None ->
+            Printf.eprintf "unknown experiment %s; known: %s\n" id
+              (String.concat ", " (Rrs_experiments.Registry.ids ()));
+            1)
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a reproduction experiment")
+    Term.(const run $ id_arg $ markdown_arg)
+
+(* ------------------------------------------------------------------ *)
+(* rrs opt                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let opt_cmd =
+  let m_arg =
+    let doc = "Offline resources." in
+    Arg.(value & opt int 1 & info [ "m" ] ~docv:"M" ~doc)
+  in
+  let exact_arg =
+    let doc = "Also run the exact exponential search (tiny instances only)." in
+    Arg.(value & flag & info [ "exact" ] ~doc)
+  in
+  let run family seed m exact =
+    match lookup_family family with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok f ->
+        let instance = f.build ~seed in
+        Format.printf "%a@." Instance.pp instance;
+        let lb = Offline_bounds.lower_bound instance ~m in
+        let ub =
+          min
+            (Offline_bounds.static_upper_bound instance ~m)
+            (Offline_heuristics.upper_bound instance ~m)
+        in
+        Format.printf "OPT(m=%d) in [%d, %d]@." m lb ub;
+        if exact then
+          (match Offline_opt.solve instance ~m with
+          | Some opt -> Format.printf "exact OPT = %d@." opt
+          | None -> Format.printf "exact search exceeded its state budget@.");
+        0
+  in
+  Cmd.v
+    (Cmd.info "opt" ~doc:"Bracket (and optionally solve) the offline optimum")
+    Term.(const run $ family_arg $ seed_arg $ m_arg $ exact_arg)
+
+(* ------------------------------------------------------------------ *)
+(* rrs describe                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let describe_cmd =
+  let run family seed =
+    match lookup_family family with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok f ->
+        let instance = f.build ~seed in
+        Format.printf "%a@." Instance.pp instance;
+        Format.printf "layer: %s, %s@."
+          (Families.layer_to_string f.layer)
+          (Solve.layer_to_string (Solve.classify instance));
+        let stats = Instance_stats.compute instance in
+        Format.printf "%a" Instance_stats.pp stats;
+        Format.printf "fluid capacity estimate: >= %d resources@."
+          (Instance_stats.min_resources_estimate instance);
+        0
+  in
+  Cmd.v
+    (Cmd.info "describe"
+       ~doc:"Print load statistics and capacity estimates for a workload")
+    Term.(const run $ family_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* rrs replay                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let replay_cmd =
+  let file_arg =
+    let doc = "Instance CSV file (format of $(b,--save-instance))." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let gantt_arg =
+    let doc = "Render a Gantt view of the schedule (small instances)." in
+    Arg.(value & flag & info [ "gantt" ] ~doc)
+  in
+  let run file n gantt =
+    match Rrs_trace.Instance_io.load file with
+    | Error msg ->
+        Printf.eprintf "cannot load %s: %s\n" file msg;
+        1
+    | Ok instance ->
+        Format.printf "%a@." Instance.pp instance;
+        let layer, r = Solve.run instance ~n in
+        Format.printf "layer: %s@." (Solve.layer_to_string layer);
+        Format.printf "cost: %a (executed %d, dropped %d)@." Cost.pp r.cost
+          r.executed r.dropped;
+        if gantt then begin
+          (* re-run recording the schedule (Solve does not record) *)
+          let cfg = Engine.config ~n ~record_schedule:true () in
+          match Solve.classify instance with
+          | Solve.Direct ->
+              let r = Engine.run cfg instance Lru_edf.policy in
+              print_string
+                (Rrs_trace.Schedule_io.render_gantt (Option.get r.schedule))
+          | Solve.Distributed | Solve.Pipelined ->
+              Format.printf
+                "(gantt view is only available for rate-limited instances)@."
+        end;
+        0
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Load an instance from CSV and solve it with the right layer")
+    Term.(const run $ file_arg $ resources_arg $ gantt_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let main =
+  let doc = "reconfigurable resource scheduling with variable delay bounds" in
+  let info = Cmd.info "rrs" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ list_cmd; simulate_cmd; experiment_cmd; opt_cmd; replay_cmd; describe_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/adversarial_demo.ml: Cost Delta_lru Edf_policy Engine List Lru_edf Rrs_core Rrs_report Rrs_workload

@@ -1,0 +1,1 @@
+examples/datacenter_pipeline.ml: Cost Distribute Format Instance List Offline_bounds Printf Rrs_core Rrs_prng Rrs_report Rrs_workload Var_batch

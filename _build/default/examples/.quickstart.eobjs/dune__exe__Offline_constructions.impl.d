@@ -1,0 +1,1 @@
+examples/offline_constructions.ml: Aggregate Cost Distribute Engine Format Instance Offline_heuristics Option Punctual Rrs_core Rrs_trace Schedule Types Validator Var_batch

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cost Delta_lru Edf_policy Engine Format Instance List Lru_edf Offline_bounds Offline_opt Rrs_core Static_policy Types Validator

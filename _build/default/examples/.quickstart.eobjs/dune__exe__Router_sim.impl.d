@@ -1,0 +1,1 @@
+examples/router_sim.ml: Cost Delta_lru Edf_policy Engine Format Instance List Lru_edf Offline_bounds Printf Rrs_core Rrs_report Rrs_workload

@@ -1,0 +1,1 @@
+examples/trace_export.ml: Cost Engine Format Instance List Lru_edf Out_channel Rrs_core Rrs_stats Rrs_trace Rrs_workload

@@ -1,0 +1,1 @@
+lib/core/aggregate.ml: Array Distribute Format Fun Hashtbl Instance List Option Printf Schedule Types Validator

@@ -1,0 +1,1 @@
+lib/core/cache_state.ml: Array Policy Types

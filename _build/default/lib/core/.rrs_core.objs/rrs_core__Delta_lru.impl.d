@@ -1,0 +1,1 @@
+lib/core/delta_lru.ml: Cache_state Eligibility Instance Policy Ranking

@@ -1,0 +1,1 @@
+lib/core/delta_lru.mli: Eligibility Instance Policy

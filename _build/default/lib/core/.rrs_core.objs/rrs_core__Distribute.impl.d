@@ -1,0 +1,1 @@
+lib/core/distribute.ml: Array Engine Instance Lru_edf Types

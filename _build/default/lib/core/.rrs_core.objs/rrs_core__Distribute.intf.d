@@ -1,0 +1,1 @@
+lib/core/distribute.mli: Engine Instance Policy Types

@@ -1,0 +1,1 @@
+lib/core/edf_policy.ml: Cache_state Eligibility Instance List Policy Ranking

@@ -1,0 +1,1 @@
+lib/core/edf_policy.mli: Eligibility Instance Policy

@@ -1,0 +1,1 @@
+lib/core/eligibility.mli: Instance Policy Types

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Cost Fun Instance List Pending Policy Schedule Types

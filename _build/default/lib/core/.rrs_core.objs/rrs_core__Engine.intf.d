@@ -1,0 +1,1 @@
+lib/core/engine.mli: Cost Instance Policy Schedule Types

@@ -1,0 +1,1 @@
+lib/core/instance_ops.ml: Array Instance Int64 List Option Printf Types

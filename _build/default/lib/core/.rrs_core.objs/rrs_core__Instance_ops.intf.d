@@ -1,0 +1,1 @@
+lib/core/instance_ops.mli: Instance Types

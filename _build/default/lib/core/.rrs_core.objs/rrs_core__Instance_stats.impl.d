@@ -1,0 +1,1 @@
+lib/core/instance_stats.ml: Array Format Instance List Types

@@ -1,0 +1,1 @@
+lib/core/instance_stats.mli: Format Instance Types

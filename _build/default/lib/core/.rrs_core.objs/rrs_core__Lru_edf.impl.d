@@ -1,0 +1,1 @@
+lib/core/lru_edf.ml: Cache_state Eligibility Hashtbl Instance List Policy Printf Ranking

@@ -1,0 +1,1 @@
+lib/core/lru_edf.mli: Eligibility Instance Policy

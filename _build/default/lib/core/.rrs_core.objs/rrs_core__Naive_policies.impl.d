@@ -1,0 +1,1 @@
+lib/core/naive_policies.ml: Array Cache_state Instance List Pending Policy Printf

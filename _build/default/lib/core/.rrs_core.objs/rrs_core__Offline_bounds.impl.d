@@ -1,0 +1,1 @@
+lib/core/offline_bounds.ml: Array Cost Engine Fun Instance List Par_edf Static_policy

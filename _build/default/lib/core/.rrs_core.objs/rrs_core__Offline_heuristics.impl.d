@@ -1,0 +1,1 @@
+lib/core/offline_heuristics.ml: Array Cost Engine Hashtbl Instance List Offline_bounds Option Static_policy Types

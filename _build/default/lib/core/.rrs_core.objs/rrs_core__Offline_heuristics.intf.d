@@ -1,0 +1,1 @@
+lib/core/offline_heuristics.mli: Instance Policy

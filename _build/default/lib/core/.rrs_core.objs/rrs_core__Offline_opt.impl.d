@@ -1,0 +1,1 @@
+lib/core/offline_opt.ml: Array Hashtbl Instance List Types

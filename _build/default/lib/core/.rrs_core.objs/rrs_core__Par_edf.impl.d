@@ -1,0 +1,1 @@
+lib/core/par_edf.ml: Array Instance List Pending Rrs_dstruct

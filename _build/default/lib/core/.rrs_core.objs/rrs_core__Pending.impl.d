@@ -1,0 +1,1 @@
+lib/core/pending.ml: Array List Queue Rrs_dstruct

@@ -1,0 +1,1 @@
+lib/core/punctual.ml: Array Hashtbl Instance List Option Pending Schedule Types

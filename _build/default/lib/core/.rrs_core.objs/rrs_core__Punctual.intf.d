@@ -1,0 +1,1 @@
+lib/core/punctual.mli: Instance Schedule

@@ -1,0 +1,1 @@
+lib/core/ranking.ml: Array Eligibility List Pending Stdlib

@@ -1,0 +1,1 @@
+lib/core/solve.ml: Cost Distribute Engine Instance Lru_edf Offline_bounds Var_batch

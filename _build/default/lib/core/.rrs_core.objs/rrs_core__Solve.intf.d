@@ -1,0 +1,1 @@
+lib/core/solve.mli: Engine Instance Policy

@@ -1,0 +1,1 @@
+lib/core/static_policy.ml: Array List Policy Types

@@ -1,0 +1,1 @@
+lib/core/static_policy.mli: Policy Types

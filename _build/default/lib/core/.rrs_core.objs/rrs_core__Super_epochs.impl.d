@@ -1,0 +1,1 @@
+lib/core/super_epochs.ml: Eligibility Hashtbl List

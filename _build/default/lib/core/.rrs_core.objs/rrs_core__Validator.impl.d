@@ -1,0 +1,1 @@
+lib/core/validator.ml: Array Cost Engine Format Hashtbl Instance List Option Pending Schedule Types

@@ -1,0 +1,1 @@
+lib/core/validator.mli: Cost Engine Format Instance Schedule Types

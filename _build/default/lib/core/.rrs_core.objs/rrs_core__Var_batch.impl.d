@@ -1,0 +1,1 @@
+lib/core/var_batch.ml: Array Distribute Instance List Lru_edf Types

@@ -1,0 +1,1 @@
+lib/core/var_batch.mli: Engine Instance Policy

@@ -1,0 +1,313 @@
+(* See the .mli for the high-level description.  Throughout:
+   - [m] is T's resource count; T' has 3m resources, resource [k] of T
+     owning the triple [3k, 3k+1, 3k+2];
+   - a "slot" is a (resource, round) pair of T';
+   - blocks of delay bound p are the round intervals [ip, (i+1)p). *)
+
+type builder = {
+  sub_instance : Instance.t;
+  m : int;
+  horizon : int;
+  timeline : Types.color array array; (* T: resource -> round -> color *)
+  busy : bool array array; (* T': resource -> round -> occupied *)
+  executions : (int * int, Types.color) Hashtbl.t;
+      (* T': (resource, round) -> subcolor executed *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Parsing the input schedule                                          *)
+(* ------------------------------------------------------------------ *)
+
+let build_timeline (instance : Instance.t) (t : Schedule.t) =
+  let timeline =
+    Array.make_matrix t.n (instance.horizon + 1) Types.black
+  in
+  (* per-resource color changes, chronological *)
+  Array.iter
+    (fun (round, e) ->
+      match e with
+      | Schedule.Reconfigure { resource; to_color; _ } ->
+          (* the color holds from this round until overwritten *)
+          for r = round to instance.horizon do
+            timeline.(resource).(r) <- to_color
+          done
+      | Schedule.Drop _ | Schedule.Execute _ -> ())
+    t.events;
+  timeline
+
+(* executed-job counts per (color, block index of its own delay bound) *)
+let executed_per_block (instance : Instance.t) (t : Schedule.t) =
+  let table = Hashtbl.create 64 in
+  Array.iter
+    (fun (round, e) ->
+      match e with
+      | Schedule.Execute { color; _ } ->
+          let block = round / instance.delay.(color) in
+          let key = (color, block) in
+          let prev = Option.value ~default:0 (Hashtbl.find_opt table key) in
+          Hashtbl.replace table key (prev + 1)
+      | Schedule.Drop _ | Schedule.Reconfigure _ -> ())
+    t.events;
+  table
+
+(* is T's resource k monochromatic (one constant color) over block(p,i)? *)
+let mono_color b ~p ~i k =
+  let lo = i * p in
+  let hi = min ((i + 1) * p - 1) b.horizon in
+  if lo > b.horizon then None
+  else begin
+    let color = b.timeline.(k).(lo) in
+    let rec constant r = r > hi || (b.timeline.(k).(r) = color && constant (r + 1)) in
+    if constant lo then Some color else None
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Building the output                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let place_execution b ~resource ~round subcolor =
+  assert (not b.busy.(resource).(round));
+  b.busy.(resource).(round) <- true;
+  Hashtbl.replace b.executions (resource, round) subcolor
+
+(* chunk [count] jobs continuously onto the first member of triple [k],
+   starting at the block head (the whole triple head is reserved for the
+   monochromatic stream, so these slots are free by construction) *)
+let schedule_mono b ~p ~i ~k ~subcolor count =
+  let head = 3 * k in
+  let start = i * p in
+  for offset = 0 to count - 1 do
+    place_execution b ~resource:head ~round:(start + offset) subcolor
+  done;
+  (* reserve the rest of the head's block: higher levels must not spill
+     into a resource that carries a monochromatic stream *)
+  for round = start to min ((i + 1) * p - 1) b.horizon do
+    b.busy.(head).(round) <- true
+  done
+
+(* spill [count] jobs of [subcolor] into free slots of multichromatic
+   triples inside block(p,i); returns the number NOT placed (0 when the
+   paper's Lemma 4.4 capacity argument holds, which the tests check) *)
+let schedule_spill b ~p ~i ~multichromatic ~subcolor count =
+  let remaining = ref count in
+  let lo = i * p in
+  let hi = min (((i + 1) * p) - 1) b.horizon in
+  List.iter
+    (fun k ->
+      if !remaining > 0 then
+        List.iter
+          (fun sub ->
+            let resource = (3 * k) + sub in
+            let round = ref lo in
+            while !remaining > 0 && !round <= hi do
+              if not b.busy.(resource).(!round) then begin
+                place_execution b ~resource ~round:!round subcolor;
+                decr remaining
+              end;
+              incr round
+            done)
+          [ 0; 1; 2 ])
+    multichromatic;
+  !remaining
+
+(* ------------------------------------------------------------------ *)
+(* Main transformation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let transform (instance : Instance.t) ~(mapping : Distribute.mapping)
+    (t : Schedule.t) =
+  if not (Instance.is_batched instance) then
+    invalid_arg "Aggregate.transform: instance is not batched";
+  if not (Instance.delays_are_powers_of_two instance) then
+    invalid_arg "Aggregate.transform: delays must be powers of two";
+  if t.mini_rounds <> 1 then
+    invalid_arg "Aggregate.transform: input schedule must be uni-speed";
+  let b =
+    {
+      sub_instance = mapping.sub_instance;
+      m = t.n;
+      horizon = instance.horizon;
+      timeline = build_timeline instance t;
+      busy = Array.make_matrix (3 * t.n) (instance.horizon + 1) false;
+      executions = Hashtbl.create 1024;
+    }
+  in
+  let executed = executed_per_block instance t in
+  (* batch sizes: color -> block -> arrival count *)
+  let batch_size = Hashtbl.create 64 in
+  Array.iter
+    (fun (a : Types.arrival) ->
+      Hashtbl.replace batch_size (a.color, a.round / instance.delay.(a.color))
+        a.count)
+    instance.arrivals;
+  (* labels: (resource, color) -> label, persistent across consecutive
+     blocks (paper step 1: inheritance) *)
+  let labels : (int * Types.color, int) Hashtbl.t = Hashtbl.create 64 in
+  let delay_values =
+    Array.to_list instance.delay |> List.sort_uniq compare
+  in
+  let unplaced = ref 0 in
+  List.iter
+    (fun p ->
+      let colors_with_p =
+        List.filter (fun c -> instance.delay.(c) = p)
+          (List.init instance.num_colors Fun.id)
+      in
+      let blocks = (instance.horizon / p) + 1 in
+      for i = 0 to blocks - 1 do
+        (* classify T's resources for this block *)
+        let mono_of = Array.init b.m (fun k -> mono_color b ~p ~i k) in
+        let multichromatic =
+          List.filter (fun k -> mono_of.(k) = None) (List.init b.m Fun.id)
+        in
+        List.iter
+          (fun color ->
+            let mono_resources =
+              List.filter (fun k -> mono_of.(k) = Some color)
+                (List.init b.m Fun.id)
+            in
+            (* step 1: labels — inherit where the resource stays
+               monochromatic-[color], then hand out the unused labels in
+               [0, |M|) *)
+            let count_m = List.length mono_resources in
+            let inherited =
+              List.filter_map
+                (fun k ->
+                  match Hashtbl.find_opt labels (k, color) with
+                  | Some j when j < count_m -> Some (k, j)
+                  | _ -> None)
+                mono_resources
+            in
+            let used = List.map snd inherited in
+            let fresh_labels =
+              List.filter (fun j -> not (List.mem j used))
+                (List.init count_m Fun.id)
+            in
+            let unlabeled =
+              List.filter
+                (fun k -> not (List.mem_assoc k inherited))
+                mono_resources
+            in
+            (* drop stale labels of resources that lost their stream *)
+            Hashtbl.iter
+              (fun (k, c) _ ->
+                if c = color && not (List.mem k mono_resources) then
+                  Hashtbl.remove labels (k, color) |> ignore)
+              (Hashtbl.copy labels);
+            List.iter2
+              (fun k j -> Hashtbl.replace labels (k, color) j)
+              unlabeled
+              (let rec take n = function
+                 | [] -> []
+                 | _ when n = 0 -> []
+                 | x :: r -> x :: take (n - 1) r
+               in
+               take (List.length unlabeled) fresh_labels);
+            let resource_of_label =
+              let tbl = Hashtbl.create 8 in
+              List.iter
+                (fun k ->
+                  match Hashtbl.find_opt labels (k, color) with
+                  | Some j -> Hashtbl.replace tbl j k
+                  | None -> ())
+                mono_resources;
+              tbl
+            in
+            (* steps 2-5: chunk the executed jobs against the subcolor
+               supply and place each chunk *)
+            let e =
+              Option.value ~default:0 (Hashtbl.find_opt executed (color, i))
+            in
+            let c =
+              Option.value ~default:0 (Hashtbl.find_opt batch_size (color, i))
+            in
+            let remaining = ref e in
+            let j = ref 0 in
+            while !remaining > 0 do
+              let supply = max 0 (min p (c - (!j * p))) in
+              if supply = 0 then begin
+                (* exhausted supply: cannot happen for feasible T *)
+                unplaced := !unplaced + !remaining;
+                remaining := 0
+              end
+              else begin
+                let chunk = min supply !remaining in
+                let subcolor = List.nth mapping.subs_of_orig.(color) !j in
+                (match Hashtbl.find_opt resource_of_label !j with
+                | Some k -> schedule_mono b ~p ~i ~k ~subcolor chunk
+                | None ->
+                    unplaced :=
+                      !unplaced
+                      + schedule_spill b ~p ~i ~multichromatic ~subcolor chunk);
+                remaining := !remaining - chunk;
+                incr j
+              end
+            done;
+            (* reserve the block head of labelled triples even when this
+               batch gave them no chunk: the stream stays in place *)
+            Hashtbl.iter
+              (fun j k ->
+                ignore j;
+                let head = 3 * k in
+                for round = i * p to min (((i + 1) * p) - 1) b.horizon do
+                  b.busy.(head).(round) <- true
+                done)
+              resource_of_label)
+          colors_with_p
+      done)
+    delay_values;
+  if !unplaced > 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Aggregate.transform: %d executed jobs could not be placed (input \
+          schedule was not feasible?)"
+         !unplaced);
+  (* ---------------------------------------------------------------- *)
+  (* Emit the schedule: walk rounds, reconfigure lazily per resource    *)
+  (* ---------------------------------------------------------------- *)
+  let current = Array.make (3 * b.m) Types.black in
+  let events = ref [] in
+  for round = 0 to b.horizon do
+    for resource = 0 to (3 * b.m) - 1 do
+      match Hashtbl.find_opt b.executions (resource, round) with
+      | Some subcolor when current.(resource) <> subcolor ->
+          events :=
+            ( round,
+              Schedule.Reconfigure
+                {
+                  resource;
+                  mini_round = 0;
+                  from_color = current.(resource);
+                  to_color = subcolor;
+                } )
+            :: !events;
+          current.(resource) <- subcolor
+      | _ -> ()
+    done;
+    for resource = 0 to (3 * b.m) - 1 do
+      match Hashtbl.find_opt b.executions (resource, round) with
+      | Some subcolor ->
+          events :=
+            (round, Schedule.Execute { resource; mini_round = 0; color = subcolor })
+            :: !events
+      | None -> ()
+    done
+  done;
+  {
+    Schedule.n = 3 * b.m;
+    mini_rounds = 1;
+    events = Array.of_list (List.rev !events);
+  }
+
+let verify instance ~mapping t =
+  match transform instance ~mapping t with
+  | exception Invalid_argument msg -> Error msg
+  | t' ->
+      let report =
+        Validator.check ~strict_drops:false mapping.sub_instance t'
+      in
+      if report.ok then Ok (t', report)
+      else
+        Error
+          (Format.asprintf "transformed schedule invalid: %a"
+             Validator.pp_report report)

@@ -1,0 +1,43 @@
+(** Algorithm Aggregate (paper Section 4.3) — the constructive heart of
+    Lemma 4.1: given {e any} feasible offline schedule [T] for a batched
+    instance [I], build a schedule [T'] for the distributed instance
+    [I'] (subcolors of {!Distribute}) that
+
+    - uses three times the resources (resource [k] of [T] becomes the
+      triple [3k, 3k+1, 3k+2] of [T']),
+    - executes exactly as many jobs as [T] (same drop cost, Lemma 4.5),
+    - and pays at most a constant factor of [T]'s reconfiguration cost
+      (Lemma 4.6).
+
+    Structure, following the paper: process delay bounds in ascending
+    order, block by block.  A resource that held one color [ℓ] for a
+    whole block ({e monochromatic}) carries a persistent {e label} [j]
+    and serves subcolor [(ℓ, j)] on the first member of its triple —
+    label inheritance across consecutive blocks is what keeps the
+    subcolor assignment stable and the extra reconfigurations bounded.
+    Jobs that monochromatic resources cannot carry spill into the free
+    slots of {e multichromatic} triples.
+
+    Where the paper waves ("it is not hard to see"), this implementation
+    makes the feasibility-first choice and documents it: executed jobs
+    are chunked against the actual per-subcolor supply of the batch
+    (chunk [j] uses subcolor [j]'s jobs, never an unsupplied label), and
+    a spill chunk may split across several multichromatic triples if no
+    single triple has room.  Both choices only ever reduce infeasibility;
+    the structural cost argument is checked empirically by the tests. *)
+
+val transform :
+  Instance.t -> mapping:Distribute.mapping -> Schedule.t -> Schedule.t
+(** [transform instance ~mapping t] is the 3x-resource schedule for
+    [mapping.sub_instance].  [instance] must be batched with power-of-two
+    delay bounds; [t] must be a uni-speed schedule for [instance]
+    (engine-recorded).
+    @raise Invalid_argument on a non-batched instance, non-power-of-two
+    delays, or a double-speed input schedule. *)
+
+val verify :
+  Instance.t -> mapping:Distribute.mapping -> Schedule.t ->
+  (Schedule.t * Validator.report, string) result
+(** Transform and validate against the sub-instance in one step; [Error]
+    when the output fails validation (which would indicate a bug — the
+    tests keep this impossible). *)

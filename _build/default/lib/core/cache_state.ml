@@ -1,0 +1,31 @@
+type t = {
+  slots : Types.color array;
+  flags : bool array; (* color -> currently in a distinct slot *)
+}
+
+let create ~num_colors ~distinct_slots =
+  {
+    slots = Array.make distinct_slots Types.black;
+    flags = Array.make (max num_colors 1) false;
+  }
+
+let mem t color = color >= 0 && color < Array.length t.flags && t.flags.(color)
+
+let cached_colors t =
+  let out = ref [] in
+  for color = Array.length t.flags - 1 downto 0 do
+    if t.flags.(color) then out := color :: !out
+  done;
+  !out
+
+let assign t ~desired =
+  let updated = Policy.stable_assign ~current:t.slots ~desired in
+  Array.iter (fun c -> if c <> Types.black then t.flags.(c) <- false) t.slots;
+  Array.blit updated 0 t.slots 0 (Array.length t.slots);
+  Array.iter (fun c -> if c <> Types.black then t.flags.(c) <- true) t.slots
+
+let to_assignment t ~replicated =
+  if replicated then Policy.replicate ~distinct:t.slots ~n:(2 * Array.length t.slots)
+  else Array.copy t.slots
+
+let distinct t = Array.copy t.slots

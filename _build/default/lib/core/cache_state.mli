@@ -1,0 +1,21 @@
+(** Mutable distinct-slot cache state shared by the policy
+    implementations: tracks the distinct half of the cache, offers an O(1)
+    membership test, and produces the engine-facing assignment (with or
+    without the replication half). *)
+
+type t
+
+val create : num_colors:int -> distinct_slots:int -> t
+val mem : t -> Types.color -> bool
+val cached_colors : t -> Types.color list
+(** Ascending color order; excludes black. *)
+
+val assign : t -> desired:Types.color list -> unit
+(** Update the distinct slots via {!Policy.stable_assign}. *)
+
+val to_assignment : t -> replicated:bool -> Types.color array
+(** The full engine assignment: the distinct slots, doubled when
+    [replicated] (paper invariant: each cached color in two locations). *)
+
+val distinct : t -> Types.color array
+(** The raw distinct slots (copy). *)

@@ -1,0 +1,20 @@
+type t = { reconfig : int; drop : int }
+
+let zero = { reconfig = 0; drop = 0 }
+let make ~reconfig ~drop = { reconfig; drop }
+let total t = t.reconfig + t.drop
+let add a b = { reconfig = a.reconfig + b.reconfig; drop = a.drop + b.drop }
+let add_reconfig t k = { t with reconfig = t.reconfig + k }
+let add_drop t k = { t with drop = t.drop + k }
+
+let ratio alg opt =
+  let a = total alg and o = total opt in
+  if o = 0 then if a = 0 then 1.0 else infinity
+  else float_of_int a /. float_of_int o
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>total=%d (reconfig=%d, drop=%d)@]" (total t)
+    t.reconfig t.drop
+
+let to_string t = Format.asprintf "%a" pp t
+let equal a b = a.reconfig = b.reconfig && a.drop = b.drop

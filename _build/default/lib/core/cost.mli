@@ -1,0 +1,21 @@
+(** Cost accounting: a schedule's total cost is its reconfiguration cost
+    plus its drop cost (unit drop cost, [Δ] per recoloring). *)
+
+type t = { reconfig : int; drop : int }
+
+val zero : t
+val make : reconfig:int -> drop:int -> t
+val total : t -> int
+val add : t -> t -> t
+val add_reconfig : t -> int -> t
+(** [add_reconfig c k] charges [k] recolorings' worth of cost — the
+    argument is already in cost units (i.e. [k * Δ]), not a count. *)
+
+val add_drop : t -> int -> t
+val ratio : t -> t -> float
+(** [ratio alg opt] is [total alg / total opt]; by convention 1.0 when
+    both are zero and [infinity] when only [opt] is zero. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool

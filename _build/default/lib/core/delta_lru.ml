@@ -1,0 +1,25 @@
+type instrumented = { policy : Policy.t; eligibility : Eligibility.t }
+
+let rec take k = function
+  | [] -> []
+  | _ when k = 0 -> []
+  | x :: rest -> x :: take (k - 1) rest
+
+let make (instance : Instance.t) ~n =
+  if n < 2 || n mod 2 <> 0 then
+    invalid_arg "Delta_lru.make: n must be a positive multiple of 2";
+  let eligibility = Eligibility.create instance in
+  let cache =
+    Cache_state.create ~num_colors:instance.num_colors ~distinct_slots:(n / 2)
+  in
+  let reconfigure (view : Policy.view) =
+    Eligibility.begin_round eligibility ~view ~in_cache:(Cache_state.mem cache);
+    let eligible = Eligibility.eligible_colors eligibility in
+    let by_recency = Ranking.timestamp_order eligibility eligible in
+    let desired = take (n / 2) by_recency in
+    Cache_state.assign cache ~desired;
+    Cache_state.to_assignment cache ~replicated:true
+  in
+  { policy = { Policy.name = "dlru"; reconfigure }; eligibility }
+
+let policy instance ~n = (make instance ~n).policy

@@ -1,0 +1,17 @@
+(** Algorithm ΔLRU (paper Section 3.1.1).
+
+    Reconfiguration scheme: keep the [n/2] eligible colors with the most
+    recent timestamps cached (ties by the consistent color order),
+    replicated into the second half of the cache.  Captures only the
+    recency aspect of the input; Appendix A shows it is not resource
+    competitive (it can pin idle colors and underutilize). *)
+
+type instrumented = { policy : Policy.t; eligibility : Eligibility.t }
+(** The policy plus analysis access to its eligibility machinery
+    (epochs, wrap events, eligible/ineligible drop split). *)
+
+val make : Instance.t -> n:int -> instrumented
+(** @raise Invalid_argument if [n] is not a positive multiple of 2. *)
+
+val policy : Policy.factory
+(** [make] with the instrumentation discarded — for plain engine runs. *)

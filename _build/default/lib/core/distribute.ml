@@ -1,0 +1,79 @@
+type mapping = {
+  sub_instance : Instance.t;
+  orig_of_sub : int array;
+  subs_of_orig : int list array;
+}
+
+let transform (instance : Instance.t) =
+  if not (Instance.is_batched instance) then
+    invalid_arg "Distribute.transform: instance is not batched";
+  (* subcolors needed per color: the largest batch, in chunks of D *)
+  let max_batch = Array.make instance.num_colors 0 in
+  Array.iter
+    (fun (a : Types.arrival) ->
+      if a.count > max_batch.(a.color) then max_batch.(a.color) <- a.count)
+    instance.arrivals;
+  let subs_needed =
+    Array.mapi
+      (fun color batch ->
+        if batch = 0 then 0
+        else (batch + instance.delay.(color) - 1) / instance.delay.(color))
+      max_batch
+  in
+  let first_sub = Array.make instance.num_colors 0 in
+  let total_subs = ref 0 in
+  Array.iteri
+    (fun color needed ->
+      first_sub.(color) <- !total_subs;
+      total_subs := !total_subs + needed)
+    subs_needed;
+  let orig_of_sub = Array.make (max !total_subs 1) Types.black in
+  let subs_of_orig = Array.make instance.num_colors [] in
+  Array.iteri
+    (fun color needed ->
+      for j = needed - 1 downto 0 do
+        let sub = first_sub.(color) + j in
+        orig_of_sub.(sub) <- color;
+        subs_of_orig.(color) <- sub :: subs_of_orig.(color)
+      done)
+    subs_needed;
+  let sub_delay =
+    Array.init (max !total_subs 1) (fun sub ->
+        let orig = orig_of_sub.(sub) in
+        if orig = Types.black then 1 else instance.delay.(orig))
+  in
+  let sub_arrivals = ref [] in
+  Array.iter
+    (fun (a : Types.arrival) ->
+      let d = instance.delay.(a.color) in
+      let rec split j remaining =
+        if remaining > 0 then begin
+          let chunk = min d remaining in
+          sub_arrivals :=
+            {
+              Types.round = a.round;
+              color = first_sub.(a.color) + j;
+              count = chunk;
+            }
+            :: !sub_arrivals;
+          split (j + 1) (remaining - chunk)
+        end
+      in
+      split 0 a.count)
+    instance.arrivals;
+  let sub_instance =
+    Instance.create
+      ~name:(instance.name ^ "+distribute")
+      ~delta:instance.delta ~delay:sub_delay ~arrivals:!sub_arrivals ()
+  in
+  { sub_instance; orig_of_sub; subs_of_orig }
+
+let project mapping color =
+  if color = Types.black then Types.black else mapping.orig_of_sub.(color)
+
+let run ?(policy = Lru_edf.policy) instance ~n =
+  let mapping = transform instance in
+  let cfg =
+    Engine.config ~n ~cost_projection:(project mapping) ()
+  in
+  Engine.run cfg mapping.sub_instance policy

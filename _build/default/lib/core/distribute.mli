@@ -1,0 +1,28 @@
+(** Algorithm Distribute (paper Section 4): reduces batched
+    [Δ | 1 | D_ℓ | D_ℓ] to its rate-limited special case.
+
+    Each batch of color [ℓ] is split, in rank order, into chunks of at
+    most [D_ℓ] jobs; chunk [j] becomes a job batch of the fresh subcolor
+    [(ℓ, j)] with the same delay bound.  The resulting instance is
+    rate-limited, ΔLRU-EDF runs on it, and the final schedule replaces
+    every subcolor with its original color: executions transfer one-to-one
+    and reconfigurations can only merge (Lemma 4.2), which the engine's
+    [cost_projection] hook accounts for exactly. *)
+
+type mapping = {
+  sub_instance : Instance.t;
+  orig_of_sub : int array;  (** subcolor -> original color *)
+  subs_of_orig : int list array;  (** original color -> its subcolors *)
+}
+
+val transform : Instance.t -> mapping
+(** @raise Invalid_argument if the instance is not batched. *)
+
+val project : mapping -> Types.color -> Types.color
+(** Subcolor to original color; maps black to black. *)
+
+val run : ?policy:Policy.factory -> Instance.t -> n:int -> Engine.result
+(** Transform, run the policy (default ΔLRU-EDF) on the sub-instance with
+    [n] resources, and account costs in projected (original) colors.
+    Drop counts in the result are indexed by {e subcolor}; use
+    {!project} or compare totals only. *)

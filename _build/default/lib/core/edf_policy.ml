@@ -1,0 +1,62 @@
+type instrumented = { policy : Policy.t; eligibility : Eligibility.t }
+
+let rec take k = function
+  | [] -> []
+  | _ when k = 0 -> []
+  | x :: rest -> x :: take (k - 1) rest
+
+(* Shared EDF reconfiguration scheme over [distinct_slots] slots.  The
+   new cached set is the best [distinct_slots] of (currently cached ∪
+   top-ranked nonidle additions); evictions happen only under capacity
+   pressure and take the worst-ranked colors, exactly as in the paper. *)
+let make_scheme ~name ~replicated ~distinct_slots (instance : Instance.t) =
+  let eligibility = Eligibility.create instance in
+  let cache =
+    Cache_state.create ~num_colors:instance.num_colors ~distinct_slots
+  in
+  let delay = instance.delay in
+  let reconfigure (view : Policy.view) =
+    Eligibility.begin_round eligibility ~view ~in_cache:(Cache_state.mem cache);
+    let ranked =
+      Ranking.ranked_eligible eligibility view.pending ~delay
+        ~exclude:(fun _ -> false)
+    in
+    let top = take distinct_slots ranked in
+    let additions =
+      List.filter_map
+        (fun (color, key) ->
+          if Ranking.is_nonidle_eligible key && not (Cache_state.mem cache color)
+          then Some color
+          else None)
+        top
+    in
+    let candidates =
+      let cached = Cache_state.cached_colors cache in
+      List.map
+        (fun color ->
+          (color, Ranking.key_of_color eligibility view.pending ~delay color))
+        (cached @ additions)
+    in
+    let kept =
+      candidates
+      |> List.sort (fun (_, a) (_, b) -> Ranking.compare a b)
+      |> take distinct_slots
+      |> List.map fst
+    in
+    Cache_state.assign cache ~desired:kept;
+    Cache_state.to_assignment cache ~replicated
+  in
+  { policy = { Policy.name; reconfigure }; eligibility }
+
+let make instance ~n =
+  if n < 2 || n mod 2 <> 0 then
+    invalid_arg "Edf_policy.make: n must be a positive multiple of 2";
+  make_scheme ~name:"edf" ~replicated:true ~distinct_slots:(n / 2) instance
+
+let policy instance ~n = (make instance ~n).policy
+
+let make_seq instance ~n =
+  if n < 1 then invalid_arg "Edf_policy.make_seq: n < 1";
+  make_scheme ~name:"seq-edf" ~replicated:false ~distinct_slots:n instance
+
+let seq_policy instance ~n = (make_seq instance ~n).policy

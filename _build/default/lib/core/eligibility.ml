@@ -1,0 +1,142 @@
+type color_info = {
+  mutable cnt : int;
+  mutable dd : int;
+  mutable eligible : bool;
+  mutable last_wrap : int; (* round of the latest wrap event; -1 = none *)
+  mutable timestamp : int; (* snapshot of last_wrap at the latest multiple *)
+  mutable epochs_ended : int;
+  mutable active_epoch : bool; (* a job arrived since the last epoch end *)
+  mutable wrap_events : int;
+}
+
+type t = {
+  delta : int;
+  delay : int array;
+  info : color_info array;
+  boundary : (int * int) Rrs_dstruct.Binary_heap.t; (* (next multiple, color) *)
+  mutable last_round : int;
+  mutable total_epochs_ended : int;
+  mutable eligible_drops : int;
+  mutable ineligible_drops : int;
+  mutable timestamp_listeners : (int -> int -> unit) list;
+}
+
+let create (instance : Instance.t) =
+  let info =
+    Array.init instance.num_colors (fun _ ->
+        {
+          cnt = 0;
+          dd = 0;
+          eligible = false;
+          last_wrap = -1;
+          timestamp = -1;
+          epochs_ended = 0;
+          active_epoch = false;
+          wrap_events = 0;
+        })
+  in
+  let boundary = Rrs_dstruct.Binary_heap.create ~cmp:compare () in
+  (* round 0 is a multiple of every delay bound *)
+  Array.iteri (fun color _ -> Rrs_dstruct.Binary_heap.add boundary (0, color))
+    instance.delay;
+  {
+    delta = instance.delta;
+    delay = instance.delay;
+    info;
+    boundary;
+    last_round = -1;
+    total_epochs_ended = 0;
+    eligible_drops = 0;
+    ineligible_drops = 0;
+    timestamp_listeners = [];
+  }
+
+let classify_drop t color count =
+  if t.info.(color).eligible then t.eligible_drops <- t.eligible_drops + count
+  else t.ineligible_drops <- t.ineligible_drops + count
+
+(* Drop-phase bookkeeping for a color whose batch window ends this round. *)
+let process_boundary t ~round ~in_cache color =
+  let ci = t.info.(color) in
+  (* timestamp: latest wrap event before this multiple.  Wraps of this
+     round happen later (arrival phase), so last_wrap is always < round
+     here. *)
+  if ci.timestamp <> ci.last_wrap then begin
+    ci.timestamp <- ci.last_wrap;
+    List.iter (fun f -> f color round) (List.rev t.timestamp_listeners)
+  end;
+  if ci.eligible && not (in_cache color) then begin
+    ci.eligible <- false;
+    ci.cnt <- 0;
+    ci.epochs_ended <- ci.epochs_ended + 1;
+    ci.active_epoch <- false;
+    t.total_epochs_ended <- t.total_epochs_ended + 1
+  end;
+  ci.dd <- round + t.delay.(color);
+  Rrs_dstruct.Binary_heap.add t.boundary (round + t.delay.(color), color)
+
+let process_arrival t ~round color count =
+  if count > 0 then begin
+    let ci = t.info.(color) in
+    ci.active_epoch <- true;
+    ci.cnt <- ci.cnt + count;
+    if ci.cnt >= t.delta then begin
+      ci.cnt <- ci.cnt mod t.delta;
+      ci.last_wrap <- round;
+      ci.wrap_events <- ci.wrap_events + 1;
+      if not ci.eligible then ci.eligible <- true
+    end
+  end
+
+let begin_round t ~(view : Policy.view) ~in_cache =
+  if view.round > t.last_round then begin
+    t.last_round <- view.round;
+    (* 1. drop-phase classification uses the pre-transition eligibility,
+       so classify before any boundary processing *)
+    List.iter (fun (color, count) -> classify_drop t color count) view.dropped;
+    (* 2. boundary (drop-phase) transitions for every color whose batch
+       window ends this round *)
+    let continue = ref true in
+    while !continue do
+      match Rrs_dstruct.Binary_heap.pop_min_opt t.boundary with
+      | Some (r, color) when r <= view.round ->
+          (* r < view.round can only happen for colors added late; process
+             them at the first opportunity *)
+          process_boundary t ~round:view.round ~in_cache color
+      | Some entry ->
+          Rrs_dstruct.Binary_heap.add t.boundary entry;
+          continue := false
+      | None -> continue := false
+    done;
+    (* 3. arrival-phase counter updates *)
+    List.iter
+      (fun (color, count) -> process_arrival t ~round:view.round color count)
+      view.arrivals
+  end
+
+let is_eligible t color = t.info.(color).eligible
+let timestamp t color = t.info.(color).timestamp
+let color_deadline t color = t.info.(color).dd
+let counter t color = t.info.(color).cnt
+
+let eligible_colors t =
+  let out = ref [] in
+  for color = Array.length t.info - 1 downto 0 do
+    if t.info.(color).eligible then out := color :: !out
+  done;
+  !out
+
+let epochs_total t =
+  Array.fold_left
+    (fun acc ci -> acc + ci.epochs_ended + if ci.active_epoch then 1 else 0)
+    0 t.info
+
+let epochs_ended t color = t.info.(color).epochs_ended
+let wrap_events_total t =
+  Array.fold_left (fun acc ci -> acc + ci.wrap_events) 0 t.info
+
+let eligible_drops t = t.eligible_drops
+let ineligible_drops t = t.ineligible_drops
+
+let on_timestamp_update t f =
+  t.timestamp_listeners <- f :: t.timestamp_listeners

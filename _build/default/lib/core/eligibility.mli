@@ -1,0 +1,65 @@
+(** The per-color bookkeeping shared by ΔLRU, EDF and ΔLRU-EDF
+    (paper Section 3.1, "common aspects"): counters, counter wrapping
+    events, eligibility, color deadlines, and the ΔLRU timestamp.
+
+    The three algorithms differ only in their reconfiguration schemes; a
+    policy owns one [Eligibility.t] and calls {!begin_round} at the start
+    of every [reconfigure] call.  The call is idempotent within a round,
+    so double-speed policies (two mini-rounds) stay correct.
+
+    Life of a color [ℓ] (delay bound [D], reconfiguration cost [Δ]):
+    - at every multiple of [D] (drop phase): the timestamp becomes the
+      round of the latest wrap event before this multiple; if [ℓ] is
+      eligible and not cached it turns ineligible, its counter resets,
+      and its current epoch ends;
+    - on arrival of [c] jobs: the counter grows by [c]; reaching [Δ]
+      wraps it (modulo [Δ]) — a {e counter wrapping event} — and makes
+      the color eligible.
+
+    The module also keeps the quantities the paper's analysis is built
+    on: epochs (Section 3.2), wrap events (Lemma 3.11), and the
+    eligible/ineligible drop split (Lemma 3.2 / Lemma 3.4). *)
+
+type t
+
+val create : Instance.t -> t
+
+val begin_round :
+  t -> view:Policy.view -> in_cache:(Types.color -> bool) -> unit
+(** Process this round's drop-phase and arrival-phase bookkeeping.
+    [in_cache] must reflect the cache as of the drop phase, i.e. before
+    this round's reconfiguration — pass a membership test on
+    [view.cache].  Safe to call once per mini-round (subsequent calls in
+    the same round are no-ops). *)
+
+val is_eligible : t -> Types.color -> bool
+val timestamp : t -> Types.color -> int
+(** [-1] when no counter wrapping event is visible yet. *)
+
+val color_deadline : t -> Types.color -> int
+(** The color's deadline [ℓ.dd] — end of its current batch window. *)
+
+val counter : t -> Types.color -> int
+val eligible_colors : t -> Types.color list
+(** Ascending color order. *)
+
+(** {2 Analysis instrumentation} *)
+
+val on_timestamp_update : t -> (Types.color -> Types.round -> unit) -> unit
+(** Register a listener called at every {e timestamp update event}
+    (Section 3.4): the drop-phase moment a color's timestamp changes
+    value.  Listeners drive the super-epoch bookkeeping
+    ({!Super_epochs}); multiple listeners are called in registration
+    order. *)
+
+val epochs_total : t -> int
+(** [numEpochs] so far: completed epochs plus, per color, one incomplete
+    epoch if any job arrived since the last epoch end. *)
+
+val epochs_ended : t -> Types.color -> int
+val wrap_events_total : t -> int
+val eligible_drops : t -> int
+(** Jobs dropped while their color was eligible. *)
+
+val ineligible_drops : t -> int
+(** Jobs dropped while their color was ineligible. *)

@@ -1,0 +1,139 @@
+type config = {
+  n : int;
+  mini_rounds : int;
+  record_schedule : bool;
+  cost_projection : (Types.color -> Types.color) option;
+}
+
+let config ?(mini_rounds = 1) ?(record_schedule = false) ?cost_projection ~n ()
+    =
+  if n < 1 then invalid_arg "Engine.config: n < 1";
+  if mini_rounds < 1 then invalid_arg "Engine.config: mini_rounds < 1";
+  { n; mini_rounds; record_schedule; cost_projection }
+
+type result = {
+  cost : Cost.t;
+  executed : int;
+  dropped : int;
+  reconfigurations : int;
+  drops_by_color : int array;
+  executions_by_color : int array;
+  rounds_simulated : int;
+  schedule : Schedule.t option;
+  final_cache : Types.color array;
+}
+
+let check_assignment cfg instance assignment =
+  if Array.length assignment <> cfg.n then
+    invalid_arg "Engine: policy returned an assignment of the wrong length";
+  Array.iter
+    (fun c ->
+      if c <> Types.black && (c < 0 || c >= instance.Instance.num_colors) then
+        invalid_arg "Engine: policy returned an out-of-range color")
+    assignment
+
+let run_policy cfg (instance : Instance.t) (policy : Policy.t) =
+  let pending = Pending.create ~num_colors:instance.num_colors in
+  let cache = Array.make cfg.n Types.black in
+  let arrivals = Instance.arrivals_by_round instance in
+  let project = match cfg.cost_projection with Some f -> f | None -> Fun.id in
+  let events = if cfg.record_schedule then Some (ref []) else None in
+  let record round e =
+    match events with Some evs -> evs := (round, e) :: !evs | None -> ()
+  in
+  let reconfig_charges = ref 0 in
+  let executed = ref 0 in
+  let dropped = ref 0 in
+  let drops_by_color = Array.make instance.num_colors 0 in
+  let executions_by_color = Array.make instance.num_colors 0 in
+  let end_round = instance.horizon in
+  for round = 0 to end_round do
+    (* drop phase *)
+    let expired = Pending.expire pending ~now:round in
+    List.iter
+      (fun (color, count) ->
+        dropped := !dropped + count;
+        drops_by_color.(color) <- drops_by_color.(color) + count;
+        record round (Schedule.Drop { color = project color; count }))
+      expired;
+    (* arrival phase *)
+    let batch = if round < Array.length arrivals then arrivals.(round) else [] in
+    List.iter
+      (fun (color, count) ->
+        Pending.add pending color
+          ~deadline:(round + instance.delay.(color))
+          ~count)
+      batch;
+    (* reconfiguration + execution, [mini_rounds] times *)
+    for mini_round = 0 to cfg.mini_rounds - 1 do
+      let view =
+        {
+          Policy.round;
+          mini_round;
+          arrivals = (if mini_round = 0 then batch else []);
+          dropped = (if mini_round = 0 then expired else []);
+          cache;
+          pending;
+        }
+      in
+      let assignment = policy.Policy.reconfigure view in
+      check_assignment cfg instance assignment;
+      for resource = 0 to cfg.n - 1 do
+        let old_color = cache.(resource) in
+        let new_color = assignment.(resource) in
+        if old_color <> new_color then begin
+          if project old_color <> project new_color then begin
+            incr reconfig_charges;
+            record round
+              (Schedule.Reconfigure
+                 {
+                   resource;
+                   mini_round;
+                   from_color = project old_color;
+                   to_color = project new_color;
+                 })
+          end;
+          cache.(resource) <- new_color
+        end
+      done;
+      (* execution phase: one pending job per configured resource *)
+      for resource = 0 to cfg.n - 1 do
+        let color = cache.(resource) in
+        if color <> Types.black then
+          match Pending.execute_one pending color with
+          | Some _deadline ->
+              incr executed;
+              executions_by_color.(color) <- executions_by_color.(color) + 1;
+              record round
+                (Schedule.Execute
+                   { resource; mini_round; color = project color })
+          | None -> ()
+      done
+    done
+  done;
+  assert (Pending.grand_total pending = 0);
+  let schedule =
+    match events with
+    | None -> None
+    | Some evs ->
+        Some
+          {
+            Schedule.n = cfg.n;
+            mini_rounds = cfg.mini_rounds;
+            events = Array.of_list (List.rev !evs);
+          }
+  in
+  {
+    cost =
+      Cost.make ~reconfig:(instance.delta * !reconfig_charges) ~drop:!dropped;
+    executed = !executed;
+    dropped = !dropped;
+    reconfigurations = !reconfig_charges;
+    drops_by_color;
+    executions_by_color;
+    rounds_simulated = end_round + 1;
+    schedule;
+    final_cache = Array.copy cache;
+  }
+
+let run cfg instance factory = run_policy cfg instance (factory instance ~n:cfg.n)

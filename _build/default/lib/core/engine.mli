@@ -1,0 +1,54 @@
+(** The round engine: drives the four phases of every round
+    (drop → arrival → reconfigure → execute) against a {!Policy.t} and
+    accounts costs.
+
+    One engine run resolves every job of the instance: simulation
+    continues through [Instance.horizon], whose final drop phase expires
+    the last pending jobs.
+
+    [mini_rounds] repeats the reconfiguration and execution phases within
+    each round, implementing the paper's double-speed schedules
+    (Section 3.3) with the same code path.
+
+    [cost_projection] recolors the cost accounting (not the policy's own
+    view): when set, a reconfiguration is only charged if the *projected*
+    colors differ.  The {!Distribute} reduction uses this to price its
+    final schedule, in which all subcolors [(ℓ, j)] of a color collapse
+    back to [ℓ] (paper, Lemma 4.2). *)
+
+type config = {
+  n : int;  (** resources given to the policy *)
+  mini_rounds : int;  (** 1 = uni-speed, 2 = double-speed *)
+  record_schedule : bool;
+  cost_projection : (Types.color -> Types.color) option;
+}
+
+val config :
+  ?mini_rounds:int ->
+  ?record_schedule:bool ->
+  ?cost_projection:(Types.color -> Types.color) ->
+  n:int ->
+  unit ->
+  config
+(** @raise Invalid_argument if [n < 1] or [mini_rounds < 1]. *)
+
+type result = {
+  cost : Cost.t;
+  executed : int;
+  dropped : int;
+  reconfigurations : int;  (** recolorings charged (post-projection) *)
+  drops_by_color : int array;
+  executions_by_color : int array;
+  rounds_simulated : int;
+  schedule : Schedule.t option;
+  final_cache : Types.color array;
+}
+
+val run : config -> Instance.t -> Policy.factory -> result
+(** Runs the policy on the instance to completion.
+    @raise Invalid_argument if the policy returns an assignment of the
+    wrong length or with an out-of-range color. *)
+
+val run_policy : config -> Instance.t -> Policy.t -> result
+(** Same with an already-instantiated policy (single use: policies are
+    stateful). *)

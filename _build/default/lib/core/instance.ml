@@ -1,0 +1,107 @@
+type t = {
+  name : string;
+  num_colors : int;
+  delta : int;
+  delay : int array;
+  arrivals : Types.arrival array;
+  horizon : int;
+}
+
+let validate ~delta ~delay arrivals =
+  if delta < 1 then invalid_arg "Instance.create: delta must be >= 1";
+  Array.iteri
+    (fun color d ->
+      if d < 1 then
+        invalid_arg
+          (Printf.sprintf "Instance.create: delay of color %d is %d" color d))
+    delay;
+  let num_colors = Array.length delay in
+  List.iter
+    (fun (a : Types.arrival) ->
+      if a.round < 0 then invalid_arg "Instance.create: negative round";
+      if a.color < 0 || a.color >= num_colors then
+        invalid_arg "Instance.create: color out of range";
+      if a.count < 0 then invalid_arg "Instance.create: negative count")
+    arrivals
+
+(* Sort by (round, color), merge duplicates, drop zero counts. *)
+let normalise arrivals =
+  let sorted = List.sort Types.compare_arrival arrivals in
+  let rec merge acc = function
+    | [] -> List.rev acc
+    | (a : Types.arrival) :: rest -> (
+        if a.count = 0 then merge acc rest
+        else
+          match acc with
+          | (prev : Types.arrival) :: acc_rest
+            when prev.round = a.round && prev.color = a.color ->
+              merge ({ prev with count = prev.count + a.count } :: acc_rest) rest
+          | _ -> merge (a :: acc) rest)
+  in
+  Array.of_list (merge [] sorted)
+
+let create ?(name = "instance") ~delta ~delay ~arrivals () =
+  validate ~delta ~delay arrivals;
+  let arrivals = normalise arrivals in
+  let horizon =
+    Array.fold_left
+      (fun acc (a : Types.arrival) -> max acc (a.round + delay.(a.color)))
+      0 arrivals
+  in
+  { name; num_colors = Array.length delay; delta; delay; arrivals; horizon }
+
+let total_jobs t =
+  Array.fold_left (fun acc (a : Types.arrival) -> acc + a.count) 0 t.arrivals
+
+let jobs_per_color t =
+  let per = Array.make t.num_colors 0 in
+  Array.iter
+    (fun (a : Types.arrival) -> per.(a.color) <- per.(a.color) + a.count)
+    t.arrivals;
+  per
+
+let jobs_of_color t color = (jobs_per_color t).(color)
+let max_delay t = Array.fold_left max 1 t.delay
+
+let last_arrival_round t =
+  if Array.length t.arrivals = 0 then -1
+  else t.arrivals.(Array.length t.arrivals - 1).round
+
+let is_batched t =
+  Array.for_all
+    (fun (a : Types.arrival) -> a.round mod t.delay.(a.color) = 0)
+    t.arrivals
+
+let is_rate_limited t =
+  (* arrivals are coalesced per (round, color), so a single entry is the
+     whole batch *)
+  is_batched t
+  && Array.for_all
+       (fun (a : Types.arrival) -> a.count <= t.delay.(a.color))
+       t.arrivals
+
+let delays_are_powers_of_two t = Array.for_all Types.is_power_of_two t.delay
+
+let arrivals_by_round t =
+  let by_round = Array.make (t.horizon + 1) [] in
+  (* iterate in reverse so each round's list comes out in color order *)
+  for i = Array.length t.arrivals - 1 downto 0 do
+    let a = t.arrivals.(i) in
+    by_round.(a.round) <- (a.color, a.count) :: by_round.(a.round)
+  done;
+  by_round
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<h>%s: %d colors, delta=%d, %d jobs, %d arrival batches, horizon=%d@]"
+    t.name t.num_colors t.delta (total_jobs t) (Array.length t.arrivals)
+    t.horizon
+
+let pp_full fmt t =
+  pp fmt t;
+  Format.fprintf fmt "@.delays: @[<h>%a@]@."
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+       Format.pp_print_int)
+    (Array.to_list t.delay);
+  Array.iter (fun a -> Format.fprintf fmt "  %a@." Types.pp_arrival a) t.arrivals

@@ -1,0 +1,57 @@
+(** A problem instance: the static parameters ([Δ], per-color delay
+    bounds) plus the full request sequence.
+
+    In the paper's notation an instance of [Δ | 1 | D_ℓ | 1] is arbitrary;
+    [Δ | 1 | D_ℓ | D_ℓ] requires every color-[ℓ] arrival to land on an
+    integral multiple of [D_ℓ] ({!is_batched}); the rate-limited special
+    case further caps each batch at [D_ℓ] jobs ({!is_rate_limited}). *)
+
+type t = private {
+  name : string;
+  num_colors : int;
+  delta : int;  (** reconfiguration cost [Δ >= 1] *)
+  delay : int array;  (** per-color delay bound [D_ℓ >= 1] *)
+  arrivals : Types.arrival array;  (** sorted, coalesced, counts > 0 *)
+  horizon : int;
+      (** first round strictly after every deadline: simulating rounds
+          [0 .. horizon] resolves every job *)
+}
+
+val create :
+  ?name:string ->
+  delta:int ->
+  delay:int array ->
+  arrivals:Types.arrival list ->
+  unit ->
+  t
+(** Validates and normalises (sorts by round/color, merges duplicate
+    [(round, color)] entries, drops zero counts).
+    @raise Invalid_argument on [delta < 1], a delay [< 1], an arrival with
+    a negative round, an out-of-range color, or a negative count. *)
+
+val total_jobs : t -> int
+val jobs_of_color : t -> Types.color -> int
+val jobs_per_color : t -> int array
+val max_delay : t -> int
+(** 1 when there are no colors. *)
+
+val last_arrival_round : t -> int
+(** -1 when there are no arrivals. *)
+
+val is_batched : t -> bool
+(** Every color-[ℓ] arrival is at a multiple of [D_ℓ]. *)
+
+val is_rate_limited : t -> bool
+(** Batched, and every batch carries at most [D_ℓ] jobs. *)
+
+val delays_are_powers_of_two : t -> bool
+
+val arrivals_by_round : t -> (Types.color * int) list array
+(** Dense per-round arrival lists, length [horizon + 1]; rounds with no
+    arrivals map to [[]]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Summary line (not the full arrival sequence). *)
+
+val pp_full : Format.formatter -> t -> unit
+(** Parameters plus every arrival — for debugging small instances. *)

@@ -1,0 +1,96 @@
+let arrivals_list (i : Instance.t) = Array.to_list i.arrivals
+
+let shift ~rounds (i : Instance.t) =
+  if rounds < 0 then invalid_arg "Instance_ops.shift: negative shift";
+  Instance.create
+    ~name:(Printf.sprintf "%s+%d" i.name rounds)
+    ~delta:i.delta ~delay:i.delay
+    ~arrivals:
+      (List.map
+         (fun (a : Types.arrival) -> { a with round = a.round + rounds })
+         (arrivals_list i))
+    ()
+
+let union ?name (a : Instance.t) (b : Instance.t) =
+  if a.delta <> b.delta then invalid_arg "Instance_ops.union: delta mismatch";
+  let offset = a.num_colors in
+  let delay = Array.append a.delay b.delay in
+  let arrivals =
+    arrivals_list a
+    @ List.map
+        (fun (x : Types.arrival) -> { x with color = x.color + offset })
+        (arrivals_list b)
+  in
+  Instance.create
+    ~name:(Option.value ~default:(a.name ^ "|" ^ b.name) name)
+    ~delta:a.delta ~delay ~arrivals ()
+
+let overlay ?name (a : Instance.t) (b : Instance.t) =
+  if a.delta <> b.delta then invalid_arg "Instance_ops.overlay: delta mismatch";
+  if a.delay <> b.delay then invalid_arg "Instance_ops.overlay: delay mismatch";
+  Instance.create
+    ~name:(Option.value ~default:(a.name ^ "+" ^ b.name) name)
+    ~delta:a.delta ~delay:a.delay
+    ~arrivals:(arrivals_list a @ arrivals_list b)
+    ()
+
+let restrict_colors ~keep (i : Instance.t) =
+  let mapping = Array.make i.num_colors (-1) in
+  let next = ref 0 in
+  for c = 0 to i.num_colors - 1 do
+    if keep c then begin
+      mapping.(c) <- !next;
+      incr next
+    end
+  done;
+  let delay =
+    Array.of_list
+      (List.filteri (fun c _ -> keep c) (Array.to_list i.delay))
+  in
+  let arrivals =
+    List.filter_map
+      (fun (a : Types.arrival) ->
+        if mapping.(a.color) >= 0 then Some { a with color = mapping.(a.color) }
+        else None)
+      (arrivals_list i)
+  in
+  Instance.create ~name:(i.name ^ "-restricted") ~delta:i.delta ~delay
+    ~arrivals ()
+
+let scale_counts ~factor (i : Instance.t) =
+  if factor < 0 then invalid_arg "Instance_ops.scale_counts: negative factor";
+  Instance.create
+    ~name:(Printf.sprintf "%s*%d" i.name factor)
+    ~delta:i.delta ~delay:i.delay
+    ~arrivals:
+      (List.map
+         (fun (a : Types.arrival) -> { a with count = a.count * factor })
+         (arrivals_list i))
+    ()
+
+(* splitmix64-style avalanche for a deterministic per-job coin without a
+   dependency on the PRNG library *)
+let mix seed x y z =
+  let open Int64 in
+  let h = ref (of_int ((seed * 0x9E3779B9) + (x * 668265263) + (y * 374761393) + z)) in
+  h := mul (logxor !h (shift_right_logical !h 30)) 0xBF58476D1CE4E5B9L;
+  h := mul (logxor !h (shift_right_logical !h 27)) 0x94D049BB133111EBL;
+  h := logxor !h (shift_right_logical !h 31);
+  to_int (shift_right_logical !h 11)
+
+let subsequence ~p ~seed (i : Instance.t) =
+  if p < 0.0 || p > 1.0 then invalid_arg "Instance_ops.subsequence: p";
+  let threshold = int_of_float (p *. 9007199254740992.0) in
+  let arrivals =
+    List.map
+      (fun (a : Types.arrival) ->
+        let kept = ref 0 in
+        for job = 0 to a.count - 1 do
+          if mix seed a.round a.color job < threshold then incr kept
+        done;
+        { a with count = !kept })
+      (arrivals_list i)
+  in
+  Instance.create
+    ~name:(Printf.sprintf "%s~%.2f" i.name p)
+    ~delta:i.delta ~delay:i.delay ~arrivals ()

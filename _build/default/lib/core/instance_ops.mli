@@ -1,0 +1,34 @@
+(** Instance algebra: combinators for building workloads out of other
+    workloads.  The composite generators and several tests are built on
+    these; all results go through {!Instance.create}, so they are always
+    validated and normalised. *)
+
+val shift : rounds:int -> Instance.t -> Instance.t
+(** Delay every arrival by [rounds] (>= 0).
+    @raise Invalid_argument on a negative shift. *)
+
+val union : ?name:string -> Instance.t -> Instance.t -> Instance.t
+(** Superpose two instances over a shared color space: colors of the
+    second instance are renumbered after the first's.  Both must agree
+    on [delta].
+    @raise Invalid_argument when the [delta]s differ. *)
+
+val overlay : ?name:string -> Instance.t -> Instance.t -> Instance.t
+(** Superpose two instances over the {e same} color space: both must
+    have identical [delta] and delay arrays; arrival multisets are
+    merged.
+    @raise Invalid_argument when parameters disagree. *)
+
+val restrict_colors : keep:(Types.color -> bool) -> Instance.t -> Instance.t
+(** Drop every color not selected (and its arrivals); survivors are
+    renumbered densely, preserving order. *)
+
+val scale_counts : factor:int -> Instance.t -> Instance.t
+(** Multiply every batch size by [factor] (>= 0) — turns a rate-limited
+    instance into a Distribute workout.
+    @raise Invalid_argument on a negative factor. *)
+
+val subsequence : p:float -> seed:int -> Instance.t -> Instance.t
+(** Keep each individual job independently with probability [p]
+    (deterministic in [seed]).  Used by tests of subsequence-monotonicity
+    claims (e.g. Lemma 3.6's flavour). *)

@@ -1,0 +1,79 @@
+type color_stats = {
+  color : Types.color;
+  delay : int;
+  jobs : int;
+  batches : int;
+  max_batch : int;
+  peak_window_load : float;
+}
+
+type t = {
+  total_jobs : int;
+  horizon : int;
+  offered_load : float;
+  peak_concurrent_load : float;
+  per_color : color_stats list;
+}
+
+let compute (instance : Instance.t) =
+  let jobs = Array.make instance.num_colors 0 in
+  let batches = Array.make instance.num_colors 0 in
+  let max_batch = Array.make instance.num_colors 0 in
+  (* density difference array: batch (r, l, c) contributes c / D_l over
+     [r, r + D_l) *)
+  let density = Array.make (instance.horizon + 2) 0.0 in
+  Array.iter
+    (fun (a : Types.arrival) ->
+      jobs.(a.color) <- jobs.(a.color) + a.count;
+      batches.(a.color) <- batches.(a.color) + 1;
+      if a.count > max_batch.(a.color) then max_batch.(a.color) <- a.count;
+      let d = instance.delay.(a.color) in
+      let rate = float_of_int a.count /. float_of_int d in
+      density.(a.round) <- density.(a.round) +. rate;
+      let stop = min (a.round + d) (instance.horizon + 1) in
+      density.(stop) <- density.(stop) -. rate)
+    instance.arrivals;
+  let peak = ref 0.0 in
+  let acc = ref 0.0 in
+  Array.iter
+    (fun delta ->
+      acc := !acc +. delta;
+      if !acc > !peak then peak := !acc)
+    density;
+  let per_color =
+    List.init instance.num_colors (fun color ->
+        {
+          color;
+          delay = instance.delay.(color);
+          jobs = jobs.(color);
+          batches = batches.(color);
+          max_batch = max_batch.(color);
+          peak_window_load =
+            float_of_int max_batch.(color) /. float_of_int instance.delay.(color);
+        })
+  in
+  let total_jobs = Instance.total_jobs instance in
+  {
+    total_jobs;
+    horizon = instance.horizon;
+    offered_load =
+      (if instance.horizon = 0 then 0.0
+       else float_of_int total_jobs /. float_of_int instance.horizon);
+    peak_concurrent_load = !peak;
+    per_color;
+  }
+
+let min_resources_estimate instance =
+  int_of_float (ceil (compute instance).peak_concurrent_load)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "jobs=%d horizon=%d offered_load=%.2f/round peak_load=%.2f/round@." t.total_jobs
+    t.horizon t.offered_load t.peak_concurrent_load;
+  Format.fprintf fmt "%-6s %-6s %-7s %-8s %-9s %s@." "color" "delay" "jobs"
+    "batches" "max" "peak window load";
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "%-6d %-6d %-7d %-8d %-9d %.2f@." c.color c.delay
+        c.jobs c.batches c.max_batch c.peak_window_load)
+    t.per_color

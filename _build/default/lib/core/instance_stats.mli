@@ -1,0 +1,37 @@
+(** Descriptive statistics of an instance — what an operator looks at
+    before picking a pool size: offered load, per-color pressure, and a
+    lower bound on the resources needed to avoid capacity drops. *)
+
+type color_stats = {
+  color : Types.color;
+  delay : int;
+  jobs : int;
+  batches : int;
+  max_batch : int;
+  peak_window_load : float;
+      (** largest batch divided by the delay bound — 1.0 means a window
+          arrives exactly saturated for one resource *)
+}
+
+type t = {
+  total_jobs : int;
+  horizon : int;
+  offered_load : float;
+      (** jobs per round over the active horizon: the resource count
+          needed by a clairvoyant scheduler ignoring deadlines *)
+  peak_concurrent_load : float;
+      (** max over rounds of (jobs whose window covers the round) /
+          (window length) summed over colors — a deadline-aware load
+          measure; any schedule with fewer resources must drop *)
+  per_color : color_stats list;  (** ascending color order *)
+}
+
+val compute : Instance.t -> t
+
+val min_resources_estimate : Instance.t -> int
+(** [ceil peak_concurrent_load] — the fluid (fractional) capacity bound:
+    a pool smaller than this is overloaded at the peak and will drop
+    under any policy that cannot smooth the excess into slack windows. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable report. *)

@@ -1,0 +1,83 @@
+type instrumented = { policy : Policy.t; eligibility : Eligibility.t }
+
+let rec take k = function
+  | [] -> []
+  | _ when k = 0 -> []
+  | x :: rest -> x :: take (k - 1) rest
+
+let lru_slots ~n = n / 4
+let distinct_capacity ~n = n / 2
+
+let make_tuned ~lru_slots:quota ~distinct_slots ~replicated (instance : Instance.t)
+    ~n =
+  let expected_n = if replicated then 2 * distinct_slots else distinct_slots in
+  if n <> expected_n then
+    invalid_arg
+      (Printf.sprintf
+         "Lru_edf.make_tuned: n = %d inconsistent with distinct_slots = %d \
+          (replicated = %b)"
+         n distinct_slots replicated);
+  if quota < 0 || quota > distinct_slots then
+    invalid_arg "Lru_edf.make_tuned: lru_slots out of range";
+  let eligibility = Eligibility.create instance in
+  let cache =
+    Cache_state.create ~num_colors:instance.num_colors ~distinct_slots
+  in
+  let delay = instance.delay in
+  let edf_quota = distinct_slots - quota in
+  let reconfigure (view : Policy.view) =
+    Eligibility.begin_round eligibility ~view ~in_cache:(Cache_state.mem cache);
+    (* ΔLRU component: the [quota] eligible colors with the freshest
+       timestamps are unconditionally cached *)
+    let eligible = Eligibility.eligible_colors eligibility in
+    let lru_set = take quota (Ranking.timestamp_order eligibility eligible) in
+    let is_lru =
+      let flags = Hashtbl.create (2 * (quota + 1)) in
+      List.iter (fun c -> Hashtbl.replace flags c ()) lru_set;
+      fun c -> Hashtbl.mem flags c
+    in
+    (* EDF component: rank the eligible non-LRU colors; the nonidle ones
+       in the top [edf_quota] rankings that are not cached come in *)
+    let ranked_non_lru =
+      Ranking.ranked_eligible eligibility view.pending ~delay ~exclude:is_lru
+    in
+    let additions =
+      List.filter_map
+        (fun (color, key) ->
+          if Ranking.is_nonidle_eligible key && not (Cache_state.mem cache color)
+          then Some color
+          else None)
+        (take edf_quota ranked_non_lru)
+    in
+    (* capacity pressure evicts the worst-ranked non-LRU colors *)
+    let stay_candidates =
+      List.filter (fun c -> not (is_lru c)) (Cache_state.cached_colors cache)
+      @ additions
+    in
+    let room = distinct_slots - List.length lru_set in
+    let kept_non_lru =
+      stay_candidates
+      |> List.map (fun color ->
+             (color, Ranking.key_of_color eligibility view.pending ~delay color))
+      |> List.sort (fun (_, a) (_, b) -> Ranking.compare a b)
+      |> take room
+      |> List.map fst
+    in
+    Cache_state.assign cache ~desired:(lru_set @ kept_non_lru);
+    Cache_state.to_assignment cache ~replicated
+  in
+  let name =
+    if quota = lru_slots ~n:(2 * distinct_slots) && replicated then "dlru-edf"
+    else Printf.sprintf "dlru-edf[lru=%d/%d%s]" quota distinct_slots
+           (if replicated then "" else ",norepl")
+  in
+  { policy = { Policy.name; reconfigure }; eligibility }
+
+let make (instance : Instance.t) ~n =
+  if n < 4 || n mod 4 <> 0 then
+    invalid_arg "Lru_edf.make: n must be a positive multiple of 4";
+  make_tuned ~lru_slots:(lru_slots ~n)
+    ~distinct_slots:(distinct_capacity ~n)
+    ~replicated:true instance ~n
+
+let policy instance ~n = (make instance ~n).policy

@@ -1,0 +1,30 @@
+(** Naive online baselines a practitioner might reach for first.
+
+    None of these carry a competitive guarantee; they calibrate the
+    experiment tables (EXP-11) and make the failure modes the paper
+    names — thrashing and underutilization — concrete in contrast with
+    ΔLRU-EDF.  All use the full capacity for distinct colors (no
+    replication half). *)
+
+val round_robin : Policy.factory
+(** Cycle the cache through the nonidle colors in round-robin order,
+    rotating one slot per round.  Maximal churn: a thrashing strawman. *)
+
+val greedy_backlog : Policy.factory
+(** Each round, cache the [n] colors with the largest pending backlog
+    (ties by color id).  Deadline- and recency-blind. *)
+
+val greedy_backlog_hysteresis : threshold:int -> Policy.factory
+(** Like {!greedy_backlog}, but a cached color is only evicted when the
+    challenger's backlog exceeds the incumbent's by more than
+    [threshold] jobs — the standard practitioner fix for churn.
+    [threshold = 0] behaves like {!greedy_backlog}.
+    @raise Invalid_argument if [threshold < 0]. *)
+
+val classic_lru : Policy.factory
+(** Textbook LRU caching applied directly: every arrival is a "request"
+    refreshing its color's recency; cache the [n] most recently
+    requested colors.  Unlike the paper's ΔLRU it has no [Δ]-counter, so
+    it pays a reconfiguration even for colors whose total work is worth
+    less than [Δ] — the failure mode Lemma 3.1's eligibility machinery
+    exists to prevent (EXP-13). *)

@@ -1,0 +1,45 @@
+let per_color_lb (instance : Instance.t) =
+  Array.fold_left
+    (fun acc jobs -> if jobs > 0 then acc + min instance.delta jobs else acc)
+    0
+    (Instance.jobs_per_color instance)
+
+let par_edf_drop_lb instance ~m = Par_edf.drop_cost instance ~m
+
+let lower_bound instance ~m =
+  max 0 (max (per_color_lb instance) (par_edf_drop_lb instance ~m))
+
+let run_static instance ~m colors =
+  let cfg = Engine.config ~n:m () in
+  let result = Engine.run cfg instance (Static_policy.static colors) in
+  Cost.total result.cost
+
+let static_upper_bound (instance : Instance.t) ~m =
+  let all_black = Instance.total_jobs instance in
+  let per_color = Instance.jobs_per_color instance in
+  let by_count =
+    List.init instance.num_colors Fun.id
+    |> List.filter (fun c -> per_color.(c) > 0)
+    |> List.sort (fun a b -> compare per_color.(b) per_color.(a))
+  in
+  (* density = jobs per round of presence: favors colors whose work is
+     concentrated, which a static cache serves well *)
+  let density c =
+    float_of_int per_color.(c) /. float_of_int (max 1 instance.horizon)
+  in
+  let by_density =
+    List.sort (fun a b -> compare (density b) (density a)) by_count
+  in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  let candidates = [ take m by_count; take m by_density ] in
+  List.fold_left
+    (fun best colors ->
+      if colors = [] then best else min best (run_static instance ~m colors))
+    all_black candidates
+
+let opt_bracket instance ~m =
+  (lower_bound instance ~m, static_upper_bound instance ~m)

@@ -1,0 +1,33 @@
+(** Certified lower bounds on the optimal offline cost, and cheap upper
+    bounds that sandwich it.
+
+    The paper never computes OFF — it only needs its existence.  Our
+    experiments report competitive ratios against these bounds:
+    dividing an algorithm's cost by a *lower* bound on OPT can only
+    overestimate the true ratio, so a measured "small constant" is a safe
+    conclusion.
+
+    Lower bounds:
+    - per-color: OPT pays at least [min(Δ, jobs_ℓ)] for every color with
+      at least one job (cache it at cost ≥ Δ, or drop all its jobs);
+    - Par-EDF drops: OPT's drop cost alone is at least Par-EDF's drop
+      cost with the same [m] (Lemma 3.7).
+
+    Upper bounds come from feasible schedules: the best static
+    configuration found by greedy candidate sets, and the all-black
+    schedule. *)
+
+val per_color_lb : Instance.t -> int
+
+val par_edf_drop_lb : Instance.t -> m:int -> int
+
+val lower_bound : Instance.t -> m:int -> int
+(** [max (per_color_lb i) (par_edf_drop_lb i ~m)], and at least 0. *)
+
+val static_upper_bound : Instance.t -> m:int -> int
+(** Cost of the best schedule among: all-black, and static configurations
+    of the top-[m] colors by job count / by jobs-per-round density.  A
+    feasible schedule, hence an upper bound on OPT. *)
+
+val opt_bracket : Instance.t -> m:int -> int * int
+(** [(lower, upper)] with [lower <= OPT(m) <= upper]. *)

@@ -1,0 +1,52 @@
+let rec take k = function
+  | [] -> []
+  | _ when k = 0 -> []
+  | x :: rest -> x :: take (k - 1) rest
+
+let interval_plan (instance : Instance.t) ~m ~window =
+  if window < 1 then invalid_arg "Offline_heuristics.interval_plan: window";
+  if m < 1 then invalid_arg "Offline_heuristics.interval_plan: m";
+  (* per window, the m colors with the most arriving jobs *)
+  let blocks = (instance.horizon / window) + 1 in
+  let per_block = Array.init blocks (fun _ -> Hashtbl.create 8) in
+  Array.iter
+    (fun (a : Types.arrival) ->
+      let tbl = per_block.(a.round / window) in
+      let prev = Option.value ~default:0 (Hashtbl.find_opt tbl a.color) in
+      Hashtbl.replace tbl a.color (prev + a.count))
+    instance.arrivals;
+  let segments =
+    List.init blocks (fun b ->
+        let counts =
+          Hashtbl.fold (fun color count acc -> (count, color) :: acc)
+            per_block.(b) []
+        in
+        let top =
+          counts
+          |> List.sort (fun a b -> compare b a)
+          |> take m
+          |> List.map snd
+        in
+        (b * window, top))
+  in
+  Static_policy.piecewise segments
+
+let interval_cost instance ~m ~window =
+  let cfg = Engine.config ~n:m () in
+  let result = Engine.run cfg instance (interval_plan instance ~m ~window) in
+  Cost.total result.cost
+
+let upper_bound (instance : Instance.t) ~m =
+  let windows =
+    let min_delay = Array.fold_left min max_int instance.delay in
+    let max_delay = Instance.max_delay instance in
+    let rec collect w acc =
+      if w > 2 * max_delay then List.rev acc else collect (2 * w) (w :: acc)
+    in
+    if instance.num_colors = 0 then []
+    else collect (max 1 (Types.floor_pow2 (max 1 min_delay))) []
+  in
+  List.fold_left
+    (fun best window -> min best (interval_cost instance ~m ~window))
+    (Offline_bounds.static_upper_bound instance ~m)
+    windows

@@ -1,0 +1,24 @@
+(** Clairvoyant (offline) heuristic schedules.
+
+    These produce *feasible* schedules, so their cost upper-bounds OPT —
+    they tighten the bracket from {!Offline_bounds.static_upper_bound}
+    on workloads whose hot set drifts over time (where any single static
+    configuration is poor).
+
+    The interval planner mirrors the shape of the appendices' OFF
+    schedules: carve the timeline into fixed windows and, in each
+    window, configure the [m] colors with the most arriving work. *)
+
+val interval_plan : Instance.t -> m:int -> window:int -> Policy.factory
+(** The piecewise-static policy described above.  Clairvoyant: it reads
+    the instance's full arrival sequence at construction time.
+    @raise Invalid_argument if [window < 1] or [m < 1]. *)
+
+val interval_cost : Instance.t -> m:int -> window:int -> int
+(** Cost of running {!interval_plan} (uni-speed, [m] resources). *)
+
+val upper_bound : Instance.t -> m:int -> int
+(** Best feasible cost over: the static bounds of {!Offline_bounds}, and
+    interval plans at window sizes spanning the instance's delay bounds
+    (each power of two from the smallest delay to twice the largest).
+    Always an upper bound on OPT([m]). *)

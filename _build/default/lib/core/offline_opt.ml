@@ -1,0 +1,132 @@
+exception Budget_exceeded
+
+(* Pending state: per color, deadline-ascending (deadline, count) list.
+   Kept canonical (no zero counts) so structural equality = state
+   equality. *)
+type pending = (int * int) list array
+
+let drop_expired (pending : pending) ~now =
+  let dropped = ref 0 in
+  let updated =
+    Array.map
+      (fun buckets ->
+        List.filter
+          (fun (deadline, count) ->
+            if deadline <= now then begin
+              dropped := !dropped + count;
+              false
+            end
+            else true)
+          buckets)
+      pending
+  in
+  (updated, !dropped)
+
+let add_arrivals (pending : pending) ~round ~delay batch =
+  let updated = Array.copy pending in
+  List.iter
+    (fun (color, count) ->
+      let deadline = round + delay.(color) in
+      (* arrivals carry the latest deadline of their color: append *)
+      updated.(color) <- updated.(color) @ [ (deadline, count) ])
+    batch;
+  updated
+
+(* Execute one earliest-deadline job per configured slot.  Executing is
+   weakly dominant (free and load-reducing), so it is not a branch. *)
+let execute (pending : pending) cache =
+  let updated = Array.copy pending in
+  List.iter
+    (fun color ->
+      if color >= 0 then
+        match updated.(color) with
+        | (deadline, count) :: rest ->
+            updated.(color) <-
+              (if count = 1 then rest else (deadline, count - 1) :: rest)
+        | [] -> ())
+    cache;
+  updated
+
+(* Minimal recolorings to turn multiset [a] into multiset [b] (both sorted
+   lists of the same length): the positions not covered by the largest
+   common sub-multiset. *)
+let multiset_distance a b =
+  let rec common xs ys =
+    match (xs, ys) with
+    | [], _ | _, [] -> 0
+    | x :: xr, y :: yr ->
+        if x = y then 1 + common xr yr
+        else if x < y then common xr ys
+        else common xs yr
+  in
+  List.length a - common a b
+
+(* All sorted multisets of size [m] drawn from the sorted candidate list
+   (with repetition). *)
+let multisets candidates m =
+  let rec build m candidates =
+    if m = 0 then [ [] ]
+    else
+      match candidates with
+      | [] -> []
+      | c :: rest ->
+          List.map (fun tail -> c :: tail) (build (m - 1) candidates)
+          @ build m rest
+  in
+  build m candidates
+
+let solve ?(max_states = 2_000_000) (instance : Instance.t) ~m =
+  if m < 1 then invalid_arg "Offline_opt.solve: m < 1";
+  let arrivals = Instance.arrivals_by_round instance in
+  let memo : (int * int list * (int * int) list list, int) Hashtbl.t =
+    Hashtbl.create 4096
+  in
+  let rec best round (cache : int list) (pending : pending) =
+    if round > instance.horizon then 0
+    else begin
+      let key = (round, cache, Array.to_list pending) in
+      match Hashtbl.find_opt memo key with
+      | Some v -> v
+      | None ->
+          if Hashtbl.length memo >= max_states then raise Budget_exceeded;
+          (* drop phase, then arrival phase *)
+          let pending, drops = drop_expired pending ~now:round in
+          let batch =
+            if round < Array.length arrivals then arrivals.(round) else []
+          in
+          let pending =
+            add_arrivals pending ~round ~delay:instance.delay batch
+          in
+          (* branch over the useful cache multisets: colors with pending
+             jobs, plus black, plus staying put *)
+          let active = ref [] in
+          Array.iteri
+            (fun color buckets -> if buckets <> [] then active := color :: !active)
+            pending;
+          let candidates = Types.black :: List.sort compare !active in
+          let choices = multisets candidates m in
+          let choices =
+            if List.mem cache choices then choices else cache :: choices
+          in
+          let value =
+            List.fold_left
+              (fun acc choice ->
+                let reconfig = instance.delta * multiset_distance cache choice in
+                if reconfig >= acc then acc
+                else begin
+                  let after_exec = execute pending choice in
+                  let rest = best (round + 1) choice after_exec in
+                  min acc (reconfig + rest)
+                end)
+              max_int choices
+          in
+          let value = drops + value in
+          Hashtbl.replace memo key value;
+          value
+    end
+  in
+  let initial_cache = List.init m (fun _ -> Types.black) in
+  let initial_pending = Array.make instance.num_colors [] in
+  match best 0 initial_cache initial_pending with
+  | v -> Some v
+  | exception Budget_exceeded -> None

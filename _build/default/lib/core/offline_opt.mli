@@ -1,0 +1,18 @@
+(** Exact optimal offline cost by memoized exhaustive search.
+
+    The state is (round, cache multiset, pending buckets); per round the
+    search branches over all useful cache multisets — configurations that
+    only involve colors with pending jobs (configuring a color early is
+    never cheaper than configuring it when its jobs exist) — and prices a
+    transition at [Δ ×] the multiset distance.  Execution is not a
+    choice: running the earliest-deadline pending job of each configured
+    slot is weakly dominant.
+
+    Exponential in general: practical for a handful of colors, one or two
+    resources and horizons of a few dozen rounds.  Used by EXP-8 and by
+    tests that sandwich OPT between {!Offline_bounds.opt_bracket}. *)
+
+val solve : ?max_states:int -> Instance.t -> m:int -> int option
+(** Exact OPT cost with [m] resources, or [None] when the memo table
+    would exceed [max_states] (default 2_000_000).
+    @raise Invalid_argument if [m < 1]. *)

@@ -1,0 +1,60 @@
+type result = {
+  drop_cost : int;
+  executed : int;
+  drops_by_color : int array;
+}
+
+(* Per round we pop the best-ranked nonidle color from a heap keyed by
+   (earliest pending deadline, delay bound, color), execute one of its
+   jobs, and re-insert.  Jobs within a color are FIFO = EDF. *)
+let run (instance : Instance.t) ~m =
+  if m < 1 then invalid_arg "Par_edf.run: m < 1";
+  let pending = Pending.create ~num_colors:instance.num_colors in
+  let arrivals = Instance.arrivals_by_round instance in
+  let dropped = ref 0 in
+  let executed = ref 0 in
+  let drops_by_color = Array.make instance.num_colors 0 in
+  let heap = Rrs_dstruct.Binary_heap.create ~cmp:compare () in
+  for round = 0 to instance.horizon do
+    List.iter
+      (fun (color, count) ->
+        dropped := !dropped + count;
+        drops_by_color.(color) <- drops_by_color.(color) + count)
+      (Pending.expire pending ~now:round);
+    let batch = if round < Array.length arrivals then arrivals.(round) else [] in
+    List.iter
+      (fun (color, count) ->
+        Pending.add pending color
+          ~deadline:(round + instance.delay.(color))
+          ~count)
+      batch;
+    (* execute up to m best-ranked jobs; rebuild the candidate heap from
+       the nonidle colors (their count is usually small and bounded by
+       the number of colors) *)
+    Rrs_dstruct.Binary_heap.clear heap;
+    Pending.iter_nonidle pending (fun color _count ->
+        match Pending.earliest_deadline pending color with
+        | Some deadline ->
+            Rrs_dstruct.Binary_heap.add heap
+              (deadline, instance.delay.(color), color)
+        | None -> ());
+    let slots = ref m in
+    while
+      !slots > 0 && not (Rrs_dstruct.Binary_heap.is_empty heap)
+    do
+      let _, _, color = Rrs_dstruct.Binary_heap.pop_min heap in
+      (match Pending.execute_one pending color with
+      | Some _ ->
+          incr executed;
+          decr slots;
+          (match Pending.earliest_deadline pending color with
+          | Some deadline ->
+              Rrs_dstruct.Binary_heap.add heap
+                (deadline, instance.delay.(color), color)
+          | None -> ())
+      | None -> ())
+    done
+  done;
+  { drop_cost = !dropped; executed = !executed; drops_by_color }
+
+let drop_cost instance ~m = (run instance ~m).drop_cost

@@ -1,0 +1,125 @@
+type bucket = { deadline : int; mutable count : int }
+type color_queue = { q : bucket Queue.t; mutable back : bucket option }
+
+type t = {
+  queues : color_queue array; (* per color, deadline-ascending *)
+  totals : int array;
+  due : (int * int) Rrs_dstruct.Binary_heap.t; (* (deadline, color), lazy *)
+  mutable grand_total : int;
+  mutable nonidle : int;
+}
+
+let create ~num_colors =
+  {
+    queues =
+      Array.init num_colors (fun _ -> { q = Queue.create (); back = None });
+    totals = Array.make num_colors 0;
+    due = Rrs_dstruct.Binary_heap.create ~cmp:compare ();
+    grand_total = 0;
+    nonidle = 0;
+  }
+
+let num_colors t = Array.length t.queues
+
+let bump t color delta =
+  let before = t.totals.(color) in
+  let after = before + delta in
+  t.totals.(color) <- after;
+  t.grand_total <- t.grand_total + delta;
+  if before = 0 && after > 0 then t.nonidle <- t.nonidle + 1
+  else if before > 0 && after = 0 then t.nonidle <- t.nonidle - 1
+
+let sync_back cq = if Queue.is_empty cq.q then cq.back <- None
+
+let add t color ~deadline ~count =
+  if count < 0 then invalid_arg "Pending.add: negative count";
+  if count > 0 then begin
+    let cq = t.queues.(color) in
+    (match cq.back with
+    | Some back when deadline < back.deadline ->
+        invalid_arg "Pending.add: deadline out of order"
+    | _ -> ());
+    (match cq.back with
+    | Some back when back.deadline = deadline ->
+        back.count <- back.count + count
+    | _ ->
+        let bucket = { deadline; count } in
+        Queue.add bucket cq.q;
+        cq.back <- Some bucket;
+        Rrs_dstruct.Binary_heap.add t.due (deadline, color));
+    bump t color count
+  end
+
+let total t color = t.totals.(color)
+let grand_total t = t.grand_total
+let is_idle t color = t.totals.(color) = 0
+
+let earliest_deadline t color =
+  match Queue.peek_opt t.queues.(color).q with
+  | None -> None
+  | Some b -> Some b.deadline
+
+let execute_one t color =
+  let cq = t.queues.(color) in
+  match Queue.peek_opt cq.q with
+  | None -> None
+  | Some b ->
+      b.count <- b.count - 1;
+      if b.count = 0 then begin
+        ignore (Queue.pop cq.q);
+        sync_back cq
+      end;
+      bump t color (-1);
+      Some b.deadline
+
+(* Drain this color's expired front buckets; the heap entry that led us
+   here may be stale (bucket already consumed), which is fine. *)
+let expire_color t color ~now =
+  let cq = t.queues.(color) in
+  let dropped = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt cq.q with
+    | Some b when b.deadline <= now ->
+        dropped := !dropped + b.count;
+        ignore (Queue.pop cq.q)
+    | _ -> continue := false
+  done;
+  sync_back cq;
+  if !dropped > 0 then bump t color (- !dropped);
+  !dropped
+
+let expire t ~now =
+  let affected = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Rrs_dstruct.Binary_heap.pop_min_opt t.due with
+    | Some (deadline, color) when deadline <= now ->
+        let dropped = expire_color t color ~now in
+        if dropped > 0 then affected := (color, dropped) :: !affected
+    | Some entry ->
+        (* not due yet: push back and stop *)
+        Rrs_dstruct.Binary_heap.add t.due entry;
+        continue := false
+    | None -> continue := false
+  done;
+  List.sort compare !affected
+
+let drop_all t color =
+  let cq = t.queues.(color) in
+  let dropped = t.totals.(color) in
+  Queue.clear cq.q;
+  cq.back <- None;
+  if dropped > 0 then bump t color (-dropped);
+  dropped
+
+let nonidle_count t = t.nonidle
+
+let iter_nonidle t f =
+  Array.iteri (fun color n -> if n > 0 then f color n) t.totals
+
+let snapshot t =
+  Array.map
+    (fun cq ->
+      List.rev (Queue.fold (fun acc b -> (b.deadline, b.count) :: acc) [] cq.q))
+    t.queues

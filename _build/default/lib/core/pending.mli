@@ -1,0 +1,54 @@
+(** Pending-job bookkeeping for all colors of one simulation.
+
+    Jobs of one color all share one delay bound, so arrival order equals
+    deadline order and a per-color FIFO of [(deadline, count)] buckets is
+    simultaneously FIFO and earliest-deadline-first.  A global heap of
+    due dates makes the engine's drop phase event-driven: only colors
+    with a bucket expiring this round are touched. *)
+
+type t
+
+val create : num_colors:int -> t
+val num_colors : t -> int
+
+val add : t -> Types.color -> deadline:int -> count:int -> unit
+(** Enqueue [count] jobs.  Deadlines of one color must be enqueued in
+    nondecreasing order (the engine guarantees this: deadline = arrival
+    round + fixed per-color delay).
+    @raise Invalid_argument on a negative count or on a deadline earlier
+    than the color's current latest bucket. *)
+
+val total : t -> Types.color -> int
+(** Pending job count of a color; O(1). *)
+
+val grand_total : t -> int
+(** Pending jobs over all colors; O(1). *)
+
+val is_idle : t -> Types.color -> bool
+(** A color is idle iff it has no pending jobs (paper, Section 3.1). *)
+
+val earliest_deadline : t -> Types.color -> int option
+
+val execute_one : t -> Types.color -> int option
+(** Consume the earliest-deadline pending job of the color; returns the
+    job's deadline, or [None] if the color is idle. *)
+
+val expire : t -> now:int -> (Types.color * int) list
+(** Drop every pending job whose deadline is [<= now]; returns the drop
+    counts per affected color (ascending color order).  Amortised O(log n)
+    per expired bucket. *)
+
+val drop_all : t -> Types.color -> int
+(** Drop every pending job of one color (the batched-algorithms' drop
+    phase); returns the count. *)
+
+val nonidle_count : t -> int
+(** Number of colors with at least one pending job; O(1). *)
+
+val iter_nonidle : t -> (Types.color -> int -> unit) -> unit
+(** [iter_nonidle t f] calls [f color pending_count] for each nonidle
+    color in ascending color order; O(num_colors). *)
+
+val snapshot : t -> (int * int) list array
+(** Per-color bucket lists [(deadline, count)], front first — for tests
+    and the offline search. *)

@@ -1,0 +1,58 @@
+type view = {
+  round : Types.round;
+  mini_round : int;
+  arrivals : (Types.color * int) list;
+  dropped : (Types.color * int) list;
+  cache : Types.color array;
+  pending : Pending.t;
+}
+
+type t = {
+  name : string;
+  reconfigure : view -> Types.color array;
+}
+
+type factory = Instance.t -> n:int -> t
+
+let stable_assign ~current ~desired =
+  let q = Array.length current in
+  if List.length desired > q then
+    invalid_arg "Policy.stable_assign: too many desired colors";
+  let wanted = Hashtbl.create (2 * q) in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem wanted c then
+        invalid_arg "Policy.stable_assign: duplicate desired color";
+      Hashtbl.add wanted c `Unplaced)
+    desired;
+  let result = Array.copy current in
+  (* pass 1: desired colors already in place stay *)
+  Array.iter
+    (fun c ->
+      match Hashtbl.find_opt wanted c with
+      | Some `Unplaced -> Hashtbl.replace wanted c `Placed
+      | Some `Placed | None -> ())
+    result;
+  let newcomers =
+    List.filter (fun c -> Hashtbl.find_opt wanted c = Some `Unplaced) desired
+  in
+  (* pass 2: newcomers take the slots whose occupants are not desired *)
+  let remaining = ref newcomers in
+  Array.iteri
+    (fun slot occupant ->
+      match !remaining with
+      | [] -> ()
+      | c :: rest ->
+          if not (Hashtbl.mem wanted occupant) then begin
+            result.(slot) <- c;
+            remaining := rest
+          end)
+    result;
+  if !remaining <> [] then
+    invalid_arg "Policy.stable_assign: no free slot for a desired color";
+  result
+
+let replicate ~distinct ~n =
+  let half = Array.length distinct in
+  if n <> 2 * half then invalid_arg "Policy.replicate";
+  Array.init n (fun i -> if i < half then distinct.(i) else distinct.(i - half))

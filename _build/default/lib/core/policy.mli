@@ -1,0 +1,54 @@
+(** Online reconfiguration policies.
+
+    A policy is consulted once per mini-round, in the reconfiguration
+    phase, and answers with the desired resource coloring.  It observes
+    only the past and present ({!view}); the engine enforces nothing else
+    about it, so offline/oracle schedules are expressed as policies too
+    (closures over the whole instance).
+
+    The engine charges [Δ] for every resource whose color differs from
+    the previous assignment and then runs the execution phase on the new
+    coloring. *)
+
+type view = {
+  round : Types.round;
+  mini_round : int;  (** 0 for uni-speed; 0 and 1 for double-speed *)
+  arrivals : (Types.color * int) list;
+      (** this round's arrival batches (empty in mini-round > 0 views and
+          rounds with no request) *)
+  dropped : (Types.color * int) list;
+      (** jobs expired in this round's drop phase *)
+  cache : Types.color array;
+      (** current coloring (before this reconfiguration); read-only *)
+  pending : Pending.t;  (** read-only by convention *)
+}
+
+type t = {
+  name : string;
+  reconfigure : view -> Types.color array;
+      (** must return an array of length [n]; entries are colors or
+          {!Types.black} *)
+}
+
+type factory = Instance.t -> n:int -> t
+(** Policies are instantiated per run with the instance's static
+    parameters (they may not inspect [arrivals] of future rounds — online
+    policies only read [delta], [delay] and [num_colors]; oracle policies
+    deliberately read everything and say so in their name). *)
+
+val stable_assign :
+  current:Types.color array -> desired:Types.color list -> Types.color array
+(** Shared slot-assignment helper: keep every color of [desired] that is
+    already cached in its current slot, place newcomers into the slots
+    whose occupants were not retained (in ascending slot order), and
+    leave leftover slots untouched... except that occupants which are no
+    longer desired but whose slot is not needed by a newcomer are kept in
+    place (avoiding spurious recolorings — eviction is lazy, matching the
+    cost model of the paper's analysis).  [desired] must be duplicate-free
+    and no longer than [current].
+    @raise Invalid_argument otherwise. *)
+
+val replicate : distinct:Types.color array -> n:int -> Types.color array
+(** Mirror a [n/2]-slot distinct assignment into a full [n]-slot cache
+    (paper invariant: every cached color occupies two locations).
+    @raise Invalid_argument if [n <> 2 * Array.length distinct]. *)

@@ -1,0 +1,42 @@
+(** The punctual-schedule transformation (paper Section 5.2, Lemmas
+    5.1-5.3) — the constructive half of Theorem 3's offline side.
+
+    Relative to half-blocks of width [D_ℓ/2], an execution of a job that
+    arrived in half-block [i] is {e early} if it runs in half-block [i],
+    {e punctual} in [i+1], and {e late} in [i+2] (feasibility forces one
+    of the three for power-of-two bounds).  Lemma 5.3: any [m]-resource
+    schedule can be turned into an all-punctual schedule on [7m]
+    resources at a constant-factor reconfiguration overhead — resource
+    [k]'s early executions move onto three resources (specials shifted
+    forward half a block, the rest packed into the next half-block),
+    its punctual executions stay on one, and its late executions move
+    onto three more (the mirror image).
+
+    A punctual schedule is exactly one that respects the VarBatch
+    instance's tightened windows, which is how Theorem 3's analysis
+    connects the general problem to the batched one; {!make_punctual}'s
+    output validates against [Var_batch.transform instance] and the
+    tests confirm it.
+
+    Colors with delay bound 1 cannot be early or late (their window is
+    one round) and pass through unchanged on the punctual resource. *)
+
+type classification = Early | Punctual | Late
+
+val classify : delay:int -> arrival:int -> execution:int -> classification
+(** Classification of one execution.  [delay >= 2] must be a power of
+    two; delay-1 executions are {!Punctual} by definition.
+    @raise Invalid_argument if [delay] is not 1 or a power of two >= 2,
+    or if the execution round is outside the job's feasible window. *)
+
+val census : Instance.t -> Schedule.t -> int * int * int
+(** [(early, punctual, late)] counts over a schedule's executions,
+    binding each execution to its job by earliest-deadline matching. *)
+
+val is_punctual : Instance.t -> Schedule.t -> bool
+
+val make_punctual : Instance.t -> Schedule.t -> Schedule.t
+(** The Lemma 5.3 construction: a [7m]-resource all-punctual schedule
+    executing exactly the jobs of the input.
+    @raise Invalid_argument on non-power-of-two delay bounds (other than
+    1) or a double-speed input. *)

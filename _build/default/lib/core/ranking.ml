@@ -1,0 +1,49 @@
+(* Rank keys compare lexicographically:
+   class (0 = eligible nonidle, 1 = eligible idle, 2 = ineligible),
+   then deadline, then delay bound, then color id. *)
+type key = { klass : int; deadline : int; delay : int; color : int }
+
+let compare a b =
+  match Stdlib.compare a.klass b.klass with
+  | 0 -> (
+      match Stdlib.compare a.deadline b.deadline with
+      | 0 -> (
+          match Stdlib.compare a.delay b.delay with
+          | 0 -> Stdlib.compare a.color b.color
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let key_of_color elig pending ~delay color =
+  if not (Eligibility.is_eligible elig color) then
+    { klass = 2; deadline = 0; delay = 0; color }
+  else
+    match Pending.earliest_deadline pending color with
+    | Some d -> { klass = 0; deadline = d; delay = delay.(color); color }
+    | None ->
+        {
+          klass = 1;
+          deadline = Eligibility.color_deadline elig color;
+          delay = delay.(color);
+          color;
+        }
+
+let is_nonidle_eligible k = k.klass = 0
+
+let ranked_eligible elig pending ~delay ~exclude =
+  let keyed =
+    List.filter_map
+      (fun color ->
+        if exclude color then None
+        else Some (color, key_of_color elig pending ~delay color))
+      (Eligibility.eligible_colors elig)
+  in
+  List.sort (fun (_, a) (_, b) -> compare a b) keyed
+
+let timestamp_order elig colors =
+  (* most recent timestamp first; stable tie-break on ascending id comes
+     from sorting pairs (negated timestamp, id) *)
+  let keyed =
+    List.map (fun color -> (-Eligibility.timestamp elig color, color)) colors
+  in
+  List.map snd (List.sort Stdlib.compare keyed)

@@ -1,0 +1,34 @@
+(** The EDF-style ranking of colors shared by EDF, Seq-EDF and the EDF
+    component of ΔLRU-EDF (paper Sections 3.1.2 and 3.3): nonidle colors
+    first, then ascending color deadline, ties broken by increasing delay
+    bound and then by the consistent color order (ascending ids).
+
+    Ineligible colors are ranked strictly worse than all eligible colors
+    (they are eviction fodder); among themselves they rank by color id. *)
+
+type key
+(** Totally ordered rank key; smaller = better (cache-worthy). *)
+
+val compare : key -> key -> int
+
+val key_of_color :
+  Eligibility.t -> Pending.t -> delay:int array -> Types.color -> key
+(** Rank key of one color under the current state.  For nonidle colors
+    the deadline used is the earliest pending deadline (equal to the
+    color deadline [ℓ.dd] on batched instances); for idle eligible
+    colors it is [ℓ.dd]. *)
+
+val is_nonidle_eligible : key -> bool
+
+val ranked_eligible :
+  Eligibility.t ->
+  Pending.t ->
+  delay:int array ->
+  exclude:(Types.color -> bool) ->
+  (Types.color * key) list
+(** All eligible colors not excluded, best rank first. *)
+
+val timestamp_order :
+  Eligibility.t -> Types.color list -> Types.color list
+(** The ΔLRU selection order: most recent timestamp first, ties by the
+    consistent color order (ascending id). *)

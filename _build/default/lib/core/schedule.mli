@@ -1,0 +1,36 @@
+(** A recorded schedule: everything an algorithm did, phase by phase.
+
+    Recording is optional in the engine (it costs memory proportional to
+    the event count); when present, {!Validator} can re-check the schedule
+    against the instance and recompute its cost independently. *)
+
+type event =
+  | Drop of { color : Types.color; count : int }
+      (** drop phase: [count] jobs of [color] expired *)
+  | Reconfigure of {
+      resource : int;
+      mini_round : int;
+      from_color : Types.color;
+      to_color : Types.color;
+    }
+  | Execute of { resource : int; mini_round : int; color : Types.color }
+
+type t = {
+  n : int;  (** number of resources *)
+  mini_rounds : int;  (** reconfig+execution repetitions per round *)
+  events : (Types.round * event) array;  (** chronological *)
+}
+
+val events_of_round : t -> Types.round -> event list
+val reconfig_count : t -> int
+val execute_count : t -> int
+val drop_count : t -> int
+val cost : delta:int -> t -> Cost.t
+(** Recomputed from the event stream. *)
+
+val final_cache : t -> Types.color array
+(** Resource colors after the last event (all-[black] start). *)
+
+val pp_event : Format.formatter -> Types.round * event -> unit
+val pp : Format.formatter -> t -> unit
+(** Full chronological dump — for small schedules. *)

@@ -1,0 +1,31 @@
+type layer = Direct | Distributed | Pipelined
+
+let classify instance =
+  if Instance.is_rate_limited instance && Instance.delays_are_powers_of_two instance
+  then Direct
+  else if Instance.is_batched instance && Instance.delays_are_powers_of_two instance
+  then Distributed
+  else Pipelined
+
+let layer_to_string = function
+  | Direct -> "direct (rate-limited)"
+  | Distributed -> "distribute (batched)"
+  | Pipelined -> "varbatch pipeline (general)"
+
+let run ?(policy = Lru_edf.policy) instance ~n =
+  if n < 4 || n mod 4 <> 0 then
+    invalid_arg "Solve.run: n must be a positive multiple of 4";
+  let layer = classify instance in
+  let result =
+    match layer with
+    | Direct -> Engine.run (Engine.config ~n ()) instance policy
+    | Distributed -> Distribute.run ~policy instance ~n
+    | Pipelined -> Var_batch.run ~policy instance ~n
+  in
+  (layer, result)
+
+let ratio_upper_bound instance ~n ~m =
+  let _, result = run instance ~n in
+  let lb = Offline_bounds.lower_bound instance ~m in
+  if lb = 0 then if Cost.total result.cost = 0 then 1.0 else infinity
+  else float_of_int (Cost.total result.cost) /. float_of_int lb

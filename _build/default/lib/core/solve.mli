@@ -1,0 +1,27 @@
+(** One-call solver facade: pick the right layer of the paper's stack for
+    an instance and run it.
+
+    - rate-limited batched input → ΔLRU-EDF directly (Theorem 1);
+    - batched input with oversized batches → Distribute (Theorem 2);
+    - anything else → the full VarBatch pipeline (Theorem 3).
+
+    This is the entry point a downstream user wants when they just have
+    jobs and deadlines and do not care which reduction applies. *)
+
+type layer = Direct | Distributed | Pipelined
+
+val classify : Instance.t -> layer
+
+val layer_to_string : layer -> string
+
+val run : ?policy:Policy.factory -> Instance.t -> n:int -> layer * Engine.result
+(** [run instance ~n] dispatches on {!classify}.  [policy] overrides the
+    innermost scheduler (default ΔLRU-EDF; it always receives a
+    rate-limited instance).
+    @raise Invalid_argument if [n] is not a positive multiple of 4 (the
+    default policy's requirement). *)
+
+val ratio_upper_bound : Instance.t -> n:int -> m:int -> float
+(** Convenience for evaluations: [run] the instance, divide by the
+    certified OPT([m]) lower bound.  The result can only overestimate the
+    true competitive ratio. *)

@@ -1,0 +1,24 @@
+(** Non-adaptive and clairvoyant schedules expressed as policies.
+
+    These are the building blocks of the offline baselines: a fixed
+    configuration, a piecewise-static configuration switching at chosen
+    rounds (the shape of the OFF schedules in the paper's Appendices A
+    and B), and the all-black do-nothing schedule. *)
+
+val black : Policy.factory
+(** Never configures anything; drops every job.  Cost = total jobs. *)
+
+val static : Types.color list -> Policy.factory
+(** Configure the given colors (at most [n], no duplicates) from round 0
+    and never change.
+    @raise Invalid_argument at reconfiguration time if more colors than
+    resources. *)
+
+val piecewise : (Types.round * Types.color list) list -> Policy.factory
+(** [piecewise segments] holds each color list from its start round until
+    the next segment's start round.  Segments must have strictly
+    increasing start rounds, the first at round 0; each list at most [n]
+    colors.  Slots beyond a segment's list keep their previous color
+    (lazy eviction), so shrinking segments do not pay to blacken
+    resources.
+    @raise Invalid_argument on an ill-formed segment list. *)

@@ -1,0 +1,28 @@
+type t = {
+  m : int;
+  mutable completed : int;
+  mutable history : int list; (* active-color counts, reverse order *)
+  mutable updates : int;
+  active : (int, unit) Hashtbl.t; (* colors updated in the current s-epoch *)
+}
+
+let attach elig ~m =
+  if m < 1 then invalid_arg "Super_epochs.attach: m < 1";
+  let t =
+    { m; completed = 0; history = []; updates = 0; active = Hashtbl.create 16 }
+  in
+  Eligibility.on_timestamp_update elig (fun color _round ->
+      t.updates <- t.updates + 1;
+      Hashtbl.replace t.active color ();
+      if Hashtbl.length t.active >= 2 * t.m then begin
+        (* the super-epoch ends the moment the 2m-th color updates *)
+        t.completed <- t.completed + 1;
+        t.history <- Hashtbl.length t.active :: t.history;
+        Hashtbl.reset t.active
+      end);
+  t
+
+let completed t = t.completed
+let current_active_colors t = Hashtbl.length t.active
+let active_colors_per_super_epoch t = List.rev t.history
+let updates_total t = t.updates

@@ -1,0 +1,34 @@
+(** Super-epoch bookkeeping (paper Section 3.4).
+
+    A {e super-epoch} ends the moment at least [2m] colors have had a
+    timestamp update event since the super-epoch started; the next one
+    begins immediately.  The analysis of Lemma 3.5 charges OFF's cost to
+    super-epochs; this module makes the quantity measurable so the
+    accompanying structural facts can be checked on real runs:
+
+    - Corollary 3.2: at most three epochs of any color overlap one
+      super-epoch;
+    - Lemma 3.16: each color has at most three special epochs, so the
+      number of epochs is O(super-epochs × m) + O(colors). *)
+
+type t
+
+val attach : Eligibility.t -> m:int -> t
+(** Start observing an eligibility state (register a timestamp-update
+    listener).  [m] is the offline resource count of the analysis.
+    @raise Invalid_argument if [m < 1]. *)
+
+val completed : t -> int
+(** Super-epochs that have ended so far. *)
+
+val current_active_colors : t -> int
+(** Colors with a timestamp update in the (incomplete) current
+    super-epoch. *)
+
+val active_colors_per_super_epoch : t -> int list
+(** For each completed super-epoch, the number of distinct colors with a
+    timestamp update in it (chronological).  Every entry is exactly [2m]:
+    the super-epoch ends the moment the [2m]-th color updates. *)
+
+val updates_total : t -> int
+(** Total timestamp update events observed. *)

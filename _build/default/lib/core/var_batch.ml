@@ -1,0 +1,22 @@
+let batched_delay d =
+  if d < 1 then invalid_arg "Var_batch.batched_delay";
+  if d = 1 then 1 else Types.floor_pow2 d / 2
+
+let transform (instance : Instance.t) =
+  let delay' = Array.map batched_delay instance.delay in
+  let arrivals =
+    Array.to_list instance.arrivals
+    |> List.map (fun (a : Types.arrival) ->
+           let d' = delay'.(a.color) in
+           if instance.delay.(a.color) = 1 then a
+           else
+             (* delay to the start of the next half-block of d' *)
+             let i = a.round / d' in
+             { a with round = (i + 1) * d' })
+  in
+  Instance.create
+    ~name:(instance.name ^ "+varbatch")
+    ~delta:instance.delta ~delay:delay' ~arrivals ()
+
+let run ?(policy = Lru_edf.policy) instance ~n =
+  Distribute.run ~policy (transform instance) ~n

@@ -1,0 +1,26 @@
+(** Algorithm VarBatch (paper Section 5): reduces the main problem
+    [Δ | 1 | D_ℓ | 1] (arbitrary arrival rounds) to the batched problem,
+    then solves via {!Distribute} + ΔLRU-EDF — the composition behind
+    Theorem 3.
+
+    A job of color [ℓ] with delay bound [D >= 2] arriving in
+    [halfBlock(D', i)] (where [D' = 2^(⌊log2 D⌋ - 1)], i.e. [D/2] when
+    [D] is a power of two — the Section 5.3 extension covers the rest) is
+    delayed to the start of [halfBlock(D', i+1)] and must execute within
+    that half-block: its new delay bound is [D'].  The transformed window
+    always sits inside the original [arrival, arrival + D) window, so
+    any schedule for the transformed instance is feasible for the
+    original.  Colors with [D = 1] are already batched and pass through
+    unchanged. *)
+
+val batched_delay : int -> int
+(** The transformed delay bound: 1 for 1, [2^(⌊log2 D⌋ - 1)] otherwise.
+    @raise Invalid_argument if [D < 1]. *)
+
+val transform : Instance.t -> Instance.t
+(** The batched instance over the same color ids. *)
+
+val run : ?policy:Policy.factory -> Instance.t -> n:int -> Engine.result
+(** Full pipeline: VarBatch → Distribute → policy (default ΔLRU-EDF),
+    with cost projection back to original colors.  Works on any
+    instance. *)

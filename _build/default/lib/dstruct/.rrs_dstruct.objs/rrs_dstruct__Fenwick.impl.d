@@ -1,0 +1,1 @@
+lib/dstruct/fenwick.ml: Array

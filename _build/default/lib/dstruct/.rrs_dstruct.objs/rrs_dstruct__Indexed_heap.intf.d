@@ -1,0 +1,1 @@
+lib/dstruct/indexed_heap.mli:

@@ -1,0 +1,1 @@
+lib/dstruct/pairing_heap.mli:

@@ -1,0 +1,1 @@
+lib/dstruct/ring_buffer.ml: Array List

@@ -1,0 +1,102 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create ~cmp ?(initial_capacity = 16) () =
+  if initial_capacity < 1 then invalid_arg "Binary_heap.create";
+  { cmp; data = [||]; size = 0 }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp h.data.(i) h.data.(parent) < 0 then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < h.size && h.cmp h.data.(left) h.data.(!smallest) < 0 then
+    smallest := left;
+  if right < h.size && h.cmp h.data.(right) h.data.(!smallest) < 0 then
+    smallest := right;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let grow h x =
+  (* [x] seeds the fresh array; slots beyond [size] are never read. *)
+  let capacity = max 16 (2 * Array.length h.data) in
+  let data = Array.make capacity x in
+  Array.blit h.data 0 data 0 h.size;
+  h.data <- data
+
+let add h x =
+  if h.size = Array.length h.data then grow h x;
+  h.data.(h.size) <- x;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let min h = if h.size = 0 then raise Not_found else h.data.(0)
+
+let pop_min h =
+  if h.size = 0 then raise Not_found;
+  let top = h.data.(0) in
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    h.data.(0) <- h.data.(h.size);
+    sift_down h 0
+  end;
+  top
+
+let pop_min_opt h = if h.size = 0 then None else Some (pop_min h)
+let clear h = h.size <- 0
+
+let of_array ~cmp a =
+  let h = { cmp; data = Array.copy a; size = Array.length a } in
+  for i = (h.size / 2) - 1 downto 0 do
+    sift_down h i
+  done;
+  h
+
+let iter f h =
+  for i = 0 to h.size - 1 do
+    f h.data.(i)
+  done
+
+let fold f init h =
+  let acc = ref init in
+  for i = 0 to h.size - 1 do
+    acc := f !acc h.data.(i)
+  done;
+  !acc
+
+let to_sorted_list h =
+  let copy = { h with data = Array.sub h.data 0 h.size } in
+  let rec drain acc =
+    match pop_min_opt copy with
+    | None -> List.rev acc
+    | Some x -> drain (x :: acc)
+  in
+  drain []
+
+let check_invariant h =
+  let ok = ref true in
+  for i = 1 to h.size - 1 do
+    if h.cmp h.data.((i - 1) / 2) h.data.(i) > 0 then ok := false
+  done;
+  !ok

@@ -1,0 +1,51 @@
+(** Resizable array-based binary min-heap.
+
+    The heap is mutable and parameterised at creation time by an ordering
+    function [cmp].  All operations preserve the heap invariant: for every
+    node [i] with parent [p], [cmp h.(p) h.(i) <= 0].
+
+    Complexities: [add] and [pop_min] are O(log n), [min] is O(1),
+    [of_array] is O(n) (bottom-up heapify). *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> ?initial_capacity:int -> unit -> 'a t
+(** [create ~cmp ()] is a fresh empty heap ordered by [cmp].
+    @raise Invalid_argument if [initial_capacity < 1]. *)
+
+val of_array : cmp:('a -> 'a -> int) -> 'a array -> 'a t
+(** [of_array ~cmp a] heapifies a copy of [a] in O(n). *)
+
+val length : 'a t -> int
+(** Number of elements currently stored. *)
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+(** Insert an element, growing the backing array if needed. *)
+
+val min : 'a t -> 'a
+(** Smallest element without removing it.
+    @raise Not_found on an empty heap. *)
+
+val pop_min : 'a t -> 'a
+(** Remove and return the smallest element.
+    @raise Not_found on an empty heap. *)
+
+val pop_min_opt : 'a t -> 'a option
+
+val clear : 'a t -> unit
+(** Remove all elements (keeps the backing array). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Iterate in unspecified (array) order. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Fold in unspecified (array) order. *)
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructively extract all elements in ascending order; O(n log n). *)
+
+val check_invariant : 'a t -> bool
+(** [true] iff the internal array satisfies the heap property.  Exposed for
+    tests. *)

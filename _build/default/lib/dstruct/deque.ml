@@ -1,0 +1,120 @@
+(* Banker's deque: front list + back list (reversed), with sizes.  The
+   balance step keeps each side at most [balance_factor] times the other,
+   which bounds the cost of reversals to amortised O(1) per operation. *)
+
+type 'a t = { front : 'a list; front_len : int; back : 'a list; back_len : int }
+
+let balance_factor = 3
+let empty = { front = []; front_len = 0; back = []; back_len = 0 }
+let is_empty d = d.front_len + d.back_len = 0
+let length d = d.front_len + d.back_len
+
+let rebalance d =
+  if d.front_len > (balance_factor * d.back_len) + 1 then begin
+    let keep = (d.front_len + d.back_len) / 2 in
+    let moved = d.front_len - keep in
+    let rec split i acc = function
+      | rest when i = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: rest -> split (i - 1) (x :: acc) rest
+    in
+    let front, to_back = split keep [] d.front in
+    {
+      front;
+      front_len = keep;
+      back = d.back @ List.rev to_back;
+      back_len = d.back_len + moved;
+    }
+  end
+  else if d.back_len > (balance_factor * d.front_len) + 1 then begin
+    let keep = (d.front_len + d.back_len) / 2 in
+    let moved = d.back_len - keep in
+    let rec split i acc = function
+      | rest when i = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: rest -> split (i - 1) (x :: acc) rest
+    in
+    let back, to_front = split keep [] d.back in
+    {
+      front = d.front @ List.rev to_front;
+      front_len = d.front_len + moved;
+      back;
+      back_len = keep;
+    }
+  end
+  else d
+
+let push_front x d =
+  rebalance { d with front = x :: d.front; front_len = d.front_len + 1 }
+
+let push_back x d =
+  rebalance { d with back = x :: d.back; back_len = d.back_len + 1 }
+
+let front d =
+  match (d.front, d.back) with
+  | x :: _, _ -> x
+  | [], [ x ] -> x
+  | [], _ :: _ ->
+      (* rebalance keeps the front non-empty whenever length >= 2 *)
+      List.nth d.back (d.back_len - 1)
+  | [], [] -> raise Not_found
+
+let back d =
+  match (d.back, d.front) with
+  | x :: _, _ -> x
+  | [], [ x ] -> x
+  | [], _ :: _ -> List.nth d.front (d.front_len - 1)
+  | [], [] -> raise Not_found
+
+let pop_front d =
+  match (d.front, d.back) with
+  | x :: front, _ ->
+      (x, rebalance { d with front; front_len = d.front_len - 1 })
+  | [], [ x ] -> (x, empty)
+  | [], _ :: _ -> (
+      (* degenerate: move everything to the front first *)
+      match List.rev d.back with
+      | x :: rest ->
+          ( x,
+            rebalance
+              {
+                front = rest;
+                front_len = d.back_len - 1;
+                back = [];
+                back_len = 0;
+              } )
+      | [] -> raise Not_found)
+  | [], [] -> raise Not_found
+
+let pop_back d =
+  match (d.back, d.front) with
+  | x :: back, _ -> (x, rebalance { d with back; back_len = d.back_len - 1 })
+  | [], [ x ] -> (x, empty)
+  | [], _ :: _ ->
+      let back = List.rev d.front in
+      (match back with
+      | x :: rest ->
+          ( x,
+            rebalance
+              {
+                front = [];
+                front_len = 0;
+                back = rest;
+                back_len = d.front_len - 1;
+              } )
+      | [] -> raise Not_found)
+  | [], [] -> raise Not_found
+
+let pop_front_opt d = if is_empty d then None else Some (pop_front d)
+let pop_back_opt d = if is_empty d then None else Some (pop_back d)
+let of_list xs = { front = xs; front_len = List.length xs; back = []; back_len = 0 }
+let to_list d = d.front @ List.rev d.back
+let fold_left f init d = List.fold_left f (List.fold_left f init d.front) (List.rev d.back)
+
+let map f d =
+  {
+    front = List.map f d.front;
+    front_len = d.front_len;
+    back = List.map f d.back;
+    back_len = d.back_len;
+  }

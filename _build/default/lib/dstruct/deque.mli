@@ -1,0 +1,36 @@
+(** Persistent double-ended queue (banker's deque).
+
+    Amortised O(1) push/pop at both ends under single-threaded use.  The
+    pending-job buckets of the scheduling engine are FIFO; a deque lets the
+    offline search also un-consume from the front when backtracking. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push_front : 'a -> 'a t -> 'a t
+val push_back : 'a -> 'a t -> 'a t
+
+val front : 'a t -> 'a
+(** @raise Not_found on an empty deque. *)
+
+val back : 'a t -> 'a
+(** @raise Not_found on an empty deque. *)
+
+val pop_front : 'a t -> 'a * 'a t
+(** @raise Not_found on an empty deque. *)
+
+val pop_back : 'a t -> 'a * 'a t
+(** @raise Not_found on an empty deque. *)
+
+val pop_front_opt : 'a t -> ('a * 'a t) option
+val pop_back_opt : 'a t -> ('a * 'a t) option
+val of_list : 'a list -> 'a t
+val to_list : 'a t -> 'a list
+(** Front-to-back order. *)
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Front-to-back order. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t

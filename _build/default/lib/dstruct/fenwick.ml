@@ -1,0 +1,54 @@
+(* Classic 1-indexed Fenwick layout in [tree]; external API is 0-indexed. *)
+type t = { tree : int array; n : int }
+
+let create ~size =
+  if size < 1 then invalid_arg "Fenwick.create";
+  { tree = Array.make (size + 1) 0; n = size }
+
+let size t = t.n
+
+let add t i delta =
+  if i < 0 || i >= t.n then invalid_arg "Fenwick.add";
+  let j = ref (i + 1) in
+  while !j <= t.n do
+    t.tree.(!j) <- t.tree.(!j) + delta;
+    j := !j + (!j land - !j)
+  done
+
+let prefix_sum t i =
+  if i >= t.n then invalid_arg "Fenwick.prefix_sum";
+  let acc = ref 0 in
+  let j = ref (i + 1) in
+  while !j > 0 do
+    acc := !acc + t.tree.(!j);
+    j := !j - (!j land - !j)
+  done;
+  !acc
+
+let range_sum t lo hi =
+  if lo > hi then 0 else prefix_sum t hi - if lo = 0 then 0 else prefix_sum t (lo - 1)
+
+let total t = prefix_sum t (t.n - 1)
+let get t i = range_sum t i i
+
+let search t k =
+  if total t < k then raise Not_found;
+  (* descend the implicit tree from the highest power of two *)
+  let log = ref 1 in
+  while !log * 2 <= t.n do
+    log := !log * 2
+  done;
+  let pos = ref 0 in
+  let remaining = ref k in
+  let step = ref !log in
+  while !step > 0 do
+    let next = !pos + !step in
+    if next <= t.n && t.tree.(next) < !remaining then begin
+      pos := next;
+      remaining := !remaining - t.tree.(next)
+    end;
+    step := !step / 2
+  done;
+  !pos (* 0-indexed: [pos] is the count of cells strictly before answer *)
+
+let clear t = Array.fill t.tree 0 (t.n + 1) 0

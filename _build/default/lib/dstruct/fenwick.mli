@@ -1,0 +1,35 @@
+(** Fenwick (binary indexed) tree over integers.
+
+    Point update, prefix sum, and rank search in O(log n).  The statistics
+    layer uses it for exact streaming percentiles over bounded-domain
+    values (costs per round), and workload generators use [search] for
+    sampling from dynamic discrete distributions. *)
+
+type t
+
+val create : size:int -> t
+(** All [size] cells start at 0.  @raise Invalid_argument if [size < 1]. *)
+
+val size : t -> int
+
+val add : t -> int -> int -> unit
+(** [add t i delta] adds [delta] to cell [i], [0 <= i < size].
+    @raise Invalid_argument otherwise. *)
+
+val prefix_sum : t -> int -> int
+(** [prefix_sum t i] is the sum of cells [0 .. i] inclusive; [-1] gives 0.
+    @raise Invalid_argument if [i >= size]. *)
+
+val range_sum : t -> int -> int -> int
+(** [range_sum t lo hi] sums cells [lo .. hi] inclusive. *)
+
+val total : t -> int
+
+val get : t -> int -> int
+(** Current value of a single cell. *)
+
+val search : t -> int -> int
+(** [search t k] with all cells nonnegative: the smallest index [i] such
+    that [prefix_sum t i >= k].  @raise Not_found if [total t < k]. *)
+
+val clear : t -> unit

@@ -1,0 +1,164 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  keys : int array;      (* heap slot -> key *)
+  pos : int array;       (* key -> heap slot, or -1 if absent *)
+  prio : 'a option array; (* key -> current priority *)
+  mutable size : int;
+}
+
+let create ~cmp ~capacity =
+  if capacity < 0 then invalid_arg "Indexed_heap.create";
+  {
+    cmp;
+    keys = Array.make (max capacity 1) (-1);
+    pos = Array.make (max capacity 1) (-1);
+    prio = Array.make (max capacity 1) None;
+    size = 0;
+  }
+
+let capacity h = Array.length h.keys
+let length h = h.size
+let is_empty h = h.size = 0
+
+let check_key h key =
+  if key < 0 || key >= Array.length h.keys then
+    invalid_arg "Indexed_heap: key out of range"
+
+let mem h key =
+  check_key h key;
+  h.pos.(key) >= 0
+
+let prio_exn h key =
+  match h.prio.(key) with
+  | Some p -> p
+  | None -> raise Not_found
+
+let priority h key =
+  check_key h key;
+  if h.pos.(key) < 0 then raise Not_found;
+  prio_exn h key
+
+let cmp_slots h i j = h.cmp (prio_exn h h.keys.(i)) (prio_exn h h.keys.(j))
+
+let swap h i j =
+  let ki = h.keys.(i) and kj = h.keys.(j) in
+  h.keys.(i) <- kj;
+  h.keys.(j) <- ki;
+  h.pos.(ki) <- j;
+  h.pos.(kj) <- i
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if cmp_slots h i parent < 0 then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < h.size && cmp_slots h left !smallest < 0 then smallest := left;
+  if right < h.size && cmp_slots h right !smallest < 0 then smallest := right;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let insert h key p =
+  check_key h key;
+  if h.pos.(key) >= 0 then invalid_arg "Indexed_heap.insert: key present";
+  let slot = h.size in
+  h.keys.(slot) <- key;
+  h.pos.(key) <- slot;
+  h.prio.(key) <- Some p;
+  h.size <- h.size + 1;
+  sift_up h slot
+
+let reheap_at h slot =
+  sift_up h slot;
+  sift_down h slot
+
+let update h key p =
+  check_key h key;
+  if h.pos.(key) < 0 then insert h key p
+  else begin
+    h.prio.(key) <- Some p;
+    reheap_at h h.pos.(key)
+  end
+
+let remove h key =
+  check_key h key;
+  let slot = h.pos.(key) in
+  if slot >= 0 then begin
+    let last = h.size - 1 in
+    if slot <> last then swap h slot last;
+    h.size <- last;
+    h.pos.(key) <- -1;
+    h.prio.(key) <- None;
+    if slot < h.size then reheap_at h slot
+  end
+
+let min h =
+  if h.size = 0 then raise Not_found;
+  let key = h.keys.(0) in
+  (key, prio_exn h key)
+
+let pop_min h =
+  let binding = min h in
+  remove h (fst binding);
+  binding
+
+let pop_min_opt h = if h.size = 0 then None else Some (pop_min h)
+
+let clear h =
+  for slot = 0 to h.size - 1 do
+    let key = h.keys.(slot) in
+    h.pos.(key) <- -1;
+    h.prio.(key) <- None
+  done;
+  h.size <- 0
+
+let iter f h =
+  for slot = 0 to h.size - 1 do
+    let key = h.keys.(slot) in
+    f key (prio_exn h key)
+  done
+
+let smallest h k =
+  (* Explore the heap top-down with a side heap of candidate slots, so we
+     never touch more than O(k) nodes. *)
+  let wanted = Stdlib.min k h.size in
+  if wanted <= 0 then []
+  else begin
+    let side = Binary_heap.create ~cmp:(fun i j -> cmp_slots h i j) () in
+    Binary_heap.add side 0;
+    let out = ref [] in
+    let taken = ref 0 in
+    while !taken < wanted do
+      let slot = Binary_heap.pop_min side in
+      let key = h.keys.(slot) in
+      out := (key, prio_exn h key) :: !out;
+      incr taken;
+      let left = (2 * slot) + 1 in
+      let right = left + 1 in
+      if left < h.size then Binary_heap.add side left;
+      if right < h.size then Binary_heap.add side right
+    done;
+    List.rev !out
+  end
+
+let check_invariant h =
+  let ok = ref true in
+  for slot = 1 to h.size - 1 do
+    if cmp_slots h ((slot - 1) / 2) slot > 0 then ok := false
+  done;
+  for slot = 0 to h.size - 1 do
+    if h.pos.(h.keys.(slot)) <> slot then ok := false
+  done;
+  Array.iteri (fun key slot -> if slot >= h.size && slot >= 0 then ok := false;
+                if slot >= 0 && h.keys.(slot) <> key then ok := false)
+    h.pos;
+  !ok

@@ -1,0 +1,62 @@
+(** Binary min-heap over the integer keys [0 .. capacity-1] with an inverse
+    position index, supporting O(log n) priority changes and removal of
+    arbitrary keys.
+
+    This is the structure the EDF-style reconfiguration schemes need: each
+    color is a key; its priority is its current rank tuple; when a color's
+    deadline or idleness changes we adjust its priority in place instead of
+    rebuilding the heap.
+
+    Priorities are compared with the [cmp] function supplied at creation.
+    Each key is present at most once. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> capacity:int -> 'a t
+(** [create ~cmp ~capacity] is an empty heap accepting keys
+    [0 .. capacity-1].
+    @raise Invalid_argument if [capacity < 0]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val mem : 'a t -> int -> bool
+(** [mem h key] is [true] iff [key] is currently in the heap. *)
+
+val priority : 'a t -> int -> 'a
+(** Current priority of a present key.
+    @raise Not_found if the key is absent. *)
+
+val insert : 'a t -> int -> 'a -> unit
+(** [insert h key prio] adds [key] with priority [prio].
+    @raise Invalid_argument if [key] is out of range or already present. *)
+
+val update : 'a t -> int -> 'a -> unit
+(** [update h key prio] changes the priority of a present key (any
+    direction), or inserts it if absent. *)
+
+val remove : 'a t -> int -> unit
+(** Remove a key if present; no-op otherwise. *)
+
+val min : 'a t -> int * 'a
+(** Key with the smallest priority.
+    @raise Not_found on an empty heap. *)
+
+val pop_min : 'a t -> int * 'a
+(** Remove and return the minimum binding.
+    @raise Not_found on an empty heap. *)
+
+val pop_min_opt : 'a t -> (int * 'a) option
+val clear : 'a t -> unit
+
+val iter : (int -> 'a -> unit) -> 'a t -> unit
+(** Iterate over present bindings in unspecified order. *)
+
+val smallest : 'a t -> int -> (int * 'a) list
+(** [smallest h k] is the [min k (length h)] smallest bindings in ascending
+    priority order, without modifying the heap; O(k log n) via a side
+    heap. *)
+
+val check_invariant : 'a t -> bool
+(** Heap property and position-index consistency; exposed for tests. *)

@@ -1,0 +1,62 @@
+type 'a tree = Node of 'a * 'a tree list
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  root : 'a tree option;
+  size : int;
+}
+
+let empty ~cmp = { cmp; root = None; size = 0 }
+let is_empty h = h.root = None
+let length h = h.size
+
+let meld cmp a b =
+  match (a, b) with
+  | Node (x, xs), Node (y, ys) ->
+      if cmp x y <= 0 then Node (x, b :: xs) else Node (y, a :: ys)
+
+let merge a b =
+  match (a.root, b.root) with
+  | None, _ -> { b with cmp = a.cmp }
+  | _, None -> a
+  | Some ra, Some rb ->
+      { cmp = a.cmp; root = Some (meld a.cmp ra rb); size = a.size + b.size }
+
+let add h x =
+  let single = Node (x, []) in
+  match h.root with
+  | None -> { h with root = Some single; size = 1 }
+  | Some r -> { h with root = Some (meld h.cmp r single); size = h.size + 1 }
+
+let min h =
+  match h.root with
+  | None -> raise Not_found
+  | Some (Node (x, _)) -> x
+
+(* Standard two-pass pairing: meld children left-to-right in pairs, then
+   fold the pair results right-to-left. *)
+let rec merge_pairs cmp = function
+  | [] -> None
+  | [ t ] -> Some t
+  | a :: b :: rest -> (
+      let ab = meld cmp a b in
+      match merge_pairs cmp rest with
+      | None -> Some ab
+      | Some r -> Some (meld cmp ab r))
+
+let pop_min h =
+  match h.root with
+  | None -> raise Not_found
+  | Some (Node (x, children)) ->
+      (x, { h with root = merge_pairs h.cmp children; size = h.size - 1 })
+
+let pop_min_opt h = if is_empty h then None else Some (pop_min h)
+let of_list ~cmp xs = List.fold_left add (empty ~cmp) xs
+
+let to_sorted_list h =
+  let rec drain h acc =
+    match pop_min_opt h with
+    | None -> List.rev acc
+    | Some (x, rest) -> drain rest (x :: acc)
+  in
+  drain h []

@@ -1,0 +1,27 @@
+(** Persistent pairing heap (min-heap).
+
+    A purely functional heap with O(1) [merge]/[add]/[min] and O(log n)
+    amortised [pop_min].  Used where we need cheap snapshots of a priority
+    structure (e.g. speculative offline search). *)
+
+type 'a t
+
+val empty : cmp:('a -> 'a -> int) -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+(** O(1): the size is cached. *)
+
+val add : 'a t -> 'a -> 'a t
+val merge : 'a t -> 'a t -> 'a t
+(** Both heaps must have been created with the same [cmp]; the result uses
+    the first heap's comparator. *)
+
+val min : 'a t -> 'a
+(** @raise Not_found on an empty heap. *)
+
+val pop_min : 'a t -> 'a * 'a t
+(** @raise Not_found on an empty heap. *)
+
+val pop_min_opt : 'a t -> ('a * 'a t) option
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+val to_sorted_list : 'a t -> 'a list

@@ -1,0 +1,51 @@
+type 'a t = {
+  data : 'a option array;
+  mutable start : int; (* index of the oldest element *)
+  mutable len : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Ring_buffer.create";
+  { data = Array.make capacity None; start = 0; len = 0 }
+
+let capacity t = Array.length t.data
+let length t = t.len
+let is_empty t = t.len = 0
+let is_full t = t.len = capacity t
+
+let push t x =
+  let cap = capacity t in
+  if t.len < cap then begin
+    t.data.((t.start + t.len) mod cap) <- Some x;
+    t.len <- t.len + 1
+  end
+  else begin
+    t.data.(t.start) <- Some x;
+    t.start <- (t.start + 1) mod cap
+  end
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Ring_buffer.get";
+  match t.data.((t.start + i) mod capacity t) with
+  | Some x -> x
+  | None -> assert false
+
+let oldest t = if t.len = 0 then None else Some (get t 0)
+let newest t = if t.len = 0 then None else Some (get t (t.len - 1))
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (get t i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun x -> acc := f !acc x) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc x -> x :: acc) [] t)
+
+let clear t =
+  Array.fill t.data 0 (capacity t) None;
+  t.start <- 0;
+  t.len <- 0

@@ -1,0 +1,33 @@
+(** Fixed-capacity circular buffer.
+
+    Pushing into a full buffer overwrites the oldest element.  Used for
+    keeping sliding windows of recent simulation events (trace tails,
+    moving averages) without unbounded allocation. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Append at the back, evicting the oldest element when full. *)
+
+val get : 'a t -> int -> 'a
+(** [get t i] is the [i]-th oldest element, [0 <= i < length t].
+    @raise Invalid_argument otherwise. *)
+
+val oldest : 'a t -> 'a option
+val newest : 'a t -> 'a option
+val to_list : 'a t -> 'a list
+(** Oldest-to-newest order. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest-to-newest order. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val clear : 'a t -> unit

@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Cost Engine Harness List Lru_edf Offline_bounds Option Printf Rrs_core Rrs_report Rrs_workload

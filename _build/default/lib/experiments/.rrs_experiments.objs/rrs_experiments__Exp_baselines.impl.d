@@ -1,0 +1,1 @@
+lib/experiments/exp_baselines.ml: Cost Harness Hashtbl List Lru_edf Naive_policies Offline_bounds Option Printf Rrs_core Rrs_report Rrs_workload String

@@ -1,0 +1,1 @@
+lib/experiments/exp_constructive.ml: Aggregate Distribute Engine Harness Instance List Offline_heuristics Option Printf Punctual Rrs_core Rrs_report Rrs_workload Schedule Validator

@@ -1,0 +1,1 @@
+lib/experiments/exp_eligibility.ml: Cost Delta_lru Harness Hashtbl List Lru_edf Naive_policies Offline_bounds Printf Rrs_core Rrs_prng Rrs_report Rrs_workload

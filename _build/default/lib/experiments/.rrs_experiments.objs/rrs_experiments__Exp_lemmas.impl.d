@@ -1,0 +1,1 @@
+lib/experiments/exp_lemmas.ml: Eligibility Engine Harness Instance List Lru_edf Par_edf Printf Rrs_core Rrs_parallel Rrs_report Rrs_workload

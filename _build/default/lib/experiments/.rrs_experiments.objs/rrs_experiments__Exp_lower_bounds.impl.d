@@ -1,0 +1,1 @@
+lib/experiments/exp_lower_bounds.ml: Cost Delta_lru Edf_policy Harness List Lru_edf Printf Rrs_core Rrs_report Rrs_stats Rrs_workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_structure.ml: Array Cost Delta_lru Edf_policy Fun Harness Hashtbl Instance List Lru_edf Offline_bounds Offline_opt Option Printf Rrs_core Rrs_prng Rrs_report Rrs_workload Types

@@ -1,0 +1,1 @@
+lib/experiments/exp_theorems.ml: Cost Distribute Engine Harness Instance List Lru_edf Offline_bounds Printf Rrs_core Rrs_parallel Rrs_report Rrs_stats Rrs_workload Var_batch

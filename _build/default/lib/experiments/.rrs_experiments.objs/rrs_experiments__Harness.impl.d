@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: List Printf Rrs_core Rrs_report

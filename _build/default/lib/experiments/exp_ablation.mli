@@ -1,0 +1,15 @@
+(** EXP-9 and EXP-10: ablations of ΔLRU-EDF's two design choices, which
+    DESIGN.md calls out.
+
+    EXP-9 — component split.  The paper gives each component exactly half
+    of the distinct capacity (n/4 + n/4).  Sweeping the LRU share from
+    0 (pure EDF) to 1 (pure ΔLRU) shows why: either extreme loses
+    unboundedly on one of the adversarial workloads, while the mixed
+    points are safe on both.
+
+    EXP-10 — replication.  The paper caches every color twice (execution
+    rate 2 per round) instead of doubling the distinct capacity.  The
+    table compares both layouts at equal n across workload families. *)
+
+val exp_9 : unit -> Harness.outcome
+val exp_10 : unit -> Harness.outcome

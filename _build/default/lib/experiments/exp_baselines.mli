@@ -1,0 +1,10 @@
+(** EXP-11: the paper's algorithm against the heuristics a practitioner
+    would try first (largest-backlog greedy, greedy with hysteresis,
+    round-robin).
+
+    The point of a competitive guarantee is the worst case: the naive
+    baselines can win on friendly inputs, but their worst ratio across
+    families (and especially on the adversarial constructions) blows up
+    while ΔLRU-EDF's does not. *)
+
+val exp_11 : unit -> Harness.outcome

@@ -1,0 +1,11 @@
+(** EXP-12: the constructive schedule transformations behind Lemma 4.1
+    (Aggregate, Section 4.3) and Lemma 5.3 (the punctual construction,
+    Section 5.2), measured end to end.
+
+    For each workload family and several clairvoyant input schedules,
+    the table reports that the transformed schedules execute exactly the
+    same number of jobs (Lemma 4.5 / Lemma 5.3 drop preservation) and
+    the measured reconfiguration-cost blow-up factor, which the lemmas
+    bound by a constant. *)
+
+val exp_12 : unit -> Harness.outcome

@@ -1,0 +1,12 @@
+(** EXP-13: why ΔLRU carries a Δ-counter (the eligibility machinery).
+
+    Textbook LRU pays a reconfiguration for {e any} requested color; on
+    a long tail of colors whose total work is below [Δ], dropping their
+    jobs is strictly cheaper than caching them — which is exactly what
+    eligibility encodes (a color must muster [Δ] arrivals before it can
+    be cached; Lemma 3.1).  The table compares classic LRU, ΔLRU and
+    ΔLRU-EDF on the long-tail family as the tail widens: classic LRU's
+    cost grows linearly with the tail, the Δ-machinery policies' costs
+    stay near the tail's drop cost. *)
+
+val exp_13 : unit -> Harness.outcome

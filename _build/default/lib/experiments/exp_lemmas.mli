@@ -1,0 +1,14 @@
+(** EXP-4 and EXP-5: the analysis quantities of Section 3.2 measured on
+    real runs.
+
+    EXP-4 (Lemmas 3.3, 3.4): ΔLRU-EDF's reconfiguration cost is at most
+    [4 · numEpochs · Δ] and its ineligible drop cost at most
+    [numEpochs · Δ].  The table reports both utilisation fractions; every
+    row must stay at or below 1.
+
+    EXP-5 (Lemma 3.2 chain): the eligible drop cost of ΔLRU-EDF with [n]
+    resources is at most Par-EDF's drop cost with [n/4] resources, which
+    itself lower-bounds every offline schedule's drop cost (Lemma 3.7). *)
+
+val exp_4 : unit -> Harness.outcome
+val exp_5 : unit -> Harness.outcome

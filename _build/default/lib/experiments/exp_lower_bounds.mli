@@ -1,0 +1,17 @@
+(** EXP-A and EXP-B: the appendix lower-bound constructions as ratio
+    sweeps ("figures").
+
+    EXP-A (Appendix A): on the ΔLRU adversarial family, the competitive
+    ratio of ΔLRU grows as [Ω(2^(j+1) / (n Δ))] when [j] grows, while
+    ΔLRU-EDF's ratio on the same inputs stays bounded.
+
+    EXP-B (Appendix B): on the EDF adversarial family, the competitive
+    ratio of EDF grows as [2^(k-j-1) / (n/2 + 1)] when [k - j] grows,
+    while ΔLRU-EDF's stays bounded.
+
+    Ratios are measured against the appendix's own clairvoyant OFF
+    schedule (a feasible offline schedule, hence an upper bound on OPT —
+    the conservative direction for demonstrating growth). *)
+
+val exp_a : unit -> Harness.outcome
+val exp_b : unit -> Harness.outcome

@@ -1,0 +1,20 @@
+(** EXP-6, EXP-7 and EXP-8: resource augmentation, cost anatomy, and
+    exact tiny-instance ratios.
+
+    EXP-6: competitive ratio of ΔLRU-EDF as the augmentation factor
+    [n/m] grows from 1x to 8x (fixed [m = 4]): the curve must fall and
+    flatten — the shape behind the paper's resource-augmentation
+    framing.
+
+    EXP-7: the introduction's dilemma: on the background-vs-short-term
+    scenario, ΔLRU underutilizes (cost dominated by drops), EDF thrashes
+    (cost dominated by reconfigurations), and ΔLRU-EDF beats both with a
+    balanced split.
+
+    EXP-8: on exhaustively solvable tiny instances, the exact
+    competitive ratio of ΔLRU-EDF against the true OPT (memoized search,
+    not a bound). *)
+
+val exp_6 : unit -> Harness.outcome
+val exp_7 : unit -> Harness.outcome
+val exp_8 : unit -> Harness.outcome

@@ -1,0 +1,16 @@
+(** EXP-1, EXP-2, EXP-3: the three positive results as measured
+    competitive-ratio tables.
+
+    EXP-1 (Theorem 1): ΔLRU-EDF with [n = 8m] on rate-limited batched
+    inputs is constant competitive.  Measured against the certified OPT
+    lower bound with [m] resources (conservative: real ratios are lower).
+
+    EXP-2 (Theorem 2): Distribute handles batched inputs whose batches
+    exceed [D_ℓ].
+
+    EXP-3 (Theorem 3): the full VarBatch -> Distribute -> ΔLRU-EDF
+    pipeline handles arbitrary arrivals and delay bounds. *)
+
+val exp_1 : unit -> Harness.outcome
+val exp_2 : unit -> Harness.outcome
+val exp_3 : unit -> Harness.outcome

@@ -1,0 +1,31 @@
+type outcome = {
+  id : string;
+  title : string;
+  claim : string;
+  table : Rrs_report.Table.t;
+  findings : string list;
+}
+
+let print outcome =
+  Printf.printf "\n[%s] %s\n" outcome.id outcome.title;
+  Printf.printf "paper claim: %s\n\n" outcome.claim;
+  print_string (Rrs_report.Table.to_string outcome.table);
+  List.iter (fun f -> Printf.printf "  -> %s\n" f) outcome.findings;
+  print_newline ()
+
+let print_markdown outcome =
+  Printf.printf "\n## %s — %s\n\n" outcome.id outcome.title;
+  Printf.printf "*Paper claim:* %s\n\n" outcome.claim;
+  print_string (Rrs_report.Table.to_markdown outcome.table);
+  print_newline ();
+  List.iter (fun f -> Printf.printf "- %s\n" f) outcome.findings;
+  print_newline ()
+
+let run_policy instance ~n factory =
+  Rrs_core.Engine.run (Rrs_core.Engine.config ~n ()) instance factory
+
+let ratio cost denom =
+  if denom = 0 then if cost = 0 then 1.0 else infinity
+  else float_of_int cost /. float_of_int denom
+
+let ratio_cell cost denom = Rrs_report.Table.cell_float (ratio cost denom)

@@ -1,0 +1,37 @@
+(** The experiment harness: one {!outcome} per paper claim.
+
+    The paper (a theory paper) has no tables or figures; each experiment
+    id corresponds to a theorem, lemma or appendix construction as listed
+    in DESIGN.md §5, and its [claim] field states the shape the paper
+    predicts.  [findings] summarise what this run actually measured, so
+    the bench log is self-contained and EXPERIMENTS.md can be checked
+    against it. *)
+
+type outcome = {
+  id : string;
+  title : string;
+  claim : string;  (** what the paper predicts (the shape to match) *)
+  table : Rrs_report.Table.t;
+  findings : string list;  (** measured take-aways from this run *)
+}
+
+val print : outcome -> unit
+
+val print_markdown : outcome -> unit
+(** Same content with a GitHub-markdown table — for pasting measured
+    numbers into EXPERIMENTS.md. *)
+
+(** {2 Shared helpers} *)
+
+val run_policy :
+  Rrs_core.Instance.t ->
+  n:int ->
+  Rrs_core.Policy.factory ->
+  Rrs_core.Engine.result
+(** Uni-speed engine run without schedule recording. *)
+
+val ratio_cell : int -> int -> string
+(** [ratio_cell cost denom] formats [cost/denom] with 2 decimals ("inf"
+    when [denom = 0] and [cost > 0], "1.00" when both are 0). *)
+
+val ratio : int -> int -> float

@@ -1,0 +1,24 @@
+let all =
+  [
+    ("EXP-A", Exp_lower_bounds.exp_a);
+    ("EXP-B", Exp_lower_bounds.exp_b);
+    ("EXP-1", Exp_theorems.exp_1);
+    ("EXP-2", Exp_theorems.exp_2);
+    ("EXP-3", Exp_theorems.exp_3);
+    ("EXP-4", Exp_lemmas.exp_4);
+    ("EXP-5", Exp_lemmas.exp_5);
+    ("EXP-6", Exp_structure.exp_6);
+    ("EXP-7", Exp_structure.exp_7);
+    ("EXP-8", Exp_structure.exp_8);
+    ("EXP-9", Exp_ablation.exp_9);
+    ("EXP-10", Exp_ablation.exp_10);
+    ("EXP-11", Exp_baselines.exp_11);
+    ("EXP-12", Exp_constructive.exp_12);
+    ("EXP-13", Exp_eligibility.exp_13);
+  ]
+
+let ids () = List.map fst all
+let find id = List.assoc_opt id all
+
+let run_and_print_all () =
+  List.iter (fun (_, run) -> Harness.print (run ())) all

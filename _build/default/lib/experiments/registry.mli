@@ -1,0 +1,9 @@
+(** All experiments by id — the single source the CLI and the bench
+    executable enumerate. *)
+
+val all : (string * (unit -> Harness.outcome)) list
+(** In DESIGN.md §5 order. *)
+
+val ids : unit -> string list
+val find : string -> (unit -> Harness.outcome) option
+val run_and_print_all : unit -> unit

@@ -1,0 +1,47 @@
+let num_domains () = max 1 (Domain.recommended_domain_count ())
+
+type 'b outcome = Pending | Done of 'b | Failed of exn
+
+let map ?domains f xs =
+  let requested = match domains with Some d -> d | None -> num_domains () in
+  if requested < 1 then invalid_arg "Pool.map: domains < 1";
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let workers = min requested n in
+  if workers <= 1 then List.map f xs
+  else begin
+    let results = Array.make n Pending in
+    let next = Atomic.make 0 in
+    (* work stealing by atomic counter: workers pull the next index *)
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else
+          results.(i) <-
+            (match f items.(i) with v -> Done v | exception e -> Failed e)
+      done
+    in
+    let spawned =
+      List.init (workers - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned;
+    (* surface the first failure in input order, if any *)
+    Array.iter
+      (function Failed e -> raise e | Done _ | Pending -> ())
+      results;
+    Array.to_list
+      (Array.map
+         (function
+           | Done v -> v
+           | Pending | Failed _ -> assert false (* all slots visited *))
+         results)
+  end
+
+let run_both f g =
+  let d = Domain.spawn g in
+  let a = f () in
+  let b = Domain.join d in
+  (a, b)

@@ -1,0 +1,26 @@
+(** Minimal domain pool built on OCaml 5 multicore primitives (stdlib
+    [Domain] + [Mutex]/[Condition] only — no external dependency).
+
+    Simulation runs are embarrassingly parallel: each (workload, seed,
+    policy) engine run touches only its own state.  The experiment
+    sweeps use {!map} to spread runs over cores; results come back in
+    input order and determinism is preserved (the tasks themselves are
+    deterministic and share nothing).
+
+    Exceptions raised by a task are captured and re-raised in the
+    caller once every worker has stopped. *)
+
+val num_domains : unit -> int
+(** Recommended parallelism: [Domain.recommended_domain_count], at
+    least 1. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] applies [f] to every element, spreading work over
+    [domains] (default {!num_domains}, capped by the list length).
+    Results are in input order.  With [domains = 1] (or a short list)
+    this degrades to [List.map].
+    @raise Invalid_argument if [domains < 1].  Re-raises the first task
+    exception (by input order) after all workers finish. *)
+
+val run_both : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** Run two independent thunks, the second on a fresh domain. *)

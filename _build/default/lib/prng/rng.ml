@@ -1,0 +1,168 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: expands a single seed into well-distributed 64-bit words;
+   the recommended way to seed xoshiro. *)
+let splitmix64_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  (* Derive a child by reseeding splitmix64 from the parent's stream; the
+     parent advances so successive splits are independent. *)
+  let state = ref (bits64 t) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3 }
+
+let bits62 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  (* rejection sampling on 62 bits to avoid modulo bias *)
+  let max62 = (1 lsl 62) - 1 in
+  let limit = max62 - (((max62 mod bound) + 1) mod bound) in
+  let rec draw () =
+    let v = bits62 t in
+    if v <= limit then v mod bound else draw ()
+  in
+  draw ()
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Rng.int_in";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 high bits of the 64-bit output give a uniform double in [0,1) *)
+  let mantissa = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  Stdlib.float_of_int mantissa /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+let bernoulli t p = float t 1.0 < Stdlib.max 0.0 (Stdlib.min 1.0 p)
+
+let exponential t ~rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential";
+  let u = 1.0 -. float t 1.0 in
+  -.Stdlib.log u /. rate
+
+let poisson t ~mean =
+  if mean < 0.0 then invalid_arg "Rng.poisson";
+  if mean = 0.0 then 0
+  else if mean <= 64.0 then begin
+    (* Knuth: multiply uniforms until below e^-mean *)
+    let threshold = Stdlib.exp (-.mean) in
+    let rec loop k p =
+      let p = p *. float t 1.0 in
+      if p <= threshold then k else loop (k + 1) p
+    in
+    loop 0 1.0
+  end
+  else begin
+    (* Normal approximation (Box-Muller), adequate for workload shaping *)
+    let u1 = 1.0 -. float t 1.0 in
+    let u2 = float t 1.0 in
+    let z = Stdlib.sqrt (-2.0 *. Stdlib.log u1) *. Stdlib.cos (2.0 *. Float.pi *. u2) in
+    let v = mean +. (Stdlib.sqrt mean *. z) in
+    Stdlib.max 0 (int_of_float (Float.round v))
+  end
+
+let geometric t ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Rng.geometric";
+  if p = 1.0 then 0
+  else
+    let u = 1.0 -. float t 1.0 in
+    int_of_float (Stdlib.floor (Stdlib.log u /. Stdlib.log (1.0 -. p)))
+
+let pareto t ~shape ~scale =
+  if shape <= 0.0 || scale <= 0.0 then invalid_arg "Rng.pareto";
+  let u = 1.0 -. float t 1.0 in
+  scale /. (u ** (1.0 /. shape))
+
+(* Exact Zipf sampling by inversion over the cumulative mass function.
+   The CDF table depends only on (n, s), so it is cached across calls:
+   workload generators draw many variates from one distribution.  The
+   cache is shared process state, so it is mutex-protected — generators
+   may run under multiple domains (see Rrs_parallel). *)
+let zipf_cdf_cache : (int * float, float array) Hashtbl.t = Hashtbl.create 8
+let zipf_cdf_mutex = Mutex.create ()
+
+let zipf_cdf n s =
+  Mutex.lock zipf_cdf_mutex;
+  let cdf =
+    match Hashtbl.find_opt zipf_cdf_cache (n, s) with
+    | Some cdf -> cdf
+    | None ->
+        let cdf = Array.make n 0.0 in
+        let acc = ref 0.0 in
+        for r = 0 to n - 1 do
+          acc := !acc +. (1.0 /. (Stdlib.float_of_int (r + 1) ** s));
+          cdf.(r) <- !acc
+        done;
+        let total = !acc in
+        for r = 0 to n - 1 do
+          cdf.(r) <- cdf.(r) /. total
+        done;
+        if Hashtbl.length zipf_cdf_cache > 64 then Hashtbl.reset zipf_cdf_cache;
+        Hashtbl.add zipf_cdf_cache (n, s) cdf;
+        cdf
+  in
+  Mutex.unlock zipf_cdf_mutex;
+  cdf
+
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Rng.zipf";
+  if n = 1 then 0
+  else if s <= 0.0 then int t n
+  else begin
+    let cdf = zipf_cdf n s in
+    let u = float t 1.0 in
+    (* binary search for the first index with cdf >= u *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cdf.(mid) >= u then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick";
+  a.(int t (Array.length a))

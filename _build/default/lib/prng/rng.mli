@@ -1,0 +1,66 @@
+(** Deterministic pseudo-random number generation.
+
+    Implementation: xoshiro256★★ (Blackman & Vigna) seeded through
+    splitmix64, built from scratch so experiment runs are bit-reproducible
+    across machines and OCaml versions.  Each generator is an independent
+    mutable state; [split] derives a statistically independent child
+    stream, which workload generators use to decorrelate per-color
+    arrival processes. *)
+
+type t
+
+val create : seed:int -> t
+(** Deterministic state from a 63-bit seed (any int accepted). *)
+
+val copy : t -> t
+(** Snapshot of the current state. *)
+
+val split : t -> t
+(** Child generator; advances the parent. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); rejection-sampled (no modulo
+    bias).  @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive.
+    @raise Invalid_argument if [lo > hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound); 53-bit resolution. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p] (clamped to [0,1]). *)
+
+val exponential : t -> rate:float -> float
+(** Exponential variate with the given rate ([rate > 0]). *)
+
+val poisson : t -> mean:float -> int
+(** Poisson variate; Knuth's method for small means, normal approximation
+    (rounded, clamped at 0) above mean 64.  @raise Invalid_argument if
+    [mean < 0]. *)
+
+val geometric : t -> p:float -> int
+(** Number of failures before the first success, [0 < p <= 1]. *)
+
+val pareto : t -> shape:float -> scale:float -> float
+(** Pareto variate with minimum [scale > 0] and tail index [shape > 0]
+    (heavy-tailed for [shape < 2]); inverse-transform sampled. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** Zipf-distributed rank in [0, n): probability of rank [r] proportional
+    to [(r+1)^{-s}].  Sampled by inversion over precomputed weights is too
+    slow to re-build per call, so this uses rejection sampling (Devroye);
+    exact for [s >= 0].  @raise Invalid_argument if [n <= 0]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.
+    @raise Invalid_argument on an empty array. *)

@@ -1,0 +1,50 @@
+type t = {
+  buckets : Rrs_dstruct.Fenwick.t;
+  max_value : int;
+  mutable total : int;
+  mutable clamped : int;
+}
+
+let create ~max_value =
+  if max_value < 0 then invalid_arg "Histogram.create";
+  {
+    buckets = Rrs_dstruct.Fenwick.create ~size:(max_value + 1);
+    max_value;
+    total = 0;
+    clamped = 0;
+  }
+
+let add_many t v k =
+  if k < 0 then invalid_arg "Histogram.add_many";
+  if k > 0 then begin
+    let clamped_v = Stdlib.max 0 (Stdlib.min t.max_value v) in
+    if clamped_v <> v then t.clamped <- t.clamped + k;
+    Rrs_dstruct.Fenwick.add t.buckets clamped_v k;
+    t.total <- t.total + k
+  end
+
+let add t v = add_many t v 1
+let count t = t.total
+let clamped t = t.clamped
+let count_at t v =
+  if v < 0 || v > t.max_value then 0 else Rrs_dstruct.Fenwick.get t.buckets v
+
+let count_le t v =
+  if v < 0 then 0
+  else Rrs_dstruct.Fenwick.prefix_sum t.buckets (Stdlib.min v t.max_value)
+
+let quantile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile";
+  if t.total = 0 then raise Not_found;
+  let rank = Stdlib.max 1 (int_of_float (ceil (q *. float_of_int t.total))) in
+  Rrs_dstruct.Fenwick.search t.buckets rank
+
+let median t = quantile t 0.5
+
+let to_assoc t =
+  let out = ref [] in
+  for v = t.max_value downto 0 do
+    let c = count_at t v in
+    if c > 0 then out := (v, c) :: !out
+  done;
+  !out

@@ -1,0 +1,33 @@
+(** Fixed-bucket histogram over a bounded integer domain, backed by a
+    Fenwick tree so counts, cumulative counts and exact quantiles are all
+    O(log n).  Suited to per-round cost and queue-length distributions
+    whose domain is known in advance. *)
+
+type t
+
+val create : max_value:int -> t
+(** Buckets for values [0 .. max_value]; larger observations are clamped
+    into the top bucket (and counted in [clamped]).
+    @raise Invalid_argument if [max_value < 0]. *)
+
+val add : t -> int -> unit
+(** Record one observation (negative values clamp to 0). *)
+
+val add_many : t -> int -> int -> unit
+(** [add_many t v k] records [k] observations of [v]. *)
+
+val count : t -> int
+val clamped : t -> int
+(** Number of observations that fell outside [0 .. max_value]. *)
+
+val count_at : t -> int -> int
+val count_le : t -> int -> int
+
+val quantile : t -> float -> int
+(** [quantile t q] with [0 <= q <= 1]: smallest value [v] such that at
+    least [q] of the mass is [<= v].  @raise Not_found on an empty
+    histogram. @raise Invalid_argument for [q] outside [0,1]. *)
+
+val median : t -> int
+val to_assoc : t -> (int * int) list
+(** Nonzero buckets as [(value, count)] in ascending value order. *)

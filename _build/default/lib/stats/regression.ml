@@ -1,0 +1,32 @@
+type fit = { slope : float; intercept : float; r2 : float }
+
+let linear points =
+  let n = List.length points in
+  if n < 2 then invalid_arg "Regression.linear";
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 points in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 points in
+  let nf = float_of_int n in
+  let mx = sx /. nf and my = sy /. nf in
+  let sxx = List.fold_left (fun a (x, _) -> a +. ((x -. mx) *. (x -. mx))) 0.0 points in
+  let sxy =
+    List.fold_left (fun a (x, y) -> a +. ((x -. mx) *. (y -. my))) 0.0 points
+  in
+  let syy = List.fold_left (fun a (_, y) -> a +. ((y -. my) *. (y -. my))) 0.0 points in
+  if sxx = 0.0 then invalid_arg "Regression.linear: degenerate x";
+  let slope = sxy /. sxx in
+  let intercept = my -. (slope *. mx) in
+  let r2 = if syy = 0.0 then 1.0 else sxy *. sxy /. (sxx *. syy) in
+  { slope; intercept; r2 }
+
+let log_linear points =
+  let transformed =
+    List.map
+      (fun (x, y) ->
+        if y <= 0.0 then invalid_arg "Regression.log_linear" else (x, log y))
+      points
+  in
+  linear transformed
+
+let doubling_slope points =
+  let fit = log_linear points in
+  fit.slope /. log 2.0

@@ -1,0 +1,19 @@
+(** Least-squares line fitting.
+
+    Used by the lower-bound experiments (EXP-A, EXP-B) to estimate the
+    growth exponent of a competitive-ratio curve: fitting
+    [log ratio ~ a + b * x] and reporting the slope [b]. *)
+
+type fit = { slope : float; intercept : float; r2 : float }
+
+val linear : (float * float) list -> fit
+(** Ordinary least squares on [(x, y)] points.
+    @raise Invalid_argument with fewer than two distinct x values. *)
+
+val log_linear : (float * float) list -> fit
+(** Fit [ln y ~ a + b x]; all [y] must be positive.
+    @raise Invalid_argument otherwise. *)
+
+val doubling_slope : (float * float) list -> float
+(** Convenience: slope of [log2 y] against [x] — the per-unit-of-x
+    doubling rate.  A value near 1.0 means "y doubles each step". *)

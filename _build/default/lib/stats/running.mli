@@ -1,0 +1,27 @@
+(** Streaming univariate statistics (Welford's algorithm).
+
+    Numerically stable single-pass mean and variance, plus min/max and
+    count.  O(1) memory regardless of stream length. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val add_int : t -> int -> unit
+val count : t -> int
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0 when fewer than two observations. *)
+
+val stddev : t -> float
+val min : t -> float
+(** [infinity] when empty. *)
+
+val max : t -> float
+(** [neg_infinity] when empty. *)
+
+val sum : t -> float
+val merge : t -> t -> t
+(** Combined statistics of two disjoint streams (parallel-friendly). *)

@@ -1,0 +1,65 @@
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p25 : float;
+  median : float;
+  p75 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Summary.percentile";
+  if q < 0.0 || q > 1.0 then invalid_arg "Summary.percentile";
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = q *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = Stdlib.min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let of_array a =
+  if Array.length a = 0 then invalid_arg "Summary.of_array";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let running = Running.create () in
+  Array.iter (Running.add running) sorted;
+  {
+    count = Array.length a;
+    mean = Running.mean running;
+    stddev = Running.stddev running;
+    min = sorted.(0);
+    p25 = percentile sorted 0.25;
+    median = percentile sorted 0.5;
+    p75 = percentile sorted 0.75;
+    p90 = percentile sorted 0.9;
+    p99 = percentile sorted 0.99;
+    max = sorted.(Array.length sorted - 1);
+  }
+
+let of_list xs = of_array (Array.of_list xs)
+
+let geometric_mean xs =
+  match xs with
+  | [] -> invalid_arg "Summary.geometric_mean"
+  | _ ->
+      let n = List.length xs in
+      let log_sum =
+        List.fold_left
+          (fun acc x ->
+            if x <= 0.0 then invalid_arg "Summary.geometric_mean"
+            else acc +. log x)
+          0.0 xs
+      in
+      exp (log_sum /. float_of_int n)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f"
+    t.count t.mean t.stddev t.min t.median t.p90 t.p99 t.max

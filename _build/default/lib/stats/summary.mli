@@ -1,0 +1,32 @@
+(** Batch summaries of float samples: percentiles, five-number summary,
+    and geometric means.  Works on materialised samples (sorting once),
+    complementing the streaming [Running] module. *)
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p25 : float;
+  median : float;
+  p75 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+val of_list : float list -> t
+(** @raise Invalid_argument on an empty list. *)
+
+val of_array : float array -> t
+(** The array is not modified.  @raise Invalid_argument on empty input. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [sorted] ascending and [0 <= q <= 1], using
+    linear interpolation between closest ranks. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean of positive samples.
+    @raise Invalid_argument if empty or any sample is [<= 0]. *)
+
+val pp : Format.formatter -> t -> unit

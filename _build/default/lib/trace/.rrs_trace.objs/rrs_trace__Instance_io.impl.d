@@ -1,0 +1,1 @@
+lib/trace/instance_io.ml: Array Csv Fun In_channel Instance List Printf Result Rrs_core String Types

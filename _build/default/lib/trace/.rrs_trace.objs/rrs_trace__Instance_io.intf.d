@@ -1,0 +1,1 @@
+lib/trace/instance_io.mli: Rrs_core

@@ -1,0 +1,1 @@
+lib/trace/metrics.ml: Array Csv Hashtbl List Pending Policy Rrs_core Rrs_stats Types

@@ -1,0 +1,1 @@
+lib/trace/metrics.mli: Rrs_core Rrs_stats

@@ -1,0 +1,1 @@
+lib/trace/schedule_io.ml: Array Buffer Csv List Printf Rrs_core Schedule String Types

@@ -1,0 +1,1 @@
+lib/trace/schedule_io.mli: Rrs_core

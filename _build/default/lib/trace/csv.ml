@@ -1,0 +1,101 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape_field s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let render_row fields = String.concat "," (List.map escape_field fields)
+
+let render rows =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+(* Single-pass state machine over the document. *)
+type state = Start_field | In_field | In_quotes | Quote_seen
+
+let parse doc =
+  let rows = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let state = ref Start_field in
+  let error = ref None in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_field ();
+    let row = List.rev !fields in
+    fields := [];
+    (* skip rows that are a single empty field (blank lines) *)
+    if row <> [ "" ] then rows := row :: !rows
+  in
+  let n = String.length doc in
+  let i = ref 0 in
+  while !i < n && !error = None do
+    let c = doc.[!i] in
+    (match (!state, c) with
+    | (Start_field | In_field), ',' ->
+        flush_field ();
+        state := Start_field
+    | (Start_field | In_field), '\n' ->
+        flush_row ();
+        state := Start_field
+    | (Start_field | In_field), '\r' ->
+        (* swallow; the LF that follows ends the record *)
+        ()
+    | Start_field, '"' -> state := In_quotes
+    | Start_field, c ->
+        Buffer.add_char buf c;
+        state := In_field
+    | In_field, '"' ->
+        error := Some (Printf.sprintf "stray quote at offset %d" !i)
+    | In_field, c -> Buffer.add_char buf c
+    | In_quotes, '"' -> state := Quote_seen
+    | In_quotes, c -> Buffer.add_char buf c
+    | Quote_seen, '"' ->
+        Buffer.add_char buf '"';
+        state := In_quotes
+    | Quote_seen, ',' ->
+        flush_field ();
+        state := Start_field
+    | Quote_seen, '\n' ->
+        flush_row ();
+        state := Start_field
+    | Quote_seen, '\r' -> ()
+    | Quote_seen, _ ->
+        error := Some (Printf.sprintf "garbage after quote at offset %d" !i));
+    incr i
+  done;
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+      (match !state with
+      | In_quotes -> Error "unterminated quoted field"
+      | Start_field ->
+          (* flush a trailing record without final newline, if any *)
+          if Buffer.length buf > 0 || !fields <> [] then flush_row ();
+          Ok (List.rev !rows)
+      | In_field | Quote_seen ->
+          flush_row ();
+          Ok (List.rev !rows))
+
+let parse_exn doc =
+  match parse doc with
+  | Ok rows -> rows
+  | Error msg -> invalid_arg ("Csv.parse_exn: " ^ msg)

@@ -1,0 +1,91 @@
+open Rrs_core
+
+let to_csv (instance : Instance.t) =
+  let rows =
+    [ [ "meta"; "name"; instance.name ];
+      [ "meta"; "delta"; string_of_int instance.delta ] ]
+    @ List.mapi
+        (fun color d -> [ "delay"; string_of_int color; string_of_int d ])
+        (Array.to_list instance.delay)
+    @ List.map
+        (fun (a : Types.arrival) ->
+          [
+            "arrival";
+            string_of_int a.round;
+            string_of_int a.color;
+            string_of_int a.count;
+          ])
+        (Array.to_list instance.arrivals)
+  in
+  Csv.render rows
+
+let int_field label s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: not an integer: %S" label s)
+
+let ( let* ) = Result.bind
+
+let of_csv doc =
+  let* rows = Csv.parse doc in
+  let name = ref "instance" in
+  let delta = ref None in
+  let delays = ref [] in
+  let arrivals = ref [] in
+  let* () =
+    List.fold_left
+      (fun acc row ->
+        let* () = acc in
+        match row with
+        | [ "meta"; "name"; v ] ->
+            name := v;
+            Ok ()
+        | [ "meta"; "delta"; v ] ->
+            let* d = int_field "delta" v in
+            delta := Some d;
+            Ok ()
+        | [ "delay"; color; d ] ->
+            let* color = int_field "delay color" color in
+            let* d = int_field "delay bound" d in
+            delays := (color, d) :: !delays;
+            Ok ()
+        | [ "arrival"; round; color; count ] ->
+            let* round = int_field "arrival round" round in
+            let* color = int_field "arrival color" color in
+            let* count = int_field "arrival count" count in
+            arrivals := { Types.round; color; count } :: !arrivals;
+            Ok ()
+        | other ->
+            Error
+              (Printf.sprintf "unrecognised row: %s" (String.concat "," other)))
+      (Ok ()) rows
+  in
+  let* delta =
+    match !delta with Some d -> Ok d | None -> Error "missing meta,delta row"
+  in
+  let sorted_delays = List.sort compare !delays in
+  let* () =
+    if List.mapi (fun i (c, _) -> c = i) sorted_delays |> List.for_all Fun.id
+    then Ok ()
+    else Error "delay rows must cover colors 0..k-1 exactly once"
+  in
+  let delay = Array.of_list (List.map snd sorted_delays) in
+  match
+    Instance.create ~name:!name ~delta ~delay ~arrivals:(List.rev !arrivals) ()
+  with
+  | instance -> Ok instance
+  | exception Invalid_argument msg -> Error msg
+
+let save path instance =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv instance))
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> of_csv (In_channel.input_all ic))

@@ -1,0 +1,22 @@
+(** Instance interchange: save and load problem instances as CSV so
+    workloads can be inspected, versioned, or fed in from external
+    tooling.
+
+    Format (three sections in one document):
+    {v
+    meta,name,<name>
+    meta,delta,<delta>
+    delay,<color>,<delay>          (one row per color)
+    arrival,<round>,<color>,<count> (one row per batch)
+    v} *)
+
+val to_csv : Rrs_core.Instance.t -> string
+
+val of_csv : string -> (Rrs_core.Instance.t, string) result
+(** Rebuilds the instance; fails with a descriptive message on missing
+    sections, non-integer fields, or validation errors. *)
+
+val save : string -> Rrs_core.Instance.t -> unit
+(** Write to a file path. *)
+
+val load : string -> (Rrs_core.Instance.t, string) result

@@ -1,0 +1,101 @@
+open Rrs_core
+
+type sample = {
+  round : Types.round;
+  backlog : int;
+  nonidle_colors : int;
+  cached_colors : int;
+  cumulative_drops : int;
+  cumulative_recolorings : int;
+}
+
+type t = {
+  mutable series : sample list; (* reverse chronological *)
+  mutable drops : int;
+  mutable recolorings : int;
+  mutable previous : Types.color array option;
+}
+
+let create () = { series = []; drops = 0; recolorings = 0; previous = None }
+
+let distinct_cached assignment =
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun c -> if c <> Types.black then Hashtbl.replace seen c ())
+    assignment;
+  Hashtbl.length seen
+
+let count_recolorings previous assignment =
+  match previous with
+  | None ->
+      Array.fold_left
+        (fun acc c -> if c <> Types.black then acc + 1 else acc)
+        0 assignment
+  | Some prev ->
+      let changes = ref 0 in
+      Array.iteri (fun i c -> if prev.(i) <> c then incr changes) assignment;
+      !changes
+
+let observe t (view : Policy.view) assignment =
+  if view.mini_round = 0 then
+    t.drops <-
+      t.drops + List.fold_left (fun acc (_, c) -> acc + c) 0 view.dropped;
+  t.recolorings <- t.recolorings + count_recolorings t.previous assignment;
+  t.previous <- Some (Array.copy assignment);
+  let sample =
+    {
+      round = view.round;
+      backlog = Pending.grand_total view.pending;
+      nonidle_colors = Pending.nonidle_count view.pending;
+      cached_colors = distinct_cached assignment;
+      cumulative_drops = t.drops;
+      cumulative_recolorings = t.recolorings;
+    }
+  in
+  match t.series with
+  | head :: rest when head.round = view.round ->
+      (* later mini-round of the same round: replace *)
+      t.series <- sample :: rest
+  | _ -> t.series <- sample :: t.series
+
+let instrument (policy : Policy.t) =
+  let t = create () in
+  let reconfigure view =
+    let assignment = policy.Policy.reconfigure view in
+    observe t view assignment;
+    assignment
+  in
+  (t, { Policy.name = policy.name ^ "+metrics"; reconfigure })
+
+let samples t = List.rev t.series
+
+let to_csv t =
+  let header =
+    [
+      "round";
+      "backlog";
+      "nonidle_colors";
+      "cached_colors";
+      "cumulative_drops";
+      "cumulative_recolorings";
+    ]
+  in
+  let rows =
+    List.map
+      (fun s ->
+        List.map string_of_int
+          [
+            s.round;
+            s.backlog;
+            s.nonidle_colors;
+            s.cached_colors;
+            s.cumulative_drops;
+            s.cumulative_recolorings;
+          ])
+      (samples t)
+  in
+  Csv.render (header :: rows)
+
+let backlog_summary t =
+  Rrs_stats.Summary.of_list
+    (List.map (fun s -> float_of_int s.backlog) (samples t))

@@ -1,0 +1,31 @@
+(** Per-round time series collected from a live run.
+
+    [instrument] wraps any policy so that, without touching the engine,
+    every round's reconfiguration phase records: the pending backlog, the
+    number of nonidle colors, the distinct cached colors, and the
+    cumulative drop and recoloring counts.  The series drive the
+    queue-dynamics views of the examples and can be exported as CSV. *)
+
+type sample = {
+  round : Rrs_core.Types.round;
+  backlog : int;  (** pending jobs after this round's arrivals *)
+  nonidle_colors : int;
+  cached_colors : int;  (** distinct non-black colors configured *)
+  cumulative_drops : int;
+  cumulative_recolorings : int;
+}
+
+type t
+
+val instrument : Rrs_core.Policy.t -> t * Rrs_core.Policy.t
+(** The returned policy must be run exactly once (policies are
+    stateful); afterwards the series are available from [t]. *)
+
+val samples : t -> sample list
+(** Chronological (one per round; mini-rounds are merged). *)
+
+val to_csv : t -> string
+
+val backlog_summary : t -> Rrs_stats.Summary.t
+(** Distribution of the backlog over rounds.
+    @raise Invalid_argument when no samples were collected. *)

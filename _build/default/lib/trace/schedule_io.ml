@@ -1,0 +1,96 @@
+open Rrs_core
+
+let to_csv (t : Schedule.t) =
+  let header =
+    [ "kind"; "round"; "mini_round"; "resource"; "color"; "count"; "from_color" ]
+  in
+  let rows =
+    Array.to_list t.events
+    |> List.map (fun (round, e) ->
+           match e with
+           | Schedule.Reconfigure { resource; mini_round; from_color; to_color }
+             ->
+               [
+                 "reconfigure";
+                 string_of_int round;
+                 string_of_int mini_round;
+                 string_of_int resource;
+                 string_of_int to_color;
+                 "";
+                 string_of_int from_color;
+               ]
+           | Schedule.Execute { resource; mini_round; color } ->
+               [
+                 "execute";
+                 string_of_int round;
+                 string_of_int mini_round;
+                 string_of_int resource;
+                 string_of_int color;
+                 "";
+                 "";
+               ]
+           | Schedule.Drop { color; count } ->
+               [
+                 "drop";
+                 string_of_int round;
+                 "";
+                 "";
+                 string_of_int color;
+                 string_of_int count;
+                 "";
+               ])
+  in
+  Csv.render (header :: rows)
+
+let render_gantt ?(max_rounds = 64) ?(max_resources = 16) (t : Schedule.t) =
+  let last_round =
+    Array.fold_left (fun acc (r, _) -> max acc r) 0 t.events
+  in
+  let rounds = min (last_round + 1) max_rounds in
+  let resources = min t.n max_resources in
+  (* colors held and executions, replayed from the event stream *)
+  let held = Array.make_matrix t.n (last_round + 1) Types.black in
+  let exec = Array.make_matrix t.n (last_round + 1) false in
+  Array.iter
+    (fun (round, e) ->
+      match e with
+      | Schedule.Reconfigure { resource; to_color; _ } ->
+          for r = round to last_round do
+            held.(resource).(r) <- to_color
+          done
+      | Schedule.Execute { resource; _ } -> exec.(resource).(round) <- true
+      | Schedule.Drop _ -> ())
+    t.events;
+  let buf = Buffer.create 1024 in
+  if rounds < last_round + 1 || resources < t.n then
+    Buffer.add_string buf
+      (Printf.sprintf "(clipped to %d rounds x %d resources)\n" rounds
+         resources);
+  (* cell width fits the largest color id plus the execution marker *)
+  let width =
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left
+          (fun acc c -> max acc (String.length (string_of_int c)))
+          acc row)
+      1 held
+    + 1
+  in
+  Buffer.add_string buf (String.make 4 ' ');
+  for r = 0 to rounds - 1 do
+    Buffer.add_string buf (Printf.sprintf "%*d" width (r mod 100))
+  done;
+  Buffer.add_char buf '\n';
+  for k = 0 to resources - 1 do
+    Buffer.add_string buf (Printf.sprintf "r%-3d" k);
+    for r = 0 to rounds - 1 do
+      let cell =
+        if held.(k).(r) = Types.black then "."
+        else
+          string_of_int held.(k).(r) ^ if exec.(k).(r) then "*" else ""
+      in
+      Buffer.add_string buf (Printf.sprintf "%*s" width cell)
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

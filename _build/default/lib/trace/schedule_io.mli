@@ -1,0 +1,19 @@
+(** Schedule export: the recorded event stream as CSV, and a Gantt-style
+    text rendering of small schedules for debugging and teaching.
+
+    CSV format, one event per row:
+    {v
+    kind,round,mini_round,resource,color,count,from_color
+    reconfigure,3,0,1,4,,-1
+    execute,3,0,1,4,,
+    drop,5,,,2,7,
+    v} *)
+
+val to_csv : Rrs_core.Schedule.t -> string
+
+val render_gantt :
+  ?max_rounds:int -> ?max_resources:int -> Rrs_core.Schedule.t -> string
+(** A resource-by-round grid: each cell shows the color the resource
+    holds, with ['*'] appended when it executes that round and ['.'] for
+    black.  Defaults clip at 64 rounds and 16 resources (a header notes
+    any clipping). *)

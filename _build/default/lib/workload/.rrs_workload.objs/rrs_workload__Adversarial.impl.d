@@ -1,0 +1,1 @@
+lib/workload/adversarial.ml: Array Instance List Printf Rrs_core Static_policy Types

@@ -1,0 +1,1 @@
+lib/workload/composite.ml: Adversarial Array Instance Instance_ops List Rrs_core Rrs_prng Scenarios Synthetic Types

@@ -1,0 +1,1 @@
+lib/workload/composite.mli: Rrs_core

@@ -1,0 +1,1 @@
+lib/workload/families.ml: Composite List Rrs_core Rrs_prng Scenarios Synthetic

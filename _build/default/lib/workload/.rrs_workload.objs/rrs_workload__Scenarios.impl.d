@@ -1,0 +1,1 @@
+lib/workload/scenarios.ml: Array Float Fun Instance Rrs_core Rrs_prng Types

@@ -1,0 +1,1 @@
+lib/workload/synthetic.ml: Array Float Instance Rrs_core Rrs_prng Types

@@ -1,0 +1,120 @@
+open Rrs_core
+
+type dlru_params = { n : int; delta : int; j : int; k : int }
+
+let dlru_check p =
+  if p.n < 2 || p.n mod 2 <> 0 then Error "n must be even and >= 2"
+  else if p.delta < 1 then Error "delta must be >= 1"
+  else if p.j < 0 || p.k < 0 || p.k > 24 then Error "exponents out of range"
+  else if not (1 lsl p.k > 1 lsl (p.j + 1)) then Error "need 2^k > 2^(j+1)"
+  else if not (1 lsl (p.j + 1) > p.n * p.delta) then
+    Error "need 2^(j+1) > n * delta"
+  else Ok ()
+
+let require check p =
+  match check p with Ok () -> () | Error msg -> invalid_arg msg
+
+let dlru_instance p =
+  require dlru_check p;
+  let shorts = p.n / 2 in
+  let short_delay = 1 lsl p.j in
+  let long_delay = 1 lsl p.k in
+  let long_color = shorts in
+  let delay = Array.init (shorts + 1) (fun c -> if c < shorts then short_delay else long_delay) in
+  let arrivals = ref [ { Types.round = 0; color = long_color; count = long_delay } ] in
+  let batches = long_delay / short_delay in
+  for b = 0 to batches - 1 do
+    for c = 0 to shorts - 1 do
+      arrivals :=
+        { Types.round = b * short_delay; color = c; count = p.delta }
+        :: !arrivals
+    done
+  done;
+  Instance.create
+    ~name:(Printf.sprintf "adv-dlru(n=%d,delta=%d,j=%d,k=%d)" p.n p.delta p.j p.k)
+    ~delta:p.delta ~delay ~arrivals:!arrivals ()
+
+let dlru_off p =
+  require dlru_check p;
+  Static_policy.static [ p.n / 2 ]
+
+type edf_params = { n : int; delta : int; j : int; k : int }
+
+let edf_check p =
+  if p.n < 2 || p.n mod 2 <> 0 then Error "n must be even and >= 2"
+  else if p.j < 0 || p.k < 1 then Error "exponents out of range"
+  else if p.k + (p.n / 2) - 1 > 24 then Error "horizon exponent too large"
+  else if not (1 lsl p.k > 1 lsl p.j) then Error "need 2^k > 2^j"
+  else if not (1 lsl p.j > p.delta) then Error "need 2^j > delta"
+  else if not (p.delta > p.n) then Error "need delta > n"
+  else Ok ()
+
+let edf_instance p =
+  require edf_check p;
+  let longs = p.n / 2 in
+  let short_delay = 1 lsl p.j in
+  let delay =
+    Array.init (longs + 1) (fun c ->
+        if c = 0 then short_delay else 1 lsl (p.k + c - 1))
+  in
+  let arrivals = ref [] in
+  (* short color: delta jobs per block until round 2^(k-1) *)
+  let short_until = 1 lsl (p.k - 1) in
+  let batches = short_until / short_delay in
+  for b = 0 to batches - 1 do
+    arrivals :=
+      { Types.round = b * short_delay; color = 0; count = p.delta } :: !arrivals
+  done;
+  (* long color p: 2^(k+p-1) jobs at round 0 *)
+  for c = 1 to longs do
+    arrivals :=
+      { Types.round = 0; color = c; count = 1 lsl (p.k + c - 2) } :: !arrivals
+  done;
+  Instance.create
+    ~name:(Printf.sprintf "adv-edf(n=%d,delta=%d,j=%d,k=%d)" p.n p.delta p.j p.k)
+    ~delta:p.delta ~delay ~arrivals:!arrivals ()
+
+type greedy_params = { n : int; delta : int; w_exp : int; k : int }
+
+let greedy_check p =
+  if p.n < 1 then Error "n must be >= 1"
+  else if p.delta < 1 then Error "delta must be >= 1"
+  else if p.w_exp < 0 || p.k < 1 || p.k > 24 then Error "exponents out of range"
+  else if not (p.delta <= 1 lsl p.w_exp) then Error "need delta <= 2^w_exp"
+  else if not (1 lsl p.w_exp < 1 lsl p.k) then Error "need 2^w_exp < 2^k"
+  else if 1 lsl p.k < 2 * p.n then Error "heavy pile would be empty"
+  else Ok ()
+
+let greedy_instance p =
+  require greedy_check p;
+  let horizon = 1 lsl p.k in
+  let tight_delay = 1 lsl p.w_exp in
+  let pile = horizon / (2 * p.n) in
+  let delay =
+    Array.init (p.n + 1) (fun c -> if c < p.n then horizon else tight_delay)
+  in
+  let arrivals =
+    ref
+      (List.init p.n (fun c -> { Types.round = 0; color = c; count = pile }))
+  in
+  for w = 0 to (horizon / tight_delay) - 1 do
+    arrivals :=
+      { Types.round = w * tight_delay; color = p.n; count = p.delta }
+      :: !arrivals
+  done;
+  Instance.create
+    ~name:
+      (Printf.sprintf "adv-greedy(n=%d,delta=%d,w=%d,k=%d)" p.n p.delta p.w_exp
+         p.k)
+    ~delta:p.delta ~delay ~arrivals:!arrivals ()
+
+let edf_off (p : edf_params) =
+  require edf_check p;
+  let longs = p.n / 2 in
+  let segments =
+    (0, [ 0 ])
+    :: List.init longs (fun i ->
+           (* long color i+1 holds rounds [2^(k+i-1), 2^(k+i)) *)
+           (1 lsl (p.k + i - 1), [ i + 1 ]))
+  in
+  Static_policy.piecewise segments

@@ -1,0 +1,85 @@
+(** The paper's two lower-bound constructions (Appendices A and B),
+    parameterised exactly as in the text, plus the clairvoyant OFF
+    schedules the appendices compare against.
+
+    Both appendices give OFF a single resource; the oracles here are
+    valid offline schedules (hence upper bounds on OPT), which is the
+    safe direction for demonstrating that a ratio grows. *)
+
+(** {2 Appendix A — ΔLRU is not resource competitive} *)
+
+type dlru_params = {
+  n : int;  (** resources given to the online algorithm; even, >= 2 *)
+  delta : int;
+  j : int;  (** short-term delay bound exponent: D = 2^j *)
+  k : int;  (** long-term delay bound exponent: D = 2^k *)
+}
+
+val dlru_check : dlru_params -> (unit, string) result
+(** Checks the constraint [2^k > 2^(j+1) > n * delta] (and basic
+    sanity). *)
+
+val dlru_instance : dlru_params -> Rrs_core.Instance.t
+(** [n/2] short-term colors (ids [0 .. n/2-1], delay [2^j]) receiving
+    [delta] jobs at every multiple of [2^j] below [2^k]; one long-term
+    color (id [n/2], delay [2^k]) receiving [2^k] jobs at round 0.
+    Rate-limited and batched.
+    @raise Invalid_argument when {!dlru_check} fails. *)
+
+val dlru_off : dlru_params -> Rrs_core.Policy.factory
+(** The appendix's OFF: cache the long-term color throughout (run with
+    [m = 1] resource).  Cost [delta + 2^(k-j-1) * n * delta]. *)
+
+(** {2 Appendix B — EDF is not resource competitive} *)
+
+type edf_params = {
+  n : int;  (** even, >= 2 *)
+  delta : int;
+  j : int;  (** the short color's delay exponent *)
+  k : int;  (** the smallest long color's delay exponent *)
+}
+
+val edf_check : edf_params -> (unit, string) result
+(** Checks [2^k > 2^j > delta > n]. *)
+
+val edf_instance : edf_params -> Rrs_core.Instance.t
+(** One short color (id 0, delay [2^j]) receiving [delta] jobs at every
+    multiple of [2^j] below [2^(k-1)]; [n/2] long colors (id [1 + p],
+    delay [2^(k+p)]) each receiving [2^(k+p-1)] jobs at round 0.
+    Batched and rate-limited.
+    @raise Invalid_argument when {!edf_check} fails. *)
+
+val edf_off : edf_params -> Rrs_core.Policy.factory
+(** The appendix's OFF: short color on rounds [0, 2^(k-1)), then long
+    color [p] on rounds [2^(k+p-1), 2^(k+p)) (run with [m = 1]).
+    Cost [(n/2 + 1) * delta], no drops. *)
+
+(** {2 Urgency inversion — breaks backlog-greedy heuristics}
+
+    Not from the paper: the input family that defeats the natural
+    "cache the largest backlogs" heuristic (EXP-11 baseline).  [n]
+    heavy colors park big piles with distant deadlines, while one tight
+    color files small batches with a short deadline.  Backlog ordering
+    inverts urgency ordering: a greedy scheduler pins the heavies and
+    lets every tight batch expire until the piles drain, for a drop bill
+    that grows with the horizon; deadline-aware schedulers serve the
+    tight color immediately at no extra cost.  Total load is kept below
+    one resource's capacity, so the certified OPT lower bound stays
+    small and the measured ratios are meaningful. *)
+
+type greedy_params = {
+  n : int;  (** number of heavy colors, >= 1 *)
+  delta : int;
+  w_exp : int;  (** tight color's delay bound 2^w_exp *)
+  k : int;  (** horizon exponent; heavy delay bound 2^k *)
+}
+
+val greedy_check : greedy_params -> (unit, string) result
+(** Requires [delta <= 2^w_exp < 2^k] and a positive heavy pile
+    [2^k / (2n)]. *)
+
+val greedy_instance : greedy_params -> Rrs_core.Instance.t
+(** Heavies are colors [0..n-1] (delay [2^k], pile [2^k/(2n)] at round
+    0); the tight color is color [n] (delay [2^w_exp], [delta] jobs at
+    every multiple).  Rate-limited and batched.
+    @raise Invalid_argument when {!greedy_check} fails. *)

@@ -1,0 +1,68 @@
+open Rrs_core
+module Rng = Rrs_prng.Rng
+
+let flash_crowd ~seed ~base_load ~spike_load ~spike_at ~horizon =
+  let rng = Rng.create ~seed in
+  let params load horizon =
+    {
+      Synthetic.default_batched with
+      num_colors = 8;
+      min_exp = 1;
+      max_exp = 4;
+      horizon;
+      load;
+    }
+  in
+  (* the same delays for base and spike: regenerate with a split stream
+     but overlay on one color space, so delays must match — build the
+     spike from the base's own delay array via scaling *)
+  let base = Synthetic.rate_limited (Rng.split rng) (params base_load horizon) in
+  let spike_template =
+    Synthetic.rate_limited
+      (Rng.create ~seed:(seed + 1))
+      (params spike_load horizon)
+  in
+  (* reuse the base's delay array for the spike to allow overlay *)
+  let spike =
+    Instance.create ~name:"spike" ~delta:base.delta ~delay:base.delay
+      ~arrivals:
+        (Array.to_list spike_template.arrivals
+        |> List.filter_map (fun (a : Types.arrival) ->
+               (* re-align each batch to the base's delay grid *)
+               let d = base.delay.(a.color) in
+               let round = a.round / d * d in
+               if round + d <= horizon / 2 then
+                 Some { a with round = round + (spike_at / d * d) }
+               else None))
+      ()
+  in
+  Instance_ops.overlay ~name:"flash-crowd" base spike
+
+let mixed_tenants ~seed =
+  let bursty =
+    Synthetic.bursty (Rng.create ~seed)
+      { Synthetic.default_bursty with base = { Synthetic.default_batched with num_colors = 6; delta = 6 } }
+  in
+  let router =
+    Scenarios.router { Scenarios.default_router with classes = 6; seed; delta = 6 }
+  in
+  Instance_ops.union ~name:"mixed-tenants" bursty router
+
+let adversarial_with_noise ~seed =
+  let adv =
+    Adversarial.dlru_instance { n = 8; delta = 4; j = 6; k = 8 }
+  in
+  let noise =
+    Synthetic.rate_limited
+      (Rng.create ~seed)
+      {
+        Synthetic.default_batched with
+        num_colors = 4;
+        delta = 4;
+        min_exp = 2;
+        max_exp = 5;
+        horizon = 256;
+        load = 0.4;
+      }
+  in
+  Instance_ops.union ~name:"adversarial+noise" adv noise

@@ -1,0 +1,24 @@
+(** Composite workloads assembled with the {!Rrs_core.Instance_ops}
+    algebra — scenarios whose structure comes from combining simpler
+    generators rather than from a single stochastic model. *)
+
+val flash_crowd :
+  seed:int ->
+  base_load:float ->
+  spike_load:float ->
+  spike_at:int ->
+  horizon:int ->
+  Rrs_core.Instance.t
+(** A steady low-load service mix overlaid with a short, violent load
+    spike starting at round [spike_at] — the flash-crowd pattern of web
+    workloads.  Batched (the spike can push batches past [D_ℓ]). *)
+
+val mixed_tenants : seed:int -> Rrs_core.Instance.t
+(** Two tenant populations side by side in one resource pool: a bursty
+    tenant and a router-like tenant, disjoint color ranges
+    ({!Rrs_core.Instance_ops.union}).  Rate-limited. *)
+
+val adversarial_with_noise : seed:int -> Rrs_core.Instance.t
+(** The Appendix-A construction running alongside benign random
+    traffic — checks that the lower-bound behaviour survives noise.
+    Rate-limited. *)

@@ -1,0 +1,119 @@
+module Rng = Rrs_prng.Rng
+
+type layer = Rate_limited | Batched | Unbatched
+
+type family = {
+  id : string;
+  description : string;
+  layer : layer;
+  build : seed:int -> Rrs_core.Instance.t;
+}
+
+let layer_to_string = function
+  | Rate_limited -> "rate-limited"
+  | Batched -> "batched"
+  | Unbatched -> "unbatched"
+
+let all =
+  [
+    {
+      id = "uniform";
+      description = "uniform random rate-limited batches, mixed delay bounds";
+      layer = Rate_limited;
+      build =
+        (fun ~seed ->
+          Synthetic.rate_limited (Rng.create ~seed) Synthetic.default_batched);
+    };
+    {
+      id = "zipf";
+      description = "rate-limited with Zipf(1.1) service popularity";
+      layer = Rate_limited;
+      build =
+        (fun ~seed ->
+          Synthetic.zipf_batched (Rng.create ~seed) ~s:1.1
+            Synthetic.default_batched);
+    };
+    {
+      id = "bursty";
+      description = "rate-limited, two-state Markov on/off sources";
+      layer = Rate_limited;
+      build =
+        (fun ~seed ->
+          Synthetic.bursty (Rng.create ~seed) Synthetic.default_bursty);
+    };
+    {
+      id = "background";
+      description =
+        "intro scenario: background pile vs intermittent short-term jobs";
+      layer = Rate_limited;
+      build =
+        (fun ~seed ->
+          Scenarios.background_shortterm
+            { Scenarios.default_background with seed });
+    };
+    {
+      id = "router";
+      description = "multi-service router, rotating sinusoidal class load";
+      layer = Rate_limited;
+      build =
+        (fun ~seed -> Scenarios.router { Scenarios.default_router with seed });
+    };
+    {
+      id = "datacenter";
+      description = "shared data center with phase-shifting service mix";
+      layer = Rate_limited;
+      build =
+        (fun ~seed ->
+          Scenarios.datacenter { Scenarios.default_datacenter with seed });
+    };
+    {
+      id = "selfsim";
+      description = "long-range-dependent traffic (heavy-tailed on/off)";
+      layer = Rate_limited;
+      build =
+        (fun ~seed ->
+          Synthetic.self_similar (Rng.create ~seed) Synthetic.default_self_similar);
+    };
+    {
+      id = "mixed-tenants";
+      description = "bursty tenant + router tenant sharing one pool (union)";
+      layer = Rate_limited;
+      build = (fun ~seed -> Composite.mixed_tenants ~seed);
+    };
+    {
+      id = "adv-noise";
+      description = "Appendix-A construction running beside benign traffic";
+      layer = Rate_limited;
+      build = (fun ~seed -> Composite.adversarial_with_noise ~seed);
+    };
+    {
+      id = "flash-crowd";
+      description = "steady mix overlaid with a violent load spike (batched)";
+      layer = Batched;
+      build =
+        (fun ~seed ->
+          Composite.flash_crowd ~seed ~base_load:0.3 ~spike_load:2.0
+            ~spike_at:256 ~horizon:512);
+    };
+    {
+      id = "oversized";
+      description = "batched with oversized batches (Distribute input)";
+      layer = Batched;
+      build =
+        (fun ~seed ->
+          Synthetic.batched_oversized (Rng.create ~seed)
+            { Synthetic.default_batched with load = 2.5 });
+    };
+    {
+      id = "unbatched";
+      description =
+        "arbitrary rounds and non-power-of-two delays (VarBatch input)";
+      layer = Unbatched;
+      build =
+        (fun ~seed ->
+          Synthetic.unbatched (Rng.create ~seed) Synthetic.default_unbatched);
+    };
+  ]
+
+let find id = List.find_opt (fun f -> f.id = id) all
+let ids () = List.map (fun f -> f.id) all

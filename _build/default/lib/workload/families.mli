@@ -1,0 +1,23 @@
+(** Named workload families — the registry the CLI and the benchmark
+    harness enumerate.
+
+    A family maps a seed to an instance; every family also declares which
+    problem layer it feeds (rate-limited / batched / unbatched) so
+    harness code can pick the right solver. *)
+
+type layer = Rate_limited | Batched | Unbatched
+
+type family = {
+  id : string;
+  description : string;
+  layer : layer;
+  build : seed:int -> Rrs_core.Instance.t;
+}
+
+val all : family list
+(** Every registered family, stable order. *)
+
+val find : string -> family option
+val ids : unit -> string list
+
+val layer_to_string : layer -> string

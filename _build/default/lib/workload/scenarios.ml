@@ -1,0 +1,157 @@
+open Rrs_core
+module Rng = Rrs_prng.Rng
+
+type background_params = {
+  delta : int;
+  short_colors : int;
+  short_exp : int;
+  long_exp : int;
+  gap_probability : float;
+  background_jobs : int;
+  seed : int;
+}
+
+let default_background =
+  {
+    delta = 4;
+    short_colors = 3;
+    short_exp = 3;
+    long_exp = 9;
+    gap_probability = 0.35;
+    background_jobs = 384;
+    seed = 17;
+  }
+
+let background_shortterm p =
+  if p.short_exp >= p.long_exp then
+    invalid_arg "background_shortterm: short_exp must be < long_exp";
+  if p.short_colors < 1 then
+    invalid_arg "background_shortterm: short_colors < 1";
+  let rng = Rng.create ~seed:p.seed in
+  let short_delay = 1 lsl p.short_exp in
+  let long_delay = 1 lsl p.long_exp in
+  let background = p.short_colors in
+  let delay =
+    Array.init (p.short_colors + 1) (fun c ->
+        if c < p.short_colors then short_delay else long_delay)
+  in
+  let arrivals =
+    ref
+      [
+        {
+          Types.round = 0;
+          color = background;
+          count = min p.background_jobs long_delay;
+        };
+      ]
+  in
+  let windows = long_delay / short_delay in
+  for w = 0 to windows - 1 do
+    for c = 0 to p.short_colors - 1 do
+      if not (Rng.bernoulli rng p.gap_probability) then begin
+        let count = min short_delay (max 1 (Rng.poisson rng ~mean:(0.75 *. float_of_int short_delay))) in
+        arrivals := { Types.round = w * short_delay; color = c; count } :: !arrivals
+      end
+    done
+  done;
+  Instance.create ~name:"background-shortterm" ~delta:p.delta ~delay
+    ~arrivals:!arrivals ()
+
+type router_params = {
+  delta : int;
+  classes : int;
+  horizon : int;
+  peak_load : float;
+  period : int;
+  seed : int;
+}
+
+let default_router =
+  { delta = 6; classes = 8; horizon = 1024; peak_load = 0.9; period = 256; seed = 23 }
+
+let router p =
+  if p.classes < 1 then invalid_arg "router: classes < 1";
+  if p.period < 1 then invalid_arg "router: period < 1";
+  let rng = Rng.create ~seed:p.seed in
+  (* delay bounds cycle through a small set of powers of two: voice-like
+     classes get tight bounds, bulk classes loose ones *)
+  let exponents = [| 1; 2; 3; 4; 5 |] in
+  let delay =
+    Array.init p.classes (fun c ->
+        1 lsl exponents.(c mod Array.length exponents))
+  in
+  let arrivals = ref [] in
+  for c = 0 to p.classes - 1 do
+    let d = delay.(c) in
+    let phase =
+      2.0 *. Float.pi *. float_of_int c /. float_of_int p.classes
+    in
+    let windows = p.horizon / d in
+    for w = 0 to windows - 1 do
+      let t = float_of_int (w * d) in
+      let modulation =
+        0.5 *. (1.0 +. sin ((2.0 *. Float.pi *. t /. float_of_int p.period) +. phase))
+      in
+      let mean = p.peak_load *. modulation *. float_of_int d in
+      let count = min d (Rng.poisson rng ~mean) in
+      if count > 0 then
+        arrivals := { Types.round = w * d; color = c; count } :: !arrivals
+    done
+  done;
+  Instance.create ~name:"router" ~delta:p.delta ~delay ~arrivals:!arrivals ()
+
+type datacenter_params = {
+  delta : int;
+  services : int;
+  phase_length : int;
+  phases : int;
+  active_fraction : float;
+  load : float;
+  seed : int;
+}
+
+let default_datacenter =
+  {
+    delta = 8;
+    services = 16;
+    phase_length = 128;
+    phases = 6;
+    active_fraction = 0.3;
+    load = 0.85;
+    seed = 41;
+  }
+
+let datacenter p =
+  if p.services < 1 then invalid_arg "datacenter: services < 1";
+  if p.phase_length < 1 || p.phases < 1 then
+    invalid_arg "datacenter: bad phase shape";
+  let rng = Rng.create ~seed:p.seed in
+  let exponents = [| 2; 3; 4; 5 |] in
+  let delay =
+    Array.init p.services (fun c ->
+        1 lsl exponents.(c mod Array.length exponents))
+  in
+  let active_count =
+    max 1 (int_of_float (p.active_fraction *. float_of_int p.services))
+  in
+  let arrivals = ref [] in
+  for phase = 0 to p.phases - 1 do
+    (* resample the busy set: composition shift between phases *)
+    let ids = Array.init p.services Fun.id in
+    Rng.shuffle rng ids;
+    let active = Array.sub ids 0 active_count in
+    let phase_start = phase * p.phase_length in
+    Array.iter
+      (fun c ->
+        let d = delay.(c) in
+        (* windows of color c that begin inside this phase *)
+        let first = (phase_start + d - 1) / d in
+        let last = ((phase_start + p.phase_length) / d) - 1 in
+        for w = first to last do
+          let count = min d (Rng.poisson rng ~mean:(p.load *. float_of_int d)) in
+          if count > 0 then
+            arrivals := { Types.round = w * d; color = c; count } :: !arrivals
+        done)
+      active
+  done;
+  Instance.create ~name:"datacenter" ~delta:p.delta ~delay ~arrivals:!arrivals ()

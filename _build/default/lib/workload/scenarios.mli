@@ -1,0 +1,62 @@
+(** The paper's motivating application scenarios, as concrete synthetic
+    workloads (Introduction; references [4,5] shared data centers,
+    [16,17,18] multi-service routers).
+
+    No production traces from 2007 data centers or network processors
+    are available; these generators reproduce the *structural* features
+    the paper argues about — delay-bound heterogeneity, workload
+    composition shifts, intermittent short-term traffic competing with
+    deadline-distant background work — which are exactly the features
+    that trigger thrashing and underutilization in the naive policies. *)
+
+type background_params = {
+  delta : int;
+  short_colors : int;  (** intermittent short-term services *)
+  short_exp : int;  (** short delay bound 2^short_exp *)
+  long_exp : int;  (** background delay bound 2^long_exp *)
+  gap_probability : float;
+      (** chance that a short-term window is silent — the "lengthy
+          interval with no short-term jobs" of the introduction *)
+  background_jobs : int;
+  seed : int;
+}
+
+val default_background : background_params
+
+val background_shortterm : background_params -> Rrs_core.Instance.t
+(** The introduction's dilemma workload: one background color with a
+    deadline far in the future and a pile of jobs, plus short-term colors
+    arriving intermittently.  Rate-limited and batched. *)
+
+type router_params = {
+  delta : int;
+  classes : int;  (** service classes (per-class delay bound) *)
+  horizon : int;
+  peak_load : float;
+  period : int;  (** rounds per diurnal-style load cycle *)
+  seed : int;
+}
+
+val default_router : router_params
+
+val router : router_params -> Rrs_core.Instance.t
+(** Multi-service router: each class has a power-of-two delay bound
+    (spread across classes) and sinusoidally modulated load with a
+    per-class phase offset, so the hot set rotates.  Rate-limited. *)
+
+type datacenter_params = {
+  delta : int;
+  services : int;
+  phase_length : int;  (** rounds per composition phase *)
+  phases : int;
+  active_fraction : float;  (** services busy in each phase *)
+  load : float;
+  seed : int;
+}
+
+val default_datacenter : datacenter_params
+
+val datacenter : datacenter_params -> Rrs_core.Instance.t
+(** Shared data center: the set of active services is resampled every
+    phase, shifting the workload composition; active services receive
+    near-full-rate batches.  Rate-limited. *)

@@ -1,0 +1,260 @@
+open Rrs_core
+module Rng = Rrs_prng.Rng
+
+type batched_params = {
+  num_colors : int;
+  delta : int;
+  min_exp : int;
+  max_exp : int;
+  horizon : int;
+  batch_probability : float;
+  load : float;
+}
+
+let default_batched =
+  {
+    num_colors = 12;
+    delta = 4;
+    min_exp = 1;
+    max_exp = 5;
+    horizon = 512;
+    batch_probability = 0.7;
+    load = 0.8;
+  }
+
+let check_batched p =
+  if p.num_colors < 1 then invalid_arg "batched_params: num_colors < 1";
+  if p.delta < 1 then invalid_arg "batched_params: delta < 1";
+  if p.min_exp < 0 || p.max_exp < p.min_exp then
+    invalid_arg "batched_params: bad exponent range";
+  if p.horizon < 1 then invalid_arg "batched_params: horizon < 1"
+
+let random_delays rng p =
+  Array.init p.num_colors (fun _ -> 1 lsl Rng.int_in rng p.min_exp p.max_exp)
+
+(* per-color weights: [1.0] everywhere for the uniform generators, a Zipf
+   profile for the popularity-skewed one *)
+let batched_gen ?(weights = [||]) ~clamp rng p =
+  check_batched p;
+  let delay = random_delays rng p in
+  let arrivals = ref [] in
+  for color = 0 to p.num_colors - 1 do
+    let d = delay.(color) in
+    let weight =
+      if color < Array.length weights then weights.(color) else 1.0
+    in
+    let mean = p.load *. weight *. float_of_int d in
+    let windows = p.horizon / d in
+    for w = 0 to windows - 1 do
+      if Rng.bernoulli rng p.batch_probability then begin
+        let count = Rng.poisson rng ~mean in
+        let count = if clamp then min count d else count in
+        if count > 0 then
+          arrivals :=
+            { Types.round = w * d; color; count } :: !arrivals
+      end
+    done
+  done;
+  (delay, !arrivals)
+
+let rate_limited rng p =
+  let delay, arrivals = batched_gen ~clamp:true rng p in
+  Instance.create ~name:"rate-limited" ~delta:p.delta ~delay ~arrivals ()
+
+let batched_oversized rng p =
+  let delay, arrivals = batched_gen ~clamp:false rng p in
+  Instance.create ~name:"batched-oversized" ~delta:p.delta ~delay ~arrivals ()
+
+let zipf_batched rng ~s p =
+  check_batched p;
+  (* popularity profile: color c gets weight proportional to (c+1)^-s,
+     normalised so the average weight is 1 *)
+  let raw =
+    Array.init p.num_colors (fun c -> 1.0 /. (float_of_int (c + 1) ** s))
+  in
+  let total = Array.fold_left ( +. ) 0.0 raw in
+  let weights =
+    Array.map (fun w -> w *. float_of_int p.num_colors /. total) raw
+  in
+  let delay, arrivals = batched_gen ~weights ~clamp:true rng p in
+  Instance.create ~name:"zipf-batched" ~delta:p.delta ~delay ~arrivals ()
+
+type bursty_params = {
+  base : batched_params;
+  on_to_off : float;
+  off_to_on : float;
+}
+
+let default_bursty =
+  { base = default_batched; on_to_off = 0.25; off_to_on = 0.2 }
+
+let bursty rng p =
+  check_batched p.base;
+  let base = p.base in
+  let delay = random_delays rng base in
+  let arrivals = ref [] in
+  for color = 0 to base.num_colors - 1 do
+    let d = delay.(color) in
+    let windows = base.horizon / d in
+    let on = ref (Rng.bool rng) in
+    for w = 0 to windows - 1 do
+      if !on then begin
+        let count = min d (Rng.poisson rng ~mean:(base.load *. float_of_int d)) in
+        if count > 0 then
+          arrivals := { Types.round = w * d; color; count } :: !arrivals
+      end;
+      let flip =
+        if !on then Rng.bernoulli rng p.on_to_off
+        else Rng.bernoulli rng p.off_to_on
+      in
+      if flip then on := not !on
+    done
+  done;
+  Instance.create ~name:"bursty" ~delta:base.delta ~delay ~arrivals:!arrivals ()
+
+type self_similar_params = {
+  base : batched_params;
+  sources : int;
+  tail : float;
+}
+
+let default_self_similar =
+  {
+    base = { default_batched with num_colors = 8; horizon = 1024 };
+    sources = 3;
+    tail = 1.4;
+  }
+
+let self_similar rng p =
+  check_batched p.base;
+  if p.sources < 1 then invalid_arg "self_similar: sources < 1";
+  if p.tail <= 1.0 then invalid_arg "self_similar: tail must exceed 1";
+  let base = p.base in
+  let delay = random_delays rng base in
+  let arrivals = ref [] in
+  for color = 0 to base.num_colors - 1 do
+    let d = delay.(color) in
+    let windows = base.horizon / d in
+    (* per-window active-source counts from aggregated on/off sources
+       with Pareto period lengths *)
+    let active = Array.make windows 0 in
+    for _ = 1 to p.sources do
+      let rng = Rng.split rng in
+      let w = ref 0 in
+      let on = ref (Rng.bool rng) in
+      while !w < windows do
+        let span =
+          int_of_float (Float.round (Rng.pareto rng ~shape:p.tail ~scale:1.0))
+        in
+        let span = max 1 span in
+        if !on then
+          for i = !w to min (windows - 1) (!w + span - 1) do
+            active.(i) <- active.(i) + 1
+          done;
+        w := !w + span;
+        on := not !on
+      done
+    done;
+    Array.iteri
+      (fun w sources_on ->
+        if sources_on > 0 then begin
+          (* scale the batch to the window width, clamp to rate limit *)
+          let count =
+            min d (sources_on * max 1 (d / p.sources))
+          in
+          if count > 0 then
+            arrivals := { Types.round = w * d; color; count } :: !arrivals
+        end)
+      active
+  done;
+  Instance.create ~name:"self-similar" ~delta:base.delta ~delay
+    ~arrivals:!arrivals ()
+
+type longtail_params = {
+  hot_colors : int;
+  tail_colors : int;
+  delta : int;
+  exp : int;
+  windows : int;
+  hot_load : float;
+  seed_jobs : int;
+}
+
+let default_longtail =
+  {
+    hot_colors = 3;
+    tail_colors = 40;
+    delta = 8;
+    exp = 3;
+    windows = 64;
+    hot_load = 0.8;
+    seed_jobs = 3;
+  }
+
+let longtail rng p =
+  if p.hot_colors < 1 || p.tail_colors < 0 then
+    invalid_arg "longtail: bad color counts";
+  if p.seed_jobs >= p.delta then
+    invalid_arg "longtail: tail colors must stay below delta";
+  let d = 1 lsl p.exp in
+  if p.seed_jobs > d then invalid_arg "longtail: seed_jobs exceed the window";
+  let num_colors = p.hot_colors + p.tail_colors in
+  let delay = Array.make num_colors d in
+  let arrivals = ref [] in
+  (* hot colors: sustained batches in every window *)
+  for color = 0 to p.hot_colors - 1 do
+    for w = 0 to p.windows - 1 do
+      let count = min d (Rng.poisson rng ~mean:(p.hot_load *. float_of_int d)) in
+      if count > 0 then
+        arrivals := { Types.round = w * d; color; count } :: !arrivals
+    done
+  done;
+  (* tail colors: one small batch each, at a random window *)
+  for color = p.hot_colors to num_colors - 1 do
+    let w = Rng.int rng p.windows in
+    arrivals := { Types.round = w * d; color; count = p.seed_jobs } :: !arrivals
+  done;
+  Instance.create ~name:"longtail" ~delta:p.delta ~delay ~arrivals:!arrivals ()
+
+type unbatched_params = {
+  num_colors : int;
+  delta : int;
+  min_delay : int;
+  max_delay : int;
+  horizon : int;
+  arrival_rate : float;
+  max_batch : int;
+}
+
+let default_unbatched =
+  {
+    num_colors = 10;
+    delta = 4;
+    min_delay = 3;
+    max_delay = 40;
+    horizon = 400;
+    arrival_rate = 0.25;
+    max_batch = 6;
+  }
+
+let unbatched rng p =
+  if p.num_colors < 1 then invalid_arg "unbatched_params: num_colors < 1";
+  if p.delta < 1 then invalid_arg "unbatched_params: delta < 1";
+  if p.min_delay < 1 || p.max_delay < p.min_delay then
+    invalid_arg "unbatched_params: bad delay range";
+  if p.arrival_rate <= 0.0 || p.arrival_rate > 1.0 then
+    invalid_arg "unbatched_params: arrival_rate must be in (0, 1]";
+  let delay =
+    Array.init p.num_colors (fun _ -> Rng.int_in rng p.min_delay p.max_delay)
+  in
+  let arrivals = ref [] in
+  for color = 0 to p.num_colors - 1 do
+    (* geometric inter-arrival gaps ~ Bernoulli process per round *)
+    let round = ref (Rng.geometric rng ~p:p.arrival_rate) in
+    while !round < p.horizon do
+      let count = 1 + Rng.int rng p.max_batch in
+      arrivals := { Types.round = !round; color; count } :: !arrivals;
+      round := !round + 1 + Rng.geometric rng ~p:p.arrival_rate
+    done
+  done;
+  Instance.create ~name:"unbatched" ~delta:p.delta ~delay ~arrivals:!arrivals ()

@@ -1,0 +1,102 @@
+(** Randomised workload generators.
+
+    Everything is driven by the deterministic {!Rrs_prng.Rng}, so a
+    (generator, seed) pair fully determines the instance.  Generators
+    come in three flavours matching the paper's three problem layers:
+
+    - {e rate-limited batched} inputs feed ΔLRU-EDF directly (Theorem 1);
+    - {e batched} inputs (batches may exceed [D_ℓ]) exercise Distribute
+      (Theorem 2);
+    - {e unbatched} inputs (arbitrary rounds, arbitrary delay bounds)
+      exercise the full VarBatch pipeline (Theorem 3). *)
+
+type batched_params = {
+  num_colors : int;
+  delta : int;
+  min_exp : int;  (** delay bounds drawn uniformly from [2^min_exp .. ] *)
+  max_exp : int;  (** ... up to [2^max_exp] *)
+  horizon : int;
+  batch_probability : float;  (** chance a given batch window fires *)
+  load : float;  (** mean batch size as a fraction of [D_ℓ] *)
+}
+
+val default_batched : batched_params
+
+val rate_limited : Rrs_prng.Rng.t -> batched_params -> Rrs_core.Instance.t
+(** Power-of-two delays, arrivals only at multiples of [D_ℓ], batch sizes
+    Poisson([load * D_ℓ]) clamped into [0, D_ℓ]. *)
+
+val batched_oversized :
+  Rrs_prng.Rng.t -> batched_params -> Rrs_core.Instance.t
+(** Same but batch sizes are not clamped ([load] may exceed 1), so
+    batches can exceed [D_ℓ] — input for Distribute. *)
+
+val zipf_batched :
+  Rrs_prng.Rng.t -> s:float -> batched_params -> Rrs_core.Instance.t
+(** Rate-limited, with per-color load scaled by a Zipf(s) popularity over
+    colors — a few hot services and a long tail. *)
+
+type bursty_params = {
+  base : batched_params;
+  on_to_off : float;  (** per-window probability of leaving the ON state *)
+  off_to_on : float;
+}
+
+val default_bursty : bursty_params
+
+val bursty : Rrs_prng.Rng.t -> bursty_params -> Rrs_core.Instance.t
+(** Rate-limited; each color's batch windows follow a two-state Markov
+    chain: full-rate batches while ON, silence while OFF. *)
+
+type self_similar_params = {
+  base : batched_params;
+  sources : int;  (** on/off sources aggregated per color *)
+  tail : float;  (** Pareto tail index of on/off period lengths; values
+                     in (1, 2) give long-range-dependent traffic *)
+}
+
+val default_self_similar : self_similar_params
+
+val self_similar : Rrs_prng.Rng.t -> self_similar_params -> Rrs_core.Instance.t
+(** Long-range-dependent traffic in the style of aggregated heavy-tailed
+    on/off sources (the classical self-similarity model for packet
+    traffic): each color aggregates [sources] independent sources whose
+    on and off period lengths (in batch windows) are Pareto([tail]);
+    a window's batch size is the number of active sources, clamped into
+    [0, D_ℓ].  Rate-limited. *)
+
+type longtail_params = {
+  hot_colors : int;  (** colors with sustained load *)
+  tail_colors : int;  (** colors with fewer than [delta] total jobs *)
+  delta : int;
+  exp : int;  (** shared delay bound 2^exp *)
+  windows : int;
+  hot_load : float;
+  seed_jobs : int;  (** jobs per tail color, forced < delta *)
+}
+
+val default_longtail : longtail_params
+
+val longtail : Rrs_prng.Rng.t -> longtail_params -> Rrs_core.Instance.t
+(** A few hot colors plus a long tail of colors whose total work is
+    below [Δ] — the input class where caching decisions must weigh the
+    reconfiguration cost against the whole future value of a color
+    (Lemma 3.1 / EXP-13).  Rate-limited.
+    @raise Invalid_argument if [seed_jobs >= delta] or
+    [seed_jobs > 2^exp]. *)
+
+type unbatched_params = {
+  num_colors : int;
+  delta : int;
+  min_delay : int;  (** arbitrary (not power-of-two) delays allowed *)
+  max_delay : int;
+  horizon : int;
+  arrival_rate : float;  (** mean arrivals per round per color *)
+  max_batch : int;
+}
+
+val default_unbatched : unbatched_params
+
+val unbatched : Rrs_prng.Rng.t -> unbatched_params -> Rrs_core.Instance.t
+(** Jobs arrive at arbitrary rounds (geometric gaps), with arbitrary
+    integer delay bounds — the general [Δ | 1 | D_ℓ | 1] problem. *)

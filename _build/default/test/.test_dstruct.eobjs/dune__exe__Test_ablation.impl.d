@@ -1,0 +1,1 @@
+test/test_ablation.ml: Alcotest Array Cost Delta_lru Edf_policy Engine Instance List Lru_edf Rrs_core Rrs_workload Types

@@ -1,0 +1,1 @@
+test/test_adversarial.ml: Alcotest Array Cost Delta_lru Edf_policy Engine Instance Lru_edf Printf Result Rrs_core Rrs_workload

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Delta_lru Engine Instance List Lru_edf Naive_policies Par_edf Printf Result Rrs_core Rrs_prng Rrs_workload Types

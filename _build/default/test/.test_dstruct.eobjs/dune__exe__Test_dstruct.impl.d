@@ -1,0 +1,1 @@
+test/test_dstruct.ml: Alcotest Array Fun Hashtbl List QCheck QCheck_alcotest Rrs_dstruct Stdlib Test

@@ -1,0 +1,1 @@
+test/test_eligibility.ml: Alcotest Array Eligibility Engine Instance List Option Policy Rrs_core Types

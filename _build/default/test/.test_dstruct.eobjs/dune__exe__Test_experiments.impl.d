@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List Option Rrs_experiments Rrs_report String

@@ -1,0 +1,1 @@
+test/test_heuristics.ml: Alcotest Engine Instance List Offline_bounds Offline_heuristics Offline_opt Option Policy Printf Rrs_core Rrs_prng Rrs_workload Types Validator

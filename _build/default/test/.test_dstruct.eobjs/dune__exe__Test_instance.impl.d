@@ -1,0 +1,1 @@
+test/test_instance.ml: Alcotest Array Instance List QCheck QCheck_alcotest Rrs_core Types

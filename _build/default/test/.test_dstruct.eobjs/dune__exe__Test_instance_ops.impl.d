@@ -1,0 +1,1 @@
+test/test_instance_ops.ml: Alcotest Array Delta_lru Engine Instance Instance_ops Printf QCheck QCheck_alcotest Rrs_core Rrs_prng Rrs_workload Types

@@ -1,0 +1,1 @@
+test/test_instance_stats.ml: Alcotest Format Instance Instance_stats List Option Par_edf Rrs_core Rrs_workload String Types

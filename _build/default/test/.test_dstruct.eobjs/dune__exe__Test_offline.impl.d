@@ -1,0 +1,1 @@
+test/test_offline.ml: Alcotest Array Cost Delta_lru Edf_policy Engine Format Fun Instance List Lru_edf Offline_bounds Offline_opt Rrs_core Rrs_prng Types

@@ -1,0 +1,1 @@
+test/test_paper_lemmas.ml: Alcotest Array Cost Edf_policy Eligibility Engine Instance Instance_ops List Lru_edf Offline_bounds Par_edf Printf Rrs_core Rrs_prng Rrs_workload Static_policy Types

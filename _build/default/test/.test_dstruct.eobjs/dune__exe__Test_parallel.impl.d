@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Cost Engine Fun List Lru_edf Rrs_core Rrs_parallel Rrs_workload

@@ -1,0 +1,1 @@
+test/test_pending.ml: Alcotest Array List Pending QCheck QCheck_alcotest Rrs_core Test

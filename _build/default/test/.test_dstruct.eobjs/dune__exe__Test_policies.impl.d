@@ -1,0 +1,1 @@
+test/test_policies.ml: Alcotest Array Delta_lru Edf_policy Engine Fun Hashtbl Instance List Lru_edf Option Policy Rrs_core Types

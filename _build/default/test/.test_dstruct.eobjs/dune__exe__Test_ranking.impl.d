@@ -1,0 +1,1 @@
+test/test_ranking.ml: Alcotest Array Cache_state Eligibility Fun Gen Instance List Pending Policy QCheck QCheck_alcotest Ranking Rrs_core Test Types

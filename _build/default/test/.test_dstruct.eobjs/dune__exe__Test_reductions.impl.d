@@ -1,0 +1,1 @@
+test/test_reductions.ml: Alcotest Array Cost Distribute Engine Format Instance List Lru_edf Option Printf QCheck QCheck_alcotest Rrs_core Rrs_prng Rrs_workload Types Validator Var_batch

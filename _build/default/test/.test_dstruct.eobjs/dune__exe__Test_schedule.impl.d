@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Array Cost Engine Format Instance List Option Rrs_core Schedule Static_policy String Types

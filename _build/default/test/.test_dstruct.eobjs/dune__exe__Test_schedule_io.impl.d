@@ -1,0 +1,1 @@
+test/test_schedule_io.ml: Alcotest Array Engine Instance List Option Rrs_core Rrs_trace Schedule Static_policy String Types

@@ -1,0 +1,1 @@
+test/test_solve.ml: Alcotest Cost Engine Instance List Lru_edf Rrs_core Rrs_prng Rrs_workload Solve Types Var_batch

@@ -1,0 +1,1 @@
+test/test_super_epochs.ml: Alcotest Eligibility Engine Instance List Lru_edf Offline_opt Rrs_core Rrs_prng Rrs_workload Super_epochs Types

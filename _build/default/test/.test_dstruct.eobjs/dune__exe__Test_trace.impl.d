@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Edf_policy Engine Filename Fun Instance List QCheck QCheck_alcotest Result Rrs_core Rrs_trace Rrs_workload Static_policy Sys Types

@@ -1,0 +1,1 @@
+test/test_validator.ml: Alcotest Array Cost Engine Instance List Option Rrs_core Schedule Static_policy Types Validator

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Distribute Engine Fun Instance List Lru_edf Option Printf Rrs_core Rrs_prng Rrs_workload Types Var_batch

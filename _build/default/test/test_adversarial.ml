@@ -1,0 +1,164 @@
+(* Tests for the Appendix A and B constructions: instance shape, the
+   exact costs of the clairvoyant OFF schedules the paper states, and the
+   qualitative behavior of each algorithm on them. *)
+
+open Rrs_core
+module Adv = Rrs_workload.Adversarial
+
+let dlru_p : Adv.dlru_params = { n = 8; delta = 2; j = 5; k = 7 }
+(* constraint: 2^7=128 > 2^6=64 > n*delta=16 *)
+
+let edf_p : Adv.edf_params = { n = 4; delta = 6; j = 3; k = 5 }
+(* constraint: 2^5=32 > 2^3=8 > delta=6 > n=4 *)
+
+let test_dlru_constraints () =
+  Alcotest.(check bool) "valid params" true (Adv.dlru_check dlru_p = Ok ());
+  Alcotest.(check bool) "2^k too small rejected" true
+    (Result.is_error (Adv.dlru_check { dlru_p with k = 5 }));
+  Alcotest.(check bool) "2^(j+1) <= n delta rejected" true
+    (Result.is_error (Adv.dlru_check { dlru_p with j = 2 }));
+  Alcotest.(check bool) "odd n rejected" true
+    (Result.is_error (Adv.dlru_check { dlru_p with n = 7 }))
+
+let test_dlru_instance_shape () =
+  let i = Adv.dlru_instance dlru_p in
+  Alcotest.(check bool) "batched" true (Instance.is_batched i);
+  Alcotest.(check bool) "rate-limited" true (Instance.is_rate_limited i);
+  Alcotest.(check bool) "pow2 delays" true (Instance.delays_are_powers_of_two i);
+  Alcotest.(check int) "colors" 5 i.num_colors;
+  (* long color: 2^k jobs at round 0; shorts: delta per block *)
+  Alcotest.(check int) "long jobs" 128 (Instance.jobs_of_color i 4);
+  Alcotest.(check int) "short jobs" (2 * (128 / 32)) (Instance.jobs_of_color i 0);
+  (* the input proceeds in 2^k rounds (last deadline = 0 + 2^k) *)
+  Alcotest.(check int) "horizon" 128 i.horizon
+
+let test_dlru_off_cost () =
+  (* paper: OFF caches the long color; cost = delta + 2^(k-j-1) n delta *)
+  let i = Adv.dlru_instance dlru_p in
+  let r = Engine.run (Engine.config ~n:1 ()) i (Adv.dlru_off dlru_p) in
+  let expected_drop =
+    (1 lsl (dlru_p.k - dlru_p.j - 1)) * dlru_p.n * dlru_p.delta
+  in
+  Alcotest.(check int) "reconfig = delta" dlru_p.delta r.cost.reconfig;
+  Alcotest.(check int) "drop = 2^(k-j-1) n delta" expected_drop r.cost.drop;
+  (* OFF executes the whole long pile *)
+  Alcotest.(check int) "long pile fully served" 128 r.executions_by_color.(4)
+
+let test_dlru_starves_long_color () =
+  (* paper: dLRU reconfig cost = n*delta (caches shorts once), drop cost
+     >= 2^k (the whole long pile) *)
+  let i = Adv.dlru_instance dlru_p in
+  let r = Engine.run (Engine.config ~n:dlru_p.n ()) i Delta_lru.policy in
+  Alcotest.(check int) "reconfig exactly n delta" (dlru_p.n * dlru_p.delta)
+    r.cost.reconfig;
+  Alcotest.(check bool) "drops at least the long pile" true
+    (r.cost.drop >= 128);
+  Alcotest.(check int) "long color never executed" 0 r.executions_by_color.(4)
+
+let test_lru_edf_bounded_on_dlru_construction () =
+  (* the combination must not starve the long color *)
+  let i = Adv.dlru_instance dlru_p in
+  let r = Engine.run (Engine.config ~n:dlru_p.n ()) i Lru_edf.policy in
+  let off = Engine.run (Engine.config ~n:1 ()) i (Adv.dlru_off dlru_p) in
+  let ratio = Cost.ratio r.cost off.cost in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.2f stays small" ratio)
+    true (ratio < 3.0);
+  Alcotest.(check bool) "long color served" true
+    (r.executions_by_color.(4) > 100)
+
+let test_edf_constraints () =
+  Alcotest.(check bool) "valid params" true (Adv.edf_check edf_p = Ok ());
+  Alcotest.(check bool) "delta <= n rejected" true
+    (Result.is_error (Adv.edf_check { edf_p with delta = 4 }));
+  Alcotest.(check bool) "2^j <= delta rejected" true
+    (Result.is_error (Adv.edf_check { edf_p with j = 2 }))
+
+let test_edf_instance_shape () =
+  let i = Adv.edf_instance edf_p in
+  Alcotest.(check bool) "batched" true (Instance.is_batched i);
+  Alcotest.(check bool) "rate-limited" true (Instance.is_rate_limited i);
+  Alcotest.(check int) "colors = n/2 + 1" 3 i.num_colors;
+  (* short color: delta jobs per 2^j block until 2^(k-1) *)
+  Alcotest.(check int) "short jobs" (6 * (16 / 8)) (Instance.jobs_of_color i 0);
+  Alcotest.(check int) "long 0 jobs" 16 (Instance.jobs_of_color i 1);
+  Alcotest.(check int) "long 1 jobs" 32 (Instance.jobs_of_color i 2);
+  Alcotest.(check int) "horizon = 2^(k+n/2-1)" 64 i.horizon
+
+let test_edf_off_cost () =
+  (* paper: OFF pays (n/2 + 1) delta and drops nothing *)
+  let i = Adv.edf_instance edf_p in
+  let r = Engine.run (Engine.config ~n:1 ()) i (Adv.edf_off edf_p) in
+  Alcotest.(check int) "no drops" 0 r.cost.drop;
+  Alcotest.(check int) "reconfig = (n/2+1) delta"
+    (((edf_p.n / 2) + 1) * edf_p.delta)
+    r.cost.reconfig
+
+let test_edf_thrashes () =
+  (* EDF's reconfiguration cost must scale with the number of short
+     blocks; we assert it clearly exceeds OFF's total cost *)
+  let i = Adv.edf_instance edf_p in
+  let edf = Engine.run (Engine.config ~n:edf_p.n ()) i Edf_policy.policy in
+  let off = Engine.run (Engine.config ~n:1 ()) i (Adv.edf_off edf_p) in
+  Alcotest.(check bool)
+    (Printf.sprintf "EDF cost %d > 2x OFF cost %d" (Cost.total edf.cost)
+       (Cost.total off.cost))
+    true
+    (Cost.total edf.cost > 2 * Cost.total off.cost)
+
+let test_ratio_grows_with_j () =
+  (* the heart of Appendix A: dLRU's ratio grows with j *)
+  let ratio j k =
+    let p = { dlru_p with j; k } in
+    let i = Adv.dlru_instance p in
+    let alg = Engine.run (Engine.config ~n:p.n ()) i Delta_lru.policy in
+    let off = Engine.run (Engine.config ~n:1 ()) i (Adv.dlru_off p) in
+    Cost.ratio alg.cost off.cost
+  in
+  let r1 = ratio 5 7 in
+  let r2 = ratio 7 9 in
+  let r3 = ratio 9 11 in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratios grow: %.2f < %.2f < %.2f" r1 r2 r3)
+    true
+    (r1 < r2 && r2 < r3)
+
+let test_edf_ratio_grows_with_k () =
+  (* Appendix B: EDF's ratio grows with k - j *)
+  let ratio k =
+    let p = { edf_p with k } in
+    let i = Adv.edf_instance p in
+    let alg = Engine.run (Engine.config ~n:p.n ()) i Edf_policy.policy in
+    let off = Engine.run (Engine.config ~n:1 ()) i (Adv.edf_off p) in
+    Cost.ratio alg.cost off.cost
+  in
+  let r1 = ratio 5 and r2 = ratio 7 and r3 = ratio 9 in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratios grow: %.2f < %.2f < %.2f" r1 r2 r3)
+    true
+    (r1 < r2 && r2 < r3)
+
+let () =
+  Alcotest.run "adversarial"
+    [
+      ( "appendix A (dlru)",
+        [
+          Alcotest.test_case "constraints" `Quick test_dlru_constraints;
+          Alcotest.test_case "instance shape" `Quick test_dlru_instance_shape;
+          Alcotest.test_case "OFF cost exact" `Quick test_dlru_off_cost;
+          Alcotest.test_case "dlru starves long color" `Quick
+            test_dlru_starves_long_color;
+          Alcotest.test_case "lru-edf bounded" `Quick
+            test_lru_edf_bounded_on_dlru_construction;
+          Alcotest.test_case "ratio grows with j" `Slow test_ratio_grows_with_j;
+        ] );
+      ( "appendix B (edf)",
+        [
+          Alcotest.test_case "constraints" `Quick test_edf_constraints;
+          Alcotest.test_case "instance shape" `Quick test_edf_instance_shape;
+          Alcotest.test_case "OFF cost exact" `Quick test_edf_off_cost;
+          Alcotest.test_case "edf thrashes" `Quick test_edf_thrashes;
+          Alcotest.test_case "ratio grows with k-j" `Slow
+            test_edf_ratio_grows_with_k;
+        ] );
+    ]

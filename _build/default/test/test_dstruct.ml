@@ -1,0 +1,415 @@
+(* Unit and property tests for the container substrate. *)
+
+module BH = Rrs_dstruct.Binary_heap
+module IH = Rrs_dstruct.Indexed_heap
+module PH = Rrs_dstruct.Pairing_heap
+module DQ = Rrs_dstruct.Deque
+module RB = Rrs_dstruct.Ring_buffer
+module FW = Rrs_dstruct.Fenwick
+
+let int_cmp = Stdlib.compare
+
+(* ------------------------------------------------------------------ *)
+(* Binary heap                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_bh_empty () =
+  let h = BH.create ~cmp:int_cmp () in
+  Alcotest.(check bool) "empty" true (BH.is_empty h);
+  Alcotest.(check int) "length" 0 (BH.length h);
+  Alcotest.check_raises "min raises" Not_found (fun () -> ignore (BH.min h));
+  Alcotest.check_raises "pop raises" Not_found (fun () ->
+      ignore (BH.pop_min h));
+  Alcotest.(check (option int)) "pop_opt" None (BH.pop_min_opt h)
+
+let test_bh_order () =
+  let h = BH.create ~cmp:int_cmp () in
+  List.iter (BH.add h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  Alcotest.(check int) "length" 7 (BH.length h);
+  Alcotest.(check int) "min" 1 (BH.min h);
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 2; 3; 4; 5; 9 ]
+    (BH.to_sorted_list h);
+  Alcotest.(check int) "to_sorted_list is nondestructive" 7 (BH.length h);
+  let drained = List.init 7 (fun _ -> BH.pop_min h) in
+  Alcotest.(check (list int)) "drain order" [ 1; 1; 2; 3; 4; 5; 9 ] drained;
+  Alcotest.(check bool) "empty after drain" true (BH.is_empty h)
+
+let test_bh_of_array () =
+  let h = BH.of_array ~cmp:int_cmp [| 3; 1; 2 |] in
+  Alcotest.(check bool) "invariant" true (BH.check_invariant h);
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (BH.to_sorted_list h)
+
+let test_bh_clear_and_grow () =
+  let h = BH.create ~cmp:int_cmp ~initial_capacity:1 () in
+  for i = 100 downto 1 do
+    BH.add h i
+  done;
+  Alcotest.(check int) "grown" 100 (BH.length h);
+  Alcotest.(check int) "min" 1 (BH.min h);
+  BH.clear h;
+  Alcotest.(check bool) "cleared" true (BH.is_empty h);
+  BH.add h 42;
+  Alcotest.(check int) "usable after clear" 42 (BH.min h)
+
+let test_bh_fold_iter () =
+  let h = BH.of_array ~cmp:int_cmp [| 4; 2; 7 |] in
+  Alcotest.(check int) "fold sum" 13 (BH.fold ( + ) 0 h);
+  let count = ref 0 in
+  BH.iter (fun _ -> incr count) h;
+  Alcotest.(check int) "iter count" 3 !count
+
+let prop_bh_sorts =
+  QCheck.Test.make ~count:300 ~name:"binary heap sorts like List.sort"
+    QCheck.(list int)
+    (fun xs ->
+      let h = BH.create ~cmp:int_cmp () in
+      List.iter (BH.add h) xs;
+      BH.to_sorted_list h = List.sort int_cmp xs && BH.check_invariant h)
+
+let prop_bh_heapify =
+  QCheck.Test.make ~count:300 ~name:"of_array satisfies heap invariant"
+    QCheck.(array int)
+    (fun a -> BH.check_invariant (BH.of_array ~cmp:int_cmp a))
+
+(* ------------------------------------------------------------------ *)
+(* Indexed heap                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_ih_basics () =
+  let h = IH.create ~cmp:int_cmp ~capacity:8 in
+  IH.insert h 3 30;
+  IH.insert h 1 10;
+  IH.insert h 5 50;
+  Alcotest.(check int) "length" 3 (IH.length h);
+  Alcotest.(check bool) "mem" true (IH.mem h 3);
+  Alcotest.(check bool) "not mem" false (IH.mem h 0);
+  Alcotest.(check int) "priority" 30 (IH.priority h 3);
+  Alcotest.(check (pair int int)) "min" (1, 10) (IH.min h);
+  IH.update h 5 5;
+  Alcotest.(check (pair int int)) "decrease-key" (5, 5) (IH.min h);
+  IH.update h 5 500;
+  Alcotest.(check (pair int int)) "increase-key" (1, 10) (IH.min h);
+  IH.remove h 1;
+  Alcotest.(check (pair int int)) "after remove" (3, 30) (IH.min h);
+  IH.remove h 1;
+  Alcotest.(check int) "remove absent is noop" 2 (IH.length h);
+  Alcotest.(check bool) "invariant" true (IH.check_invariant h)
+
+let test_ih_update_inserts () =
+  let h = IH.create ~cmp:int_cmp ~capacity:4 in
+  IH.update h 2 20;
+  Alcotest.(check bool) "update inserts" true (IH.mem h 2);
+  Alcotest.check_raises "double insert rejected"
+    (Invalid_argument "Indexed_heap.insert: key present") (fun () ->
+      IH.insert h 2 7)
+
+let test_ih_out_of_range () =
+  let h = IH.create ~cmp:int_cmp ~capacity:2 in
+  Alcotest.check_raises "key range"
+    (Invalid_argument "Indexed_heap: key out of range") (fun () ->
+      IH.insert h 2 0)
+
+let test_ih_smallest () =
+  let h = IH.create ~cmp:int_cmp ~capacity:10 in
+  List.iteri (fun key prio -> IH.insert h key prio) [ 40; 10; 30; 20; 50 ];
+  Alcotest.(check (list (pair int int)))
+    "smallest 3"
+    [ (1, 10); (3, 20); (2, 30) ]
+    (IH.smallest h 3);
+  Alcotest.(check int) "smallest does not consume" 5 (IH.length h);
+  Alcotest.(check (list (pair int int)))
+    "smallest beyond size"
+    [ (1, 10); (3, 20); (2, 30); (0, 40); (4, 50) ]
+    (IH.smallest h 99)
+
+let test_ih_clear () =
+  let h = IH.create ~cmp:int_cmp ~capacity:4 in
+  IH.insert h 0 1;
+  IH.insert h 1 2;
+  IH.clear h;
+  Alcotest.(check bool) "cleared" true (IH.is_empty h);
+  Alcotest.(check bool) "mem after clear" false (IH.mem h 0);
+  IH.insert h 0 9;
+  Alcotest.(check (pair int int)) "reusable" (0, 9) (IH.min h)
+
+(* model-based: random ops against an association-list model *)
+let prop_ih_model =
+  let open QCheck in
+  let op =
+    oneof
+      [
+        map (fun (k, p) -> `Update (k, p)) (pair (int_bound 15) small_int);
+        map (fun k -> `Remove k) (int_bound 15);
+        always `Pop;
+      ]
+  in
+  Test.make ~count:300 ~name:"indexed heap matches a model" (list op)
+    (fun ops ->
+      let h = IH.create ~cmp:int_cmp ~capacity:16 in
+      let model = Hashtbl.create 16 in
+      let model_min () =
+        Hashtbl.fold
+          (fun k p acc ->
+            match acc with
+            | None -> Some (p, k)
+            | Some (bp, bk) ->
+                if (p, k) < (bp, bk) then Some (p, k) else Some (bp, bk))
+          model None
+      in
+      List.for_all
+        (fun op ->
+          (match op with
+          | `Update (k, p) ->
+              IH.update h k p;
+              Hashtbl.replace model k p
+          | `Remove k ->
+              IH.remove h k;
+              Hashtbl.remove model k
+          | `Pop -> (
+              match IH.pop_min_opt h with
+              | None -> ()
+              | Some (k, _) -> Hashtbl.remove model k));
+          IH.check_invariant h
+          && IH.length h = Hashtbl.length model
+          &&
+          (* priority ties are broken arbitrarily by the heap, so compare
+             priorities only *)
+          match (model_min (), IH.pop_min_opt h) with
+          | None, None -> true
+          | Some (p, _), Some (k', p') ->
+              IH.insert h k' p';
+              (* put it back *)
+              p = p'
+          | _ -> false)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Pairing heap                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_ph_basics () =
+  let h = PH.of_list ~cmp:int_cmp [ 3; 1; 2 ] in
+  Alcotest.(check int) "length" 3 (PH.length h);
+  Alcotest.(check int) "min" 1 (PH.min h);
+  let x, h' = PH.pop_min h in
+  Alcotest.(check int) "pop" 1 x;
+  Alcotest.(check int) "persistence: original intact" 3 (PH.length h);
+  Alcotest.(check int) "tail length" 2 (PH.length h');
+  Alcotest.check_raises "empty min" Not_found (fun () ->
+      ignore (PH.min (PH.empty ~cmp:int_cmp)))
+
+let test_ph_merge () =
+  let a = PH.of_list ~cmp:int_cmp [ 5; 3 ] in
+  let b = PH.of_list ~cmp:int_cmp [ 4; 1 ] in
+  let m = PH.merge a b in
+  Alcotest.(check (list int)) "merged" [ 1; 3; 4; 5 ] (PH.to_sorted_list m)
+
+let prop_ph_sorts =
+  QCheck.Test.make ~count:300 ~name:"pairing heap sorts like List.sort"
+    QCheck.(list int)
+    (fun xs ->
+      PH.to_sorted_list (PH.of_list ~cmp:int_cmp xs) = List.sort int_cmp xs)
+
+(* ------------------------------------------------------------------ *)
+(* Deque                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_dq_fifo () =
+  let d = List.fold_left (fun d x -> DQ.push_back x d) DQ.empty [ 1; 2; 3 ] in
+  Alcotest.(check int) "front" 1 (DQ.front d);
+  Alcotest.(check int) "back" 3 (DQ.back d);
+  let x, d = DQ.pop_front d in
+  let y, d = DQ.pop_front d in
+  let z, d = DQ.pop_front d in
+  Alcotest.(check (list int)) "fifo order" [ 1; 2; 3 ] [ x; y; z ];
+  Alcotest.(check bool) "empty" true (DQ.is_empty d)
+
+let test_dq_lifo () =
+  let d = List.fold_left (fun d x -> DQ.push_front x d) DQ.empty [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "to_list" [ 3; 2; 1 ] (DQ.to_list d);
+  let x, d' = DQ.pop_back d in
+  Alcotest.(check int) "pop_back" 1 x;
+  Alcotest.(check int) "len" 2 (DQ.length d');
+  Alcotest.(check int) "persistent" 3 (DQ.length d)
+
+let test_dq_errors () =
+  Alcotest.check_raises "front of empty" Not_found (fun () ->
+      ignore (DQ.front DQ.empty));
+  Alcotest.check_raises "pop_back of empty" Not_found (fun () ->
+      ignore (DQ.pop_back DQ.empty))
+
+let test_dq_map_fold () =
+  let d = DQ.of_list [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "map" [ 2; 4; 6 ] (DQ.to_list (DQ.map (( * ) 2) d));
+  Alcotest.(check int) "fold" 6 (DQ.fold_left ( + ) 0 d)
+
+(* model-based: a deque behaves like a list *)
+let prop_dq_model =
+  let open QCheck in
+  let op =
+    oneof
+      [
+        map (fun x -> `Push_front x) small_int;
+        map (fun x -> `Push_back x) small_int;
+        always `Pop_front;
+        always `Pop_back;
+      ]
+  in
+  Test.make ~count:300 ~name:"deque matches a list model" (list op) (fun ops ->
+      let d = ref DQ.empty in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          (match op with
+          | `Push_front x ->
+              d := DQ.push_front x !d;
+              model := x :: !model
+          | `Push_back x ->
+              d := DQ.push_back x !d;
+              model := !model @ [ x ]
+          | `Pop_front -> (
+              match (DQ.pop_front_opt !d, !model) with
+              | Some (x, d'), y :: rest when x = y ->
+                  d := d';
+                  model := rest
+              | None, [] -> ()
+              | _ -> failwith "front mismatch")
+          | `Pop_back -> (
+              match (DQ.pop_back_opt !d, List.rev !model) with
+              | Some (x, d'), y :: rest when x = y ->
+                  d := d';
+                  model := List.rev rest
+              | None, [] -> ()
+              | _ -> failwith "back mismatch"));
+          DQ.to_list !d = !model && DQ.length !d = List.length !model)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_rb_basics () =
+  let r = RB.create ~capacity:3 in
+  Alcotest.(check bool) "empty" true (RB.is_empty r);
+  RB.push r 1;
+  RB.push r 2;
+  Alcotest.(check (option int)) "oldest" (Some 1) (RB.oldest r);
+  Alcotest.(check (option int)) "newest" (Some 2) (RB.newest r);
+  RB.push r 3;
+  Alcotest.(check bool) "full" true (RB.is_full r);
+  RB.push r 4;
+  Alcotest.(check (list int)) "evicted oldest" [ 2; 3; 4 ] (RB.to_list r);
+  Alcotest.(check int) "get" 3 (RB.get r 1);
+  Alcotest.check_raises "get out of range" (Invalid_argument "Ring_buffer.get")
+    (fun () -> ignore (RB.get r 3));
+  RB.clear r;
+  Alcotest.(check int) "cleared" 0 (RB.length r)
+
+let prop_rb_window =
+  QCheck.Test.make ~count:300 ~name:"ring buffer keeps the last k elements"
+    QCheck.(pair (int_range 1 10) (list small_int))
+    (fun (cap, xs) ->
+      let r = RB.create ~capacity:cap in
+      List.iter (RB.push r) xs;
+      let expected =
+        let n = List.length xs in
+        List.filteri (fun i _ -> i >= n - cap) xs
+      in
+      RB.to_list r = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Fenwick                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_fw_basics () =
+  let f = FW.create ~size:8 in
+  FW.add f 0 3;
+  FW.add f 3 5;
+  FW.add f 7 2;
+  Alcotest.(check int) "prefix 0" 3 (FW.prefix_sum f 0);
+  Alcotest.(check int) "prefix 3" 8 (FW.prefix_sum f 3);
+  Alcotest.(check int) "total" 10 (FW.total f);
+  Alcotest.(check int) "range" 7 (FW.range_sum f 1 7);
+  Alcotest.(check int) "get" 5 (FW.get f 3);
+  Alcotest.(check int) "search first" 0 (FW.search f 1);
+  Alcotest.(check int) "search mid" 3 (FW.search f 4);
+  Alcotest.(check int) "search last" 7 (FW.search f 10);
+  Alcotest.check_raises "search too much" Not_found (fun () ->
+      ignore (FW.search f 11));
+  FW.clear f;
+  Alcotest.(check int) "cleared" 0 (FW.total f)
+
+let prop_fw_prefix =
+  QCheck.Test.make ~count:300 ~name:"fenwick prefix sums match naive"
+    QCheck.(list (pair (int_bound 15) (int_range 0 20)))
+    (fun updates ->
+      let f = FW.create ~size:16 in
+      let naive = Array.make 16 0 in
+      List.iter
+        (fun (i, v) ->
+          FW.add f i v;
+          naive.(i) <- naive.(i) + v)
+        updates;
+      List.for_all
+        (fun i ->
+          let expected = Array.fold_left ( + ) 0 (Array.sub naive 0 (i + 1)) in
+          FW.prefix_sum f i = expected)
+        (List.init 16 Fun.id))
+
+let prop_fw_search =
+  QCheck.Test.make ~count:300 ~name:"fenwick search finds the k-th rank"
+    QCheck.(list (pair (int_bound 15) (int_range 1 5)))
+    (fun updates ->
+      QCheck.assume (updates <> []);
+      let f = FW.create ~size:16 in
+      List.iter (fun (i, v) -> FW.add f i v) updates;
+      let total = FW.total f in
+      List.for_all
+        (fun k ->
+          let i = FW.search f k in
+          FW.prefix_sum f i >= k && (i = 0 || FW.prefix_sum f (i - 1) < k))
+        (List.init total (fun i -> i + 1)))
+
+let () =
+  let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests) in
+  Alcotest.run "dstruct"
+    [
+      ( "binary_heap",
+        [
+          Alcotest.test_case "empty" `Quick test_bh_empty;
+          Alcotest.test_case "ordering" `Quick test_bh_order;
+          Alcotest.test_case "of_array" `Quick test_bh_of_array;
+          Alcotest.test_case "clear+grow" `Quick test_bh_clear_and_grow;
+          Alcotest.test_case "fold/iter" `Quick test_bh_fold_iter;
+        ] );
+      qsuite "binary_heap_props" [ prop_bh_sorts; prop_bh_heapify ];
+      ( "indexed_heap",
+        [
+          Alcotest.test_case "basics" `Quick test_ih_basics;
+          Alcotest.test_case "update inserts" `Quick test_ih_update_inserts;
+          Alcotest.test_case "out of range" `Quick test_ih_out_of_range;
+          Alcotest.test_case "smallest" `Quick test_ih_smallest;
+          Alcotest.test_case "clear" `Quick test_ih_clear;
+        ] );
+      qsuite "indexed_heap_props" [ prop_ih_model ];
+      ( "pairing_heap",
+        [
+          Alcotest.test_case "basics" `Quick test_ph_basics;
+          Alcotest.test_case "merge" `Quick test_ph_merge;
+        ] );
+      qsuite "pairing_heap_props" [ prop_ph_sorts ];
+      ( "deque",
+        [
+          Alcotest.test_case "fifo" `Quick test_dq_fifo;
+          Alcotest.test_case "lifo" `Quick test_dq_lifo;
+          Alcotest.test_case "errors" `Quick test_dq_errors;
+          Alcotest.test_case "map/fold" `Quick test_dq_map_fold;
+        ] );
+      qsuite "deque_props" [ prop_dq_model ];
+      ( "ring_buffer",
+        [ Alcotest.test_case "basics" `Quick test_rb_basics ] );
+      qsuite "ring_buffer_props" [ prop_rb_window ];
+      ( "fenwick",
+        [ Alcotest.test_case "basics" `Quick test_fw_basics ] );
+      qsuite "fenwick_props" [ prop_fw_prefix; prop_fw_search ];
+    ]

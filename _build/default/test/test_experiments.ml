@@ -1,0 +1,54 @@
+(* Smoke/regression tests for the experiment harness: every experiment
+   runs, produces a non-empty table, and its findings report success
+   (the finding strings contain explicit failure markers when a paper
+   claim does not hold on the run). *)
+
+module Registry = Rrs_experiments.Registry
+module Harness = Rrs_experiments.Harness
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i =
+    i + n <= h && (String.sub haystack i n = needle || scan (i + 1))
+  in
+  scan 0
+
+let failure_markers = [ "investigate"; "VIOLATED"; "did not" ]
+
+let check_outcome (outcome : Harness.outcome) =
+  if Rrs_report.Table.row_count outcome.table = 0 then
+    Alcotest.failf "%s: empty table" outcome.id;
+  if outcome.findings = [] then Alcotest.failf "%s: no findings" outcome.id;
+  List.iter
+    (fun finding ->
+      List.iter
+        (fun marker ->
+          if contains ~needle:marker finding then
+            Alcotest.failf "%s: claim not reproduced: %s" outcome.id finding)
+        failure_markers)
+    outcome.findings
+
+let test_registry_complete () =
+  (* every id of the DESIGN.md index is registered *)
+  let expected =
+    [
+      "EXP-A"; "EXP-B"; "EXP-1"; "EXP-2"; "EXP-3"; "EXP-4"; "EXP-5"; "EXP-6";
+      "EXP-7"; "EXP-8"; "EXP-9"; "EXP-10"; "EXP-11"; "EXP-12"; "EXP-13";
+    ]
+  in
+  Alcotest.(check (list string)) "ids" expected (Registry.ids ());
+  Alcotest.(check bool) "find hit" true (Option.is_some (Registry.find "EXP-A"));
+  Alcotest.(check bool) "find miss" true (Option.is_none (Registry.find "EXP-Z"))
+
+let experiment_case (id, run) =
+  Alcotest.test_case id `Slow (fun () ->
+      let outcome = run () in
+      Alcotest.(check string) "id matches" id outcome.Harness.id;
+      check_outcome outcome)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ("registry", [ Alcotest.test_case "complete" `Quick test_registry_complete ]);
+      ("runs", List.map experiment_case Registry.all);
+    ]

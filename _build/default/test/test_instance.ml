@@ -1,0 +1,127 @@
+(* Tests for instance construction, normalisation and classification. *)
+
+open Rrs_core
+
+let arr round color count = { Types.round; color; count }
+
+let mk ?(delta = 2) ?(delay = [| 4; 2 |]) arrivals =
+  Instance.create ~delta ~delay ~arrivals ()
+
+let test_normalisation () =
+  let i =
+    mk [ arr 4 0 1; arr 0 1 2; arr 0 1 3; arr 2 0 0; arr 0 0 1 ]
+  in
+  (* zero counts dropped, duplicates merged, sorted *)
+  Alcotest.(check int) "batches" 3 (Array.length i.arrivals);
+  Alcotest.(check int) "merged count" 5 i.arrivals.(1).count;
+  Alcotest.(check int) "total" 7 (Instance.total_jobs i);
+  Alcotest.(check bool) "sorted" true
+    (i.arrivals.(0).round <= i.arrivals.(1).round
+    && (i.arrivals.(0).round, i.arrivals.(0).color)
+       <= (i.arrivals.(1).round, i.arrivals.(1).color))
+
+let test_horizon () =
+  let i = mk [ arr 0 0 1; arr 6 1 1 ] in
+  (* color 0 deadline 0+4, color 1 deadline 6+2 *)
+  Alcotest.(check int) "horizon" 8 i.horizon;
+  let empty = mk [] in
+  Alcotest.(check int) "empty horizon" 0 empty.horizon
+
+let test_validation_errors () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "delta" (fun () ->
+      Instance.create ~delta:0 ~delay:[| 1 |] ~arrivals:[] ());
+  expect_invalid "delay" (fun () ->
+      Instance.create ~delta:1 ~delay:[| 0 |] ~arrivals:[] ());
+  expect_invalid "negative round" (fun () -> mk [ arr (-1) 0 1 ]);
+  expect_invalid "color range" (fun () -> mk [ arr 0 2 1 ]);
+  expect_invalid "negative count" (fun () -> mk [ arr 0 0 (-1) ])
+
+let test_per_color () =
+  let i = mk [ arr 0 0 3; arr 4 0 2; arr 0 1 1 ] in
+  Alcotest.(check (list int)) "per color" [ 5; 1 ]
+    (Array.to_list (Instance.jobs_per_color i));
+  Alcotest.(check int) "of color" 5 (Instance.jobs_of_color i 0);
+  Alcotest.(check int) "max delay" 4 (Instance.max_delay i);
+  Alcotest.(check int) "last arrival" 4 (Instance.last_arrival_round i);
+  Alcotest.(check int) "no arrivals" (-1) (Instance.last_arrival_round (mk []))
+
+let test_batched_classification () =
+  (* color 0 has D=4: arrivals at 0, 4, 8 are batched *)
+  let batched = mk [ arr 0 0 2; arr 4 0 4; arr 8 1 1 ] in
+  Alcotest.(check bool) "batched" true (Instance.is_batched batched);
+  Alcotest.(check bool) "rate-limited" true (Instance.is_rate_limited batched);
+  let oversize = mk [ arr 0 0 5 ] in
+  Alcotest.(check bool) "oversized batch is batched" true
+    (Instance.is_batched oversize);
+  Alcotest.(check bool) "oversized not rate-limited" false
+    (Instance.is_rate_limited oversize);
+  let unaligned = mk [ arr 3 0 1 ] in
+  Alcotest.(check bool) "unaligned not batched" false
+    (Instance.is_batched unaligned);
+  (* merging across duplicate entries can push a batch over D *)
+  let merged_oversize = mk [ arr 0 1 1; arr 0 1 1; arr 0 1 1 ] in
+  Alcotest.(check bool) "merged oversize detected" false
+    (Instance.is_rate_limited merged_oversize)
+
+let test_power_of_two () =
+  Alcotest.(check bool) "4,2 are powers" true
+    (Instance.delays_are_powers_of_two (mk []));
+  let i = Instance.create ~delta:1 ~delay:[| 3 |] ~arrivals:[] () in
+  Alcotest.(check bool) "3 is not" false (Instance.delays_are_powers_of_two i)
+
+let test_arrivals_by_round () =
+  let i = mk [ arr 0 0 1; arr 0 1 2; arr 4 0 3 ] in
+  let by_round = Instance.arrivals_by_round i in
+  Alcotest.(check int) "length" (i.horizon + 1) (Array.length by_round);
+  Alcotest.(check (list (pair int int))) "round 0 in color order"
+    [ (0, 1); (1, 2) ]
+    by_round.(0);
+  Alcotest.(check (list (pair int int))) "round 4" [ (0, 3) ] by_round.(4);
+  Alcotest.(check (list (pair int int))) "empty round" [] by_round.(1)
+
+let test_pow2_helpers () =
+  Alcotest.(check bool) "1" true (Types.is_power_of_two 1);
+  Alcotest.(check bool) "6" false (Types.is_power_of_two 6);
+  Alcotest.(check bool) "0" false (Types.is_power_of_two 0);
+  Alcotest.(check bool) "-4" false (Types.is_power_of_two (-4));
+  Alcotest.(check int) "floor 9" 8 (Types.floor_pow2 9);
+  Alcotest.(check int) "floor 8" 8 (Types.floor_pow2 8);
+  Alcotest.(check int) "ceil 9" 16 (Types.ceil_pow2 9);
+  Alcotest.(check int) "ceil 1" 1 (Types.ceil_pow2 1);
+  Alcotest.check_raises "floor 0" (Invalid_argument "Types.floor_pow2")
+    (fun () -> ignore (Types.floor_pow2 0))
+
+let prop_normalise_preserves_jobs =
+  QCheck.Test.make ~count:200 ~name:"normalisation preserves total job count"
+    QCheck.(list (tup3 (int_bound 20) (int_bound 1) (int_bound 5)))
+    (fun triples ->
+      let arrivals = List.map (fun (r, c, n) -> arr r c n) triples in
+      let total = List.fold_left (fun acc (_, _, n) -> acc + n) 0 triples in
+      Instance.total_jobs (mk arrivals) = total)
+
+let () =
+  Alcotest.run "instance"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "normalisation" `Quick test_normalisation;
+          Alcotest.test_case "horizon" `Quick test_horizon;
+          Alcotest.test_case "validation" `Quick test_validation_errors;
+          Alcotest.test_case "per-color stats" `Quick test_per_color;
+        ] );
+      ( "classification",
+        [
+          Alcotest.test_case "batched/rate-limited" `Quick
+            test_batched_classification;
+          Alcotest.test_case "powers of two" `Quick test_power_of_two;
+          Alcotest.test_case "arrivals_by_round" `Quick test_arrivals_by_round;
+          Alcotest.test_case "pow2 helpers" `Quick test_pow2_helpers;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_normalise_preserves_jobs ] );
+    ]

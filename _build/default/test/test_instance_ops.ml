@@ -1,0 +1,128 @@
+(* Tests for the instance algebra and the composite generators. *)
+
+open Rrs_core
+module Composite = Rrs_workload.Composite
+module Rng = Rrs_prng.Rng
+
+let arr round color count = { Types.round; color; count }
+
+let base =
+  Instance.create ~name:"base" ~delta:2 ~delay:[| 4; 2 |]
+    ~arrivals:[ arr 0 0 3; arr 4 0 1; arr 0 1 2 ]
+    ()
+
+let test_shift () =
+  let shifted = Instance_ops.shift ~rounds:6 base in
+  Alcotest.(check int) "jobs preserved" (Instance.total_jobs base)
+    (Instance.total_jobs shifted);
+  Alcotest.(check int) "first round" 6 shifted.arrivals.(0).round;
+  Alcotest.(check int) "horizon moved" (base.horizon + 6) shifted.horizon;
+  match Instance_ops.shift ~rounds:(-1) base with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative shift accepted"
+
+let test_union () =
+  let other =
+    Instance.create ~delta:2 ~delay:[| 8 |] ~arrivals:[ arr 0 0 5 ] ()
+  in
+  let u = Instance_ops.union base other in
+  Alcotest.(check int) "colors" 3 u.num_colors;
+  Alcotest.(check (list int)) "delays" [ 4; 2; 8 ] (Array.to_list u.delay);
+  Alcotest.(check int) "jobs" 11 (Instance.total_jobs u);
+  Alcotest.(check int) "renumbered color" 5 (Instance.jobs_of_color u 2);
+  let bad = Instance.create ~delta:3 ~delay:[| 2 |] ~arrivals:[] () in
+  match Instance_ops.union base bad with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "delta mismatch accepted"
+
+let test_overlay () =
+  let extra =
+    Instance.create ~delta:2 ~delay:[| 4; 2 |] ~arrivals:[ arr 0 0 2 ] ()
+  in
+  let o = Instance_ops.overlay base extra in
+  Alcotest.(check int) "same colors" 2 o.num_colors;
+  Alcotest.(check int) "merged batch" 5 o.arrivals.(0).count;
+  let bad = Instance.create ~delta:2 ~delay:[| 4; 4 |] ~arrivals:[] () in
+  match Instance_ops.overlay base bad with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "delay mismatch accepted"
+
+let test_restrict () =
+  let r = Instance_ops.restrict_colors ~keep:(fun c -> c = 1) base in
+  Alcotest.(check int) "one color" 1 r.num_colors;
+  Alcotest.(check (list int)) "delay kept" [ 2 ] (Array.to_list r.delay);
+  Alcotest.(check int) "jobs" 2 (Instance.total_jobs r)
+
+let test_scale () =
+  let s = Instance_ops.scale_counts ~factor:3 base in
+  Alcotest.(check int) "tripled" (3 * Instance.total_jobs base)
+    (Instance.total_jobs s);
+  Alcotest.(check bool) "no longer rate-limited" false
+    (Instance.is_rate_limited s);
+  let z = Instance_ops.scale_counts ~factor:0 base in
+  Alcotest.(check int) "zeroed" 0 (Instance.total_jobs z)
+
+let test_subsequence () =
+  let all = Instance_ops.subsequence ~p:1.0 ~seed:1 base in
+  Alcotest.(check int) "p=1 keeps all" (Instance.total_jobs base)
+    (Instance.total_jobs all);
+  let none = Instance_ops.subsequence ~p:0.0 ~seed:1 base in
+  Alcotest.(check int) "p=0 keeps none" 0 (Instance.total_jobs none);
+  (* deterministic in the seed *)
+  let a = Instance_ops.subsequence ~p:0.5 ~seed:7 base in
+  let b = Instance_ops.subsequence ~p:0.5 ~seed:7 base in
+  Alcotest.(check bool) "deterministic" true (a.arrivals = b.arrivals);
+  let big =
+    Instance.create ~delta:1 ~delay:[| 2 |] ~arrivals:[ arr 0 0 10_000 ] ()
+  in
+  let half = Instance_ops.subsequence ~p:0.5 ~seed:3 big in
+  let kept = Instance.total_jobs half in
+  Alcotest.(check bool)
+    (Printf.sprintf "roughly half kept (%d)" kept)
+    true
+    (kept > 4_500 && kept < 5_500)
+
+let prop_union_job_sum =
+  QCheck.Test.make ~count:100 ~name:"union preserves the job sum"
+    QCheck.(pair (int_range 0 5) (int_range 0 5))
+    (fun (a_jobs, b_jobs) ->
+      let mk jobs =
+        Instance.create ~delta:1 ~delay:[| 2 |]
+          ~arrivals:(if jobs = 0 then [] else [ arr 0 0 jobs ])
+          ()
+      in
+      Instance.total_jobs (Instance_ops.union (mk a_jobs) (mk b_jobs))
+      = a_jobs + b_jobs)
+
+let test_composites_run () =
+  let fc =
+    Composite.flash_crowd ~seed:3 ~base_load:0.3 ~spike_load:2.0 ~spike_at:128
+      ~horizon:256
+  in
+  Alcotest.(check bool) "flash crowd batched" true (Instance.is_batched fc);
+  let mt = Composite.mixed_tenants ~seed:3 in
+  Alcotest.(check bool) "mixed tenants rate-limited" true
+    (Instance.is_rate_limited mt);
+  let an = Composite.adversarial_with_noise ~seed:3 in
+  Alcotest.(check bool) "adv+noise rate-limited" true
+    (Instance.is_rate_limited an);
+  (* the adversarial core still starves dLRU inside the noise *)
+  let r = Engine.run (Engine.config ~n:8 ()) an Delta_lru.policy in
+  Alcotest.(check bool) "dlru still hurts" true (r.dropped >= 256)
+
+let () =
+  Alcotest.run "instance_ops"
+    [
+      ( "algebra",
+        [
+          Alcotest.test_case "shift" `Quick test_shift;
+          Alcotest.test_case "union" `Quick test_union;
+          Alcotest.test_case "overlay" `Quick test_overlay;
+          Alcotest.test_case "restrict" `Quick test_restrict;
+          Alcotest.test_case "scale" `Quick test_scale;
+          Alcotest.test_case "subsequence" `Quick test_subsequence;
+          QCheck_alcotest.to_alcotest prop_union_job_sum;
+        ] );
+      ( "composites",
+        [ Alcotest.test_case "generators run" `Quick test_composites_run ] );
+    ]

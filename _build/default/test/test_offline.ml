@@ -1,0 +1,256 @@
+(* Tests for the exact offline optimum and the certified bounds. *)
+
+open Rrs_core
+module Rng = Rrs_prng.Rng
+
+let arr round color count = { Types.round; color; count }
+
+let mk ?(delta = 2) ~delay arrivals = Instance.create ~delta ~delay ~arrivals ()
+
+let solve ?max_states i ~m =
+  match Offline_opt.solve ?max_states i ~m with
+  | Some v -> v
+  | None -> Alcotest.fail "offline search exceeded its state budget"
+
+let test_empty_instance () =
+  let i = mk ~delay:[| 4 |] [] in
+  Alcotest.(check int) "OPT of empty" 0 (solve i ~m:1)
+
+let test_single_color_cache_or_drop () =
+  (* 3 jobs, delta=2: caching costs 2, dropping costs 3 -> cache *)
+  let i = mk ~delta:2 ~delay:[| 4 |] [ arr 0 0 3 ] in
+  Alcotest.(check int) "caches" 2 (solve i ~m:1);
+  (* 1 job, delta=2: dropping is cheaper *)
+  let i2 = mk ~delta:2 ~delay:[| 4 |] [ arr 0 0 1 ] in
+  Alcotest.(check int) "drops" 1 (solve i2 ~m:1)
+
+let test_capacity_forces_drops () =
+  (* 6 jobs, window 4, one resource: cache (2) + 2 drops = 4 *)
+  let i = mk ~delta:2 ~delay:[| 4 |] [ arr 0 0 6 ] in
+  Alcotest.(check int) "cache + drops" 4 (solve i ~m:1);
+  (* with 2 resources all jobs fit: 2 configs (4) vs 4+... -> 4 *)
+  Alcotest.(check int) "two resources" 4 (solve i ~m:2)
+
+let test_two_colors_one_resource () =
+  (* both colors have 3 jobs in disjoint windows: serve both with 2
+     reconfigs (delta=1 -> cost 2) *)
+  let i =
+    Instance.create ~delta:1 ~delay:[| 4; 4 |]
+      ~arrivals:[ arr 0 0 3; arr 4 1 3 ]
+      ()
+  in
+  Alcotest.(check int) "serves both" 2 (solve i ~m:1)
+
+let test_interleaved_colors () =
+  (* delta high enough that thrashing is worse than dropping one color *)
+  let i =
+    Instance.create ~delta:4 ~delay:[| 2; 2 |]
+      ~arrivals:
+        [ arr 0 0 2; arr 0 1 2; arr 2 0 2; arr 2 1 2 ]
+      ()
+  in
+  (* one resource: caching one color costs 4 and serves 4 jobs; the other
+     4 jobs drop: total 8.  Caching both costs >= 8 with no drops.
+     Dropping everything costs 8.  OPT = 8. *)
+  Alcotest.(check int) "opt" 8 (solve i ~m:1)
+
+let test_opt_within_bracket () =
+  let rng = Rng.create ~seed:13 in
+  for _ = 1 to 15 do
+    let num_colors = 1 + Rng.int rng 3 in
+    let delta = 1 + Rng.int rng 2 in
+    let delay = Array.init num_colors (fun _ -> 1 lsl Rng.int rng 3) in
+    let arrivals =
+      List.concat
+        (List.init 4 (fun b ->
+             List.filter_map
+               (fun c ->
+                 if Rng.bernoulli rng 0.5 then
+                   Some (arr (b * 4) c (1 + Rng.int rng 3))
+                 else None)
+               (List.init num_colors Fun.id)))
+    in
+    let i = Instance.create ~delta ~delay ~arrivals () in
+    let m = 1 + Rng.int rng 2 in
+    let lower, upper = Offline_bounds.opt_bracket i ~m in
+    match Offline_opt.solve ~max_states:500_000 i ~m with
+    | None -> ()
+    | Some opt ->
+        if not (lower <= opt && opt <= upper) then
+          Alcotest.failf "OPT %d outside bracket [%d, %d] on %s" opt lower
+            upper
+            (Format.asprintf "%a" Instance.pp_full i)
+  done
+
+let test_opt_monotone_in_resources () =
+  let rng = Rng.create ~seed:17 in
+  for _ = 1 to 10 do
+    let delay = [| 2; 4 |] in
+    let arrivals =
+      List.concat
+        (List.init 3 (fun b ->
+             [ arr (b * 4) 0 (Rng.int rng 3); arr (b * 4) 1 (Rng.int rng 4) ]))
+    in
+    let i = Instance.create ~delta:2 ~delay ~arrivals () in
+    let o1 = solve i ~m:1 in
+    let o2 = solve i ~m:2 in
+    if o2 > o1 then
+      Alcotest.failf "OPT(2)=%d > OPT(1)=%d: more resources hurt" o2 o1
+  done
+
+let test_online_at_least_opt () =
+  (* no online policy can beat OPT with the same resources *)
+  let rng = Rng.create ~seed:23 in
+  for _ = 1 to 10 do
+    let delay = [| 2; 2 |] in
+    let arrivals =
+      List.concat
+        (List.init 4 (fun b ->
+             [ arr (b * 2) 0 (Rng.int rng 3); arr (b * 2) 1 (Rng.int rng 3) ]))
+    in
+    let i = Instance.create ~delta:2 ~delay ~arrivals () in
+    let opt = solve i ~m:4 in
+    List.iter
+      (fun factory ->
+        let r = Engine.run (Engine.config ~n:4 ()) i factory in
+        if Cost.total r.cost < opt then
+          Alcotest.failf "online %d < OPT %d" (Cost.total r.cost) opt)
+      [ Lru_edf.policy; Delta_lru.policy; Edf_policy.policy ]
+  done
+
+(* An independent brute-force optimum: plain recursion over ALL cache
+   assignments (every color, not just pending ones; no memoization, no
+   multiset canonicalization).  Exponentially slower than Offline_opt,
+   usable only on the tiniest instances — which is the point: agreement
+   between two very different implementations. *)
+let brute_force_opt (instance : Instance.t) ~m =
+  let arrivals = Instance.arrivals_by_round instance in
+  (* pending as per-color (deadline, count) lists, like the real one *)
+  let rec tuples k colors =
+    if k = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun rest -> List.map (fun c -> c :: rest) colors)
+        (tuples (k - 1) colors)
+  in
+  let all_caches =
+    tuples m (Types.black :: List.init instance.num_colors Fun.id)
+  in
+  let rec go round cache pending =
+    if round > instance.horizon then 0
+    else begin
+      let dropped = ref 0 in
+      let pending =
+        Array.map
+          (List.filter (fun (deadline, count) ->
+               if deadline <= round then begin
+                 dropped := !dropped + count;
+                 false
+               end
+               else true))
+          pending
+      in
+      (if round < Array.length arrivals then arrivals.(round) else [])
+      |> List.iter (fun (color, count) ->
+             pending.(color) <-
+               pending.(color) @ [ (round + instance.delay.(color), count) ]);
+      let best = ref max_int in
+      List.iter
+        (fun choice ->
+          let reconfig =
+            instance.delta
+            * List.length
+                (List.filteri (fun i c -> List.nth cache i <> c) choice)
+          in
+          let after = Array.map (fun l -> l) (Array.copy pending) in
+          List.iter
+            (fun color ->
+              if color >= 0 then
+                match after.(color) with
+                | (_, 1) :: rest -> after.(color) <- rest
+                | (d, k) :: rest -> after.(color) <- (d, k - 1) :: rest
+                | [] -> ())
+            choice;
+          let v = reconfig + go (round + 1) choice after in
+          if v < !best then best := v)
+        all_caches;
+      !dropped + !best
+    end
+  in
+  go 0 (List.init m (fun _ -> Types.black)) (Array.make instance.num_colors [])
+
+let test_brute_force_agreement () =
+  (* the memoized search and the naive enumeration agree exactly *)
+  let rng = Rng.create ~seed:97 in
+  for _ = 1 to 8 do
+    let num_colors = 1 + Rng.int rng 2 in
+    let delta = 1 + Rng.int rng 2 in
+    let delay = Array.init num_colors (fun _ -> 1 lsl Rng.int rng 2) in
+    let arrivals =
+      List.concat
+        (List.init 2 (fun b ->
+             List.filter_map
+               (fun c ->
+                 if Rng.bernoulli rng 0.7 then
+                   Some (arr (b * 4) c (1 + Rng.int rng 2))
+                 else None)
+               (List.init num_colors Fun.id)))
+    in
+    let i = Instance.create ~delta ~delay ~arrivals () in
+    let fast = solve i ~m:1 in
+    let brute = brute_force_opt i ~m:1 in
+    if fast <> brute then
+      Alcotest.failf "disagreement: memoized %d vs brute force %d on %s" fast
+        brute
+        (Format.asprintf "%a" Instance.pp_full i)
+  done
+
+let test_budget_exhaustion_returns_none () =
+  let i =
+    Instance.create ~delta:1 ~delay:[| 2; 2; 2; 2 |]
+      ~arrivals:
+        (List.concat
+           (List.init 8 (fun b ->
+                List.init 4 (fun c -> arr (b * 2) c 2))))
+      ()
+  in
+  match Offline_opt.solve ~max_states:50 i ~m:2 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected budget exhaustion"
+
+let test_bounds_basics () =
+  let i = mk ~delta:3 ~delay:[| 4; 4 |] [ arr 0 0 5; arr 0 1 1 ] in
+  (* per-color: min(3,5) + min(3,1) = 4 *)
+  Alcotest.(check int) "per-color lb" 4 (Offline_bounds.per_color_lb i);
+  (* Par-EDF with 2 resources executes everything (6 jobs, 4 rounds x 2) *)
+  Alcotest.(check int) "par-edf lb" 0 (Offline_bounds.par_edf_drop_lb i ~m:2);
+  Alcotest.(check int) "combined" 4 (Offline_bounds.lower_bound i ~m:2);
+  let ub = Offline_bounds.static_upper_bound i ~m:2 in
+  Alcotest.(check bool) "ub >= lb" true (ub >= 4)
+
+let () =
+  Alcotest.run "offline"
+    [
+      ( "exact OPT",
+        [
+          Alcotest.test_case "empty" `Quick test_empty_instance;
+          Alcotest.test_case "cache or drop" `Quick
+            test_single_color_cache_or_drop;
+          Alcotest.test_case "capacity drops" `Quick test_capacity_forces_drops;
+          Alcotest.test_case "two colors sequential" `Quick
+            test_two_colors_one_resource;
+          Alcotest.test_case "interleaved" `Quick test_interleaved_colors;
+          Alcotest.test_case "budget exhaustion" `Quick
+            test_budget_exhaustion_returns_none;
+          Alcotest.test_case "brute-force agreement" `Slow
+            test_brute_force_agreement;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "opt within bracket" `Slow test_opt_within_bracket;
+          Alcotest.test_case "monotone in resources" `Slow
+            test_opt_monotone_in_resources;
+          Alcotest.test_case "online >= OPT" `Slow test_online_at_least_opt;
+          Alcotest.test_case "bound basics" `Quick test_bounds_basics;
+        ] );
+    ]

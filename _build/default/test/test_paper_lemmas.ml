@@ -1,0 +1,286 @@
+(* Theorem- and lemma-driven properties (paper Section 3.2-3.4), checked
+   empirically on the registered workload families and on random
+   rate-limited instances:
+
+   - Lemma 3.1 mechanism: if every color has fewer than delta jobs,
+     ΔLRU-EDF never reconfigures and its cost is exactly the job count.
+   - Lemma 3.3: ReconfigCost(ΔLRU-EDF) <= 4 * numEpochs * delta.
+   - Lemma 3.4: IneligibleDropCost(ΔLRU-EDF) <= numEpochs * delta.
+   - Lemma 3.2 chain (via Lemmas 3.7-3.10): the eligible drop cost of
+     ΔLRU-EDF with n resources is at most Par-EDF's drop cost with
+     m = n/4 resources.
+   - Lemma 3.7: Par-EDF's drop cost lower-bounds every feasible
+     schedule's drop cost (checked against static oracles).
+   - Lemma 3.8: on "nice" inputs (Par-EDF drops nothing with m),
+     DS-Seq-EDF with m resources drops nothing.
+   - Theorem 1 shape: ΔLRU-EDF with n = 8m is within a small constant of
+     the certified OPT lower bound with m resources. *)
+
+open Rrs_core
+module Families = Rrs_workload.Families
+module Synthetic = Rrs_workload.Synthetic
+module Rng = Rrs_prng.Rng
+
+let n = 8 (* ΔLRU-EDF resources; m = n/8 = 1 for Theorem-1 checks *)
+
+let rate_limited_families =
+  List.filter (fun f -> f.Families.layer = Families.Rate_limited) Families.all
+
+let instances =
+  List.concat_map
+    (fun (f : Families.family) ->
+      List.map (fun seed -> (f.id, f.build ~seed)) [ 1; 2; 3 ])
+    rate_limited_families
+
+let run_lru_edf instance =
+  let instr = Lru_edf.make instance ~n in
+  let r =
+    Engine.run_policy (Engine.config ~n ()) instance instr.Lru_edf.policy
+  in
+  (r, instr.Lru_edf.eligibility)
+
+let for_all_instances name check =
+  List.iter
+    (fun (id, instance) ->
+      match check instance with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s violated on %s: %s" name id msg)
+    instances
+
+let test_lemma_3_1_sub_delta_colors () =
+  (* every color below delta jobs: no reconfig, cost = total jobs *)
+  let rng = Rng.create ~seed:99 in
+  for _ = 1 to 20 do
+    let num_colors = 1 + Rng.int rng 5 in
+    let delta = 4 + Rng.int rng 4 in
+    let delay = Array.init num_colors (fun _ -> 1 lsl Rng.int rng 4) in
+    let arrivals =
+      List.concat
+        (List.init num_colors (fun c ->
+             (* strictly fewer than delta jobs per color *)
+             let jobs = Rng.int rng (min delta (delay.(c) + 1)) in
+             if jobs = 0 then []
+             else [ { Types.round = 0; color = c; count = jobs } ]))
+    in
+    let instance = Instance.create ~delta ~delay ~arrivals () in
+    let r, _ = run_lru_edf instance in
+    if r.cost.reconfig <> 0 then Alcotest.fail "reconfigured for tiny colors";
+    if r.cost.drop <> Instance.total_jobs instance then
+      Alcotest.fail "executed something without caching"
+  done
+
+let test_lemma_3_3_reconfig_bound () =
+  for_all_instances "Lemma 3.3" (fun instance ->
+      let r, elig = run_lru_edf instance in
+      let bound = 4 * Eligibility.epochs_total elig * instance.delta in
+      if r.cost.reconfig <= bound then Ok ()
+      else
+        Error
+          (Printf.sprintf "reconfig %d > 4 * %d epochs * delta %d = %d"
+             r.cost.reconfig
+             (Eligibility.epochs_total elig)
+             instance.delta bound))
+
+let test_lemma_3_4_ineligible_drop_bound () =
+  for_all_instances "Lemma 3.4" (fun instance ->
+      let r, elig = run_lru_edf instance in
+      ignore r;
+      let bound = Eligibility.epochs_total elig * instance.delta in
+      let ineligible = Eligibility.ineligible_drops elig in
+      if ineligible <= bound then Ok ()
+      else
+        Error
+          (Printf.sprintf "ineligible drops %d > %d epochs * delta %d"
+             ineligible
+             (Eligibility.epochs_total elig)
+             instance.delta))
+
+let test_lemma_3_2_chain_eligible_drops () =
+  for_all_instances "Lemma 3.2 chain" (fun instance ->
+      let _, elig = run_lru_edf instance in
+      let eligible = Eligibility.eligible_drops elig in
+      let par_edf = Par_edf.drop_cost instance ~m:(n / 4) in
+      if eligible <= par_edf then Ok ()
+      else
+        Error
+          (Printf.sprintf "eligible drops %d > Par-EDF(m=%d) drops %d" eligible
+             (n / 4) par_edf))
+
+let test_lemma_3_7_par_edf_is_drop_lower_bound () =
+  (* Par-EDF(m) drops no more than any feasible m-resource schedule; we
+     check against the static upper-bound schedules *)
+  for_all_instances "Lemma 3.7" (fun instance ->
+      let m = 2 in
+      let par = Par_edf.drop_cost instance ~m in
+      let check_policy policy =
+        let r = Engine.run (Engine.config ~n:m ()) instance policy in
+        par <= r.dropped
+      in
+      if
+        List.for_all check_policy
+          [
+            Static_policy.static [ 0 ];
+            Static_policy.static [ 0; 1 ];
+            Static_policy.black;
+          ]
+      then Ok ()
+      else Error "a static schedule dropped less than Par-EDF")
+
+let test_lemma_3_8_nice_inputs () =
+  (* if Par-EDF(m) drops nothing, DS-Seq-EDF(m) drops nothing, for
+     rate-limited power-of-two instances.  The paper applies the lemma to
+     the eligible-job subsequence (Lemma 3.10); with delta = 1 every job
+     of a nonempty color is eligible, so the statement applies to the
+     whole input. *)
+  let rng = Rng.create ~seed:7 in
+  let checked = ref 0 in
+  for seed = 1 to 40 do
+    ignore seed;
+    let params =
+      {
+        Synthetic.default_batched with
+        num_colors = 1 + Rng.int rng 4;
+        delta = 1;
+        load = 0.3 +. Rng.float rng 0.3;
+        horizon = 128;
+      }
+    in
+    let instance = Synthetic.rate_limited (Rng.split rng) params in
+    let m = 2 in
+    if Par_edf.drop_cost instance ~m = 0 then begin
+      incr checked;
+      let ds =
+        Engine.run
+          (Engine.config ~n:m ~mini_rounds:2 ())
+          instance Edf_policy.seq_policy
+      in
+      if ds.dropped <> 0 then
+        Alcotest.failf "DS-Seq-EDF dropped %d on a nice input (%s)" ds.dropped
+          instance.name
+    end
+  done;
+  if !checked = 0 then Alcotest.fail "no nice inputs generated"
+
+let test_theorem_1_constant_ratio () =
+  (* ΔLRU-EDF with n = 8m stays within a small constant of the certified
+     OPT(m) lower bound on every rate-limited family *)
+  let worst = ref 0.0 in
+  List.iter
+    (fun (id, instance) ->
+      let r, _ = run_lru_edf instance in
+      let lb = Offline_bounds.lower_bound instance ~m:(n / 8) in
+      let ratio =
+        if lb = 0 then if Cost.total r.cost = 0 then 1.0 else infinity
+        else float_of_int (Cost.total r.cost) /. float_of_int lb
+      in
+      if ratio > !worst then worst := ratio;
+      if ratio > 60.0 then
+        Alcotest.failf "ratio %.1f on %s is not constant-like" ratio id)
+    instances;
+  (* the point is boundedness; record the worst ratio in the message *)
+  Alcotest.(check bool)
+    (Printf.sprintf "worst ratio %.2f bounded" !worst)
+    true (!worst < 60.0)
+
+let test_lemma_3_9_monotone_executions () =
+  (* Lemma 3.9 flavour: on a subsequence of the input, DS-Seq-EDF (and
+     Par-EDF) execute no more jobs than on the full input *)
+  let rng = Rng.create ~seed:17 in
+  for trial = 1 to 12 do
+    let sigma =
+      Synthetic.rate_limited (Rng.split rng)
+        { Synthetic.default_batched with delta = 1; horizon = 128 }
+    in
+    let alpha = Instance_ops.subsequence ~p:0.6 ~seed:trial sigma in
+    let executed instance =
+      (Engine.run
+         (Engine.config ~n:2 ~mini_rounds:2 ())
+         instance Edf_policy.seq_policy)
+        .executed
+    in
+    if executed alpha > executed sigma then
+      Alcotest.failf "DS-Seq-EDF executed more on a subsequence (trial %d)"
+        trial;
+    let par instance = (Par_edf.run instance ~m:2).executed in
+    if par alpha > par sigma then
+      Alcotest.failf "Par-EDF executed more on a subsequence (trial %d)" trial
+  done
+
+let test_lemma_3_6_drop_monotone () =
+  (* Lemma 3.6 flavour: the OPT lower bound never increases when jobs
+     are removed *)
+  let rng = Rng.create ~seed:29 in
+  for trial = 1 to 12 do
+    let sigma =
+      Synthetic.rate_limited (Rng.split rng)
+        { Synthetic.default_batched with horizon = 128 }
+    in
+    let alpha = Instance_ops.subsequence ~p:0.5 ~seed:trial sigma in
+    let lb i = Offline_bounds.par_edf_drop_lb i ~m:2 in
+    if lb alpha > lb sigma then
+      Alcotest.failf "drop lower bound increased on a subsequence (trial %d)"
+        trial
+  done
+
+let test_engine_determinism () =
+  (* two identical runs produce identical results: the whole stack is
+     deterministic (no wall-clock, no global RNG) *)
+  List.iter
+    (fun (id, instance) ->
+      let run () =
+        let r, elig = run_lru_edf instance in
+        (r.cost, r.executed, Array.copy r.final_cache,
+         Eligibility.epochs_total elig)
+      in
+      let c1, e1, f1, ep1 = run () in
+      let c2, e2, f2, ep2 = run () in
+      if not (Cost.equal c1 c2) || e1 <> e2 || f1 <> f2 || ep1 <> ep2 then
+        Alcotest.failf "nondeterministic run on %s" id)
+    instances
+
+let test_epoch_consistency () =
+  (* total drops split exactly into eligible + ineligible *)
+  for_all_instances "epoch consistency" (fun instance ->
+      let r, elig = run_lru_edf instance in
+      let split =
+        Eligibility.eligible_drops elig + Eligibility.ineligible_drops elig
+      in
+      if split <> r.dropped then
+        Error (Printf.sprintf "drop split %d <> dropped %d" split r.dropped)
+      else if Eligibility.epochs_total elig < 0 then Error "negative epochs"
+      else Ok ())
+
+let () =
+  Alcotest.run "paper_lemmas"
+    [
+      ( "cost bounds",
+        [
+          Alcotest.test_case "Lemma 3.1 (sub-delta colors)" `Quick
+            test_lemma_3_1_sub_delta_colors;
+          Alcotest.test_case "Lemma 3.3 (reconfig <= 4 epochs delta)" `Slow
+            test_lemma_3_3_reconfig_bound;
+          Alcotest.test_case "Lemma 3.4 (ineligible drops <= epochs delta)"
+            `Slow test_lemma_3_4_ineligible_drop_bound;
+          Alcotest.test_case "Lemma 3.2 chain (eligible drops vs Par-EDF)"
+            `Slow test_lemma_3_2_chain_eligible_drops;
+        ] );
+      ( "EDF optimality",
+        [
+          Alcotest.test_case "Lemma 3.7 (Par-EDF minimizes drops)" `Slow
+            test_lemma_3_7_par_edf_is_drop_lower_bound;
+          Alcotest.test_case "Lemma 3.8 (nice inputs)" `Slow
+            test_lemma_3_8_nice_inputs;
+          Alcotest.test_case "Lemma 3.9 (monotone executions)" `Slow
+            test_lemma_3_9_monotone_executions;
+          Alcotest.test_case "Lemma 3.6 (monotone drop LB)" `Slow
+            test_lemma_3_6_drop_monotone;
+        ] );
+      ( "Theorem 1",
+        [
+          Alcotest.test_case "constant ratio vs OPT lower bound" `Slow
+            test_theorem_1_constant_ratio;
+          Alcotest.test_case "epoch/drop consistency" `Slow
+            test_epoch_consistency;
+          Alcotest.test_case "determinism" `Slow test_engine_determinism;
+        ] );
+    ]

@@ -1,0 +1,77 @@
+(* Tests for the domain pool, including running real engine sweeps in
+   parallel and checking bit-identical results against sequential runs. *)
+
+open Rrs_core
+module Pool = Rrs_parallel.Pool
+module Families = Rrs_workload.Families
+
+let test_map_matches_sequential () =
+  let xs = List.init 100 Fun.id in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (list int)) "order preserved" (List.map f xs)
+    (Pool.map ~domains:4 f xs);
+  Alcotest.(check (list int)) "single domain" (List.map f xs)
+    (Pool.map ~domains:1 f xs);
+  Alcotest.(check (list int)) "empty" [] (Pool.map ~domains:4 f []);
+  Alcotest.(check (list int)) "short list" [ 1 ] (Pool.map ~domains:8 f [ 0 ])
+
+let test_exceptions_propagate () =
+  match
+    Pool.map ~domains:3
+      (fun x -> if x = 5 then failwith "boom" else x)
+      (List.init 10 Fun.id)
+  with
+  | exception Failure msg -> Alcotest.(check string) "message" "boom" msg
+  | _ -> Alcotest.fail "exception swallowed"
+
+let test_domains_validation () =
+  match Pool.map ~domains:0 Fun.id [ 1 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "domains = 0 accepted"
+
+let test_run_both () =
+  let a, b = Pool.run_both (fun () -> 6 * 7) (fun () -> "ok") in
+  Alcotest.(check int) "first" 42 a;
+  Alcotest.(check string) "second" "ok" b
+
+let test_parallel_engine_runs_deterministic () =
+  (* the real use: run (family, seed) sweeps on several domains and
+     compare with the sequential costs *)
+  let tasks =
+    List.concat_map
+      (fun (f : Families.family) ->
+        if f.layer = Families.Rate_limited then
+          List.map (fun seed -> (f, seed)) [ 1; 2 ]
+        else [])
+      Families.all
+  in
+  let run ((f : Families.family), seed) =
+    let instance = f.build ~seed in
+    let r = Engine.run (Engine.config ~n:8 ()) instance Lru_edf.policy in
+    (f.id, seed, Cost.total r.cost, r.executed)
+  in
+  let sequential = List.map run tasks in
+  let parallel = Pool.map ~domains:4 run tasks in
+  Alcotest.(check bool) "identical results" true (sequential = parallel)
+
+let test_num_domains_positive () =
+  Alcotest.(check bool) "at least one" true (Pool.num_domains () >= 1)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map = sequential" `Quick
+            test_map_matches_sequential;
+          Alcotest.test_case "exceptions" `Quick test_exceptions_propagate;
+          Alcotest.test_case "validation" `Quick test_domains_validation;
+          Alcotest.test_case "run_both" `Quick test_run_both;
+          Alcotest.test_case "num_domains" `Quick test_num_domains_positive;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "parallel engine sweep" `Slow
+            test_parallel_engine_runs_deterministic;
+        ] );
+    ]

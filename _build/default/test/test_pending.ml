@@ -1,0 +1,170 @@
+(* Tests for the pending-job bookkeeping, including a model-based
+   property against a naive reference. *)
+
+open Rrs_core
+
+let test_basics () =
+  let p = Pending.create ~num_colors:3 in
+  Alcotest.(check int) "num_colors" 3 (Pending.num_colors p);
+  Alcotest.(check bool) "idle" true (Pending.is_idle p 0);
+  Pending.add p 0 ~deadline:5 ~count:2;
+  Pending.add p 0 ~deadline:7 ~count:1;
+  Pending.add p 2 ~deadline:6 ~count:4;
+  Alcotest.(check int) "total 0" 3 (Pending.total p 0);
+  Alcotest.(check int) "grand" 7 (Pending.grand_total p);
+  Alcotest.(check int) "nonidle" 2 (Pending.nonidle_count p);
+  Alcotest.(check (option int)) "earliest" (Some 5) (Pending.earliest_deadline p 0);
+  Alcotest.(check (option int)) "idle earliest" None (Pending.earliest_deadline p 1)
+
+let test_execute_order () =
+  let p = Pending.create ~num_colors:1 in
+  Pending.add p 0 ~deadline:5 ~count:1;
+  Pending.add p 0 ~deadline:9 ~count:1;
+  Alcotest.(check (option int)) "earliest first" (Some 5) (Pending.execute_one p 0);
+  Alcotest.(check (option int)) "then later" (Some 9) (Pending.execute_one p 0);
+  Alcotest.(check (option int)) "then empty" None (Pending.execute_one p 0)
+
+let test_merge_same_deadline () =
+  let p = Pending.create ~num_colors:1 in
+  Pending.add p 0 ~deadline:5 ~count:2;
+  Pending.add p 0 ~deadline:5 ~count:3;
+  Alcotest.(check int) "merged total" 5 (Pending.total p 0);
+  Alcotest.(check (list (list (pair int int))))
+    "single bucket"
+    [ [ (5, 5) ] ]
+    (Array.to_list (Pending.snapshot p))
+
+let test_add_validation () =
+  let p = Pending.create ~num_colors:1 in
+  Pending.add p 0 ~deadline:5 ~count:1;
+  Alcotest.check_raises "deadline regression"
+    (Invalid_argument "Pending.add: deadline out of order") (fun () ->
+      Pending.add p 0 ~deadline:4 ~count:1);
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Pending.add: negative count") (fun () ->
+      Pending.add p 0 ~deadline:9 ~count:(-1));
+  Pending.add p 0 ~deadline:9 ~count:0;
+  Alcotest.(check int) "zero count is noop" 1 (Pending.total p 0)
+
+let test_expire () =
+  let p = Pending.create ~num_colors:2 in
+  Pending.add p 0 ~deadline:3 ~count:2;
+  Pending.add p 0 ~deadline:5 ~count:1;
+  Pending.add p 1 ~deadline:3 ~count:4;
+  Alcotest.(check (list (pair int int)))
+    "expire at 3"
+    [ (0, 2); (1, 4) ]
+    (Pending.expire p ~now:3);
+  Alcotest.(check int) "remaining" 1 (Pending.grand_total p);
+  Alcotest.(check (list (pair int int))) "nothing due" [] (Pending.expire p ~now:4);
+  Alcotest.(check (list (pair int int)))
+    "expire rest"
+    [ (0, 1) ]
+    (Pending.expire p ~now:5)
+
+let test_expire_after_execute () =
+  (* the due-heap entry becomes stale when a bucket is fully executed *)
+  let p = Pending.create ~num_colors:1 in
+  Pending.add p 0 ~deadline:3 ~count:1;
+  ignore (Pending.execute_one p 0);
+  Alcotest.(check (list (pair int int))) "no phantom drop" [] (Pending.expire p ~now:3)
+
+let test_drop_all () =
+  let p = Pending.create ~num_colors:2 in
+  Pending.add p 0 ~deadline:3 ~count:2;
+  Pending.add p 0 ~deadline:6 ~count:3;
+  Alcotest.(check int) "drop_all" 5 (Pending.drop_all p 0);
+  Alcotest.(check int) "drop_all idle" 0 (Pending.drop_all p 1);
+  Alcotest.(check int) "empty after" 0 (Pending.grand_total p);
+  (* after drop_all, earlier deadlines may be enqueued again *)
+  Pending.add p 0 ~deadline:2 ~count:1;
+  Alcotest.(check int) "reusable" 1 (Pending.total p 0)
+
+let test_iter_nonidle () =
+  let p = Pending.create ~num_colors:4 in
+  Pending.add p 2 ~deadline:9 ~count:1;
+  Pending.add p 0 ~deadline:9 ~count:2;
+  let seen = ref [] in
+  Pending.iter_nonidle p (fun c n -> seen := (c, n) :: !seen);
+  Alcotest.(check (list (pair int int))) "ascending colors" [ (0, 2); (2, 1) ]
+    (List.rev !seen)
+
+(* Model-based property: interleave adds / executes / expires and compare
+   against a naive per-color list-of-jobs model.  Deadlines within a color
+   are generated nondecreasing by construction (monotone clock). *)
+let prop_model =
+  let open QCheck in
+  let op =
+    oneof
+      [
+        map (fun (c, n) -> `Add (c, n)) (pair (int_bound 2) (int_range 1 4));
+        map (fun c -> `Execute c) (int_bound 2);
+        always `Tick;
+        map (fun c -> `Drop_all c) (int_bound 2);
+      ]
+  in
+  Test.make ~count:300 ~name:"pending matches a naive model" (list op)
+    (fun ops ->
+      let p = Pending.create ~num_colors:3 in
+      let model = Array.make 3 [] in
+      (* model.(c) is a deadline-ascending list of unit jobs *)
+      let now = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | `Add (c, n) ->
+              let deadline = !now + 3 in
+              Pending.add p c ~deadline ~count:n;
+              model.(c) <- model.(c) @ List.init n (fun _ -> deadline)
+          | `Execute c -> (
+              let expected =
+                match model.(c) with
+                | [] -> None
+                | d :: rest ->
+                    model.(c) <- rest;
+                    Some d
+              in
+              match (Pending.execute_one p c, expected) with
+              | Some d, Some d' when d = d' -> ()
+              | None, None -> ()
+              | _ -> ok := false)
+          | `Tick ->
+              incr now;
+              let dropped = Pending.expire p ~now:!now in
+              let expected = ref [] in
+              Array.iteri
+                (fun c jobs ->
+                  let gone = List.filter (fun d -> d <= !now) jobs in
+                  model.(c) <- List.filter (fun d -> d > !now) jobs;
+                  if gone <> [] then expected := (c, List.length gone) :: !expected)
+                model;
+              if dropped <> List.sort compare !expected then ok := false
+          | `Drop_all c ->
+              let n = Pending.drop_all p c in
+              if n <> List.length model.(c) then ok := false;
+              model.(c) <- [])
+        ops;
+      List.iter
+        (fun c ->
+          if Pending.total p c <> List.length model.(c) then ok := false)
+        [ 0; 1; 2 ];
+      !ok)
+
+let () =
+  Alcotest.run "pending"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "execute order" `Quick test_execute_order;
+          Alcotest.test_case "bucket merge" `Quick test_merge_same_deadline;
+          Alcotest.test_case "validation" `Quick test_add_validation;
+          Alcotest.test_case "expire" `Quick test_expire;
+          Alcotest.test_case "stale heap entries" `Quick
+            test_expire_after_execute;
+          Alcotest.test_case "drop_all" `Quick test_drop_all;
+          Alcotest.test_case "iter_nonidle" `Quick test_iter_nonidle;
+        ] );
+      ("model", [ QCheck_alcotest.to_alcotest prop_model ]);
+    ]

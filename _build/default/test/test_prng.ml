@@ -1,0 +1,212 @@
+(* Tests for the from-scratch PRNG: determinism, ranges, and coarse
+   distributional sanity (exact distribution tests are out of scope; we
+   check means within generous tolerances on large samples). *)
+
+module Rng = Rrs_prng.Rng
+
+let test_determinism () =
+  let a = Rng.create ~seed:42 in
+  let b = Rng.create ~seed:42 in
+  let sa = List.init 64 (fun _ -> Rng.bits64 a) in
+  let sb = List.init 64 (fun _ -> Rng.bits64 b) in
+  Alcotest.(check bool) "same seed, same stream" true (sa = sb);
+  let c = Rng.create ~seed:43 in
+  let sc = List.init 64 (fun _ -> Rng.bits64 c) in
+  Alcotest.(check bool) "different seed, different stream" false (sa = sc)
+
+let test_copy () =
+  let a = Rng.create ~seed:7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check bool) "copy continues identically" true
+    (List.init 16 (fun _ -> Rng.bits64 a) = List.init 16 (fun _ -> Rng.bits64 b))
+
+let test_split_independence () =
+  let parent = Rng.create ~seed:1 in
+  let child1 = Rng.split parent in
+  let child2 = Rng.split parent in
+  let s1 = List.init 32 (fun _ -> Rng.bits64 child1) in
+  let s2 = List.init 32 (fun _ -> Rng.bits64 child2) in
+  Alcotest.(check bool) "children differ" false (s1 = s2)
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 7 in
+    if v < 0 || v >= 7 then Alcotest.fail "int out of bounds"
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_int_in () =
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 1_000 do
+    let v = Rng.int_in rng (-3) 3 in
+    if v < -3 || v > 3 then Alcotest.fail "int_in out of bounds"
+  done;
+  Alcotest.(check int) "degenerate range" 9 (Rng.int_in rng 9 9);
+  Alcotest.check_raises "inverted" (Invalid_argument "Rng.int_in") (fun () ->
+      ignore (Rng.int_in rng 2 1))
+
+let test_int_uniformity () =
+  (* chi-square-ish sanity: all 8 cells within 3x of each other *)
+  let rng = Rng.create ~seed:11 in
+  let cells = Array.make 8 0 in
+  for _ = 1 to 80_000 do
+    let v = Rng.int rng 8 in
+    cells.(v) <- cells.(v) + 1
+  done;
+  let mn = Array.fold_left min max_int cells in
+  let mx = Array.fold_left max 0 cells in
+  Alcotest.(check bool)
+    (Printf.sprintf "cells balanced (min=%d max=%d)" mn mx)
+    true
+    (float_of_int mx /. float_of_int mn < 1.2)
+
+let test_float_range () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.fail "float out of range"
+  done
+
+let test_bernoulli_mean () =
+  let rng = Rng.create ~seed:13 in
+  let hits = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let mean = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "bernoulli mean %.3f ~ 0.3" mean)
+    true
+    (abs_float (mean -. 0.3) < 0.02);
+  Alcotest.(check bool) "p=0 never" false (Rng.bernoulli rng 0.0);
+  Alcotest.(check bool) "p>=1 always" true (Rng.bernoulli rng 1.5)
+
+let check_mean name ~expected ~tolerance samples =
+  let mean =
+    List.fold_left ( +. ) 0.0 samples /. float_of_int (List.length samples)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s mean %.3f ~ %.3f" name mean expected)
+    true
+    (abs_float (mean -. expected) < tolerance)
+
+let test_exponential_mean () =
+  let rng = Rng.create ~seed:17 in
+  let samples = List.init 50_000 (fun _ -> Rng.exponential rng ~rate:2.0) in
+  check_mean "exponential" ~expected:0.5 ~tolerance:0.02 samples;
+  Alcotest.(check bool) "nonnegative" true (List.for_all (fun x -> x >= 0.0) samples)
+
+let test_poisson_small_mean () =
+  let rng = Rng.create ~seed:19 in
+  let samples =
+    List.init 50_000 (fun _ -> float_of_int (Rng.poisson rng ~mean:3.5))
+  in
+  check_mean "poisson(3.5)" ~expected:3.5 ~tolerance:0.1 samples
+
+let test_poisson_large_mean () =
+  let rng = Rng.create ~seed:23 in
+  let samples =
+    List.init 20_000 (fun _ -> float_of_int (Rng.poisson rng ~mean:200.0))
+  in
+  check_mean "poisson(200)" ~expected:200.0 ~tolerance:2.0 samples;
+  Alcotest.(check int) "poisson(0)" 0 (Rng.poisson rng ~mean:0.0)
+
+let test_geometric () =
+  let rng = Rng.create ~seed:29 in
+  let samples =
+    List.init 50_000 (fun _ -> float_of_int (Rng.geometric rng ~p:0.25))
+  in
+  (* failures before success: mean (1-p)/p = 3 *)
+  check_mean "geometric(0.25)" ~expected:3.0 ~tolerance:0.15 samples;
+  Alcotest.(check int) "p=1" 0 (Rng.geometric rng ~p:1.0)
+
+let test_pareto () =
+  let rng = Rng.create ~seed:53 in
+  let samples =
+    List.init 50_000 (fun _ -> Rng.pareto rng ~shape:2.5 ~scale:1.0)
+  in
+  Alcotest.(check bool) "above scale" true
+    (List.for_all (fun x -> x >= 1.0) samples);
+  (* mean of Pareto(shape=2.5, scale=1) is shape/(shape-1) = 5/3 *)
+  check_mean "pareto(2.5)" ~expected:(2.5 /. 1.5) ~tolerance:0.05 samples;
+  (* heavy tail: for shape 1.2 some samples must be very large *)
+  let rng = Rng.create ~seed:59 in
+  let heavy = List.init 20_000 (fun _ -> Rng.pareto rng ~shape:1.2 ~scale:1.0) in
+  Alcotest.(check bool) "heavy tail" true (List.exists (fun x -> x > 100.0) heavy);
+  Alcotest.check_raises "bad shape" (Invalid_argument "Rng.pareto") (fun () ->
+      ignore (Rng.pareto rng ~shape:0.0 ~scale:1.0))
+
+let test_zipf () =
+  let rng = Rng.create ~seed:31 in
+  let n = 20 in
+  let counts = Array.make n 0 in
+  for _ = 1 to 100_000 do
+    let r = Rng.zipf rng ~n ~s:1.2 in
+    if r < 0 || r >= n then Alcotest.fail "zipf out of range";
+    counts.(r) <- counts.(r) + 1
+  done;
+  (* mass must be decreasing-ish: rank 0 clearly dominates rank 4, etc. *)
+  Alcotest.(check bool) "rank0 > rank4" true (counts.(0) > counts.(4));
+  Alcotest.(check bool) "rank1 > rank10" true (counts.(1) > counts.(10));
+  (* theoretical p(0) with s=1.2, n=20 is ~0.39; allow slack *)
+  let p0 = float_of_int counts.(0) /. 100_000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p0=%.3f in (0.3, 0.5)" p0)
+    true
+    (p0 > 0.3 && p0 < 0.5);
+  Alcotest.(check int) "n=1 constant" 0 (Rng.zipf rng ~n:1 ~s:1.0)
+
+let test_shuffle_permutation () =
+  let rng = Rng.create ~seed:37 in
+  let a = Array.init 50 Fun.id in
+  let orig = Array.copy a in
+  Rng.shuffle rng a;
+  Alcotest.(check bool) "same multiset" true
+    (List.sort compare (Array.to_list a) = Array.to_list orig);
+  Alcotest.(check bool) "actually permuted" false (a = orig)
+
+let test_pick () =
+  let rng = Rng.create ~seed:41 in
+  let a = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    if not (Array.mem (Rng.pick rng a) a) then Alcotest.fail "pick not member"
+  done;
+  Alcotest.check_raises "empty pick" (Invalid_argument "Rng.pick") (fun () ->
+      ignore (Rng.pick rng [||]))
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "stream",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "copy" `Quick test_copy;
+          Alcotest.test_case "split" `Quick test_split_independence;
+        ] );
+      ( "uniform",
+        [
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int_in" `Quick test_int_in;
+          Alcotest.test_case "uniformity" `Quick test_int_uniformity;
+          Alcotest.test_case "float range" `Quick test_float_range;
+        ] );
+      ( "distributions",
+        [
+          Alcotest.test_case "bernoulli" `Quick test_bernoulli_mean;
+          Alcotest.test_case "exponential" `Quick test_exponential_mean;
+          Alcotest.test_case "poisson small" `Quick test_poisson_small_mean;
+          Alcotest.test_case "poisson large" `Quick test_poisson_large_mean;
+          Alcotest.test_case "geometric" `Quick test_geometric;
+          Alcotest.test_case "zipf" `Quick test_zipf;
+          Alcotest.test_case "pareto" `Quick test_pareto;
+        ] );
+      ( "combinatorial",
+        [
+          Alcotest.test_case "shuffle" `Quick test_shuffle_permutation;
+          Alcotest.test_case "pick" `Quick test_pick;
+        ] );
+    ]

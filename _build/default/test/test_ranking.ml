@@ -1,0 +1,192 @@
+(* Direct tests for the EDF ranking and the cache-state helper — the two
+   internal modules every policy is built on. *)
+
+open Rrs_core
+
+let arr round color count = { Types.round; color; count }
+
+(* build an eligibility state + pending with prescribed contents *)
+let setup ~delta ~delay arrivals =
+  let instance = Instance.create ~delta ~delay ~arrivals () in
+  let elig = Eligibility.create instance in
+  let pending = Pending.create ~num_colors:instance.num_colors in
+  (instance, elig, pending)
+
+let begin_round elig pending ~round ~arrivals ~cached =
+  let view =
+    {
+      Policy.round;
+      mini_round = 0;
+      arrivals;
+      dropped = [];
+      cache = [||];
+      pending;
+    }
+  in
+  Eligibility.begin_round elig ~view ~in_cache:cached
+
+let test_nonidle_before_idle () =
+  let instance, elig, pending = setup ~delta:1 ~delay:[| 4; 4 |] [ arr 0 0 1; arr 0 1 1 ] in
+  ignore instance;
+  (* both eligible; only color 1 has pending work *)
+  begin_round elig pending ~round:0 ~arrivals:[ (0, 1); (1, 1) ]
+    ~cached:(fun _ -> true);
+  Pending.add pending 1 ~deadline:4 ~count:1;
+  let ranked =
+    Ranking.ranked_eligible elig pending ~delay:[| 4; 4 |]
+      ~exclude:(fun _ -> false)
+  in
+  Alcotest.(check (list int)) "nonidle first" [ 1; 0 ] (List.map fst ranked);
+  let key1 = List.assoc 1 ranked and key0 = List.assoc 0 ranked in
+  Alcotest.(check bool) "key classes" true
+    (Ranking.is_nonidle_eligible key1 && not (Ranking.is_nonidle_eligible key0))
+
+let test_deadline_order () =
+  let _, elig, pending =
+    setup ~delta:1 ~delay:[| 8; 8 |] [ arr 0 0 1; arr 0 1 1 ]
+  in
+  begin_round elig pending ~round:0 ~arrivals:[ (0, 1); (1, 1) ]
+    ~cached:(fun _ -> true);
+  (* color 1's pending job has the earlier deadline *)
+  Pending.add pending 0 ~deadline:8 ~count:1;
+  Pending.add pending 1 ~deadline:5 ~count:1;
+  let ranked =
+    Ranking.ranked_eligible elig pending ~delay:[| 8; 8 |]
+      ~exclude:(fun _ -> false)
+  in
+  Alcotest.(check (list int)) "earlier deadline first" [ 1; 0 ]
+    (List.map fst ranked)
+
+let test_delay_breaks_ties () =
+  let _, elig, pending =
+    setup ~delta:1 ~delay:[| 8; 4 |] [ arr 0 0 1; arr 0 1 1 ]
+  in
+  begin_round elig pending ~round:0 ~arrivals:[ (0, 1); (1, 1) ]
+    ~cached:(fun _ -> true);
+  (* same deadline; color 1 has the smaller delay bound and wins *)
+  Pending.add pending 0 ~deadline:4 ~count:1;
+  Pending.add pending 1 ~deadline:4 ~count:1;
+  let ranked =
+    Ranking.ranked_eligible elig pending ~delay:[| 8; 4 |]
+      ~exclude:(fun _ -> false)
+  in
+  Alcotest.(check (list int)) "smaller delay bound first" [ 1; 0 ]
+    (List.map fst ranked)
+
+let test_ineligible_ranks_worst () =
+  let _, elig, pending = setup ~delta:5 ~delay:[| 4; 4 |] [ arr 0 0 9; arr 0 1 1 ] in
+  begin_round elig pending ~round:0 ~arrivals:[ (0, 9); (1, 1) ]
+    ~cached:(fun _ -> true);
+  (* color 0 wrapped (9 >= 5); color 1 did not *)
+  let k0 = Ranking.key_of_color elig pending ~delay:[| 4; 4 |] 0 in
+  let k1 = Ranking.key_of_color elig pending ~delay:[| 4; 4 |] 1 in
+  Alcotest.(check bool) "eligible before ineligible" true
+    (Ranking.compare k0 k1 < 0);
+  (* ineligible colors are excluded from ranked_eligible *)
+  let ranked =
+    Ranking.ranked_eligible elig pending ~delay:[| 4; 4 |]
+      ~exclude:(fun _ -> false)
+  in
+  Alcotest.(check (list int)) "only eligible" [ 0 ] (List.map fst ranked)
+
+let test_exclude () =
+  let _, elig, pending =
+    setup ~delta:1 ~delay:[| 4; 4; 4 |] [ arr 0 0 1; arr 0 1 1; arr 0 2 1 ]
+  in
+  begin_round elig pending ~round:0 ~arrivals:[ (0, 1); (1, 1); (2, 1) ]
+    ~cached:(fun _ -> true);
+  let ranked =
+    Ranking.ranked_eligible elig pending ~delay:[| 4; 4; 4 |]
+      ~exclude:(fun c -> c = 1)
+  in
+  Alcotest.(check (list int)) "excluded" [ 0; 2 ] (List.map fst ranked)
+
+let test_timestamp_order () =
+  let _, elig, pending =
+    setup ~delta:1 ~delay:[| 2; 2; 2 |]
+      [ arr 0 0 1; arr 0 1 1; arr 2 2 1 ]
+  in
+  begin_round elig pending ~round:0 ~arrivals:[ (0, 1); (1, 1) ]
+    ~cached:(fun _ -> true);
+  begin_round elig pending ~round:1 ~arrivals:[] ~cached:(fun _ -> true);
+  begin_round elig pending ~round:2 ~arrivals:[ (2, 1) ] ~cached:(fun _ -> true);
+  begin_round elig pending ~round:3 ~arrivals:[] ~cached:(fun _ -> true);
+  begin_round elig pending ~round:4 ~arrivals:[] ~cached:(fun _ -> true);
+  (* colors 0,1 wrapped at round 0 (timestamp 0 after round 2); color 2
+     wrapped at round 2 (timestamp 2 after round 4) *)
+  Alcotest.(check (list int)) "most recent first, ties by id" [ 2; 0; 1 ]
+    (Ranking.timestamp_order elig [ 0; 1; 2 ])
+
+(* Cache_state *)
+
+let test_cache_state_mechanics () =
+  let cs = Cache_state.create ~num_colors:6 ~distinct_slots:3 in
+  Alcotest.(check (list int)) "starts empty" [] (Cache_state.cached_colors cs);
+  Cache_state.assign cs ~desired:[ 4; 1 ];
+  Alcotest.(check bool) "mem 4" true (Cache_state.mem cs 4);
+  Alcotest.(check bool) "not mem 0" false (Cache_state.mem cs 0);
+  Alcotest.(check (list int)) "sorted colors" [ 1; 4 ]
+    (Cache_state.cached_colors cs);
+  (* stability: 1 keeps its slot across reassignments *)
+  let before = Cache_state.distinct cs in
+  Cache_state.assign cs ~desired:[ 1; 5; 2 ];
+  let after = Cache_state.distinct cs in
+  let slot_of arr c =
+    let found = ref (-1) in
+    Array.iteri (fun i x -> if x = c then found := i) arr;
+    !found
+  in
+  Alcotest.(check int) "1 kept in place" (slot_of before 1) (slot_of after 1);
+  Alcotest.(check bool) "4 evicted" false (Cache_state.mem cs 4);
+  (* replication doubles the assignment *)
+  let full = Cache_state.to_assignment cs ~replicated:true in
+  Alcotest.(check int) "replicated length" 6 (Array.length full);
+  Array.iteri
+    (fun i c -> Alcotest.(check int) "mirror" c full.(i + 3))
+    (Array.sub full 0 3);
+  let flat = Cache_state.to_assignment cs ~replicated:false in
+  Alcotest.(check int) "flat length" 3 (Array.length flat)
+
+let prop_stable_assign_sound =
+  let open QCheck in
+  Test.make ~count:300 ~name:"stable_assign: desired placed, stayers fixed"
+    (pair
+       (array_of_size (Gen.int_range 1 6) (int_range (-1) 9))
+       (list_of_size (Gen.int_range 0 6) (int_range 0 9)))
+    (fun (current, desired_raw) ->
+      let desired = List.sort_uniq compare desired_raw in
+      assume (List.length desired <= Array.length current);
+      (* current must be duplicate-free apart from black *)
+      let non_black = List.filter (( <> ) (-1)) (Array.to_list current) in
+      assume (List.length non_black = List.length (List.sort_uniq compare non_black));
+      let result = Policy.stable_assign ~current ~desired in
+      (* every desired color appears exactly once *)
+      List.for_all
+        (fun c ->
+          Array.to_list result |> List.filter (( = ) c) |> List.length = 1)
+        desired
+      && (* colors already in place stayed in place *)
+      Array.for_all Fun.id
+        (Array.mapi
+           (fun i c -> if List.mem c desired then result.(i) = c else true)
+           current))
+
+let () =
+  Alcotest.run "ranking"
+    [
+      ( "edf ranking",
+        [
+          Alcotest.test_case "nonidle first" `Quick test_nonidle_before_idle;
+          Alcotest.test_case "deadline order" `Quick test_deadline_order;
+          Alcotest.test_case "delay tie-break" `Quick test_delay_breaks_ties;
+          Alcotest.test_case "ineligible worst" `Quick
+            test_ineligible_ranks_worst;
+          Alcotest.test_case "exclude" `Quick test_exclude;
+          Alcotest.test_case "timestamp order" `Quick test_timestamp_order;
+        ] );
+      ( "cache state",
+        [
+          Alcotest.test_case "mechanics" `Quick test_cache_state_mechanics;
+          QCheck_alcotest.to_alcotest prop_stable_assign_sound;
+        ] );
+    ]

@@ -1,0 +1,74 @@
+(* Tests for the table renderer. *)
+
+module Table = Rrs_report.Table
+
+let test_alignment () =
+  let t = Table.create ~columns:[ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "23" ];
+  let s = Table.to_string t in
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | header :: sep :: _ ->
+      Alcotest.(check int) "separator as wide as header" (String.length header)
+        (String.length sep)
+  | _ -> Alcotest.fail "too few lines");
+  (* numeric column is right-aligned: " 1" under "23" *)
+  Alcotest.(check bool) "right-aligned numbers" true
+    (List.exists (fun l -> String.length l >= 2 && String.sub l (String.length l - 2) 2 = " 1") lines)
+
+let test_arity_checked () =
+  let t = Table.create ~columns:[ "a"; "b" ] in
+  (match Table.add_row t [ "only one" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wrong arity accepted");
+  match Table.create ~columns:[] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty columns accepted"
+
+let test_row_order_preserved () =
+  let t = Table.create ~columns:[ "x" ] in
+  List.iter (fun v -> Table.add_row t [ v ]) [ "first"; "second"; "third" ];
+  Alcotest.(check int) "row count" 3 (Table.row_count t);
+  let s = Table.to_string t in
+  let pos needle =
+    let rec find i =
+      if i + String.length needle > String.length s then -1
+      else if String.sub s i (String.length needle) = needle then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  Alcotest.(check bool) "order" true (pos "first" < pos "second" && pos "second" < pos "third")
+
+let test_cells () =
+  Alcotest.(check string) "int" "42" (Table.cell_int 42);
+  Alcotest.(check string) "float" "3.14" (Table.cell_float ~decimals:2 3.14159);
+  Alcotest.(check string) "inf" "inf" (Table.cell_float infinity);
+  Alcotest.(check string) "cost" "7 (4+3)" (Table.cell_cost ~reconfig:4 ~drop:3)
+
+let test_markdown () =
+  let t = Table.create ~columns:[ "a"; "b" ] in
+  Table.add_row t [ "1"; "2" ];
+  let md = Table.to_markdown t in
+  Alcotest.(check bool) "header row" true
+    (String.length md > 0 && String.sub md 0 1 = "|");
+  Alcotest.(check bool) "separator" true
+    (String.length md > 0
+    &&
+    match String.split_on_char '\n' md with
+    | _ :: sep :: _ -> sep = "| --- | --- |"
+    | _ -> false)
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "alignment" `Quick test_alignment;
+          Alcotest.test_case "arity" `Quick test_arity_checked;
+          Alcotest.test_case "row order" `Quick test_row_order_preserved;
+          Alcotest.test_case "cells" `Quick test_cells;
+          Alcotest.test_case "markdown" `Quick test_markdown;
+        ] );
+    ]

@@ -1,0 +1,94 @@
+(* Tests for the one-call solver facade. *)
+
+open Rrs_core
+module Synthetic = Rrs_workload.Synthetic
+module Families = Rrs_workload.Families
+module Rng = Rrs_prng.Rng
+
+let arr round color count = { Types.round; color; count }
+
+let test_classify () =
+  let rate_limited =
+    Instance.create ~delta:2 ~delay:[| 4 |] ~arrivals:[ arr 0 0 3 ] ()
+  in
+  Alcotest.(check bool) "direct" true (Solve.classify rate_limited = Solve.Direct);
+  let oversized =
+    Instance.create ~delta:2 ~delay:[| 4 |] ~arrivals:[ arr 0 0 9 ] ()
+  in
+  Alcotest.(check bool) "distributed" true
+    (Solve.classify oversized = Solve.Distributed);
+  let offgrid =
+    Instance.create ~delta:2 ~delay:[| 4 |] ~arrivals:[ arr 3 0 1 ] ()
+  in
+  Alcotest.(check bool) "pipelined (off-grid)" true
+    (Solve.classify offgrid = Solve.Pipelined);
+  let odd_delay =
+    Instance.create ~delta:2 ~delay:[| 6 |] ~arrivals:[ arr 0 0 2 ] ()
+  in
+  Alcotest.(check bool) "pipelined (non-pow2 delay)" true
+    (Solve.classify odd_delay = Solve.Pipelined)
+
+let test_run_matches_direct_solvers () =
+  (* Solve.run must produce exactly what calling the layer directly does *)
+  let rng = Rng.create ~seed:4 in
+  let rate_limited = Synthetic.rate_limited (Rng.split rng) Synthetic.default_batched in
+  let layer, r = Solve.run rate_limited ~n:8 in
+  let direct = Engine.run (Engine.config ~n:8 ()) rate_limited Lru_edf.policy in
+  Alcotest.(check bool) "layer" true (layer = Solve.Direct);
+  Alcotest.(check bool) "same cost" true (Cost.equal r.cost direct.cost);
+  let unbatched = Synthetic.unbatched (Rng.split rng) Synthetic.default_unbatched in
+  let layer, r = Solve.run unbatched ~n:8 in
+  let direct = Var_batch.run unbatched ~n:8 in
+  Alcotest.(check bool) "pipeline layer" true (layer = Solve.Pipelined);
+  Alcotest.(check bool) "same pipeline cost" true (Cost.equal r.cost direct.cost)
+
+let test_run_validates_n () =
+  let i = Instance.create ~delta:1 ~delay:[| 2 |] ~arrivals:[] () in
+  match Solve.run i ~n:6 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "n = 6 accepted"
+
+let test_conservation_across_layers () =
+  List.iter
+    (fun (f : Families.family) ->
+      let instance = f.build ~seed:9 in
+      let _, r = Solve.run instance ~n:8 in
+      Alcotest.(check int)
+        (f.id ^ " conservation")
+        (Instance.total_jobs instance)
+        (r.executed + r.dropped))
+    Families.all
+
+let test_ratio_upper_bound () =
+  let i =
+    Instance.create ~delta:2 ~delay:[| 4 |] ~arrivals:[ arr 0 0 4 ] ()
+  in
+  let ratio = Solve.ratio_upper_bound i ~n:8 ~m:1 in
+  Alcotest.(check bool) "finite and positive" true (ratio > 0.0 && ratio < 10.0);
+  let empty = Instance.create ~delta:2 ~delay:[| 4 |] ~arrivals:[] () in
+  Alcotest.(check bool) "empty is 1.0" true
+    (Solve.ratio_upper_bound empty ~n:8 ~m:1 = 1.0)
+
+let test_layer_strings () =
+  Alcotest.(check bool) "strings distinct" true
+    (List.length
+       (List.sort_uniq compare
+          (List.map Solve.layer_to_string
+             [ Solve.Direct; Solve.Distributed; Solve.Pipelined ]))
+    = 3)
+
+let () =
+  Alcotest.run "solve"
+    [
+      ( "facade",
+        [
+          Alcotest.test_case "classify" `Quick test_classify;
+          Alcotest.test_case "matches direct solvers" `Quick
+            test_run_matches_direct_solvers;
+          Alcotest.test_case "validates n" `Quick test_run_validates_n;
+          Alcotest.test_case "conservation" `Slow
+            test_conservation_across_layers;
+          Alcotest.test_case "ratio upper bound" `Quick test_ratio_upper_bound;
+          Alcotest.test_case "layer strings" `Quick test_layer_strings;
+        ] );
+    ]

@@ -1,0 +1,234 @@
+(* Tests for the statistics substrate. *)
+
+module Running = Rrs_stats.Running
+module Histogram = Rrs_stats.Histogram
+module Summary = Rrs_stats.Summary
+module Regression = Rrs_stats.Regression
+
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) < eps
+let check_f name ?eps expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.6f ~ %.6f" name expected actual)
+    true (feq ?eps expected actual)
+
+(* ------------------------------------------------------------------ *)
+(* Running                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_running_empty () =
+  let r = Running.create () in
+  Alcotest.(check int) "count" 0 (Running.count r);
+  check_f "mean" 0.0 (Running.mean r);
+  check_f "variance" 0.0 (Running.variance r);
+  Alcotest.(check bool) "min" true (Running.min r = infinity);
+  Alcotest.(check bool) "max" true (Running.max r = neg_infinity)
+
+let test_running_known () =
+  let r = Running.create () in
+  List.iter (Running.add r) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check int) "count" 8 (Running.count r);
+  check_f "mean" 5.0 (Running.mean r);
+  (* sample variance of this classic dataset: 32/7 *)
+  check_f "variance" (32.0 /. 7.0) (Running.variance r);
+  check_f "min" 2.0 (Running.min r);
+  check_f "max" 9.0 (Running.max r);
+  check_f "sum" 40.0 (Running.sum r)
+
+let test_running_single () =
+  let r = Running.create () in
+  Running.add_int r 5;
+  check_f "mean" 5.0 (Running.mean r);
+  check_f "variance (n<2)" 0.0 (Running.variance r)
+
+let test_running_merge () =
+  let xs = List.init 50 (fun i -> float_of_int (i * i) /. 7.0) in
+  let a = Running.create () and b = Running.create () and whole = Running.create () in
+  List.iteri
+    (fun i x ->
+      Running.add whole x;
+      if i < 20 then Running.add a x else Running.add b x)
+    xs;
+  let merged = Running.merge a b in
+  Alcotest.(check int) "count" (Running.count whole) (Running.count merged);
+  check_f ~eps:1e-6 "mean" (Running.mean whole) (Running.mean merged);
+  check_f ~eps:1e-6 "variance" (Running.variance whole) (Running.variance merged);
+  check_f "min" (Running.min whole) (Running.min merged);
+  check_f "max" (Running.max whole) (Running.max merged)
+
+let test_running_merge_empty () =
+  let a = Running.create () in
+  Running.add a 3.0;
+  let merged = Running.merge a (Running.create ()) in
+  check_f "merge with empty" 3.0 (Running.mean merged);
+  let merged' = Running.merge (Running.create ()) a in
+  check_f "empty with merge" 3.0 (Running.mean merged')
+
+let prop_welford_matches_naive =
+  QCheck.Test.make ~count:200 ~name:"Welford matches two-pass variance"
+    QCheck.(list_of_size Gen.(int_range 2 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let r = Running.create () in
+      List.iter (Running.add r) xs;
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0.0 xs /. n in
+      let var =
+        List.fold_left (fun a x -> a +. ((x -. mean) ** 2.0)) 0.0 xs /. (n -. 1.0)
+      in
+      feq ~eps:1e-6 (Running.mean r) mean
+      && feq ~eps:1e-6 (Running.variance r) var)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_basics () =
+  let h = Histogram.create ~max_value:10 in
+  List.iter (Histogram.add h) [ 1; 2; 2; 3; 3; 3; 10 ];
+  Alcotest.(check int) "count" 7 (Histogram.count h);
+  Alcotest.(check int) "count_at 3" 3 (Histogram.count_at h 3);
+  Alcotest.(check int) "count_le 2" 3 (Histogram.count_le h 2);
+  Alcotest.(check int) "median" 3 (Histogram.median h);
+  Alcotest.(check int) "q0 is min" 1 (Histogram.quantile h 0.0);
+  Alcotest.(check int) "q1 is max" 10 (Histogram.quantile h 1.0);
+  Alcotest.(check (list (pair int int)))
+    "assoc"
+    [ (1, 1); (2, 2); (3, 3); (10, 1) ]
+    (Histogram.to_assoc h)
+
+let test_histogram_clamping () =
+  let h = Histogram.create ~max_value:5 in
+  Histogram.add h 99;
+  Histogram.add h (-2);
+  Alcotest.(check int) "clamped" 2 (Histogram.clamped h);
+  Alcotest.(check int) "top bucket" 1 (Histogram.count_at h 5);
+  Alcotest.(check int) "bottom bucket" 1 (Histogram.count_at h 0)
+
+let test_histogram_empty () =
+  let h = Histogram.create ~max_value:4 in
+  Alcotest.check_raises "quantile empty" Not_found (fun () ->
+      ignore (Histogram.median h))
+
+let test_histogram_add_many () =
+  let h = Histogram.create ~max_value:4 in
+  Histogram.add_many h 2 10;
+  Alcotest.(check int) "bulk" 10 (Histogram.count_at h 2);
+  Histogram.add_many h 3 0;
+  Alcotest.(check int) "zero bulk" 10 (Histogram.count h)
+
+let prop_histogram_quantile =
+  QCheck.Test.make ~count:200 ~name:"histogram quantile = sorted list rank"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 100) (int_bound 50))
+        (float_range 0.01 1.0))
+    (fun (xs, q) ->
+      let h = Histogram.create ~max_value:50 in
+      List.iter (Histogram.add h) xs;
+      let sorted = List.sort compare xs in
+      let n = List.length xs in
+      let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+      Histogram.quantile h q = List.nth sorted (rank - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Summary                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_summary_known () =
+  let s = Summary.of_list [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  Alcotest.(check int) "count" 5 s.count;
+  check_f "mean" 3.0 s.mean;
+  check_f "median" 3.0 s.median;
+  check_f "min" 1.0 s.min;
+  check_f "max" 5.0 s.max;
+  check_f "p25" 2.0 s.p25;
+  check_f "p75" 4.0 s.p75
+
+let test_summary_interpolation () =
+  check_f "interpolated"
+    1.5
+    (Summary.percentile [| 1.0; 2.0 |] 0.5);
+  check_f "single" 7.0 (Summary.percentile [| 7.0 |] 0.9)
+
+let test_summary_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Summary.of_array") (fun () ->
+      ignore (Summary.of_array [||]))
+
+let test_geometric_mean () =
+  check_f "geomean" 2.0 (Summary.geometric_mean [ 1.0; 2.0; 4.0 ]);
+  Alcotest.check_raises "nonpositive"
+    (Invalid_argument "Summary.geometric_mean") (fun () ->
+      ignore (Summary.geometric_mean [ 1.0; 0.0 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Regression                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_linear_exact () =
+  let points = List.init 10 (fun i -> (float_of_int i, (3.0 *. float_of_int i) +. 2.0)) in
+  let fit = Regression.linear points in
+  check_f "slope" 3.0 fit.slope;
+  check_f "intercept" 2.0 fit.intercept;
+  check_f "r2" 1.0 fit.r2
+
+let test_log_linear () =
+  (* y = 5 * e^(0.7 x) *)
+  let points =
+    List.init 8 (fun i ->
+        let x = float_of_int i in
+        (x, 5.0 *. exp (0.7 *. x)))
+  in
+  let fit = Regression.log_linear points in
+  check_f ~eps:1e-6 "slope" 0.7 fit.slope;
+  check_f ~eps:1e-6 "intercept" (log 5.0) fit.intercept
+
+let test_doubling_slope () =
+  (* y doubles per unit x *)
+  let points = List.init 6 (fun i -> (float_of_int i, 2.0 ** float_of_int i)) in
+  check_f ~eps:1e-6 "doubling slope" 1.0 (Regression.doubling_slope points)
+
+let test_regression_errors () =
+  Alcotest.check_raises "too few" (Invalid_argument "Regression.linear")
+    (fun () -> ignore (Regression.linear [ (1.0, 1.0) ]));
+  Alcotest.check_raises "degenerate x"
+    (Invalid_argument "Regression.linear: degenerate x") (fun () ->
+      ignore (Regression.linear [ (1.0, 1.0); (1.0, 2.0) ]));
+  Alcotest.check_raises "log of nonpositive"
+    (Invalid_argument "Regression.log_linear") (fun () ->
+      ignore (Regression.log_linear [ (1.0, 1.0); (2.0, -3.0) ]))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "stats"
+    [
+      ( "running",
+        [
+          Alcotest.test_case "empty" `Quick test_running_empty;
+          Alcotest.test_case "known dataset" `Quick test_running_known;
+          Alcotest.test_case "single" `Quick test_running_single;
+          Alcotest.test_case "merge" `Quick test_running_merge;
+          Alcotest.test_case "merge empty" `Quick test_running_merge_empty;
+          q prop_welford_matches_naive;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "basics" `Quick test_histogram_basics;
+          Alcotest.test_case "clamping" `Quick test_histogram_clamping;
+          Alcotest.test_case "empty" `Quick test_histogram_empty;
+          Alcotest.test_case "add_many" `Quick test_histogram_add_many;
+          q prop_histogram_quantile;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "known" `Quick test_summary_known;
+          Alcotest.test_case "interpolation" `Quick test_summary_interpolation;
+          Alcotest.test_case "errors" `Quick test_summary_errors;
+          Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+        ] );
+      ( "regression",
+        [
+          Alcotest.test_case "linear exact" `Quick test_linear_exact;
+          Alcotest.test_case "log-linear" `Quick test_log_linear;
+          Alcotest.test_case "doubling slope" `Quick test_doubling_slope;
+          Alcotest.test_case "errors" `Quick test_regression_errors;
+        ] );
+    ]

@@ -1,0 +1,185 @@
+(* Tests that the validator accepts correct schedules and rejects every
+   kind of tampering. *)
+
+open Rrs_core
+
+let arr round color count = { Types.round; color; count }
+
+let instance =
+  Instance.create ~delta:2 ~delay:[| 4; 4 |]
+    ~arrivals:[ arr 0 0 6; arr 0 1 2; arr 4 0 1 ]
+    ()
+
+let good_schedule () =
+  let cfg = Engine.config ~n:2 ~record_schedule:true () in
+  let r = Engine.run cfg instance (Static_policy.static [ 0; 1 ]) in
+  (r, Option.get r.schedule)
+
+let test_accepts_engine_schedule () =
+  let r, sched = good_schedule () in
+  let report = Validator.check instance sched in
+  if not report.ok then
+    Alcotest.failf "valid schedule rejected: %a" Validator.pp_report report;
+  Alcotest.(check bool) "cost agrees" true
+    (Cost.equal report.recomputed_cost r.cost);
+  Alcotest.(check int) "executed" r.executed report.executed
+
+let tamper sched f =
+  { sched with Schedule.events = Array.map f sched.Schedule.events }
+
+let expect_rejected name report =
+  if report.Validator.ok then Alcotest.failf "%s: tampering not detected" name
+
+let test_rejects_wrong_color_execution () =
+  let _, sched = good_schedule () in
+  let bad =
+    tamper sched (fun (r, e) ->
+        match e with
+        | Schedule.Execute x when x.resource = 0 ->
+            (r, Schedule.Execute { x with color = 1 })
+        | _ -> (r, e))
+  in
+  expect_rejected "wrong color" (Validator.check instance bad)
+
+let test_rejects_double_execution () =
+  let _, sched = good_schedule () in
+  (* duplicate every execution event on resource 0 *)
+  let events =
+    Array.to_list sched.Schedule.events
+    |> List.concat_map (fun (r, e) ->
+           match e with
+           | Schedule.Execute x when x.resource = 0 -> [ (r, e); (r, e) ]
+           | _ -> [ (r, e) ])
+    |> Array.of_list
+  in
+  expect_rejected "double execution"
+    (Validator.check instance { sched with Schedule.events })
+
+let test_rejects_phantom_reconfigure () =
+  let _, sched = good_schedule () in
+  let bad =
+    tamper sched (fun (r, e) ->
+        match e with
+        | Schedule.Reconfigure x when x.resource = 1 ->
+            (r, Schedule.Reconfigure { x with from_color = 0 })
+        | _ -> (r, e))
+  in
+  expect_rejected "wrong from_color" (Validator.check instance bad)
+
+let test_rejects_missing_drops_strict () =
+  let _, sched = good_schedule () in
+  let events =
+    Array.of_list
+      (List.filter
+         (fun (_, e) -> match e with Schedule.Drop _ -> false | _ -> true)
+         (Array.to_list sched.Schedule.events))
+  in
+  let stripped = { sched with Schedule.events } in
+  (* strict mode notices missing drop declarations... *)
+  (match Validator.check ~strict_drops:true instance stripped with
+  | { ok = true; dropped = d; _ } when d > 0 ->
+      Alcotest.fail "strict mode ignored missing drops"
+  | _ -> ());
+  (* ...lenient mode does not care about declarations *)
+  let lenient = Validator.check ~strict_drops:false instance stripped in
+  Alcotest.(check bool) "lenient ok" true lenient.ok
+
+let test_rejects_out_of_range () =
+  let _, sched = good_schedule () in
+  let bad =
+    tamper sched (fun (r, e) ->
+        match e with
+        | Schedule.Execute x -> (r, Schedule.Execute { x with resource = 9 })
+        | _ -> (r, e))
+  in
+  expect_rejected "bad resource" (Validator.check instance bad)
+
+let test_rejects_execution_after_deadline () =
+  (* hand-build a schedule that executes a color-0 job at round 4 (its
+     deadline): must be rejected, the drop phase precedes execution *)
+  let sched =
+    {
+      Schedule.n = 1;
+      mini_rounds = 1;
+      events =
+        [|
+          ( 0,
+            Schedule.Reconfigure
+              {
+                resource = 0;
+                mini_round = 0;
+                from_color = Types.black;
+                to_color = 1;
+              } );
+          (4, Schedule.Execute { resource = 0; mini_round = 0; color = 1 });
+        |];
+    }
+  in
+  (* color 1's jobs arrive at round 0 with deadline 4 *)
+  expect_rejected "deadline violation"
+    (Validator.check ~strict_drops:false instance sched)
+
+let test_rejects_self_reconfigure () =
+  let sched =
+    {
+      Schedule.n = 1;
+      mini_rounds = 1;
+      events =
+        [|
+          ( 0,
+            Schedule.Reconfigure
+              {
+                resource = 0;
+                mini_round = 0;
+                from_color = Types.black;
+                to_color = Types.black;
+              } );
+        |];
+    }
+  in
+  expect_rejected "self reconfigure"
+    (Validator.check ~strict_drops:false instance sched)
+
+let test_check_result_detects_cost_mismatch () =
+  let r, _ = good_schedule () in
+  let lied = { r with Engine.cost = Cost.make ~reconfig:0 ~drop:0 } in
+  let report = Validator.check_result instance lied in
+  expect_rejected "cost lie" report
+
+let test_check_result_requires_schedule () =
+  let cfg = Engine.config ~n:2 () in
+  let r = Engine.run cfg instance (Static_policy.static [ 0; 1 ]) in
+  match Validator.check_result instance r with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "missing schedule accepted"
+
+let () =
+  Alcotest.run "validator"
+    [
+      ( "acceptance",
+        [ Alcotest.test_case "engine schedule" `Quick test_accepts_engine_schedule ]
+      );
+      ( "rejection",
+        [
+          Alcotest.test_case "wrong color" `Quick
+            test_rejects_wrong_color_execution;
+          Alcotest.test_case "double execution" `Quick
+            test_rejects_double_execution;
+          Alcotest.test_case "phantom reconfigure" `Quick
+            test_rejects_phantom_reconfigure;
+          Alcotest.test_case "missing drops" `Quick
+            test_rejects_missing_drops_strict;
+          Alcotest.test_case "out of range" `Quick test_rejects_out_of_range;
+          Alcotest.test_case "after deadline" `Quick
+            test_rejects_execution_after_deadline;
+          Alcotest.test_case "self reconfigure" `Quick
+            test_rejects_self_reconfigure;
+        ] );
+      ( "check_result",
+        [
+          Alcotest.test_case "cost mismatch" `Quick
+            test_check_result_detects_cost_mismatch;
+          Alcotest.test_case "requires schedule" `Quick
+            test_check_result_requires_schedule;
+        ] );
+    ]

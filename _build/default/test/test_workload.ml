@@ -1,0 +1,199 @@
+(* Tests for the workload generators: each family produces valid
+   instances of its declared layer, deterministically in the seed. *)
+
+open Rrs_core
+module Families = Rrs_workload.Families
+module Synthetic = Rrs_workload.Synthetic
+module Scenarios = Rrs_workload.Scenarios
+module Rng = Rrs_prng.Rng
+
+let test_families_registry () =
+  Alcotest.(check bool) "nonempty" true (Families.all <> []);
+  Alcotest.(check bool) "find works" true
+    (Option.is_some (Families.find "uniform"));
+  Alcotest.(check bool) "find misses" true
+    (Option.is_none (Families.find "nope"));
+  let ids = Families.ids () in
+  Alcotest.(check int) "ids unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_layer_contracts () =
+  List.iter
+    (fun (f : Families.family) ->
+      let i = f.build ~seed:1 in
+      if Instance.total_jobs i = 0 then
+        Alcotest.failf "%s: empty instance" f.id;
+      match f.layer with
+      | Families.Rate_limited ->
+          if not (Instance.is_rate_limited i) then
+            Alcotest.failf "%s: claims rate-limited but is not" f.id;
+          if not (Instance.delays_are_powers_of_two i) then
+            Alcotest.failf "%s: rate-limited family must have pow2 delays" f.id
+      | Families.Batched ->
+          if not (Instance.is_batched i) then
+            Alcotest.failf "%s: claims batched but is not" f.id
+      | Families.Unbatched -> ())
+    Families.all
+
+let test_determinism () =
+  List.iter
+    (fun (f : Families.family) ->
+      let a = f.build ~seed:7 in
+      let b = f.build ~seed:7 in
+      if a.arrivals <> b.arrivals then
+        Alcotest.failf "%s: same seed, different instance" f.id;
+      let c = f.build ~seed:8 in
+      if a.arrivals = c.arrivals then
+        Alcotest.failf "%s: different seed, same instance" f.id)
+    Families.all
+
+let test_oversized_actually_oversized () =
+  (* the Distribute-input family must produce at least one batch above
+     its color's delay bound, otherwise it does not exercise splitting *)
+  let i =
+    Synthetic.batched_oversized (Rng.create ~seed:1)
+      { Synthetic.default_batched with load = 2.5 }
+  in
+  let oversized =
+    Array.exists
+      (fun (a : Types.arrival) -> a.count > i.delay.(a.color))
+      i.arrivals
+  in
+  Alcotest.(check bool) "has oversized batch" true oversized
+
+let test_unbatched_has_offgrid_arrivals () =
+  let i = Synthetic.unbatched (Rng.create ~seed:2) Synthetic.default_unbatched in
+  Alcotest.(check bool) "not batched" false (Instance.is_batched i);
+  Alcotest.(check bool) "has non-pow2 delay" true
+    (not (Instance.delays_are_powers_of_two i))
+
+let test_zipf_skew () =
+  (* the hot color must receive clearly more jobs than the coldest *)
+  let i =
+    Synthetic.zipf_batched (Rng.create ~seed:3) ~s:1.3
+      { Synthetic.default_batched with num_colors = 10; horizon = 1024 }
+  in
+  let per = Instance.jobs_per_color i in
+  Alcotest.(check bool)
+    (Printf.sprintf "skew: hot=%d cold=%d" per.(0) per.(9))
+    true
+    (per.(0) > 2 * per.(9))
+
+let test_background_structure () =
+  let i = Scenarios.background_shortterm Scenarios.default_background in
+  let p = Scenarios.default_background in
+  (* last color is the background pile *)
+  Alcotest.(check int) "background delay" (1 lsl p.long_exp)
+    i.delay.(p.short_colors);
+  Alcotest.(check bool) "background pile present" true
+    (Instance.jobs_of_color i p.short_colors > 0);
+  Alcotest.(check bool) "rate-limited" true (Instance.is_rate_limited i)
+
+let test_router_load_rotates () =
+  let i = Scenarios.router Scenarios.default_router in
+  Alcotest.(check bool) "rate-limited" true (Instance.is_rate_limited i);
+  (* every class sees some traffic over a full cycle *)
+  Array.iteri
+    (fun c jobs ->
+      if jobs = 0 then Alcotest.failf "class %d silent over the horizon" c)
+    (Instance.jobs_per_color i)
+
+let test_datacenter_phases () =
+  let p = { Scenarios.default_datacenter with phases = 4; services = 8 } in
+  let i = Scenarios.datacenter p in
+  Alcotest.(check bool) "rate-limited" true (Instance.is_rate_limited i);
+  (* arrivals span several phases *)
+  let last = Instance.last_arrival_round i in
+  Alcotest.(check bool) "covers later phases" true
+    (last >= 2 * p.phase_length)
+
+let test_self_similar_burstiness () =
+  (* long-range-dependent traffic has visibly higher variability than a
+     Poisson stream of the same mean: compare coefficient of variation
+     of per-window batch sizes for one color *)
+  let i =
+    Synthetic.self_similar (Rng.create ~seed:4) Synthetic.default_self_similar
+  in
+  Alcotest.(check bool) "rate-limited" true (Instance.is_rate_limited i);
+  (* heavy-tailed on periods produce long silences: some color must have
+     significantly fewer batches than windows *)
+  let gaps =
+    Array.exists
+      (fun c ->
+        let d = i.delay.(c) in
+        let windows = 1024 / d in
+        let batches =
+          Array.fold_left
+            (fun acc (a : Types.arrival) -> if a.color = c then acc + 1 else acc)
+            0 i.arrivals
+        in
+        batches < (95 * windows) / 100)
+      (Array.init i.num_colors Fun.id)
+  in
+  Alcotest.(check bool) "long silences exist" true gaps
+
+let test_generator_validation () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted" name
+  in
+  expect_invalid "zero colors" (fun () ->
+      Synthetic.rate_limited (Rng.create ~seed:1)
+        { Synthetic.default_batched with num_colors = 0 });
+  expect_invalid "bad exponents" (fun () ->
+      Synthetic.rate_limited (Rng.create ~seed:1)
+        { Synthetic.default_batched with min_exp = 3; max_exp = 1 });
+  expect_invalid "bad rate" (fun () ->
+      Synthetic.unbatched (Rng.create ~seed:1)
+        { Synthetic.default_unbatched with arrival_rate = 0.0 });
+  expect_invalid "short >= long" (fun () ->
+      Scenarios.background_shortterm
+        { Scenarios.default_background with short_exp = 9; long_exp = 9 })
+
+let test_all_families_runnable () =
+  (* every family instance runs through its matching solver *)
+  List.iter
+    (fun (f : Families.family) ->
+      let i = f.build ~seed:5 in
+      let r =
+        match f.layer with
+        | Families.Rate_limited ->
+            Engine.run (Engine.config ~n:8 ()) i Lru_edf.policy
+        | Families.Batched -> Distribute.run i ~n:8
+        | Families.Unbatched -> Var_batch.run i ~n:8
+      in
+      Alcotest.(check int)
+        (f.id ^ " conservation")
+        (Instance.total_jobs i)
+        (r.executed + r.dropped))
+    Families.all
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "registry" `Quick test_families_registry;
+          Alcotest.test_case "layer contracts" `Quick test_layer_contracts;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "all runnable" `Slow test_all_families_runnable;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "oversized batches" `Quick
+            test_oversized_actually_oversized;
+          Alcotest.test_case "unbatched off-grid" `Quick
+            test_unbatched_has_offgrid_arrivals;
+          Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+          Alcotest.test_case "self-similar burstiness" `Quick
+            test_self_similar_burstiness;
+          Alcotest.test_case "validation" `Quick test_generator_validation;
+        ] );
+      ( "scenarios",
+        [
+          Alcotest.test_case "background" `Quick test_background_structure;
+          Alcotest.test_case "router" `Quick test_router_load_rotates;
+          Alcotest.test_case "datacenter" `Quick test_datacenter_phases;
+        ] );
+    ]
