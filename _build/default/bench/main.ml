@@ -18,11 +18,21 @@ module Rng = Rrs_prng.Rng
 (* Part 1: experiments                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let run_experiments () =
+(* Every experiment also appends its canonical run_summary line to the
+   JSONL artifact (BENCH_obs.json), so a bench run leaves a
+   machine-readable record next to the printed log. *)
+let run_experiments oc =
   print_endline "================================================================";
   print_endline " Reproduction experiments (one per paper claim; DESIGN.md §5)";
   print_endline "================================================================";
-  Rrs_experiments.Registry.run_and_print_all ()
+  List.iter
+    (fun id ->
+      match Rrs_experiments.Registry.run_summarized id with
+      | Some (outcome, summary) ->
+          Rrs_experiments.Harness.print outcome;
+          Rrs_obs.Run_summary.write oc summary
+      | None -> ())
+    (Rrs_experiments.Registry.ids ())
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: microbenchmarks                                             *)
@@ -171,7 +181,77 @@ let run_microbenchmarks () =
     (List.sort compare rows);
   Rrs_report.Table.print table
 
+(* ------------------------------------------------------------------ *)
+(* Part 3: tracing overhead                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The hard requirement on the observability layer: with the default
+   Sink.null the engine pays one branch per potential event and no
+   allocation, so the hot path must not regress.  We time the same
+   engine run against the null sink and against a memory sink (every
+   event materialised) and report both, plus their ratio, in the
+   artifact.  Best-of-[repeats] wall time suppresses scheduler noise. *)
+let sink_overhead oc =
+  print_endline "================================================================";
+  print_endline " Tracing overhead (null sink vs memory sink, dlru-edf/router)";
+  print_endline "================================================================";
+  let repeats = 10 in
+  let best_of f =
+    let best = ref infinity in
+    for _ = 1 to repeats do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let run sink =
+    ignore (Engine.run (Engine.config ~n:8 ~sink ()) router_instance Lru_edf.policy)
+  in
+  let null_seconds = best_of (fun () -> run Rrs_obs.Sink.null) in
+  let events = ref 0 in
+  let memory_seconds =
+    best_of (fun () ->
+        let sink = Rrs_obs.Sink.memory () in
+        run sink;
+        events := Rrs_obs.Sink.count sink)
+  in
+  let overhead_pct = (memory_seconds -. null_seconds) /. null_seconds *. 100. in
+  Printf.printf "null sink:   %.3f ms/run\n" (null_seconds *. 1e3);
+  Printf.printf "memory sink: %.3f ms/run (%d events, %+.1f%%)\n"
+    (memory_seconds *. 1e3) !events overhead_pct;
+  Rrs_obs.Run_summary.write oc
+    (Rrs_obs.Run_summary.make ~id:"sink-overhead" ~kind:"bench"
+       ~config:
+         [
+           ("family", "router");
+           ("policy", "dlru-edf");
+           ("n", "8");
+           ("repeats", string_of_int repeats);
+         ]
+       ~analysis:
+         [
+           ("null_seconds", null_seconds);
+           ("memory_seconds", memory_seconds);
+           ("overhead_pct", overhead_pct);
+           ("events", float_of_int !events);
+         ]
+       ~timings:
+         [
+           { Rrs_obs.Run_summary.phase = "null"; seconds = null_seconds; count = repeats };
+           {
+             Rrs_obs.Run_summary.phase = "memory";
+             seconds = memory_seconds;
+             count = repeats;
+           };
+         ]
+       ())
+
 let () =
-  run_experiments ();
-  run_microbenchmarks ();
+  Out_channel.with_open_text "BENCH_obs.json" (fun oc ->
+      run_experiments oc;
+      run_microbenchmarks ();
+      sink_overhead oc);
+  print_endline "run summaries written to BENCH_obs.json";
   print_endline "bench: done"

@@ -98,9 +98,22 @@ let validate_arg =
   Arg.(value & flag & info [ "validate" ] ~doc)
 
 let metrics_arg =
-  let doc = "Write per-round metrics (backlog, cache, cumulative costs) to \
-             this CSV file.  Not available with the pipeline policy." in
+  let doc =
+    "Write per-round metrics (backlog, cache, cumulative costs) to this \
+     file as JSONL (one $(b,metrics_sample) object per round plus a final \
+     $(b,metrics_registry) line; see doc/TELEMETRY.md).  Not available \
+     with the pipeline policy."
+  in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let trace_arg =
+  let doc =
+    "Stream every engine and analysis event (drops, arrivals, \
+     reconfigurations, executions, epochs, wraps, super-epochs, credits) \
+     to this JSONL file, followed by one $(b,run_summary) line.  See \
+     doc/TELEMETRY.md for the schema."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
 let save_instance_arg =
   let doc = "Also save the generated instance to this CSV file." in
@@ -109,7 +122,27 @@ let save_instance_arg =
     & opt (some string) None
     & info [ "save-instance" ] ~docv:"FILE" ~doc)
 
-let simulate family seed n policy validate metrics_file save_instance =
+let policy_id = function
+  | `Lru_edf -> "dlru-edf"
+  | `Dlru -> "dlru"
+  | `Edf -> "edf"
+  | `Seq_edf -> "seq-edf"
+  | `Black -> "black"
+  | `Pipeline -> "pipeline"
+  | `Greedy -> "greedy"
+  | `Greedy_hysteresis -> "greedy-hysteresis"
+  | `Round_robin -> "round-robin"
+
+(* The ΔLRU family also streams the analysis layer: eligibility events
+   via [make ~sink] and super-epoch completions (m = n/8, the Theorem 1
+   offline adversary) via an attached observer. *)
+let with_analysis sink ~n ({ policy; eligibility } : Lru_edf.instrumented) =
+  if Rrs_obs.Sink.enabled sink then
+    ignore (Super_epochs.attach ~sink eligibility ~m:(max 1 (n / 8)));
+  policy
+
+let simulate family seed n policy validate metrics_file trace_file
+    save_instance =
   match lookup_family family with
   | Error msg ->
       prerr_endline msg;
@@ -122,46 +155,104 @@ let simulate family seed n policy validate metrics_file save_instance =
           Rrs_trace.Instance_io.save path instance;
           Format.printf "instance saved to %s@." path)
         save_instance;
-      let run_plain factory =
-        let cfg = Engine.config ~n ~record_schedule:validate () in
-        let collector, policy =
-          let policy = factory instance ~n in
-          match metrics_file with
-          | None -> (None, policy)
-          | Some _ ->
-              let m, p = Rrs_trace.Metrics.instrument policy in
-              (Some m, p)
+      let simulate_with oc_opt =
+        let sink =
+          match oc_opt with
+          | None -> Rrs_obs.Sink.null
+          | Some oc -> Rrs_obs.Sink.jsonl oc
         in
-        let r = Engine.run_policy cfg instance policy in
-        (match (collector, metrics_file) with
-        | Some m, Some path ->
-            Out_channel.with_open_text path (fun oc ->
-                output_string oc (Rrs_trace.Metrics.to_csv m));
-            Format.printf "metrics written to %s@." path
-        | _ -> ());
-        (r, if validate then Some (Validator.check_result instance r) else None)
+        let run_plain make_policy =
+          let cfg = Engine.config ~n ~record_schedule:validate ~sink () in
+          let collector, policy =
+            let policy = make_policy sink in
+            match metrics_file with
+            | None -> (None, policy)
+            | Some _ ->
+                let m, p = Rrs_trace.Metrics.instrument policy in
+                (Some m, p)
+          in
+          let t0 = Unix.gettimeofday () in
+          let r = Engine.run_policy cfg instance policy in
+          let seconds = Unix.gettimeofday () -. t0 in
+          (match (collector, metrics_file) with
+          | Some m, Some path ->
+              Out_channel.with_open_text path (fun oc ->
+                  output_string oc (Rrs_trace.Metrics.to_jsonl m));
+              Format.printf "metrics written to %s@." path
+          | _ -> ());
+          ( (r, seconds),
+            if validate then Some (Validator.check_result instance r) else None
+          )
+        in
+        let outcome =
+          match policy with
+          | `Lru_edf ->
+              run_plain (fun sink ->
+                  with_analysis sink ~n (Lru_edf.make ~sink instance ~n))
+          | `Dlru ->
+              run_plain (fun sink ->
+                  let { Delta_lru.policy; eligibility } =
+                    Delta_lru.make ~sink instance ~n
+                  in
+                  with_analysis sink ~n { Lru_edf.policy; eligibility })
+          | `Edf ->
+              run_plain (fun sink -> (Edf_policy.make ~sink instance ~n).policy)
+          | `Seq_edf ->
+              run_plain (fun sink ->
+                  (Edf_policy.make_seq ~sink instance ~n).policy)
+          | `Black -> run_plain (fun _ -> Static_policy.black instance ~n)
+          | `Greedy ->
+              run_plain (fun _ -> Naive_policies.greedy_backlog instance ~n)
+          | `Greedy_hysteresis ->
+              run_plain (fun _ ->
+                  Naive_policies.greedy_backlog_hysteresis
+                    ~threshold:instance.delta instance ~n)
+          | `Round_robin ->
+              run_plain (fun _ -> Naive_policies.round_robin instance ~n)
+          | `Pipeline ->
+              let t0 = Unix.gettimeofday () in
+              let r = Var_batch.run instance ~n ~sink in
+              ((r, Unix.gettimeofday () -. t0), None)
+        in
+        let (r, seconds), _ = outcome in
+        Option.iter
+          (fun oc ->
+            Rrs_obs.Run_summary.write oc
+              (Rrs_obs.Run_summary.make
+                 ~id:(Printf.sprintf "%s-s%d" family seed)
+                 ~kind:"simulate" ~seed
+                 ~config:
+                   [
+                     ("family", family);
+                     ("policy", policy_id policy);
+                     ("n", string_of_int n);
+                   ]
+                 ~reconfig_cost:r.reconfigurations ~drop_cost:r.dropped
+                 ~analysis:
+                   [
+                     ("executed", float_of_int r.executed);
+                     ("rounds", float_of_int r.rounds_simulated);
+                   ]
+                 ~timings:
+                   [
+                     { Rrs_obs.Run_summary.phase = "engine"; seconds; count = 1 };
+                   ]
+                 ()))
+          oc_opt;
+        outcome
       in
       let outcome =
-        match policy with
-        | `Lru_edf -> Some (run_plain Lru_edf.policy)
-        | `Dlru -> Some (run_plain Delta_lru.policy)
-        | `Edf -> Some (run_plain Edf_policy.policy)
-        | `Seq_edf -> Some (run_plain Edf_policy.seq_policy)
-        | `Black -> Some (run_plain Static_policy.black)
-        | `Greedy -> Some (run_plain Naive_policies.greedy_backlog)
-        | `Greedy_hysteresis ->
-            Some
-              (run_plain
-                 (Naive_policies.greedy_backlog_hysteresis
-                    ~threshold:instance.delta))
-        | `Round_robin -> Some (run_plain Naive_policies.round_robin)
-        | `Pipeline ->
-            let r = Var_batch.run instance ~n in
-            Some (r, None)
+        match trace_file with
+        | None -> simulate_with None
+        | Some path ->
+            let result =
+              Out_channel.with_open_text path (fun oc -> simulate_with (Some oc))
+            in
+            Format.printf "trace written to %s@." path;
+            result
       in
       match outcome with
-      | None -> 1
-      | Some (r, report) ->
+      | (r, _), report ->
           Format.printf "cost: %a@." Cost.pp r.cost;
           Format.printf "executed %d, dropped %d, %d recolorings over %d rounds@."
             r.executed r.dropped r.reconfigurations r.rounds_simulated;
@@ -182,7 +273,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run one policy on one workload")
     Term.(
       const simulate $ family_arg $ seed_arg $ resources_arg $ policy_arg
-      $ validate_arg $ metrics_arg $ save_instance_arg)
+      $ validate_arg $ metrics_arg $ trace_arg $ save_instance_arg)
 
 (* ------------------------------------------------------------------ *)
 (* rrs experiment                                                      *)
@@ -197,30 +288,54 @@ let experiment_cmd =
     let doc = "Emit GitHub-markdown tables (for EXPERIMENTS.md updates)." in
     Arg.(value & flag & info [ "markdown" ] ~doc)
   in
-  let run id markdown =
+  let out_arg =
+    let doc =
+      "Append one canonical $(b,run_summary) JSONL line per experiment \
+       (engine cost deltas, run counts, wall time) to this file.  Read it \
+       back with Rrs_obs.Run_summary.load; see doc/TELEMETRY.md."
+    in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let run id markdown out =
     let emit =
       if markdown then Rrs_experiments.Harness.print_markdown
       else Rrs_experiments.Harness.print
     in
-    match id with
-    | None ->
-        List.iter
-          (fun (_, f) -> emit (f ()))
-          Rrs_experiments.Registry.all;
+    let run_one oc_opt id =
+      match oc_opt with
+      | None ->
+          Option.iter (fun f -> emit (f ())) (Rrs_experiments.Registry.find id)
+      | Some oc ->
+          Option.iter
+            (fun (outcome, summary) ->
+              emit outcome;
+              Rrs_obs.Run_summary.write oc summary)
+            (Rrs_experiments.Registry.run_summarized id)
+    in
+    let ids =
+      match id with
+      | None -> Ok (Rrs_experiments.Registry.ids ())
+      | Some id ->
+          if Rrs_experiments.Registry.find id <> None then Ok [ id ]
+          else Error id
+    in
+    match ids with
+    | Error id ->
+        Printf.eprintf "unknown experiment %s; known: %s\n" id
+          (String.concat ", " (Rrs_experiments.Registry.ids ()));
+        1
+    | Ok ids ->
+        (match out with
+        | None -> List.iter (run_one None) ids
+        | Some path ->
+            Out_channel.with_open_text path (fun oc ->
+                List.iter (run_one (Some oc)) ids);
+            Format.printf "run summaries written to %s@." path);
         0
-    | Some id -> (
-        match Rrs_experiments.Registry.find id with
-        | Some f ->
-            emit (f ());
-            0
-        | None ->
-            Printf.eprintf "unknown experiment %s; known: %s\n" id
-              (String.concat ", " (Rrs_experiments.Registry.ids ()));
-            1)
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a reproduction experiment")
-    Term.(const run $ id_arg $ markdown_arg)
+    Term.(const run $ id_arg $ markdown_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* rrs opt                                                             *)

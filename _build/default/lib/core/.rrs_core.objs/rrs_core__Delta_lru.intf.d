@@ -1,1 +1,1 @@
-lib/core/delta_lru.mli: Eligibility Instance Policy
+lib/core/delta_lru.mli: Eligibility Instance Policy Rrs_obs

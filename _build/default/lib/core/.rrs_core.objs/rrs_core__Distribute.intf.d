@@ -1,1 +1,1 @@
-lib/core/distribute.mli: Engine Instance Policy Types
+lib/core/distribute.mli: Engine Instance Policy Rrs_obs Types

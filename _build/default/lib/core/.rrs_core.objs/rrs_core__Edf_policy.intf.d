@@ -1,1 +1,1 @@
-lib/core/edf_policy.mli: Eligibility Instance Policy
+lib/core/edf_policy.mli: Eligibility Instance Policy Rrs_obs

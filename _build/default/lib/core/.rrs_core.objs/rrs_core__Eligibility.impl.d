@@ -1,1 +1,1 @@
-lib/core/eligibility.ml: Array Instance List Policy Rrs_dstruct
+lib/core/eligibility.ml: Array Instance List Policy Rrs_dstruct Rrs_obs

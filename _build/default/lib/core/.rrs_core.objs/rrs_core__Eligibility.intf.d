@@ -1,1 +1,1 @@
-lib/core/eligibility.mli: Instance Policy Types
+lib/core/eligibility.mli: Instance Policy Rrs_obs Types

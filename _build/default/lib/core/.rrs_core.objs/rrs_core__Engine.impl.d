@@ -1,1 +1,1 @@
-lib/core/engine.ml: Array Cost Fun Instance List Pending Policy Schedule Types
+lib/core/engine.ml: Array Cost Fun Instance List Pending Policy Rrs_obs Schedule Types

@@ -1,1 +1,1 @@
-lib/core/engine.mli: Cost Instance Policy Schedule Types
+lib/core/engine.mli: Cost Instance Policy Rrs_obs Schedule Types

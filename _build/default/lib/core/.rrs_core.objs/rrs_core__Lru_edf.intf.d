@@ -1,1 +1,1 @@
-lib/core/lru_edf.mli: Eligibility Instance Policy
+lib/core/lru_edf.mli: Eligibility Instance Policy Rrs_obs

@@ -1,1 +1,1 @@
-lib/core/super_epochs.ml: Eligibility Hashtbl List
+lib/core/super_epochs.ml: Eligibility Hashtbl List Rrs_obs

@@ -1,1 +1,1 @@
-lib/core/super_epochs.mli: Eligibility
+lib/core/super_epochs.mli: Eligibility Rrs_obs

@@ -1,1 +1,1 @@
-lib/core/var_batch.mli: Engine Instance Policy
+lib/core/var_batch.mli: Engine Instance Policy Rrs_obs

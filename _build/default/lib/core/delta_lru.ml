@@ -5,10 +5,10 @@ let rec take k = function
   | _ when k = 0 -> []
   | x :: rest -> x :: take (k - 1) rest
 
-let make (instance : Instance.t) ~n =
+let make ?sink (instance : Instance.t) ~n =
   if n < 2 || n mod 2 <> 0 then
     invalid_arg "Delta_lru.make: n must be a positive multiple of 2";
-  let eligibility = Eligibility.create instance in
+  let eligibility = Eligibility.create ?sink instance in
   let cache =
     Cache_state.create ~num_colors:instance.num_colors ~distinct_slots:(n / 2)
   in

@@ -10,8 +10,10 @@ type instrumented = { policy : Policy.t; eligibility : Eligibility.t }
 (** The policy plus analysis access to its eligibility machinery
     (epochs, wrap events, eligible/ineligible drop split). *)
 
-val make : Instance.t -> n:int -> instrumented
-(** @raise Invalid_argument if [n] is not a positive multiple of 2. *)
+val make : ?sink:Rrs_obs.Sink.t -> Instance.t -> n:int -> instrumented
+(** [sink] is handed to the underlying {!Eligibility.create}, streaming
+    the analysis events (epochs, wraps, timestamp updates).
+    @raise Invalid_argument if [n] is not a positive multiple of 2. *)
 
 val policy : Policy.factory
 (** [make] with the instrumentation discarded — for plain engine runs. *)

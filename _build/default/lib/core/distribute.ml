@@ -71,9 +71,7 @@ let transform (instance : Instance.t) =
 let project mapping color =
   if color = Types.black then Types.black else mapping.orig_of_sub.(color)
 
-let run ?(policy = Lru_edf.policy) instance ~n =
+let run ?(policy = Lru_edf.policy) ?sink instance ~n =
   let mapping = transform instance in
-  let cfg =
-    Engine.config ~n ~cost_projection:(project mapping) ()
-  in
+  let cfg = Engine.config ~n ~cost_projection:(project mapping) ?sink () in
   Engine.run cfg mapping.sub_instance policy

@@ -9,8 +9,9 @@ let rec take k = function
    new cached set is the best [distinct_slots] of (currently cached ∪
    top-ranked nonidle additions); evictions happen only under capacity
    pressure and take the worst-ranked colors, exactly as in the paper. *)
-let make_scheme ~name ~replicated ~distinct_slots (instance : Instance.t) =
-  let eligibility = Eligibility.create instance in
+let make_scheme ?sink ~name ~replicated ~distinct_slots (instance : Instance.t)
+    =
+  let eligibility = Eligibility.create ?sink instance in
   let cache =
     Cache_state.create ~num_colors:instance.num_colors ~distinct_slots
   in
@@ -48,15 +49,17 @@ let make_scheme ~name ~replicated ~distinct_slots (instance : Instance.t) =
   in
   { policy = { Policy.name; reconfigure }; eligibility }
 
-let make instance ~n =
+let make ?sink instance ~n =
   if n < 2 || n mod 2 <> 0 then
     invalid_arg "Edf_policy.make: n must be a positive multiple of 2";
-  make_scheme ~name:"edf" ~replicated:true ~distinct_slots:(n / 2) instance
+  make_scheme ?sink ~name:"edf" ~replicated:true ~distinct_slots:(n / 2)
+    instance
 
 let policy instance ~n = (make instance ~n).policy
 
-let make_seq instance ~n =
+let make_seq ?sink instance ~n =
   if n < 1 then invalid_arg "Edf_policy.make_seq: n < 1";
-  make_scheme ~name:"seq-edf" ~replicated:false ~distinct_slots:n instance
+  make_scheme ?sink ~name:"seq-edf" ~replicated:false ~distinct_slots:n
+    instance
 
 let seq_policy instance ~n = (make_seq instance ~n).policy

@@ -15,13 +15,14 @@
 
 type instrumented = { policy : Policy.t; eligibility : Eligibility.t }
 
-val make : Instance.t -> n:int -> instrumented
-(** Standard EDF: [n/2] distinct slots, replicated.
+val make : ?sink:Rrs_obs.Sink.t -> Instance.t -> n:int -> instrumented
+(** Standard EDF: [n/2] distinct slots, replicated.  [sink] is handed
+    to the underlying {!Eligibility.create}.
     @raise Invalid_argument if [n] is not a positive multiple of 2. *)
 
 val policy : Policy.factory
 
-val make_seq : Instance.t -> n:int -> instrumented
+val make_seq : ?sink:Rrs_obs.Sink.t -> Instance.t -> n:int -> instrumented
 (** Seq-EDF: [n] distinct slots, no replication.
     @raise Invalid_argument if [n < 1]. *)
 

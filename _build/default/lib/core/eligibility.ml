@@ -19,9 +19,11 @@ type t = {
   mutable eligible_drops : int;
   mutable ineligible_drops : int;
   mutable timestamp_listeners : (int -> int -> unit) list;
+  sink : Rrs_obs.Sink.t;
+  tracing : bool;
 }
 
-let create (instance : Instance.t) =
+let create ?(sink = Rrs_obs.Sink.null) (instance : Instance.t) =
   let info =
     Array.init instance.num_colors (fun _ ->
         {
@@ -49,6 +51,8 @@ let create (instance : Instance.t) =
     eligible_drops = 0;
     ineligible_drops = 0;
     timestamp_listeners = [];
+    sink;
+    tracing = Rrs_obs.Sink.enabled sink;
   }
 
 let classify_drop t color count =
@@ -63,6 +67,9 @@ let process_boundary t ~round ~in_cache color =
      here. *)
   if ci.timestamp <> ci.last_wrap then begin
     ci.timestamp <- ci.last_wrap;
+    if t.tracing then
+      Rrs_obs.Sink.emit t.sink
+        (Rrs_obs.Event.Timestamp_update { round; color });
     List.iter (fun f -> f color round) (List.rev t.timestamp_listeners)
   end;
   if ci.eligible && not (in_cache color) then begin
@@ -70,7 +77,11 @@ let process_boundary t ~round ~in_cache color =
     ci.cnt <- 0;
     ci.epochs_ended <- ci.epochs_ended + 1;
     ci.active_epoch <- false;
-    t.total_epochs_ended <- t.total_epochs_ended + 1
+    t.total_epochs_ended <- t.total_epochs_ended + 1;
+    if t.tracing then
+      Rrs_obs.Sink.emit t.sink
+        (Rrs_obs.Event.Epoch_close
+           { round; color; epochs_ended = ci.epochs_ended })
   end;
   ci.dd <- round + t.delay.(color);
   Rrs_dstruct.Binary_heap.add t.boundary (round + t.delay.(color), color)
@@ -78,12 +89,25 @@ let process_boundary t ~round ~in_cache color =
 let process_arrival t ~round color count =
   if count > 0 then begin
     let ci = t.info.(color) in
-    ci.active_epoch <- true;
+    if not ci.active_epoch then begin
+      ci.active_epoch <- true;
+      if t.tracing then
+        Rrs_obs.Sink.emit t.sink (Rrs_obs.Event.Epoch_open { round; color })
+    end;
     ci.cnt <- ci.cnt + count;
     if ci.cnt >= t.delta then begin
       ci.cnt <- ci.cnt mod t.delta;
       ci.last_wrap <- round;
       ci.wrap_events <- ci.wrap_events + 1;
+      if t.tracing then begin
+        Rrs_obs.Sink.emit t.sink
+          (Rrs_obs.Event.Counter_wrap { round; color; wraps = ci.wrap_events });
+        (* each wrap banks Δ credit: the charging currency of
+           Lemmas 3.3/3.11 (the epoch's reconfigurations are paid for by
+           the credits its wraps earned) *)
+        Rrs_obs.Sink.emit t.sink
+          (Rrs_obs.Event.Credit { round; color; amount = t.delta })
+      end;
       if not ci.eligible then ci.eligible <- true
     end
   end

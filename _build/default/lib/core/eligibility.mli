@@ -22,7 +22,13 @@
 
 type t
 
-val create : Instance.t -> t
+val create : ?sink:Rrs_obs.Sink.t -> Instance.t -> t
+(** [sink] (default {!Rrs_obs.Sink.null}) receives the analysis events
+    as they happen: [Epoch_open]/[Epoch_close], [Counter_wrap] (plus a
+    [Credit] of [Δ] per wrap — the charging currency of Lemmas 3.3/3.11)
+    and [Timestamp_update].  The event stream is a faithful superset of
+    the counters below: counting events of a kind reproduces the
+    corresponding totals exactly. *)
 
 val begin_round :
   t -> view:Policy.view -> in_cache:(Types.color -> bool) -> unit

@@ -3,13 +3,14 @@ type config = {
   mini_rounds : int;
   record_schedule : bool;
   cost_projection : (Types.color -> Types.color) option;
+  sink : Rrs_obs.Sink.t;
 }
 
-let config ?(mini_rounds = 1) ?(record_schedule = false) ?cost_projection ~n ()
-    =
+let config ?(mini_rounds = 1) ?(record_schedule = false) ?cost_projection
+    ?(sink = Rrs_obs.Sink.null) ~n () =
   if n < 1 then invalid_arg "Engine.config: n < 1";
   if mini_rounds < 1 then invalid_arg "Engine.config: mini_rounds < 1";
-  { n; mini_rounds; record_schedule; cost_projection }
+  { n; mini_rounds; record_schedule; cost_projection; sink }
 
 type result = {
   cost : Cost.t;
@@ -37,6 +38,8 @@ let run_policy cfg (instance : Instance.t) (policy : Policy.t) =
   let cache = Array.make cfg.n Types.black in
   let arrivals = Instance.arrivals_by_round instance in
   let project = match cfg.cost_projection with Some f -> f | None -> Fun.id in
+  let sink = cfg.sink in
+  let tracing = Rrs_obs.Sink.enabled sink in
   let events = if cfg.record_schedule then Some (ref []) else None in
   let record round e =
     match events with Some evs -> evs := (round, e) :: !evs | None -> ()
@@ -54,7 +57,10 @@ let run_policy cfg (instance : Instance.t) (policy : Policy.t) =
       (fun (color, count) ->
         dropped := !dropped + count;
         drops_by_color.(color) <- drops_by_color.(color) + count;
-        record round (Schedule.Drop { color = project color; count }))
+        record round (Schedule.Drop { color = project color; count });
+        if tracing then
+          Rrs_obs.Sink.emit sink
+            (Rrs_obs.Event.Drop { round; color = project color; count }))
       expired;
     (* arrival phase *)
     let batch = if round < Array.length arrivals then arrivals.(round) else [] in
@@ -62,10 +68,14 @@ let run_policy cfg (instance : Instance.t) (policy : Policy.t) =
       (fun (color, count) ->
         Pending.add pending color
           ~deadline:(round + instance.delay.(color))
-          ~count)
+          ~count;
+        if tracing then
+          Rrs_obs.Sink.emit sink (Rrs_obs.Event.Arrival { round; color; count }))
       batch;
     (* reconfiguration + execution, [mini_rounds] times *)
     for mini_round = 0 to cfg.mini_rounds - 1 do
+      if tracing then
+        Rrs_obs.Sink.emit sink (Rrs_obs.Event.Mini_round { round; mini_round });
       let view =
         {
           Policy.round;
@@ -91,7 +101,17 @@ let run_policy cfg (instance : Instance.t) (policy : Policy.t) =
                    mini_round;
                    from_color = project old_color;
                    to_color = project new_color;
-                 })
+                 });
+            if tracing then
+              Rrs_obs.Sink.emit sink
+                (Rrs_obs.Event.Reconfigure
+                   {
+                     round;
+                     mini_round;
+                     resource;
+                     from_color = project old_color;
+                     to_color = project new_color;
+                   })
           end;
           cache.(resource) <- new_color
         end
@@ -106,7 +126,11 @@ let run_policy cfg (instance : Instance.t) (policy : Policy.t) =
               executions_by_color.(color) <- executions_by_color.(color) + 1;
               record round
                 (Schedule.Execute
-                   { resource; mini_round; color = project color })
+                   { resource; mini_round; color = project color });
+              if tracing then
+                Rrs_obs.Sink.emit sink
+                  (Rrs_obs.Event.Execute
+                     { round; mini_round; resource; color = project color })
           | None -> ()
       done
     done

@@ -14,19 +14,28 @@
     view): when set, a reconfiguration is only charged if the *projected*
     colors differ.  The {!Distribute} reduction uses this to price its
     final schedule, in which all subcolors [(ℓ, j)] of a color collapse
-    back to [ℓ] (paper, Lemma 4.2). *)
+    back to [ℓ] (paper, Lemma 4.2).
+
+    [sink] receives a typed {!Rrs_obs.Event.t} for every round-phase
+    action (drop, arrival, mini-round start, charged reconfiguration,
+    execution).  Reconfigure/Drop/Execute events carry post-projection
+    colors, so the event stream always reproduces the cost accounting.
+    With the default {!Rrs_obs.Sink.null} the engine allocates nothing
+    for tracing and pays one predictable branch per potential event. *)
 
 type config = {
   n : int;  (** resources given to the policy *)
   mini_rounds : int;  (** 1 = uni-speed, 2 = double-speed *)
   record_schedule : bool;
   cost_projection : (Types.color -> Types.color) option;
+  sink : Rrs_obs.Sink.t;  (** round-phase event sink *)
 }
 
 val config :
   ?mini_rounds:int ->
   ?record_schedule:bool ->
   ?cost_projection:(Types.color -> Types.color) ->
+  ?sink:Rrs_obs.Sink.t ->
   n:int ->
   unit ->
   config

@@ -8,8 +8,8 @@ let rec take k = function
 let lru_slots ~n = n / 4
 let distinct_capacity ~n = n / 2
 
-let make_tuned ~lru_slots:quota ~distinct_slots ~replicated (instance : Instance.t)
-    ~n =
+let make_tuned ?sink ~lru_slots:quota ~distinct_slots ~replicated
+    (instance : Instance.t) ~n =
   let expected_n = if replicated then 2 * distinct_slots else distinct_slots in
   if n <> expected_n then
     invalid_arg
@@ -19,7 +19,7 @@ let make_tuned ~lru_slots:quota ~distinct_slots ~replicated (instance : Instance
          n distinct_slots replicated);
   if quota < 0 || quota > distinct_slots then
     invalid_arg "Lru_edf.make_tuned: lru_slots out of range";
-  let eligibility = Eligibility.create instance in
+  let eligibility = Eligibility.create ?sink instance in
   let cache =
     Cache_state.create ~num_colors:instance.num_colors ~distinct_slots
   in
@@ -73,10 +73,10 @@ let make_tuned ~lru_slots:quota ~distinct_slots ~replicated (instance : Instance
   in
   { policy = { Policy.name; reconfigure }; eligibility }
 
-let make (instance : Instance.t) ~n =
+let make ?sink (instance : Instance.t) ~n =
   if n < 4 || n mod 4 <> 0 then
     invalid_arg "Lru_edf.make: n must be a positive multiple of 4";
-  make_tuned ~lru_slots:(lru_slots ~n)
+  make_tuned ?sink ~lru_slots:(lru_slots ~n)
     ~distinct_slots:(distinct_capacity ~n)
     ~replicated:true instance ~n
 

@@ -24,14 +24,16 @@
 
 type instrumented = { policy : Policy.t; eligibility : Eligibility.t }
 
-val make : Instance.t -> n:int -> instrumented
+val make : ?sink:Rrs_obs.Sink.t -> Instance.t -> n:int -> instrumented
 (** The paper's configuration: [n/4] LRU slots, [n/4] EDF slots,
-    replicated.
+    replicated.  [sink] is handed to the underlying
+    {!Eligibility.create}, streaming the analysis events.
     @raise Invalid_argument if [n] is not a positive multiple of 4. *)
 
 val policy : Policy.factory
 
 val make_tuned :
+  ?sink:Rrs_obs.Sink.t ->
   lru_slots:int ->
   distinct_slots:int ->
   replicated:bool ->

@@ -13,9 +13,14 @@
 
 type t
 
-val attach : Eligibility.t -> m:int -> t
+val attach : ?sink:Rrs_obs.Sink.t -> Eligibility.t -> m:int -> t
 (** Start observing an eligibility state (register a timestamp-update
     listener).  [m] is the offline resource count of the analysis.
+    [sink] (default {!Rrs_obs.Sink.null}) receives a
+    [Super_epoch { index; active_colors; updates; _ }] event the moment
+    each super-epoch completes; counting those events reproduces
+    {!completed} and their [active_colors] payloads reproduce
+    {!active_colors_per_super_epoch} exactly.
     @raise Invalid_argument if [m < 1]. *)
 
 val completed : t -> int

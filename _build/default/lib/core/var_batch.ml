@@ -18,5 +18,5 @@ let transform (instance : Instance.t) =
     ~name:(instance.name ^ "+varbatch")
     ~delta:instance.delta ~delay:delay' ~arrivals ()
 
-let run ?(policy = Lru_edf.policy) instance ~n =
-  Distribute.run ~policy (transform instance) ~n
+let run ?(policy = Lru_edf.policy) ?sink instance ~n =
+  Distribute.run ~policy ?sink (transform instance) ~n

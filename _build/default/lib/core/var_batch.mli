@@ -20,7 +20,13 @@ val batched_delay : int -> int
 val transform : Instance.t -> Instance.t
 (** The batched instance over the same color ids. *)
 
-val run : ?policy:Policy.factory -> Instance.t -> n:int -> Engine.result
+val run :
+  ?policy:Policy.factory ->
+  ?sink:Rrs_obs.Sink.t ->
+  Instance.t ->
+  n:int ->
+  Engine.result
 (** Full pipeline: VarBatch → Distribute → policy (default ΔLRU-EDF),
-    with cost projection back to original colors.  Works on any
+    with cost projection back to original colors.  [sink] receives the
+    engine's round-phase events in original colors.  Works on any
     instance. *)

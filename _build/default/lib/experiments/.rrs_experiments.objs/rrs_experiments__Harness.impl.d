@@ -1,1 +1,1 @@
-lib/experiments/harness.ml: List Printf Rrs_core Rrs_report
+lib/experiments/harness.ml: List Printf Rrs_core Rrs_obs Rrs_report

@@ -1,1 +1,1 @@
-lib/experiments/harness.mli: Rrs_core Rrs_report
+lib/experiments/harness.mli: Rrs_core Rrs_obs Rrs_report

@@ -1,1 +1,1 @@
-lib/experiments/registry.mli: Harness
+lib/experiments/registry.mli: Harness Rrs_obs

@@ -21,8 +21,34 @@ let print_markdown outcome =
   List.iter (fun f -> Printf.printf "- %s\n" f) outcome.findings;
   print_newline ()
 
+let telemetry = Rrs_obs.Metrics.create ()
+let engine_runs = Rrs_obs.Metrics.counter telemetry "engine_runs"
+let reconfig_cost = Rrs_obs.Metrics.counter telemetry "reconfig_cost"
+let drop_cost = Rrs_obs.Metrics.counter telemetry "drop_cost"
+let engine_timer = Rrs_obs.Metrics.timer telemetry "engine_run"
+
+type snapshot = { runs : int; reconfig : int; drop : int; seconds : float }
+
+let snapshot () =
+  {
+    runs = Rrs_obs.Metrics.value engine_runs;
+    reconfig = Rrs_obs.Metrics.value reconfig_cost;
+    drop = Rrs_obs.Metrics.value drop_cost;
+    seconds = Rrs_obs.Metrics.timer_total engine_timer;
+  }
+
+let record_result (result : Rrs_core.Engine.result) =
+  Rrs_obs.Metrics.inc engine_runs 1;
+  Rrs_obs.Metrics.inc reconfig_cost result.reconfigurations;
+  Rrs_obs.Metrics.inc drop_cost result.dropped
+
 let run_policy instance ~n factory =
-  Rrs_core.Engine.run (Rrs_core.Engine.config ~n ()) instance factory
+  let result =
+    Rrs_obs.Metrics.time engine_timer (fun () ->
+        Rrs_core.Engine.run (Rrs_core.Engine.config ~n ()) instance factory)
+  in
+  record_result result;
+  result
 
 let ratio cost denom =
   if denom = 0 then if cost = 0 then 1.0 else infinity

@@ -21,6 +21,31 @@ val print_markdown : outcome -> unit
 (** Same content with a GitHub-markdown table — for pasting measured
     numbers into EXPERIMENTS.md. *)
 
+(** {2 Telemetry}
+
+    Every engine run started through {!run_policy} (or reported with
+    {!record_result}) is accounted in a process-wide
+    {!Rrs_obs.Metrics} registry: counters [engine_runs],
+    [reconfig_cost], [drop_cost] and timer [engine_run].
+    {!Registry.run_summarized} diffs {!snapshot}s around one experiment
+    to produce its {!Rrs_obs.Run_summary.t}. *)
+
+val telemetry : Rrs_obs.Metrics.t
+
+type snapshot = {
+  runs : int;  (** engine runs completed so far *)
+  reconfig : int;  (** total reconfigurations charged *)
+  drop : int;  (** total jobs dropped *)
+  seconds : float;  (** total wall time inside the engine *)
+}
+
+val snapshot : unit -> snapshot
+
+val record_result : Rrs_core.Engine.result -> unit
+(** Fold one engine result into {!telemetry} — for experiments that
+    drive {!Rrs_core.Engine.run} directly rather than via
+    {!run_policy} (the run's wall time is not captured). *)
+
 (** {2 Shared helpers} *)
 
 val run_policy :

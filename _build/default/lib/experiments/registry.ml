@@ -20,5 +20,32 @@ let all =
 let ids () = List.map fst all
 let find id = List.assoc_opt id all
 
+let summarize id (outcome : Harness.outcome) ~(before : Harness.snapshot)
+    ~(after : Harness.snapshot) ~seconds =
+  Rrs_obs.Run_summary.make ~id ~kind:"experiment"
+    ~config:[ ("title", outcome.title) ]
+    ~reconfig_cost:(after.reconfig - before.reconfig)
+    ~drop_cost:(after.drop - before.drop)
+    ~analysis:
+      [
+        ("engine_runs", float_of_int (after.runs - before.runs));
+        ("engine_seconds", after.seconds -. before.seconds);
+        ("findings", float_of_int (List.length outcome.findings));
+      ]
+    ~timings:
+      [ { Rrs_obs.Run_summary.phase = "experiment"; seconds; count = 1 } ]
+    ()
+
+let run_summarized id =
+  match find id with
+  | None -> None
+  | Some run ->
+      let before = Harness.snapshot () in
+      let t0 = Unix.gettimeofday () in
+      let outcome = run () in
+      let seconds = Unix.gettimeofday () -. t0 in
+      let after = Harness.snapshot () in
+      Some (outcome, summarize id outcome ~before ~after ~seconds)
+
 let run_and_print_all () =
   List.iter (fun (_, run) -> Harness.print (run ())) all

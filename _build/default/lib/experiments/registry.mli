@@ -6,4 +6,13 @@ val all : (string * (unit -> Harness.outcome)) list
 
 val ids : unit -> string list
 val find : string -> (unit -> Harness.outcome) option
+
+val run_summarized :
+  string -> (Harness.outcome * Rrs_obs.Run_summary.t) option
+(** Run one experiment and also return its canonical run artifact:
+    engine cost and run-count deltas from {!Harness.snapshot}, total
+    wall time as the ["experiment"] phase timing.  [None] for unknown
+    ids.  This is what [rrs experiment --out] writes, one JSONL line
+    per experiment. *)
+
 val run_and_print_all : unit -> unit

@@ -1,0 +1,1 @@
+lib/obs/event.ml: Json List Printf Result

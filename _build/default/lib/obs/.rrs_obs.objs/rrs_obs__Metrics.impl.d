@@ -1,0 +1,1 @@
+lib/obs/metrics.ml: Float Fun Hashtbl Json List Printf Rrs_stats Unix

@@ -1,0 +1,1 @@
+lib/obs/run_summary.ml: In_channel Json List Option Printf Result String

@@ -1,0 +1,1 @@
+lib/obs/run_summary.mli: Json

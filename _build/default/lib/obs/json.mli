@@ -1,0 +1,46 @@
+(** Minimal JSON: exactly what the telemetry artifacts need, with a
+    {e canonical} serialisation so that [parse] followed by [to_string]
+    reproduces a [to_string]-produced document byte for byte.  (The
+    container ships no JSON library; this hand-rolled one keeps the
+    dependency footprint at zero.)
+
+    Canonical form: no whitespace, fields in construction order, floats
+    printed as the shortest ["%.12g"] that round-trips (falling back to
+    ["%.17g"]), integer-valued floats as ["%.1f"] so they stay floats on
+    re-parse. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+val to_string : t -> string
+(** Canonical, single-line.
+    @raise Invalid_argument on a non-finite float (JSON cannot represent
+    them; telemetry values are always finite). *)
+
+val parse : string -> (t, string) result
+(** Strict JSON parser: one document, no trailing garbage.  Numbers with
+    a ['.'], ['e'] or ['E'] parse as [Float], others as [Int] ([Float]
+    when they overflow).  String escapes: the JSON standard set plus
+    [\uXXXX] for BMP code points (surrogate pairs are combined). *)
+
+val parse_exn : string -> t
+(** @raise Invalid_argument on a parse error. *)
+
+(** {2 Accessors} — all shallow, for decoding artifact records. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Assoc]; [None] on other constructors. *)
+
+val to_int : t -> (int, string) result
+val to_float : t -> (float, string) result
+(** Accepts [Int] too (exact widening). *)
+
+val to_string_lit : t -> (string, string) result
+val to_list : t -> (t list, string) result
+val to_assoc : t -> ((string * t) list, string) result

@@ -1,0 +1,169 @@
+type counter = { mutable count : int }
+type gauge = { mutable gauge_value : float }
+
+type histogram = Rrs_stats.Histogram.t
+
+type timer = Rrs_stats.Running.t
+type span = { timer : timer; started_at : float; mutable stopped : bool }
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+  | Timer of timer
+
+type t = { instruments : (string, instrument) Hashtbl.t }
+
+let create () = { instruments = Hashtbl.create 16 }
+
+let counter t name =
+  match Hashtbl.find_opt t.instruments name with
+  | Some (Counter c) -> c
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S is already registered, not as a counter"
+           name)
+  | None ->
+      let c = { count = 0 } in
+      Hashtbl.add t.instruments name (Counter c);
+      c
+
+let inc c by =
+  if by < 0 then invalid_arg "Metrics.inc: negative increment";
+  c.count <- c.count + by
+
+let value c = c.count
+
+let gauge t name =
+  match Hashtbl.find_opt t.instruments name with
+  | Some (Gauge g) -> g
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S is already registered, not as a gauge"
+           name)
+  | None ->
+      let g = { gauge_value = Float.nan } in
+      Hashtbl.add t.instruments name (Gauge g);
+      g
+
+let set g v = g.gauge_value <- v
+let gauge_value g = g.gauge_value
+
+let histogram t name ~max_value =
+  match Hashtbl.find_opt t.instruments name with
+  | Some (Histogram h) -> h
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S is already registered, not as a histogram"
+           name)
+  | None ->
+      let h = Rrs_stats.Histogram.create ~max_value in
+      Hashtbl.add t.instruments name (Histogram h);
+      h
+
+let observe h v = Rrs_stats.Histogram.add h v
+let histogram_stats h = h
+
+let timer t name =
+  match Hashtbl.find_opt t.instruments name with
+  | Some (Timer tm) -> tm
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S is already registered, not as a timer"
+           name)
+  | None ->
+      let tm = Rrs_stats.Running.create () in
+      Hashtbl.add t.instruments name (Timer tm);
+      tm
+
+let start timer = { timer; started_at = Unix.gettimeofday (); stopped = false }
+
+let stop span =
+  if span.stopped then invalid_arg "Metrics.stop: span already stopped";
+  span.stopped <- true;
+  let elapsed = Float.max 0. (Unix.gettimeofday () -. span.started_at) in
+  Rrs_stats.Running.add span.timer elapsed;
+  elapsed
+
+let time timer thunk =
+  let span = start timer in
+  Fun.protect ~finally:(fun () -> ignore (stop span)) thunk
+
+let timer_count = Rrs_stats.Running.count
+let timer_total = Rrs_stats.Running.sum
+let timer_stats tm = tm
+
+let sorted_instruments t =
+  Hashtbl.fold (fun name i acc -> (name, i) :: acc) t.instruments []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let timers t =
+  List.filter_map
+    (fun (name, i) ->
+      match i with
+      | Timer tm ->
+          Some (name, Rrs_stats.Running.count tm, Rrs_stats.Running.sum tm)
+      | _ -> None)
+    (sorted_instruments t)
+
+let to_json t =
+  let all = sorted_instruments t in
+  let section f = List.filter_map f all in
+  let counters =
+    section (function
+      | name, Counter c -> Some (name, Json.Int c.count)
+      | _ -> None)
+  in
+  let gauges =
+    section (function
+      | name, Gauge g ->
+          Some
+            ( name,
+              if Float.is_nan g.gauge_value then Json.Null
+              else Json.Float g.gauge_value )
+      | _ -> None)
+  in
+  let histograms =
+    section (function
+      | name, Histogram h ->
+          let buckets =
+            List.map
+              (fun (v, c) -> Json.List [ Json.Int v; Json.Int c ])
+              (Rrs_stats.Histogram.to_assoc h)
+          in
+          Some
+            ( name,
+              Json.Assoc
+                [
+                  ("count", Json.Int (Rrs_stats.Histogram.count h));
+                  ("clamped", Json.Int (Rrs_stats.Histogram.clamped h));
+                  ("buckets", Json.List buckets);
+                ] )
+      | _ -> None)
+  in
+  let timer_sections =
+    section (function
+      | name, Timer tm ->
+          let count = Rrs_stats.Running.count tm in
+          Some
+            ( name,
+              Json.Assoc
+                [
+                  ("count", Json.Int count);
+                  ("total_s", Json.Float (Rrs_stats.Running.sum tm));
+                  ( "mean_s",
+                    if count = 0 then Json.Null
+                    else Json.Float (Rrs_stats.Running.mean tm) );
+                  ( "max_s",
+                    if count = 0 then Json.Null
+                    else Json.Float (Rrs_stats.Running.max tm) );
+                ] )
+      | _ -> None)
+  in
+  Json.Assoc
+    [
+      ("counters", Json.Assoc counters);
+      ("gauges", Json.Assoc gauges);
+      ("histograms", Json.Assoc histograms);
+      ("timers", Json.Assoc timer_sections);
+    ]

@@ -1,0 +1,84 @@
+(** A lightweight metrics registry: named counters, gauges, histograms
+    and phase timers, snapshotable to canonical JSON.
+
+    Instruments are created once (get-or-create by name) and updated on
+    hot paths with O(1), allocation-free operations; {!to_json} is the
+    cold export path.  Histograms reuse {!Rrs_stats.Histogram} (Fenwick
+    backed, exact quantiles); timers reuse {!Rrs_stats.Running}
+    (Welford) over span durations measured with [Unix.gettimeofday] —
+    no [Mtime] dependency, microsecond-ish resolution, which is plenty
+    for per-phase spans.
+
+    Instrument names are free-form; the convention used across the repo
+    is [<subsystem>_<quantity>] (e.g. ["engine_runs"],
+    ["harness_reconfig_cost"]). *)
+
+type t
+
+val create : unit -> t
+
+(** {2 Counters} — monotone integer totals. *)
+
+type counter
+
+val counter : t -> string -> counter
+(** Get or create.  @raise Invalid_argument if the name is registered
+    as a different instrument kind. *)
+
+val inc : counter -> int -> unit
+(** @raise Invalid_argument on a negative increment. *)
+
+val value : counter -> int
+
+(** {2 Gauges} — last-write-wins floats. *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+(** [nan] before the first {!set}. *)
+
+(** {2 Histograms} — integer observations, exact quantiles. *)
+
+type histogram
+
+val histogram : t -> string -> max_value:int -> histogram
+(** Get or create; [max_value] is only consulted on creation. *)
+
+val observe : histogram -> int -> unit
+val histogram_stats : histogram -> Rrs_stats.Histogram.t
+
+(** {2 Phase timers} — wall-clock spans. *)
+
+type timer
+type span
+
+val timer : t -> string -> timer
+
+val start : timer -> span
+(** Spans may nest and interleave freely (each is independent). *)
+
+val stop : span -> float
+(** Records and returns the span duration in seconds (clamped to [>= 0]
+    — [gettimeofday] is not monotonic, durations are).
+    @raise Invalid_argument if the span was already stopped. *)
+
+val time : timer -> (unit -> 'a) -> 'a
+(** Runs the thunk inside a span (recorded even if the thunk raises). *)
+
+val timer_count : timer -> int
+val timer_total : timer -> float
+(** Sum of recorded span durations, seconds. *)
+
+val timer_stats : timer -> Rrs_stats.Running.t
+
+(** {2 Export} *)
+
+val timers : t -> (string * int * float) list
+(** [(name, span count, total seconds)] in ascending name order. *)
+
+val to_json : t -> Json.t
+(** [{"counters":{...},"gauges":{...},"histograms":{...},
+    "timers":{...}}] with every section's fields in ascending name
+    order — canonical, so snapshots diff cleanly. *)

@@ -1,0 +1,145 @@
+type phase_timing = { phase : string; seconds : float; count : int }
+
+type t = {
+  id : string;
+  kind : string;
+  seed : int option;
+  config : (string * string) list;
+  reconfig_cost : int;
+  drop_cost : int;
+  analysis : (string * float) list;
+  timings : phase_timing list;
+}
+
+let make ?seed ?(config = []) ?(reconfig_cost = 0) ?(drop_cost = 0)
+    ?(analysis = []) ?(timings = []) ~id ~kind () =
+  { id; kind; seed; config; reconfig_cost; drop_cost; analysis; timings }
+
+let total_cost t = t.reconfig_cost + t.drop_cost
+
+let to_json t =
+  Json.Assoc
+    [
+      ("type", Json.String "run_summary");
+      ("id", Json.String t.id);
+      ("kind", Json.String t.kind);
+      ("seed", match t.seed with Some s -> Json.Int s | None -> Json.Null);
+      ( "config",
+        Json.Assoc (List.map (fun (k, v) -> (k, Json.String v)) t.config) );
+      ( "cost",
+        Json.Assoc
+          [
+            ("reconfig", Json.Int t.reconfig_cost);
+            ("drop", Json.Int t.drop_cost);
+            ("total", Json.Int (total_cost t));
+          ] );
+      ( "analysis",
+        Json.Assoc (List.map (fun (k, v) -> (k, Json.Float v)) t.analysis) );
+      ( "timings",
+        Json.List
+          (List.map
+             (fun pt ->
+               Json.Assoc
+                 [
+                   ("phase", Json.String pt.phase);
+                   ("seconds", Json.Float pt.seconds);
+                   ("count", Json.Int pt.count);
+                 ])
+             t.timings) );
+    ]
+
+let ( let* ) = Result.bind
+
+let field name json =
+  match Json.member name json with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "run_summary: missing field %S" name)
+
+let of_json json =
+  let* tag = Result.bind (field "type" json) Json.to_string_lit in
+  if tag <> "run_summary" then
+    Error (Printf.sprintf "expected a run_summary line, found type %S" tag)
+  else
+    let* id = Result.bind (field "id" json) Json.to_string_lit in
+    let* kind = Result.bind (field "kind" json) Json.to_string_lit in
+    let* seed =
+      match Json.member "seed" json with
+      | Some Json.Null | None -> Ok None
+      | Some v -> Result.map Option.some (Json.to_int v)
+    in
+    let* config_fields = Result.bind (field "config" json) Json.to_assoc in
+    let* config =
+      List.fold_left
+        (fun acc (k, v) ->
+          let* acc = acc in
+          let* v = Json.to_string_lit v in
+          Ok ((k, v) :: acc))
+        (Ok []) config_fields
+      |> Result.map List.rev
+    in
+    let* cost = field "cost" json in
+    let* reconfig_cost = Result.bind (field "reconfig" cost) Json.to_int in
+    let* drop_cost = Result.bind (field "drop" cost) Json.to_int in
+    let* analysis_fields = Result.bind (field "analysis" json) Json.to_assoc in
+    let* analysis =
+      List.fold_left
+        (fun acc (k, v) ->
+          let* acc = acc in
+          let* v = Json.to_float v in
+          Ok ((k, v) :: acc))
+        (Ok []) analysis_fields
+      |> Result.map List.rev
+    in
+    let* timing_items = Result.bind (field "timings" json) Json.to_list in
+    let* timings =
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          let* phase = Result.bind (field "phase" item) Json.to_string_lit in
+          let* seconds = Result.bind (field "seconds" item) Json.to_float in
+          let* count = Result.bind (field "count" item) Json.to_int in
+          Ok ({ phase; seconds; count } :: acc))
+        (Ok []) timing_items
+      |> Result.map List.rev
+    in
+    Ok { id; kind; seed; config; reconfig_cost; drop_cost; analysis; timings }
+
+let to_line t = Json.to_string (to_json t)
+
+let of_line line =
+  let* json = Json.parse line in
+  of_json json
+
+let write oc t =
+  output_string oc (to_line t);
+  output_char oc '\n'
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_lines with
+  | exception Sys_error msg -> Error msg
+  | lines ->
+      let* summaries =
+        List.fold_left
+          (fun acc (lineno, line) ->
+            let* acc = acc in
+            if String.trim line = "" then Ok acc
+            else
+              match Json.parse line with
+              | Error msg ->
+                  Error (Printf.sprintf "%s:%d: %s" path lineno msg)
+              | Ok json -> (
+                  match Json.member "type" json with
+                  | Some (Json.String "run_summary") -> (
+                      match of_json json with
+                      | Ok summary -> Ok (summary :: acc)
+                      | Error msg ->
+                          Error (Printf.sprintf "%s:%d: %s" path lineno msg))
+                  | Some (Json.String _) -> Ok acc
+                  | _ ->
+                      Error
+                        (Printf.sprintf "%s:%d: line has no \"type\" tag" path
+                           lineno)))
+          (Ok [])
+          (List.mapi (fun k line -> (k + 1, line)) lines)
+      in
+      Ok (List.rev summaries)

@@ -1,0 +1,58 @@
+(** The canonical per-run artifact record.
+
+    One [run_summary] is one line of JSONL: the identity of the run
+    (id, kind, seed), its configuration, its cost breakdown, the
+    analysis quantities measured on it (epochs, wraps, super-epochs,
+    drop splits, …, as a flat name→value map so every producer can
+    contribute what it has), and its phase timings.
+
+    Producers: [rrs simulate --trace], [rrs experiment --out], and
+    [bench/main.exe] ([BENCH_obs.json]).  The reader ({!of_line},
+    {!load}) inverts the writer exactly: re-serialising a parsed line
+    reproduces it byte for byte, which is what lets tests and tooling
+    diff artifacts mechanically. *)
+
+type phase_timing = { phase : string; seconds : float; count : int }
+
+type t = {
+  id : string;  (** experiment id, bench name, or family/policy pair *)
+  kind : string;  (** ["simulate"], ["experiment"] or ["bench"] *)
+  seed : int option;
+  config : (string * string) list;  (** free-form, e.g. policy, n *)
+  reconfig_cost : int;
+  drop_cost : int;
+  analysis : (string * float) list;  (** measured quantities by name *)
+  timings : phase_timing list;
+}
+
+val make :
+  ?seed:int ->
+  ?config:(string * string) list ->
+  ?reconfig_cost:int ->
+  ?drop_cost:int ->
+  ?analysis:(string * float) list ->
+  ?timings:phase_timing list ->
+  id:string ->
+  kind:string ->
+  unit ->
+  t
+
+val total_cost : t -> int
+
+val to_json : t -> Json.t
+(** Tagged [{"type":"run_summary",...}] with a fixed field order. *)
+
+val of_json : Json.t -> (t, string) result
+
+val to_line : t -> string
+(** One JSONL line (no trailing newline). *)
+
+val of_line : string -> (t, string) result
+
+val write : out_channel -> t -> unit
+(** [to_line] plus a newline. *)
+
+val load : string -> (t list, string) result
+(** Read a JSONL file, returning its run summaries in order.  Lines of
+    other types (e.g. events in a [--trace] file) are skipped; blank
+    lines are ignored; a malformed line is an error. *)

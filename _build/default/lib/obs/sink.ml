@@ -1,0 +1,32 @@
+type kind =
+  | Null
+  | Memory of Event.t list ref
+  | Jsonl of out_channel
+  | Callback of (Event.t -> unit)
+
+type t = { kind : kind; mutable emitted : int }
+
+let null = { kind = Null; emitted = 0 }
+let memory () = { kind = Memory (ref []); emitted = 0 }
+let jsonl oc = { kind = Jsonl oc; emitted = 0 }
+let callback f = { kind = Callback f; emitted = 0 }
+let enabled t = match t.kind with Null -> false | _ -> true
+
+let emit t event =
+  match t.kind with
+  | Null -> ()
+  | Memory buffer ->
+      buffer := event :: !buffer;
+      t.emitted <- t.emitted + 1
+  | Jsonl oc ->
+      output_string oc (Event.to_line event);
+      output_char oc '\n';
+      t.emitted <- t.emitted + 1
+  | Callback f ->
+      f event;
+      t.emitted <- t.emitted + 1
+
+let events t =
+  match t.kind with Memory buffer -> List.rev !buffer | _ -> []
+
+let count t = t.emitted

@@ -1,0 +1,41 @@
+(** Event sinks: where instrumented modules send their {!Event.t}s.
+
+    The contract that keeps tracing free when it is off: {b callers must
+    guard emission with {!enabled}}, so that the event constructor (the
+    only allocation) is never evaluated against {!null}:
+
+    {[
+      if Sink.enabled sink then
+        Sink.emit sink (Event.Drop { round; color; count })
+    ]}
+
+    With [Sink.null] the instrumented hot paths therefore cost one
+    branch per potential event and allocate nothing. *)
+
+type t
+
+val null : t
+(** Discards everything; {!enabled} is [false]. *)
+
+val memory : unit -> t
+(** Buffers events in memory; read them back with {!events}. *)
+
+val jsonl : out_channel -> t
+(** Writes one canonical JSON line per event ({!Event.to_line}).  The
+    channel is not closed by the sink; flush or close it yourself. *)
+
+val callback : (Event.t -> unit) -> t
+(** Calls the function on every event — for custom aggregation. *)
+
+val enabled : t -> bool
+(** [false] only for {!null}. *)
+
+val emit : t -> Event.t -> unit
+(** No-op on {!null} (but see the guard contract above). *)
+
+val events : t -> Event.t list
+(** Chronological buffered events of a {!memory} sink; [[]] for every
+    other sink. *)
+
+val count : t -> int
+(** Events emitted so far (0 for {!null}). *)

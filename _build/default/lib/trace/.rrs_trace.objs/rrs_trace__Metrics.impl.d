@@ -1,1 +1,1 @@
-lib/trace/metrics.ml: Array Csv Hashtbl List Pending Policy Rrs_core Rrs_stats Types
+lib/trace/metrics.ml: Array Buffer Csv Fun Hashtbl List Pending Policy Rrs_core Rrs_obs Rrs_stats Types

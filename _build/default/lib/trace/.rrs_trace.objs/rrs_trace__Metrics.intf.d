@@ -1,1 +1,1 @@
-lib/trace/metrics.mli: Rrs_core Rrs_stats
+lib/trace/metrics.mli: Rrs_core Rrs_obs Rrs_stats

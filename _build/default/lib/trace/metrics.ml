@@ -11,12 +11,26 @@ type sample = {
 
 type t = {
   mutable series : sample list; (* reverse chronological *)
-  mutable drops : int;
-  mutable recolorings : int;
+  registry : Rrs_obs.Metrics.t;
+  drops : Rrs_obs.Metrics.counter;
+  recolorings : Rrs_obs.Metrics.counter;
+  backlog_hist : Rrs_obs.Metrics.histogram;
+  project : Types.color -> Types.color;
   mutable previous : Types.color array option;
 }
 
-let create () = { series = []; drops = 0; recolorings = 0; previous = None }
+let create ?(projection = Fun.id) () =
+  let registry = Rrs_obs.Metrics.create () in
+  {
+    series = [];
+    registry;
+    drops = Rrs_obs.Metrics.counter registry "drops";
+    recolorings = Rrs_obs.Metrics.counter registry "recolorings";
+    backlog_hist =
+      Rrs_obs.Metrics.histogram registry "backlog" ~max_value:4096;
+    project = projection;
+    previous = None;
+  }
 
 let distinct_cached assignment =
   let seen = Hashtbl.create 16 in
@@ -25,41 +39,53 @@ let distinct_cached assignment =
     assignment;
   Hashtbl.length seen
 
-let count_recolorings previous assignment =
-  match previous with
+(* A recoloring is counted exactly when the engine charges one: the
+   previous and new colors differ *after* the cost projection.  In the
+   no-previous case the engine's baseline is the all-black initial
+   cache, so a slot is charged iff its projected color differs from the
+   projected black — not simply iff it is non-black, which over-charged
+   under [cost_projection] (the old disagreement with [Engine]). *)
+let count_recolorings ~project previous assignment =
+  let changes = ref 0 in
+  (match previous with
   | None ->
-      Array.fold_left
-        (fun acc c -> if c <> Types.black then acc + 1 else acc)
-        0 assignment
+      Array.iter
+        (fun c -> if project Types.black <> project c then incr changes)
+        assignment
   | Some prev ->
-      let changes = ref 0 in
-      Array.iteri (fun i c -> if prev.(i) <> c then incr changes) assignment;
-      !changes
+      Array.iteri
+        (fun i c -> if project prev.(i) <> project c then incr changes)
+        assignment);
+  !changes
 
 let observe t (view : Policy.view) assignment =
   if view.mini_round = 0 then
-    t.drops <-
-      t.drops + List.fold_left (fun acc (_, c) -> acc + c) 0 view.dropped;
-  t.recolorings <- t.recolorings + count_recolorings t.previous assignment;
+    Rrs_obs.Metrics.inc t.drops
+      (List.fold_left (fun acc (_, c) -> acc + c) 0 view.dropped);
+  Rrs_obs.Metrics.inc t.recolorings
+    (count_recolorings ~project:t.project t.previous assignment);
   t.previous <- Some (Array.copy assignment);
+  let backlog = Pending.grand_total view.pending in
   let sample =
     {
       round = view.round;
-      backlog = Pending.grand_total view.pending;
+      backlog;
       nonidle_colors = Pending.nonidle_count view.pending;
       cached_colors = distinct_cached assignment;
-      cumulative_drops = t.drops;
-      cumulative_recolorings = t.recolorings;
+      cumulative_drops = Rrs_obs.Metrics.value t.drops;
+      cumulative_recolorings = Rrs_obs.Metrics.value t.recolorings;
     }
   in
   match t.series with
   | head :: rest when head.round = view.round ->
       (* later mini-round of the same round: replace *)
       t.series <- sample :: rest
-  | _ -> t.series <- sample :: t.series
+  | _ ->
+      Rrs_obs.Metrics.observe t.backlog_hist backlog;
+      t.series <- sample :: t.series
 
-let instrument (policy : Policy.t) =
-  let t = create () in
+let instrument ?projection (policy : Policy.t) =
+  let t = create ?projection () in
   let reconfigure view =
     let assignment = policy.Policy.reconfigure view in
     observe t view assignment;
@@ -68,6 +94,7 @@ let instrument (policy : Policy.t) =
   (t, { Policy.name = policy.name ^ "+metrics"; reconfigure })
 
 let samples t = List.rev t.series
+let registry t = t.registry
 
 let to_csv t =
   let header =
@@ -95,6 +122,35 @@ let to_csv t =
       (samples t)
   in
   Csv.render (header :: rows)
+
+let sample_to_json s =
+  Rrs_obs.Json.Assoc
+    [
+      ("type", Rrs_obs.Json.String "metrics_sample");
+      ("round", Rrs_obs.Json.Int s.round);
+      ("backlog", Rrs_obs.Json.Int s.backlog);
+      ("nonidle_colors", Rrs_obs.Json.Int s.nonidle_colors);
+      ("cached_colors", Rrs_obs.Json.Int s.cached_colors);
+      ("cumulative_drops", Rrs_obs.Json.Int s.cumulative_drops);
+      ("cumulative_recolorings", Rrs_obs.Json.Int s.cumulative_recolorings);
+    ]
+
+let to_jsonl t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Rrs_obs.Json.to_string (sample_to_json s));
+      Buffer.add_char buf '\n')
+    (samples t);
+  Buffer.add_string buf
+    (Rrs_obs.Json.to_string
+       (Rrs_obs.Json.Assoc
+          [
+            ("type", Rrs_obs.Json.String "metrics_registry");
+            ("registry", Rrs_obs.Metrics.to_json t.registry);
+          ]));
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
 
 let backlog_summary t =
   Rrs_stats.Summary.of_list

@@ -3,8 +3,17 @@
     [instrument] wraps any policy so that, without touching the engine,
     every round's reconfiguration phase records: the pending backlog, the
     number of nonidle colors, the distinct cached colors, and the
-    cumulative drop and recoloring counts.  The series drive the
-    queue-dynamics views of the examples and can be exported as CSV. *)
+    cumulative drop and recoloring counts.  The counts are kept in an
+    {!Rrs_obs.Metrics} registry (counters ["drops"]/["recolorings"], a
+    ["backlog"] histogram), so they export alongside the rest of the
+    telemetry; the series drive the queue-dynamics views of the examples
+    and can be exported as JSONL (canonical) or CSV (legacy).
+
+    Recolorings are counted with the engine's own accounting rule: a
+    slot is charged iff its color differs {e after the cost projection}
+    (pass [projection] when the run uses [Engine.config
+    ~cost_projection]; the default is the identity).  The cumulative
+    count therefore always matches [Engine.result.reconfigurations]. *)
 
 type sample = {
   round : Rrs_core.Types.round;
@@ -17,14 +26,30 @@ type sample = {
 
 type t
 
-val instrument : Rrs_core.Policy.t -> t * Rrs_core.Policy.t
+val instrument :
+  ?projection:(Rrs_core.Types.color -> Rrs_core.Types.color) ->
+  Rrs_core.Policy.t ->
+  t * Rrs_core.Policy.t
 (** The returned policy must be run exactly once (policies are
-    stateful); afterwards the series are available from [t]. *)
+    stateful); afterwards the series are available from [t].
+    [projection] must equal the engine's [cost_projection] for the
+    recoloring count to reproduce the engine's charge. *)
 
 val samples : t -> sample list
 (** Chronological (one per round; mini-rounds are merged). *)
 
+val registry : t -> Rrs_obs.Metrics.t
+(** The backing instruments: counters ["drops"] and ["recolorings"],
+    histogram ["backlog"] (observed at the first reconfiguration of each
+    round). *)
+
+val to_jsonl : t -> string
+(** One [{"type":"metrics_sample",...}] line per round followed by one
+    [{"type":"metrics_registry",...}] line — the format documented in
+    [doc/TELEMETRY.md] and written by [rrs simulate --metrics]. *)
+
 val to_csv : t -> string
+(** Legacy sampler CSV (kept for spreadsheet imports). *)
 
 val backlog_summary : t -> Rrs_stats.Summary.t
 (** Distribution of the backlog over rounds.

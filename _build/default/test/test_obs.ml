@@ -1,0 +1,412 @@
+(* Tests for the observability layer (Rrs_obs): canonical JSON, event
+   sinks, the metrics registry, run_summary artifacts — and the contract
+   that matters most: the event stream is a faithful superset of the
+   engine's and the eligibility machinery's own counters. *)
+
+open Rrs_core
+module Json = Rrs_obs.Json
+module Event = Rrs_obs.Event
+module Sink = Rrs_obs.Sink
+module Metrics = Rrs_obs.Metrics
+module Run_summary = Rrs_obs.Run_summary
+module Families = Rrs_workload.Families
+
+(* ------------------------------------------------------------------ *)
+(* canonical JSON                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_value_roundtrip () =
+  let values =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Int (-42);
+      Json.Float 2.5;
+      Json.Float 1e-9;
+      Json.Float 1024.0;
+      Json.String "a \"quoted\" line\nwith\ttabs and \xc3\xa9";
+      Json.List [ Json.Int 1; Json.Null; Json.List [] ];
+      Json.Assoc [ ("b", Json.Int 2); ("a", Json.Assoc []) ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let s = Json.to_string v in
+      Alcotest.(check string)
+        "print . parse . print = print" s
+        (Json.to_string (Json.parse_exn s)))
+    values
+
+let test_json_canonical_strings () =
+  (* canonical strings reproduce byte for byte *)
+  List.iter
+    (fun s ->
+      Alcotest.(check string) s s (Json.to_string (Json.parse_exn s)))
+    [
+      {|{"type":"x","round":3,"ratio":1.5}|};
+      {|[null,true,false,-7,"\\\""]|};
+      {|{"nested":{"empty":[],"f":0.001}}|};
+    ]
+
+let test_json_rejects_malformed () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed %S" s)
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "01"; "1 2"; "nul"; "\"unterminated" ]
+
+(* ------------------------------------------------------------------ *)
+(* events                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let all_event_variants =
+  [
+    Event.Drop { round = 1; color = 2; count = 3 };
+    Event.Arrival { round = 1; color = 0; count = 9 };
+    Event.Reconfigure
+      { round = 4; mini_round = 1; resource = 2; from_color = -1; to_color = 5 };
+    Event.Execute { round = 4; mini_round = 0; resource = 7; color = 5 };
+    Event.Mini_round { round = 4; mini_round = 1 };
+    Event.Epoch_open { round = 0; color = 3 };
+    Event.Epoch_close { round = 8; color = 3; epochs_ended = 2 };
+    Event.Counter_wrap { round = 5; color = 1; wraps = 4 };
+    Event.Timestamp_update { round = 8; color = 3 };
+    Event.Super_epoch { round = 9; index = 1; active_colors = 2; updates = 11 };
+    Event.Credit { round = 5; color = 1; amount = 6 };
+  ]
+
+let test_event_roundtrip () =
+  List.iter
+    (fun e ->
+      match Event.of_line (Event.to_line e) with
+      | Ok e' when e' = e -> ()
+      | Ok _ -> Alcotest.failf "event %s changed under round-trip" (Event.kind e)
+      | Error msg -> Alcotest.failf "event %s: %s" (Event.kind e) msg)
+    all_event_variants
+
+(* ------------------------------------------------------------------ *)
+(* sinks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_sink_null_is_disabled () =
+  Alcotest.(check bool) "disabled" false (Sink.enabled Sink.null);
+  Sink.emit Sink.null (List.hd all_event_variants);
+  Alcotest.(check int) "no events" 0 (Sink.count Sink.null);
+  Alcotest.(check (list reject)) "no buffer" [] (Sink.events Sink.null)
+
+let test_sink_memory_preserves_order () =
+  let sink = Sink.memory () in
+  Alcotest.(check bool) "enabled" true (Sink.enabled sink);
+  List.iter (Sink.emit sink) all_event_variants;
+  Alcotest.(check int) "count" (List.length all_event_variants)
+    (Sink.count sink);
+  Alcotest.(check bool) "chronological" true
+    (Sink.events sink = all_event_variants)
+
+let test_sink_jsonl_lines_parse_back () =
+  let path = Filename.temp_file "rrs_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          let sink = Sink.jsonl oc in
+          List.iter (Sink.emit sink) all_event_variants);
+      let lines = In_channel.with_open_text path In_channel.input_lines in
+      let parsed = List.map (fun l -> Result.get_ok (Event.of_line l)) lines in
+      Alcotest.(check bool) "parse back" true (parsed = all_event_variants))
+
+(* ------------------------------------------------------------------ *)
+(* engine parity: tracing must not change results                      *)
+(* ------------------------------------------------------------------ *)
+
+let same_result (a : Engine.result) (b : Engine.result) =
+  a.cost = b.cost && a.executed = b.executed && a.dropped = b.dropped
+  && a.reconfigurations = b.reconfigurations
+  && a.rounds_simulated = b.rounds_simulated
+  && a.drops_by_color = b.drops_by_color
+  && a.executions_by_color = b.executions_by_color
+  && a.final_cache = b.final_cache
+
+let test_null_vs_memory_parity () =
+  let instance = (Option.get (Families.find "router")).build ~seed:3 in
+  let run sink =
+    let instr = Lru_edf.make ~sink instance ~n:8 in
+    Engine.run_policy (Engine.config ~n:8 ~sink ()) instance instr.policy
+  in
+  let r_null = run Sink.null in
+  let r_mem = run (Sink.memory ()) in
+  Alcotest.(check bool) "identical results" true (same_result r_null r_mem)
+
+(* ------------------------------------------------------------------ *)
+(* faithfulness: events reproduce the counters exactly                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_traced instance ~n ~m =
+  let sink = Sink.memory () in
+  let instr = Lru_edf.make ~sink instance ~n in
+  let se = Super_epochs.attach ~sink instr.eligibility ~m in
+  let r = Engine.run_policy (Engine.config ~n ~sink ()) instance instr.policy in
+  (r, instr.eligibility, se, Sink.events sink)
+
+let test_events_reproduce_counters () =
+  let instance = (Option.get (Families.find "router")).build ~seed:1 in
+  let r, elig, se, events = run_traced instance ~n:8 ~m:1 in
+  let count pred = List.length (List.filter pred events) in
+  let sum f = List.fold_left (fun acc e -> acc + f e) 0 events in
+  (* engine phases *)
+  Alcotest.(check int) "Execute events = executed" r.executed
+    (count (function Event.Execute _ -> true | _ -> false));
+  Alcotest.(check int) "Drop counts sum = dropped" r.dropped
+    (sum (function Event.Drop { count; _ } -> count | _ -> 0));
+  Alcotest.(check int) "Reconfigure events = charged recolorings"
+    r.reconfigurations
+    (count (function Event.Reconfigure _ -> true | _ -> false));
+  Alcotest.(check int) "Arrival counts sum = executed + dropped"
+    (r.executed + r.dropped)
+    (sum (function Event.Arrival { count; _ } -> count | _ -> 0));
+  (* eligibility machinery *)
+  Alcotest.(check int) "Counter_wrap events = wrap_events_total"
+    (Eligibility.wrap_events_total elig)
+    (count (function Event.Counter_wrap _ -> true | _ -> false));
+  Alcotest.(check int) "Credit amounts sum = wraps * delta"
+    (Eligibility.wrap_events_total elig * instance.delta)
+    (sum (function Event.Credit { amount; _ } -> amount | _ -> 0));
+  Array.iteri
+    (fun color _ ->
+      Alcotest.(check int)
+        (Printf.sprintf "Epoch_close events of color %d = epochs_ended" color)
+        (Eligibility.epochs_ended elig color)
+        (count (function
+          | Event.Epoch_close { color = c; _ } -> c = color
+          | _ -> false)))
+    instance.delay;
+  (* super-epochs *)
+  Alcotest.(check int) "Super_epoch events = completed"
+    (Super_epochs.completed se)
+    (count (function Event.Super_epoch _ -> true | _ -> false));
+  Alcotest.(check (list int)) "active_colors payloads"
+    (Super_epochs.active_colors_per_super_epoch se)
+    (List.filter_map
+       (function
+         | Event.Super_epoch { active_colors; _ } -> Some active_colors
+         | _ -> None)
+       events);
+  Alcotest.(check int) "Timestamp_update events = updates_total"
+    (Super_epochs.updates_total se)
+    (count (function Event.Timestamp_update _ -> true | _ -> false))
+
+let test_event_rounds_are_monotone () =
+  let instance = (Option.get (Families.find "uniform")).build ~seed:2 in
+  let _, _, _, events = run_traced instance ~n:8 ~m:1 in
+  Alcotest.(check bool) "some events" true (events <> []);
+  let _ =
+    List.fold_left
+      (fun last e ->
+        let r = Event.round e in
+        if r < last then Alcotest.failf "round went back: %d after %d" r last;
+        r)
+      0 events
+  in
+  ()
+
+(* ------------------------------------------------------------------ *)
+(* metrics registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_instruments () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "runs" in
+  Metrics.inc c 2;
+  Metrics.inc c 3;
+  Alcotest.(check int) "counter" 5 (Metrics.value c);
+  Alcotest.(check bool) "same name, same counter" true
+    (Metrics.value (Metrics.counter reg "runs") = 5);
+  (match Metrics.inc c (-1) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "negative increment accepted");
+  (match Metrics.gauge reg "runs" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind clash accepted");
+  let g = Metrics.gauge reg "load" in
+  Alcotest.(check bool) "gauge starts nan" true
+    (Float.is_nan (Metrics.gauge_value g));
+  Metrics.set g 0.75;
+  Alcotest.(check (float 0.0)) "gauge set" 0.75 (Metrics.gauge_value g);
+  let h = Metrics.histogram reg "lat" ~max_value:64 in
+  List.iter (Metrics.observe h) [ 1; 2; 2; 63 ];
+  Alcotest.(check int) "histogram count" 4
+    (Rrs_stats.Histogram.count (Metrics.histogram_stats h))
+
+let test_metrics_timer_monotone () =
+  let reg = Metrics.create () in
+  let t = Metrics.timer reg "phase" in
+  let span = Metrics.start t in
+  let x = ref 0 in
+  for i = 1 to 10_000 do
+    x := !x + i
+  done;
+  let d = Metrics.stop span in
+  Alcotest.(check bool) "duration >= 0" true (d >= 0.0);
+  (match Metrics.stop span with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "double stop accepted");
+  let v = Metrics.time t (fun () -> 41 + 1) in
+  Alcotest.(check int) "time returns the value" 42 v;
+  Alcotest.(check int) "two spans recorded" 2 (Metrics.timer_count t);
+  Alcotest.(check bool) "total >= each span" true
+    (Metrics.timer_total t >= d);
+  match Metrics.timers reg with
+  | [ ("phase", 2, total) ] ->
+      Alcotest.(check bool) "export total" true (total = Metrics.timer_total t)
+  | _ -> Alcotest.fail "timers export shape"
+
+let test_metrics_json_is_canonical () =
+  let reg = Metrics.create () in
+  Metrics.inc (Metrics.counter reg "b") 1;
+  Metrics.inc (Metrics.counter reg "a") 2;
+  let s = Json.to_string (Metrics.to_json reg) in
+  Alcotest.(check string) "round-trips" s
+    (Json.to_string (Json.parse_exn s));
+  (* name-sorted: "a" printed before "b" *)
+  let ia = String.index s 'a' and ib = String.index s 'b' in
+  Alcotest.(check bool) "sorted sections" true (ia < ib)
+
+(* ------------------------------------------------------------------ *)
+(* run_summary artifacts                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sample_summary =
+  Run_summary.make ~id:"EXP-T" ~kind:"experiment" ~seed:7
+    ~config:[ ("family", "router"); ("n", "8") ]
+    ~reconfig_cost:352 ~drop_cost:407
+    ~analysis:[ ("epochs", 19.0); ("ratio", 1.08125) ]
+    ~timings:
+      [
+        { Run_summary.phase = "engine"; seconds = 0.01125; count = 1 };
+        { Run_summary.phase = "validate"; seconds = 0.5; count = 2 };
+      ]
+    ()
+
+let test_run_summary_roundtrip () =
+  let line = Run_summary.to_line sample_summary in
+  match Run_summary.of_line line with
+  | Error msg -> Alcotest.fail msg
+  | Ok s ->
+      Alcotest.(check string) "byte-for-byte" line (Run_summary.to_line s);
+      Alcotest.(check int) "total recomputed" 759 (Run_summary.total_cost s)
+
+let test_run_summary_load_skips_events () =
+  let path = Filename.temp_file "rrs_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          let sink = Sink.jsonl oc in
+          List.iter (Sink.emit sink) all_event_variants;
+          Run_summary.write oc sample_summary;
+          output_string oc "\n" (* blank lines are fine *));
+      match Run_summary.load path with
+      | Error msg -> Alcotest.fail msg
+      | Ok [ s ] ->
+          Alcotest.(check string) "the summary survives"
+            (Run_summary.to_line sample_summary)
+            (Run_summary.to_line s)
+      | Ok l -> Alcotest.failf "expected 1 summary, got %d" (List.length l))
+
+let test_run_summary_load_rejects_garbage () =
+  let path = Filename.temp_file "rrs_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc "{\"type\":\"run_summary\"\n");
+      match Run_summary.load path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "malformed line accepted")
+
+(* ------------------------------------------------------------------ *)
+(* recoloring accounting under projection (the Metrics fix)            *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_recolorings_match_engine_identity () =
+  let instance = (Option.get (Families.find "router")).build ~seed:4 in
+  let m, policy = Rrs_trace.Metrics.instrument (Lru_edf.policy instance ~n:8) in
+  let r = Engine.run_policy (Engine.config ~n:8 ()) instance policy in
+  match List.rev (Rrs_trace.Metrics.samples m) with
+  | last :: _ ->
+      Alcotest.(check int) "identity projection matches engine"
+        r.reconfigurations last.cumulative_recolorings
+  | [] -> Alcotest.fail "no samples"
+
+let test_metrics_recolorings_match_engine_projected () =
+  (* the Distribute reduction: subcolors collapse, so the engine charges
+     post-projection — the sampler must agree from round 0 on *)
+  let instance = (Option.get (Families.find "oversized")).build ~seed:1 in
+  let mapping = Distribute.transform instance in
+  let project = Distribute.project mapping in
+  let m, policy =
+    Rrs_trace.Metrics.instrument ~projection:project
+      (Lru_edf.policy mapping.sub_instance ~n:8)
+  in
+  let cfg = Engine.config ~n:8 ~cost_projection:project () in
+  let r = Engine.run_policy cfg mapping.sub_instance policy in
+  match List.rev (Rrs_trace.Metrics.samples m) with
+  | last :: _ ->
+      Alcotest.(check int) "projected recolorings match engine"
+        r.reconfigurations last.cumulative_recolorings
+  | [] -> Alcotest.fail "no samples"
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "value round-trip" `Quick test_json_value_roundtrip;
+          Alcotest.test_case "canonical strings" `Quick
+            test_json_canonical_strings;
+          Alcotest.test_case "rejects malformed" `Quick
+            test_json_rejects_malformed;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "all variants round-trip" `Quick
+            test_event_roundtrip;
+        ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "null is disabled" `Quick test_sink_null_is_disabled;
+          Alcotest.test_case "memory preserves order" `Quick
+            test_sink_memory_preserves_order;
+          Alcotest.test_case "jsonl parses back" `Quick
+            test_sink_jsonl_lines_parse_back;
+        ] );
+      ( "engine tracing",
+        [
+          Alcotest.test_case "null vs memory parity" `Quick
+            test_null_vs_memory_parity;
+          Alcotest.test_case "events reproduce counters" `Quick
+            test_events_reproduce_counters;
+          Alcotest.test_case "rounds are monotone" `Quick
+            test_event_rounds_are_monotone;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "instruments" `Quick test_metrics_instruments;
+          Alcotest.test_case "timer monotone" `Quick test_metrics_timer_monotone;
+          Alcotest.test_case "canonical json" `Quick
+            test_metrics_json_is_canonical;
+          Alcotest.test_case "recolorings: identity" `Quick
+            test_metrics_recolorings_match_engine_identity;
+          Alcotest.test_case "recolorings: projected" `Quick
+            test_metrics_recolorings_match_engine_projected;
+        ] );
+      ( "run_summary",
+        [
+          Alcotest.test_case "byte round-trip" `Quick test_run_summary_roundtrip;
+          Alcotest.test_case "load skips events" `Quick
+            test_run_summary_load_skips_events;
+          Alcotest.test_case "load rejects garbage" `Quick
+            test_run_summary_load_rejects_garbage;
+        ] );
+    ]

@@ -1,0 +1,35 @@
+(* validate_obs FILE — the smoke-check half of the runtest pipeline:
+   reads a JSONL artifact, requires at least one run_summary, and checks
+   that every run_summary line re-serialises byte for byte (the
+   canonical-writer contract of doc/TELEMETRY.md). *)
+
+let () =
+  if Array.length Sys.argv <> 2 then (
+    prerr_endline "usage: validate_obs FILE";
+    exit 2);
+  let path = Sys.argv.(1) in
+  (match Rrs_obs.Run_summary.load path with
+  | Error msg ->
+      Printf.eprintf "validate_obs: %s: %s\n" path msg;
+      exit 1
+  | Ok [] ->
+      Printf.eprintf "validate_obs: %s: no run_summary lines\n" path;
+      exit 1
+  | Ok summaries ->
+      Printf.printf "validate_obs: %s: %d run summaries\n" path
+        (List.length summaries));
+  let lines = In_channel.with_open_text path In_channel.input_lines in
+  List.iter
+    (fun line ->
+      if String.trim line <> "" then
+        match Rrs_obs.Run_summary.of_line line with
+        | Error _ -> () (* other line types (events, samples) are fine *)
+        | Ok s ->
+            let reprinted = Rrs_obs.Run_summary.to_line s in
+            if reprinted <> line then (
+              Printf.eprintf
+                "validate_obs: line does not round-trip:\n  in:  %s\n  out: %s\n"
+                line reprinted;
+              exit 1))
+    lines;
+  print_endline "validate_obs: ok"

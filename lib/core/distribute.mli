@@ -21,8 +21,14 @@ val transform : Instance.t -> mapping
 val project : mapping -> Types.color -> Types.color
 (** Subcolor to original color; maps black to black. *)
 
-val run : ?policy:Policy.factory -> Instance.t -> n:int -> Engine.result
+val run :
+  ?policy:Policy.factory ->
+  ?sink:Rrs_obs.Sink.t ->
+  Instance.t ->
+  n:int ->
+  Engine.result
 (** Transform, run the policy (default ΔLRU-EDF) on the sub-instance with
     [n] resources, and account costs in projected (original) colors.
-    Drop counts in the result are indexed by {e subcolor}; use
-    {!project} or compare totals only. *)
+    [sink] receives the engine's round-phase events (in projected
+    colors, like the cost accounting).  Drop counts in the result are
+    indexed by {e subcolor}; use {!project} or compare totals only. *)
