@@ -34,6 +34,74 @@ let run_experiments oc =
       | None -> ())
     (Rrs_experiments.Registry.ids ())
 
+(* The whole-suite parallelism question: the 13 experiments spread over
+   N domains (their inner sweeps then degrade to sequential — see the
+   nesting note in Rrs_parallel.Pool) against a fully sequential run of
+   the same suite on the same seeds.  Domain-safe telemetry is what
+   makes the parallel run legitimate: both passes produce identical
+   cost totals, so the record compares equal work.  Both passes run
+   after [run_experiments], i.e. equally warm. *)
+let parallel_speedup oc =
+  print_endline "================================================================";
+  print_endline " Parallel experiment suite (sequential vs N-domain wall time)";
+  print_endline "================================================================";
+  let ids = Rrs_experiments.Registry.ids () in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let seq_results, seq_seconds =
+    timed (fun () ->
+        Rrs_parallel.Pool.sequential (fun () ->
+            Rrs_experiments.Registry.run_many ~jobs:1 ids))
+  in
+  let jobs = Rrs_parallel.Pool.num_domains () in
+  let par_results, par_seconds =
+    timed (fun () -> Rrs_experiments.Registry.run_many ~jobs ids)
+  in
+  let identical =
+    List.for_all2
+      (fun (_, (_, a)) (_, (_, b)) ->
+        Rrs_obs.Run_summary.(
+          to_line (strip_timings a) = to_line (strip_timings b)))
+      seq_results par_results
+  in
+  if not identical then
+    print_endline "WARNING: parallel artifacts diverge from sequential!";
+  let speedup = seq_seconds /. par_seconds in
+  Printf.printf "sequential: %.3f s\n%d domains:  %.3f s  (speedup %.2fx)\n"
+    seq_seconds jobs par_seconds speedup;
+  Rrs_obs.Run_summary.write oc
+    (Rrs_obs.Run_summary.make ~id:"parallel-speedup" ~kind:"bench"
+       ~config:
+         [
+           ("experiments", string_of_int (List.length ids));
+           ("jobs", string_of_int jobs);
+           ("artifacts_identical", if identical then "true" else "false");
+         ]
+       ~analysis:
+         [
+           ("sequential_seconds", seq_seconds);
+           ("parallel_seconds", par_seconds);
+           ("speedup", speedup);
+           ("jobs", float_of_int jobs);
+         ]
+       ~timings:
+         [
+           {
+             Rrs_obs.Run_summary.phase = "sequential";
+             seconds = seq_seconds;
+             count = List.length ids;
+           };
+           {
+             Rrs_obs.Run_summary.phase = "parallel";
+             seconds = par_seconds;
+             count = List.length ids;
+           };
+         ]
+       ())
+
 (* ------------------------------------------------------------------ *)
 (* Part 2: microbenchmarks                                             *)
 (* ------------------------------------------------------------------ *)
@@ -251,6 +319,7 @@ let sink_overhead oc =
 let () =
   Out_channel.with_open_text "BENCH_obs.json" (fun oc ->
       run_experiments oc;
+      parallel_speedup oc;
       run_microbenchmarks ();
       sink_overhead oc);
   print_endline "run summaries written to BENCH_obs.json";

@@ -296,21 +296,22 @@ let experiment_cmd =
     in
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
   in
-  let run id markdown out =
+  let jobs_arg =
+    let doc =
+      "Spread the experiments over $(docv) domains (0 = one per \
+       recommended core).  Telemetry is domain-safe: cost totals and \
+       run-summary artifacts are identical to a sequential run, only \
+       wall-clock fields differ (see doc/TELEMETRY.md)."
+    in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let run id markdown out jobs =
     let emit =
       if markdown then Rrs_experiments.Harness.print_markdown
       else Rrs_experiments.Harness.print
     in
-    let run_one oc_opt id =
-      match oc_opt with
-      | None ->
-          Option.iter (fun f -> emit (f ())) (Rrs_experiments.Registry.find id)
-      | Some oc ->
-          Option.iter
-            (fun (outcome, summary) ->
-              emit outcome;
-              Rrs_obs.Run_summary.write oc summary)
-            (Rrs_experiments.Registry.run_summarized id)
+    let jobs =
+      if jobs <= 0 then Rrs_parallel.Pool.num_domains () else jobs
     in
     let ids =
       match id with
@@ -325,17 +326,22 @@ let experiment_cmd =
           (String.concat ", " (Rrs_experiments.Registry.ids ()));
         1
     | Ok ids ->
+        let results = Rrs_experiments.Registry.run_many ~jobs ids in
         (match out with
-        | None -> List.iter (run_one None) ids
+        | None -> List.iter (fun (_, (outcome, _)) -> emit outcome) results
         | Some path ->
             Out_channel.with_open_text path (fun oc ->
-                List.iter (run_one (Some oc)) ids);
+                List.iter
+                  (fun (_, (outcome, summary)) ->
+                    emit outcome;
+                    Rrs_obs.Run_summary.write oc summary)
+                  results);
             Format.printf "run summaries written to %s@." path);
         0
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a reproduction experiment")
-    Term.(const run $ id_arg $ markdown_arg $ out_arg)
+    Term.(const run $ id_arg $ markdown_arg $ out_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* rrs opt                                                             *)

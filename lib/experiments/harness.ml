@@ -21,30 +21,49 @@ let print_markdown outcome =
   List.iter (fun f -> Printf.printf "- %s\n" f) outcome.findings;
   print_newline ()
 
-let telemetry = Rrs_obs.Metrics.create ()
-let engine_runs = Rrs_obs.Metrics.counter telemetry "engine_runs"
-let reconfig_cost = Rrs_obs.Metrics.counter telemetry "reconfig_cost"
-let drop_cost = Rrs_obs.Metrics.counter telemetry "drop_cost"
-let engine_timer = Rrs_obs.Metrics.timer telemetry "engine_run"
+module Metrics = Rrs_obs.Metrics
+
+let telemetry = Metrics.create ()
+
+(* Which registry an engine run is accounted to is dynamically scoped,
+   and the scope is inherited by domains spawned under it (Pool workers
+   — Domain.DLS with [split_from_parent]).  So when experiments run
+   concurrently on sibling domains, each one's runs — including runs
+   made by its own inner Pool.map sweep — land in its own registry, and
+   snapshot diffs stay exact under parallelism. *)
+let scope : Metrics.t Domain.DLS.key =
+  Domain.DLS.new_key ~split_from_parent:Fun.id (fun () -> telemetry)
+
+let current () = Domain.DLS.get scope
+
+let with_telemetry reg thunk =
+  let outer = Domain.DLS.get scope in
+  Domain.DLS.set scope reg;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set scope outer) thunk
 
 type snapshot = { runs : int; reconfig : int; drop : int; seconds : float }
 
-let snapshot () =
+let snapshot_of reg =
   {
-    runs = Rrs_obs.Metrics.value engine_runs;
-    reconfig = Rrs_obs.Metrics.value reconfig_cost;
-    drop = Rrs_obs.Metrics.value drop_cost;
-    seconds = Rrs_obs.Metrics.timer_total engine_timer;
+    runs = Metrics.value (Metrics.counter reg "engine_runs");
+    reconfig = Metrics.value (Metrics.counter reg "reconfig_cost");
+    drop = Metrics.value (Metrics.counter reg "drop_cost");
+    seconds = Metrics.timer_total (Metrics.timer reg "engine_run");
   }
 
+let snapshot () = snapshot_of (current ())
+
 let record_result (result : Rrs_core.Engine.result) =
-  Rrs_obs.Metrics.inc engine_runs 1;
-  Rrs_obs.Metrics.inc reconfig_cost result.reconfigurations;
-  Rrs_obs.Metrics.inc drop_cost result.dropped
+  let reg = current () in
+  Metrics.inc (Metrics.counter reg "engine_runs") 1;
+  Metrics.inc (Metrics.counter reg "reconfig_cost") result.reconfigurations;
+  Metrics.inc (Metrics.counter reg "drop_cost") result.dropped
 
 let run_policy instance ~n factory =
   let result =
-    Rrs_obs.Metrics.time engine_timer (fun () ->
+    Metrics.time
+      (Metrics.timer (current ()) "engine_run")
+      (fun () ->
         Rrs_core.Engine.run (Rrs_core.Engine.config ~n ()) instance factory)
   in
   record_result result;

@@ -24,13 +24,31 @@ val print_markdown : outcome -> unit
 (** {2 Telemetry}
 
     Every engine run started through {!run_policy} (or reported with
-    {!record_result}) is accounted in a process-wide
-    {!Rrs_obs.Metrics} registry: counters [engine_runs],
-    [reconfig_cost], [drop_cost] and timer [engine_run].
-    {!Registry.run_summarized} diffs {!snapshot}s around one experiment
-    to produce its {!Rrs_obs.Run_summary.t}. *)
+    {!record_result}) is accounted in an {!Rrs_obs.Metrics} registry:
+    counters [engine_runs], [reconfig_cost], [drop_cost] and timer
+    [engine_run].  {!Registry.run_summarized} diffs {!snapshot}s around
+    one experiment to produce its {!Rrs_obs.Run_summary.t}.
+
+    {b Which registry} is dynamically scoped: runs are accounted to the
+    registry installed by the innermost {!with_telemetry}, defaulting
+    to the process-wide {!telemetry}.  The scope is inherited by
+    domains spawned under it (the [Rrs_parallel.Pool] workers of an
+    experiment's inner sweep), so concurrent experiments on sibling
+    domains each account to their own registry.  The registries
+    themselves are domain-safe ({!Rrs_obs.Metrics}), so the totals of a
+    parallel sweep equal the sequential totals exactly. *)
 
 val telemetry : Rrs_obs.Metrics.t
+(** The process-wide default registry. *)
+
+val current : unit -> Rrs_obs.Metrics.t
+(** The registry engine runs are currently accounted to on this
+    domain. *)
+
+val with_telemetry : Rrs_obs.Metrics.t -> (unit -> 'a) -> 'a
+(** [with_telemetry reg thunk] accounts every engine run made by
+    [thunk] — transitively, including in pool workers it spawns — to
+    [reg].  Restores the outer scope on exit (also on raise). *)
 
 type snapshot = {
   runs : int;  (** engine runs completed so far *)
@@ -40,6 +58,9 @@ type snapshot = {
 }
 
 val snapshot : unit -> snapshot
+(** [snapshot_of (current ())]. *)
+
+val snapshot_of : Rrs_obs.Metrics.t -> snapshot
 
 val record_result : Rrs_core.Engine.result -> unit
 (** Fold one engine result into {!telemetry} — for experiments that

@@ -36,16 +36,30 @@ let summarize id (outcome : Harness.outcome) ~(before : Harness.snapshot)
       [ { Rrs_obs.Run_summary.phase = "experiment"; seconds; count = 1 } ]
     ()
 
+(* One experiment runs against a private registry (inherited by its
+   pool workers — see Harness.with_telemetry), so its cost deltas are
+   exact even when other experiments run concurrently; the registry is
+   folded into the process-wide one afterwards. *)
+let run_in_scope id run =
+  let reg = Rrs_obs.Metrics.create () in
+  let before = Harness.snapshot_of reg in
+  let t0 = Unix.gettimeofday () in
+  let outcome = Harness.with_telemetry reg run in
+  let seconds = Unix.gettimeofday () -. t0 in
+  let after = Harness.snapshot_of reg in
+  Rrs_obs.Metrics.merge_into ~into:Harness.telemetry reg;
+  (outcome, summarize id outcome ~before ~after ~seconds)
+
 let run_summarized id =
-  match find id with
-  | None -> None
-  | Some run ->
-      let before = Harness.snapshot () in
-      let t0 = Unix.gettimeofday () in
-      let outcome = run () in
-      let seconds = Unix.gettimeofday () -. t0 in
-      let after = Harness.snapshot () in
-      Some (outcome, summarize id outcome ~before ~after ~seconds)
+  Option.map (fun run -> run_in_scope id run) (find id)
+
+let run_many ?(jobs = 1) ids =
+  let tasks =
+    List.filter_map (fun id -> Option.map (fun run -> (id, run)) (find id)) ids
+  in
+  Rrs_parallel.Pool.map ~domains:jobs
+    (fun (id, run) -> (id, run_in_scope id run))
+    tasks
 
 let run_and_print_all () =
   List.iter (fun (_, run) -> Harness.print (run ())) all

@@ -8,11 +8,25 @@ val ids : unit -> string list
 val find : string -> (unit -> Harness.outcome) option
 
 val run_summarized :
-  string -> (Harness.outcome * Rrs_obs.Run_summary.t) option
+    string -> (Harness.outcome * Rrs_obs.Run_summary.t) option
 (** Run one experiment and also return its canonical run artifact:
-    engine cost and run-count deltas from {!Harness.snapshot}, total
-    wall time as the ["experiment"] phase timing.  [None] for unknown
-    ids.  This is what [rrs experiment --out] writes, one JSONL line
-    per experiment. *)
+    engine cost and run-count deltas from a private telemetry registry
+    scoped to the experiment ({!Harness.with_telemetry} — exact even
+    under concurrency), total wall time as the ["experiment"] phase
+    timing.  [None] for unknown ids.  This is what
+    [rrs experiment --out] writes, one JSONL line per experiment. *)
+
+val run_many :
+  ?jobs:int ->
+  string list ->
+  (string * (Harness.outcome * Rrs_obs.Run_summary.t)) list
+(** Run the given experiments (unknown ids are skipped), spreading them
+    over [jobs] domains (default 1; experiments' own inner sweeps then
+    degrade to sequential — see the nesting note in
+    [Rrs_parallel.Pool]).  Results are in input order and the telemetry
+    totals and cost/count artifact fields are identical for every
+    [jobs]; only wall-clock fields vary (strip them with
+    {!Rrs_obs.Run_summary.strip_timings} to compare artifacts).  This
+    is the [rrs experiment --jobs] / [bench] path. *)
 
 val run_and_print_all : unit -> unit

@@ -1,9 +1,15 @@
-type counter = { mutable count : int }
-type gauge = { mutable gauge_value : float }
+(* Domain-safety layout: counters and gauges are single atomics (the hot
+   update paths stay lock-free), histograms and timers carry one mutex
+   each (their Fenwick / Welford state is multi-word), and the registry
+   table has its own lock for get-or-create and export.  No operation
+   ever holds two locks at once, so the module cannot deadlock against
+   itself. *)
 
-type histogram = Rrs_stats.Histogram.t
+type counter = int Atomic.t
+type gauge = float Atomic.t
 
-type timer = Rrs_stats.Running.t
+type histogram = { hist : Rrs_stats.Histogram.t; hist_mutex : Mutex.t }
+type timer = { stats : Rrs_stats.Running.t; timer_mutex : Mutex.t }
 type span = { timer : timer; started_at : float; mutable stopped : bool }
 
 type instrument =
@@ -12,69 +18,76 @@ type instrument =
   | Histogram of histogram
   | Timer of timer
 
-type t = { instruments : (string, instrument) Hashtbl.t }
+type t = {
+  instruments : (string, instrument) Hashtbl.t;
+  registry_mutex : Mutex.t;
+}
 
-let create () = { instruments = Hashtbl.create 16 }
+let create () =
+  { instruments = Hashtbl.create 16; registry_mutex = Mutex.create () }
+
+(* Get-or-create under the registry lock; [make] must not itself touch
+   the registry. *)
+let intern t name ~kind ~project ~make =
+  Mutex.protect t.registry_mutex (fun () ->
+      match Hashtbl.find_opt t.instruments name with
+      | Some i -> (
+          match project i with
+          | Some v -> v
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Metrics: %S is already registered, not as a %s"
+                   name kind))
+      | None ->
+          let v, i = make () in
+          Hashtbl.add t.instruments name i;
+          v)
 
 let counter t name =
-  match Hashtbl.find_opt t.instruments name with
-  | Some (Counter c) -> c
-  | Some _ ->
-      invalid_arg
-        (Printf.sprintf "Metrics: %S is already registered, not as a counter"
-           name)
-  | None ->
-      let c = { count = 0 } in
-      Hashtbl.add t.instruments name (Counter c);
-      c
+  intern t name ~kind:"counter"
+    ~project:(function Counter c -> Some c | _ -> None)
+    ~make:(fun () ->
+      let c = Atomic.make 0 in
+      (c, Counter c))
 
 let inc c by =
   if by < 0 then invalid_arg "Metrics.inc: negative increment";
-  c.count <- c.count + by
+  ignore (Atomic.fetch_and_add c by)
 
-let value c = c.count
+let value c = Atomic.get c
 
 let gauge t name =
-  match Hashtbl.find_opt t.instruments name with
-  | Some (Gauge g) -> g
-  | Some _ ->
-      invalid_arg
-        (Printf.sprintf "Metrics: %S is already registered, not as a gauge"
-           name)
-  | None ->
-      let g = { gauge_value = Float.nan } in
-      Hashtbl.add t.instruments name (Gauge g);
-      g
+  intern t name ~kind:"gauge"
+    ~project:(function Gauge g -> Some g | _ -> None)
+    ~make:(fun () ->
+      let g = Atomic.make Float.nan in
+      (g, Gauge g))
 
-let set g v = g.gauge_value <- v
-let gauge_value g = g.gauge_value
+let set g v = Atomic.set g v
+let gauge_value g = Atomic.get g
 
 let histogram t name ~max_value =
-  match Hashtbl.find_opt t.instruments name with
-  | Some (Histogram h) -> h
-  | Some _ ->
-      invalid_arg
-        (Printf.sprintf "Metrics: %S is already registered, not as a histogram"
-           name)
-  | None ->
-      let h = Rrs_stats.Histogram.create ~max_value in
-      Hashtbl.add t.instruments name (Histogram h);
-      h
+  intern t name ~kind:"histogram"
+    ~project:(function Histogram h -> Some h | _ -> None)
+    ~make:(fun () ->
+      let h =
+        { hist = Rrs_stats.Histogram.create ~max_value; hist_mutex = Mutex.create () }
+      in
+      (h, Histogram h))
 
-let observe h v = Rrs_stats.Histogram.add h v
-let histogram_stats h = h
+let observe h v =
+  Mutex.protect h.hist_mutex (fun () -> Rrs_stats.Histogram.add h.hist v)
+
+let histogram_stats h = h.hist
 
 let timer t name =
-  match Hashtbl.find_opt t.instruments name with
-  | Some (Timer tm) -> tm
-  | Some _ ->
-      invalid_arg
-        (Printf.sprintf "Metrics: %S is already registered, not as a timer"
-           name)
-  | None ->
-      let tm = Rrs_stats.Running.create () in
-      Hashtbl.add t.instruments name (Timer tm);
-      tm
+  intern t name ~kind:"timer"
+    ~project:(function Timer tm -> Some tm | _ -> None)
+    ~make:(fun () ->
+      let tm =
+        { stats = Rrs_stats.Running.create (); timer_mutex = Mutex.create () }
+      in
+      (tm, Timer tm))
 
 let start timer = { timer; started_at = Unix.gettimeofday (); stopped = false }
 
@@ -82,19 +95,25 @@ let stop span =
   if span.stopped then invalid_arg "Metrics.stop: span already stopped";
   span.stopped <- true;
   let elapsed = Float.max 0. (Unix.gettimeofday () -. span.started_at) in
-  Rrs_stats.Running.add span.timer elapsed;
+  Mutex.protect span.timer.timer_mutex (fun () ->
+      Rrs_stats.Running.add span.timer.stats elapsed);
   elapsed
 
 let time timer thunk =
   let span = start timer in
   Fun.protect ~finally:(fun () -> ignore (stop span)) thunk
 
-let timer_count = Rrs_stats.Running.count
-let timer_total = Rrs_stats.Running.sum
-let timer_stats tm = tm
+let timer_count tm =
+  Mutex.protect tm.timer_mutex (fun () -> Rrs_stats.Running.count tm.stats)
+
+let timer_total tm =
+  Mutex.protect tm.timer_mutex (fun () -> Rrs_stats.Running.sum tm.stats)
+
+let timer_stats tm = tm.stats
 
 let sorted_instruments t =
-  Hashtbl.fold (fun name i acc -> (name, i) :: acc) t.instruments []
+  Mutex.protect t.registry_mutex (fun () ->
+      Hashtbl.fold (fun name i acc -> (name, i) :: acc) t.instruments [])
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let timers t =
@@ -102,62 +121,97 @@ let timers t =
     (fun (name, i) ->
       match i with
       | Timer tm ->
-          Some (name, Rrs_stats.Running.count tm, Rrs_stats.Running.sum tm)
+          Some
+            (Mutex.protect tm.timer_mutex (fun () ->
+                 ( name,
+                   Rrs_stats.Running.count tm.stats,
+                   Rrs_stats.Running.sum tm.stats )))
       | _ -> None)
     (sorted_instruments t)
+
+let merge_into ~into src =
+  List.iter
+    (fun (name, i) ->
+      match i with
+      | Counter c -> ignore (Atomic.fetch_and_add (counter into name) (Atomic.get c))
+      | Gauge g ->
+          let v = Atomic.get g in
+          if not (Float.is_nan v) then Atomic.set (gauge into name) v
+      | Histogram h ->
+          (* snapshot src under its own lock, then write under the
+             destination's — never both at once *)
+          let snapshot =
+            Mutex.protect h.hist_mutex (fun () ->
+                Rrs_stats.Histogram.copy h.hist)
+          in
+          let dst =
+            histogram into name
+              ~max_value:(Rrs_stats.Histogram.max_value snapshot)
+          in
+          Mutex.protect dst.hist_mutex (fun () ->
+              Rrs_stats.Histogram.merge_into ~into:dst.hist snapshot)
+      | Timer tm ->
+          let snapshot =
+            Mutex.protect tm.timer_mutex (fun () ->
+                Rrs_stats.Running.copy tm.stats)
+          in
+          let dst = timer into name in
+          Mutex.protect dst.timer_mutex (fun () ->
+              Rrs_stats.Running.merge_into ~into:dst.stats snapshot))
+    (sorted_instruments src)
 
 let to_json t =
   let all = sorted_instruments t in
   let section f = List.filter_map f all in
   let counters =
     section (function
-      | name, Counter c -> Some (name, Json.Int c.count)
+      | name, Counter c -> Some (name, Json.Int (Atomic.get c))
       | _ -> None)
   in
   let gauges =
     section (function
       | name, Gauge g ->
-          Some
-            ( name,
-              if Float.is_nan g.gauge_value then Json.Null
-              else Json.Float g.gauge_value )
+          let v = Atomic.get g in
+          Some (name, if Float.is_nan v then Json.Null else Json.Float v)
       | _ -> None)
   in
   let histograms =
     section (function
       | name, Histogram h ->
-          let buckets =
-            List.map
-              (fun (v, c) -> Json.List [ Json.Int v; Json.Int c ])
-              (Rrs_stats.Histogram.to_assoc h)
-          in
-          Some
-            ( name,
-              Json.Assoc
-                [
-                  ("count", Json.Int (Rrs_stats.Histogram.count h));
-                  ("clamped", Json.Int (Rrs_stats.Histogram.clamped h));
-                  ("buckets", Json.List buckets);
-                ] )
+          Mutex.protect h.hist_mutex (fun () ->
+              let buckets =
+                List.map
+                  (fun (v, c) -> Json.List [ Json.Int v; Json.Int c ])
+                  (Rrs_stats.Histogram.to_assoc h.hist)
+              in
+              Some
+                ( name,
+                  Json.Assoc
+                    [
+                      ("count", Json.Int (Rrs_stats.Histogram.count h.hist));
+                      ("clamped", Json.Int (Rrs_stats.Histogram.clamped h.hist));
+                      ("buckets", Json.List buckets);
+                    ] ))
       | _ -> None)
   in
   let timer_sections =
     section (function
       | name, Timer tm ->
-          let count = Rrs_stats.Running.count tm in
-          Some
-            ( name,
-              Json.Assoc
-                [
-                  ("count", Json.Int count);
-                  ("total_s", Json.Float (Rrs_stats.Running.sum tm));
-                  ( "mean_s",
-                    if count = 0 then Json.Null
-                    else Json.Float (Rrs_stats.Running.mean tm) );
-                  ( "max_s",
-                    if count = 0 then Json.Null
-                    else Json.Float (Rrs_stats.Running.max tm) );
-                ] )
+          Mutex.protect tm.timer_mutex (fun () ->
+              let count = Rrs_stats.Running.count tm.stats in
+              Some
+                ( name,
+                  Json.Assoc
+                    [
+                      ("count", Json.Int count);
+                      ("total_s", Json.Float (Rrs_stats.Running.sum tm.stats));
+                      ( "mean_s",
+                        if count = 0 then Json.Null
+                        else Json.Float (Rrs_stats.Running.mean tm.stats) );
+                      ( "max_s",
+                        if count = 0 then Json.Null
+                        else Json.Float (Rrs_stats.Running.max tm.stats) );
+                    ] ))
       | _ -> None)
   in
   Json.Assoc

@@ -11,7 +11,20 @@
 
     Instrument names are free-form; the convention used across the repo
     is [<subsystem>_<quantity>] (e.g. ["engine_runs"],
-    ["harness_reconfig_cost"]). *)
+    ["harness_reconfig_cost"]).
+
+    {b Thread safety.}  Every operation of this module is safe to call
+    from any number of OCaml 5 domains concurrently: counters and
+    gauges are single atomics (lock-free updates), histogram and timer
+    updates take a per-instrument mutex, and registry get-or-create /
+    export take a registry mutex.  Concurrent [inc]s are never lost —
+    the totals of a parallel run equal the sequential totals exactly.
+    The only non-linearizable read is {!to_json} (and {!timers}) taken
+    {e while} writers are still running: each instrument is snapshotted
+    consistently, but the sections are read one instrument at a time.
+    For contention-free parallel aggregation, give each shard its own
+    [t] and fold them with {!merge_into} (see Pool.map_reduce in
+    [rrs_parallel]). *)
 
 type t
 
@@ -47,7 +60,10 @@ val histogram : t -> string -> max_value:int -> histogram
 (** Get or create; [max_value] is only consulted on creation. *)
 
 val observe : histogram -> int -> unit
+
 val histogram_stats : histogram -> Rrs_stats.Histogram.t
+(** The live bucket state — read it only after concurrent writers have
+    finished. *)
 
 (** {2 Phase timers} — wall-clock spans. *)
 
@@ -72,6 +88,20 @@ val timer_total : timer -> float
 (** Sum of recorded span durations, seconds. *)
 
 val timer_stats : timer -> Rrs_stats.Running.t
+(** The live aggregate — read it only after concurrent writers have
+    finished (use {!timer_count}/{!timer_total} for safe point reads). *)
+
+(** {2 Shard-and-merge} *)
+
+val merge_into : into:t -> t -> unit
+(** Fold every instrument of the source registry into [into]
+    (get-or-create by name): counter values add, gauges take the
+    source's value when it has one (last-write-wins), histograms add
+    bucket-wise, timers combine their Welford aggregates.  [src] is not
+    modified.  Safe against concurrent updates of either registry; the
+    fold is name-ordered and never holds two locks at once.
+    @raise Invalid_argument on an instrument-kind clash or mismatched
+    histogram domains. *)
 
 (** {2 Export} *)
 

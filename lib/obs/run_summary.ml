@@ -17,6 +17,17 @@ let make ?seed ?(config = []) ?(reconfig_cost = 0) ?(drop_cost = 0)
 
 let total_cost t = t.reconfig_cost + t.drop_cost
 
+let strip_timings t =
+  {
+    t with
+    analysis =
+      List.map
+        (fun (k, v) ->
+          if String.ends_with ~suffix:"_seconds" k then (k, 0.0) else (k, v))
+        t.analysis;
+    timings = List.map (fun pt -> { pt with seconds = 0.0 }) t.timings;
+  }
+
 let to_json t =
   Json.Assoc
     [

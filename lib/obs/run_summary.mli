@@ -39,6 +39,15 @@ val make :
 
 val total_cost : t -> int
 
+val strip_timings : t -> t
+(** The summary with every wall-clock quantity zeroed: [seconds] of
+    each phase timing, and analysis entries whose name ends in
+    ["_seconds"].  Everything deterministic (costs, counts, config)
+    is kept.  Two runs of the same work agree byte-for-byte on
+    [to_line (strip_timings s)] regardless of machine load or how many
+    domains ran it — the comparison tests and tooling use for
+    sequential-vs-parallel artifact identity. *)
+
 val to_json : t -> Json.t
 (** Tagged [{"type":"run_summary",...}] with a fixed field order. *)
 

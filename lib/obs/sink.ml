@@ -1,32 +1,42 @@
 type kind =
   | Null
-  | Memory of Event.t list ref
-  | Jsonl of out_channel
+  | Memory of Event.t list Atomic.t
+  | Jsonl of { oc : out_channel; oc_mutex : Mutex.t }
   | Callback of (Event.t -> unit)
 
-type t = { kind : kind; mutable emitted : int }
+type t = { kind : kind; emitted : int Atomic.t }
 
-let null = { kind = Null; emitted = 0 }
-let memory () = { kind = Memory (ref []); emitted = 0 }
-let jsonl oc = { kind = Jsonl oc; emitted = 0 }
-let callback f = { kind = Callback f; emitted = 0 }
+let null = { kind = Null; emitted = Atomic.make 0 }
+let memory () = { kind = Memory (Atomic.make []); emitted = Atomic.make 0 }
+let jsonl oc =
+  { kind = Jsonl { oc; oc_mutex = Mutex.create () }; emitted = Atomic.make 0 }
+let callback f = { kind = Callback f; emitted = Atomic.make 0 }
 let enabled t = match t.kind with Null -> false | _ -> true
+
+let rec push buffer event =
+  let old = Atomic.get buffer in
+  if not (Atomic.compare_and_set buffer old (event :: old)) then
+    push buffer event
 
 let emit t event =
   match t.kind with
   | Null -> ()
   | Memory buffer ->
-      buffer := event :: !buffer;
-      t.emitted <- t.emitted + 1
-  | Jsonl oc ->
-      output_string oc (Event.to_line event);
-      output_char oc '\n';
-      t.emitted <- t.emitted + 1
+      push buffer event;
+      ignore (Atomic.fetch_and_add t.emitted 1)
+  | Jsonl { oc; oc_mutex } ->
+      (* one write of the whole line under the sink's lock: concurrent
+         emitters cannot tear a JSONL line *)
+      let line = Event.to_line event ^ "\n" in
+      Mutex.protect oc_mutex (fun () -> output_string oc line);
+      ignore (Atomic.fetch_and_add t.emitted 1)
   | Callback f ->
       f event;
-      t.emitted <- t.emitted + 1
+      ignore (Atomic.fetch_and_add t.emitted 1)
 
 let events t =
-  match t.kind with Memory buffer -> List.rev !buffer | _ -> []
+  match t.kind with
+  | Memory buffer -> List.rev (Atomic.get buffer)
+  | _ -> []
 
-let count t = t.emitted
+let count t = Atomic.get t.emitted

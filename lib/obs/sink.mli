@@ -10,7 +10,17 @@
     ]}
 
     With [Sink.null] the instrumented hot paths therefore cost one
-    branch per potential event and allocate nothing. *)
+    branch per potential event and allocate nothing.
+
+    {b Thread safety.}  {!emit} and {!count} are safe from any number
+    of domains: the memory buffer is an atomic (lock-free push), and a
+    jsonl sink writes each event as a single line under a per-sink
+    mutex, so concurrent emitters never tear a JSONL line.  Event
+    {e order} across domains is whatever the interleaving produced —
+    within one domain, emission order is preserved.  A [callback]
+    sink's function must be thread-safe itself if the sink is shared.
+    {!events} reads a consistent snapshot but should be called after
+    emitters have finished. *)
 
 type t
 
@@ -21,8 +31,10 @@ val memory : unit -> t
 (** Buffers events in memory; read them back with {!events}. *)
 
 val jsonl : out_channel -> t
-(** Writes one canonical JSON line per event ({!Event.to_line}).  The
-    channel is not closed by the sink; flush or close it yourself. *)
+(** Writes one canonical JSON line per event ({!Event.to_line}), each
+    as one atomic write.  The channel is not closed by the sink; flush
+    or close it yourself (and do not write to the channel from outside
+    the sink while emitters are running). *)
 
 val callback : (Event.t -> unit) -> t
 (** Calls the function on every event — for custom aggregation. *)

@@ -1,43 +1,117 @@
-let num_domains () = max 1 (Domain.recommended_domain_count ())
+(* Nested-parallelism guard: a worker spawned (or run inline) by [map] /
+   [map_reduce] marks its domain, and the mark is inherited by any
+   domain it spawns in turn.  Inner pool calls then default to one
+   domain instead of fanning out again — an experiment that sweeps
+   (family, seed) pairs with [map] can itself be run as one item of an
+   outer [map] without oversubscribing the machine. *)
+let inside_pool : bool Domain.DLS.key =
+  Domain.DLS.new_key ~split_from_parent:Fun.id (fun () -> false)
 
-type 'b outcome = Pending | Done of 'b | Failed of exn
+let marked thunk =
+  let outer = Domain.DLS.get inside_pool in
+  Domain.DLS.set inside_pool true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set inside_pool outer) thunk
+
+let sequential thunk = marked thunk
+
+let num_domains () =
+  if Domain.DLS.get inside_pool then 1
+  else max 1 (Domain.recommended_domain_count ())
+
+type 'b outcome =
+  | Pending
+  | Done of 'b
+  | Failed of exn * Printexc.raw_backtrace
+
+let reraise_first_failure results =
+  Array.iter
+    (function
+      | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Done _ | Pending -> ())
+    results
+
+let collect results =
+  Array.to_list
+    (Array.map
+       (function
+         | Done v -> v
+         | Pending | Failed _ -> assert false (* all slots visited *))
+       results)
+
+let resolve_domains ~name domains n =
+  let requested = match domains with Some d -> d | None -> num_domains () in
+  if requested < 1 then invalid_arg (name ^ ": domains < 1");
+  min requested n
+
+let run_task f x =
+  match f x with
+  | v -> Done v
+  | exception e -> Failed (e, Printexc.get_raw_backtrace ())
 
 let map ?domains f xs =
-  let requested = match domains with Some d -> d | None -> num_domains () in
-  if requested < 1 then invalid_arg "Pool.map: domains < 1";
   let items = Array.of_list xs in
   let n = Array.length items in
-  let workers = min requested n in
+  let workers = resolve_domains ~name:"Pool.map" domains n in
   if workers <= 1 then List.map f xs
   else begin
     let results = Array.make n Pending in
     let next = Atomic.make 0 in
     (* work stealing by atomic counter: workers pull the next index *)
     let worker () =
-      let continue = ref true in
-      while !continue do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= n then continue := false
-        else
-          results.(i) <-
-            (match f items.(i) with v -> Done v | exception e -> Failed e)
-      done
+      marked (fun () ->
+          let continue = ref true in
+          while !continue do
+            let i = Atomic.fetch_and_add next 1 in
+            if i >= n then continue := false
+            else results.(i) <- run_task f items.(i)
+          done)
     in
-    let spawned =
-      List.init (workers - 1) (fun _ -> Domain.spawn worker)
-    in
+    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     List.iter Domain.join spawned;
     (* surface the first failure in input order, if any *)
-    Array.iter
-      (function Failed e -> raise e | Done _ | Pending -> ())
-      results;
-    Array.to_list
-      (Array.map
-         (function
-           | Done v -> v
-           | Pending | Failed _ -> assert false (* all slots visited *))
-         results)
+    reraise_first_failure results;
+    collect results
+  end
+
+let map_reduce ?domains ~init ~f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let workers = resolve_domains ~name:"Pool.map_reduce" domains n in
+  if n = 0 then ([], [])
+  else if workers <= 1 then begin
+    let acc = init () in
+    (List.map (f acc) xs, [ acc ])
+  end
+  else begin
+    let results = Array.make n Pending in
+    (* Static block partition (not work stealing): item -> shard
+       assignment must be a function of (n, workers) alone, so the
+       shard list — and any order-sensitive fold over it — is the same
+       on every run.  Shard w covers the contiguous block
+       [w*ceil(n/workers), ...), i.e. input order across shards. *)
+    let block = (n + workers - 1) / workers in
+    let shards = Array.init workers (fun _ -> None) in
+    let worker w () =
+      marked (fun () ->
+          let acc = init () in
+          shards.(w) <- Some acc;
+          let lo = w * block and hi = min n ((w + 1) * block) in
+          for i = lo to hi - 1 do
+            results.(i) <- run_task (f acc) items.(i)
+          done)
+    in
+    let spawned =
+      List.init (workers - 1) (fun k -> Domain.spawn (worker (k + 1)))
+    in
+    worker 0 ();
+    List.iter Domain.join spawned;
+    reraise_first_failure results;
+    let accs =
+      Array.to_list shards
+      |> List.filter_map Fun.id
+    in
+    (collect results, accs)
   end
 
 let run_both f g =

@@ -1,18 +1,31 @@
 (** Minimal domain pool built on OCaml 5 multicore primitives (stdlib
-    [Domain] + [Mutex]/[Condition] only — no external dependency).
+    [Domain] + [Atomic] only — no external dependency).
 
     Simulation runs are embarrassingly parallel: each (workload, seed,
     policy) engine run touches only its own state.  The experiment
     sweeps use {!map} to spread runs over cores; results come back in
     input order and determinism is preserved (the tasks themselves are
-    deterministic and share nothing).
+    deterministic and share nothing).  For tasks that additionally
+    accumulate into shared telemetry, {!map_reduce} gives every worker
+    a private shard (e.g. an [Rrs_obs.Metrics.t]) with a deterministic
+    item→shard assignment, so the merged totals are reproducible.
 
-    Exceptions raised by a task are captured and re-raised in the
-    caller once every worker has stopped. *)
+    {b Nesting.}  Code running inside a parallel {!map}/{!map_reduce}
+    section is marked (the mark is inherited by domains it spawns):
+    there, {!num_domains} returns 1, so nested pool calls that use the
+    default degrade to sequential instead of oversubscribing the
+    machine.  An explicit [~domains] always wins.  {!sequential} applies
+    the same mark to an arbitrary thunk — a fully sequential run of
+    code that would otherwise fan out, e.g. as a bench baseline.
+
+    Exceptions raised by a task are captured {e with their backtrace}
+    and re-raised in the caller (via [Printexc.raise_with_backtrace],
+    so the worker's trace survives) once every worker has stopped. *)
 
 val num_domains : unit -> int
 (** Recommended parallelism: [Domain.recommended_domain_count], at
-    least 1. *)
+    least 1 — or exactly 1 inside a parallel pool section (see the
+    nesting note above). *)
 
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map f xs] applies [f] to every element, spreading work over
@@ -20,7 +33,34 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
     Results are in input order.  With [domains = 1] (or a short list)
     this degrades to [List.map].
     @raise Invalid_argument if [domains < 1].  Re-raises the first task
-    exception (by input order) after all workers finish. *)
+    exception (by input order, with its backtrace) after all workers
+    finish. *)
+
+val map_reduce :
+  ?domains:int ->
+  init:(unit -> 'acc) ->
+  f:('acc -> 'a -> 'b) ->
+  'a list ->
+  'b list * 'acc list
+(** [map_reduce ~init ~f xs] is {!map} with a per-worker accumulator:
+    each worker creates one ['acc] with [init] and applies [f acc] to
+    its items.  Unlike {!map} (work stealing), items are assigned to
+    workers in {e static contiguous blocks} in input order, so which
+    shard each item lands in is a pure function of (length, domains) —
+    reproducible run to run.  Returns the mapped results in input order
+    and the shards in block order (shard [w] covers the [w]-th block),
+    so a left fold over the shard list merges partial aggregates in
+    input order.  With one worker this is a plain sequential fold: one
+    shard, items in order — parallel totals built from commutative
+    updates (e.g. [Rrs_obs.Metrics] counters) are identical to the
+    sequential run's.
+    @raise Invalid_argument if [domains < 1].  Re-raises the first task
+    exception like {!map}; shards are discarded on failure. *)
+
+val sequential : (unit -> 'a) -> 'a
+(** Run the thunk with the pool mark set: every {!map}/{!map_reduce}
+    under it (transitively, including in domains it spawns) that relies
+    on the default parallelism runs on the calling domain alone. *)
 
 val run_both : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
 (** Run two independent thunks, the second on a fresh domain. *)

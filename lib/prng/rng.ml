@@ -112,32 +112,45 @@ let pareto t ~shape ~scale =
    The CDF table depends only on (n, s), so it is cached across calls:
    workload generators draw many variates from one distribution.  The
    cache is shared process state, so it is mutex-protected — generators
-   may run under multiple domains (see Rrs_parallel). *)
+   may run under multiple domains (see Rrs_parallel).  The lock guards
+   only the table lookups/insert, never the O(n) construction: a miss
+   computes outside the lock and re-checks before inserting
+   (double-checked, so two racing builders agree on one table), and the
+   CDF array itself is immutable after publication, so readers share it
+   lock-free. *)
 let zipf_cdf_cache : (int * float, float array) Hashtbl.t = Hashtbl.create 8
 let zipf_cdf_mutex = Mutex.create ()
 
-let zipf_cdf n s =
-  Mutex.lock zipf_cdf_mutex;
-  let cdf =
-    match Hashtbl.find_opt zipf_cdf_cache (n, s) with
-    | Some cdf -> cdf
-    | None ->
-        let cdf = Array.make n 0.0 in
-        let acc = ref 0.0 in
-        for r = 0 to n - 1 do
-          acc := !acc +. (1.0 /. (Stdlib.float_of_int (r + 1) ** s));
-          cdf.(r) <- !acc
-        done;
-        let total = !acc in
-        for r = 0 to n - 1 do
-          cdf.(r) <- cdf.(r) /. total
-        done;
-        if Hashtbl.length zipf_cdf_cache > 64 then Hashtbl.reset zipf_cdf_cache;
-        Hashtbl.add zipf_cdf_cache (n, s) cdf;
-        cdf
-  in
-  Mutex.unlock zipf_cdf_mutex;
+let build_zipf_cdf n s =
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for r = 0 to n - 1 do
+    acc := !acc +. (1.0 /. (Stdlib.float_of_int (r + 1) ** s));
+    cdf.(r) <- !acc
+  done;
+  let total = !acc in
+  for r = 0 to n - 1 do
+    cdf.(r) <- cdf.(r) /. total
+  done;
   cdf
+
+let zipf_cdf n s =
+  let cached =
+    Mutex.protect zipf_cdf_mutex (fun () ->
+        Hashtbl.find_opt zipf_cdf_cache (n, s))
+  in
+  match cached with
+  | Some cdf -> cdf
+  | None ->
+      let cdf = build_zipf_cdf n s in
+      Mutex.protect zipf_cdf_mutex (fun () ->
+          match Hashtbl.find_opt zipf_cdf_cache (n, s) with
+          | Some winner -> winner
+          | None ->
+              if Hashtbl.length zipf_cdf_cache > 64 then
+                Hashtbl.reset zipf_cdf_cache;
+              Hashtbl.add zipf_cdf_cache (n, s) cdf;
+              cdf)
 
 let zipf t ~n ~s =
   if n <= 0 then invalid_arg "Rng.zipf";

@@ -26,6 +26,7 @@ let add_many t v k =
 let add t v = add_many t v 1
 let count t = t.total
 let clamped t = t.clamped
+let max_value t = t.max_value
 let count_at t v =
   if v < 0 || v > t.max_value then 0 else Rrs_dstruct.Fenwick.get t.buckets v
 
@@ -48,3 +49,17 @@ let to_assoc t =
     if c > 0 then out := (v, c) :: !out
   done;
   !out
+
+let copy t =
+  let c = create ~max_value:t.max_value in
+  List.iter (fun (v, k) -> add_many c v k) (to_assoc t);
+  c.clamped <- t.clamped;
+  c
+
+let merge_into ~into src =
+  if into.max_value <> src.max_value then
+    invalid_arg "Histogram.merge_into: bucket domains differ";
+  (* src's clamped observations already sit in its top bucket, so adding
+     the buckets moves them over; only the clamped tally needs carrying. *)
+  List.iter (fun (v, c) -> add_many into v c) (to_assoc src);
+  into.clamped <- into.clamped + src.clamped

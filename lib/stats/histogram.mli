@@ -20,6 +20,17 @@ val count : t -> int
 val clamped : t -> int
 (** Number of observations that fell outside [0 .. max_value]. *)
 
+val max_value : t -> int
+(** The [max_value] the histogram was created with. *)
+
+val copy : t -> t
+
+val merge_into : into:t -> t -> unit
+(** Fold [src]'s observations into [into] in place ([src] is not
+    modified) — for shard-and-merge aggregation.
+    @raise Invalid_argument if the two histograms were created with
+    different [max_value]. *)
+
 val count_at : t -> int -> int
 val count_le : t -> int -> int
 

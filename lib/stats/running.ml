@@ -26,6 +26,9 @@ let min t = t.min
 let max t = t.max
 let sum t = t.mean *. float_of_int t.n
 
+let copy t =
+  { n = t.n; mean = t.mean; m2 = t.m2; min = t.min; max = t.max }
+
 let merge a b =
   if a.n = 0 then { b with n = b.n }
   else if b.n = 0 then { a with n = a.n }
@@ -45,3 +48,11 @@ let merge a b =
       max = Stdlib.max a.max b.max;
     }
   end
+
+let merge_into ~into src =
+  let m = merge into src in
+  into.n <- m.n;
+  into.mean <- m.mean;
+  into.m2 <- m.m2;
+  into.min <- m.min;
+  into.max <- m.max

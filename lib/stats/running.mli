@@ -23,5 +23,12 @@ val max : t -> float
 (** [neg_infinity] when empty. *)
 
 val sum : t -> float
+val copy : t -> t
+
 val merge : t -> t -> t
 (** Combined statistics of two disjoint streams (parallel-friendly). *)
+
+val merge_into : into:t -> t -> unit
+(** Fold [src] into [into] in place ([src] is not modified) — the
+    destructive counterpart of {!merge}, for shard-and-merge
+    aggregation. *)

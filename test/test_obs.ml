@@ -273,6 +273,109 @@ let test_metrics_json_is_canonical () =
   Alcotest.(check bool) "sorted sections" true (ia < ib)
 
 (* ------------------------------------------------------------------ *)
+(* domain safety: the race-regression tests                            *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = Rrs_parallel.Pool
+
+let hammer_domains = 4
+let hammer_iters = 25_000
+
+(* Shared-registry updates from several domains must lose nothing: on
+   the old plain-[mutable] counters this test loses increments under
+   true parallelism (read-modify-write tears), which is exactly the
+   EXPERIMENTS.md contract violation this layer had. *)
+let test_metrics_parallel_updates_lose_nothing () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "hits" in
+  let t = Metrics.timer reg "spans" in
+  let h = Metrics.histogram reg "obs" ~max_value:16 in
+  let per_domain _ =
+    for i = 1 to hammer_iters do
+      Metrics.inc c 1;
+      if i mod 100 = 0 then begin
+        Metrics.observe h (i mod 17);
+        ignore (Metrics.time t (fun () -> ()))
+      end
+    done
+  in
+  ignore (Pool.map ~domains:hammer_domains per_domain
+            (List.init hammer_domains Fun.id));
+  Alcotest.(check int) "no lost counter increments"
+    (hammer_domains * hammer_iters) (Metrics.value c);
+  Alcotest.(check int) "no lost spans"
+    (hammer_domains * (hammer_iters / 100))
+    (Metrics.timer_count t);
+  Alcotest.(check int) "no lost observations"
+    (hammer_domains * (hammer_iters / 100))
+    (Rrs_stats.Histogram.count (Metrics.histogram_stats h))
+
+let test_metrics_shards_merge_to_sequential_totals () =
+  let items = List.init 40 (fun i -> i + 1) in
+  (* per-domain shards, merged in input order *)
+  let _, shards =
+    Pool.map_reduce ~domains:hammer_domains
+      ~init:(fun () -> Metrics.create ())
+      ~f:(fun shard x ->
+        Metrics.inc (Metrics.counter shard "total") x;
+        Metrics.observe (Metrics.histogram shard "xs" ~max_value:64) x;
+        ignore (Metrics.time (Metrics.timer shard "work") (fun () -> ())))
+      items
+  in
+  let merged = Metrics.create () in
+  List.iter (fun shard -> Metrics.merge_into ~into:merged shard) shards;
+  let sequential = List.fold_left ( + ) 0 items in
+  Alcotest.(check int) "merged counter = sequential sum" sequential
+    (Metrics.value (Metrics.counter merged "total"));
+  Alcotest.(check int) "merged histogram count" (List.length items)
+    (Rrs_stats.Histogram.count
+       (Metrics.histogram_stats (Metrics.histogram merged "xs" ~max_value:64)));
+  Alcotest.(check int) "merged span count" (List.length items)
+    (Metrics.timer_count (Metrics.timer merged "work"))
+
+let test_sink_jsonl_parallel_lines_not_torn () =
+  let path = Filename.temp_file "rrs_obs" ".jsonl" in
+  let per_domain = 500 in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          let sink = Sink.jsonl oc in
+          ignore
+            (Pool.map ~domains:hammer_domains
+               (fun d ->
+                 for i = 1 to per_domain do
+                   Sink.emit sink
+                     (Event.Drop { round = i; color = d; count = 1 })
+                 done)
+               (List.init hammer_domains Fun.id));
+          Alcotest.(check int) "emitted count"
+            (hammer_domains * per_domain) (Sink.count sink));
+      let lines = In_channel.with_open_text path In_channel.input_lines in
+      Alcotest.(check int) "one line per event"
+        (hammer_domains * per_domain) (List.length lines);
+      List.iter
+        (fun l ->
+          match Event.of_line l with
+          | Ok _ -> ()
+          | Error msg -> Alcotest.failf "torn/unparseable line %S: %s" l msg)
+        lines)
+
+let test_sink_memory_parallel_keeps_every_event () =
+  let sink = Sink.memory () in
+  let per_domain = 500 in
+  ignore
+    (Pool.map ~domains:hammer_domains
+       (fun d ->
+         for i = 1 to per_domain do
+           Sink.emit sink (Event.Arrival { round = i; color = d; count = 1 })
+         done)
+       (List.init hammer_domains Fun.id));
+  Alcotest.(check int) "count" (hammer_domains * per_domain) (Sink.count sink);
+  Alcotest.(check int) "buffered" (hammer_domains * per_domain)
+    (List.length (Sink.events sink))
+
+(* ------------------------------------------------------------------ *)
 (* run_summary artifacts                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -295,6 +398,27 @@ let test_run_summary_roundtrip () =
   | Ok s ->
       Alcotest.(check string) "byte-for-byte" line (Run_summary.to_line s);
       Alcotest.(check int) "total recomputed" 759 (Run_summary.total_cost s)
+
+let test_run_summary_strip_timings () =
+  let s =
+    Run_summary.make ~id:"X" ~kind:"experiment"
+      ~reconfig_cost:3 ~drop_cost:4
+      ~analysis:[ ("engine_runs", 45.0); ("engine_seconds", 1.25) ]
+      ~timings:[ { Run_summary.phase = "experiment"; seconds = 2.5; count = 1 } ]
+      ()
+  in
+  let stripped = Run_summary.strip_timings s in
+  Alcotest.(check int) "costs kept" 7 (Run_summary.total_cost stripped);
+  Alcotest.(check (list (pair string (float 0.0)))) "wall time zeroed"
+    [ ("engine_runs", 45.0); ("engine_seconds", 0.0) ]
+    stripped.analysis;
+  (match stripped.timings with
+  | [ { phase = "experiment"; seconds = 0.0; count = 1 } ] -> ()
+  | _ -> Alcotest.fail "timings shape");
+  (* stripping is idempotent and canonical *)
+  Alcotest.(check string) "idempotent"
+    (Run_summary.to_line stripped)
+    (Run_summary.to_line (Run_summary.strip_timings stripped))
 
 let test_run_summary_load_skips_events () =
   let path = Filename.temp_file "rrs_obs" ".jsonl" in
@@ -401,9 +525,22 @@ let () =
           Alcotest.test_case "recolorings: projected" `Quick
             test_metrics_recolorings_match_engine_projected;
         ] );
+      ( "domain safety",
+        [
+          Alcotest.test_case "parallel updates lose nothing" `Quick
+            test_metrics_parallel_updates_lose_nothing;
+          Alcotest.test_case "shards merge to sequential totals" `Quick
+            test_metrics_shards_merge_to_sequential_totals;
+          Alcotest.test_case "parallel jsonl lines not torn" `Quick
+            test_sink_jsonl_parallel_lines_not_torn;
+          Alcotest.test_case "parallel memory sink keeps all" `Quick
+            test_sink_memory_parallel_keeps_every_event;
+        ] );
       ( "run_summary",
         [
           Alcotest.test_case "byte round-trip" `Quick test_run_summary_roundtrip;
+          Alcotest.test_case "strip_timings" `Quick
+            test_run_summary_strip_timings;
           Alcotest.test_case "load skips events" `Quick
             test_run_summary_load_skips_events;
           Alcotest.test_case "load rejects garbage" `Quick

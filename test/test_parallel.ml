@@ -29,6 +29,100 @@ let test_domains_validation () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "domains = 0 accepted"
 
+(* The worker's backtrace must survive the cross-domain re-raise: a
+   plain [raise] in the caller would show only pool.ml frames, not the
+   task's raise site in this file. *)
+let boom_deep x =
+  if x = 5 then failwith "deep boom" else x [@@inline never]
+
+let test_exception_backtrace_survives () =
+  let was = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  Fun.protect
+    ~finally:(fun () -> Printexc.record_backtrace was)
+    (fun () ->
+      match Pool.map ~domains:3 boom_deep (List.init 10 Fun.id) with
+      | _ -> Alcotest.fail "exception swallowed"
+      | exception Failure _ ->
+          let bt = Printexc.get_backtrace () in
+          if not (String.length bt > 0) then Alcotest.fail "empty backtrace";
+          (* the raise site is in this file, not just in pool.ml *)
+          let mentions_raise_site =
+            let rec find i =
+              i + 16 <= String.length bt
+              && (String.sub bt i 16 = "test_parallel.ml" || find (i + 1))
+            in
+            find 0
+          in
+          Alcotest.(check bool) "backtrace reaches the task" true
+            mentions_raise_site)
+
+let test_map_reduce_results_and_shards () =
+  let items = List.init 37 (fun i -> i + 1) in
+  let run () =
+    Pool.map_reduce ~domains:4
+      ~init:(fun () -> ref 0)
+      ~f:(fun acc x ->
+        acc := !acc + x;
+        x * 2)
+      items
+  in
+  let results, shards = run () in
+  Alcotest.(check (list int)) "results in input order"
+    (List.map (fun x -> x * 2) items)
+    results;
+  let total = List.fold_left (fun s acc -> s + !acc) 0 shards in
+  Alcotest.(check int) "shard totals = sequential sum"
+    (List.fold_left ( + ) 0 items)
+    total;
+  (* static block partition: the item -> shard assignment is a pure
+     function of (length, domains), so per-shard totals reproduce *)
+  let _, shards' = run () in
+  Alcotest.(check (list int)) "deterministic shard assignment"
+    (List.map ( ! ) shards)
+    (List.map ( ! ) shards');
+  (* single worker degrades to a sequential fold with one shard *)
+  let seq_results, seq_shards =
+    Pool.map_reduce ~domains:1
+      ~init:(fun () -> ref 0)
+      ~f:(fun acc x ->
+        acc := !acc + x;
+        x * 2)
+      items
+  in
+  Alcotest.(check (list int)) "sequential results" results seq_results;
+  (match seq_shards with
+  | [ acc ] ->
+      Alcotest.(check int) "one shard, full sum"
+        (List.fold_left ( + ) 0 items)
+        !acc
+  | _ -> Alcotest.fail "expected exactly one shard");
+  Alcotest.(check bool) "empty input" true
+    (Pool.map_reduce ~domains:4 ~init:(fun () -> ()) ~f:(fun () x -> x) []
+     = ([], []))
+
+let test_map_reduce_propagates_exceptions () =
+  match
+    Pool.map_reduce ~domains:3
+      ~init:(fun () -> ())
+      ~f:(fun () x -> if x = 7 then failwith "mr boom" else x)
+      (List.init 12 Fun.id)
+  with
+  | exception Failure msg -> Alcotest.(check string) "message" "mr boom" msg
+  | _ -> Alcotest.fail "exception swallowed"
+
+let test_nested_parallelism_degrades () =
+  (* inside a parallel section the default fan-out is 1 domain *)
+  let inner =
+    Pool.map ~domains:2 (fun _ -> Pool.num_domains ()) [ 0; 1; 2; 3 ]
+  in
+  List.iter (Alcotest.(check int) "nested default is sequential" 1) inner;
+  Alcotest.(check int) "sequential scope" 1
+    (Pool.sequential (fun () -> Pool.num_domains ()));
+  Alcotest.(check bool) "outside a pool, parallelism is back" true
+    (Pool.num_domains () >= 1
+    && Pool.num_domains () = max 1 (Domain.recommended_domain_count ()))
+
 let test_run_both () =
   let a, b = Pool.run_both (fun () -> 6 * 7) (fun () -> "ok") in
   Alcotest.(check int) "first" 42 a;
@@ -57,6 +151,35 @@ let test_parallel_engine_runs_deterministic () =
 let test_num_domains_positive () =
   Alcotest.(check bool) "at least one" true (Pool.num_domains () >= 1)
 
+(* The telemetry race regression: the same experiment subset run fully
+   sequentially and spread over 4 domains must produce byte-identical
+   run_summary artifacts once wall-clock fields are stripped — on the
+   pre-atomic Metrics counters the parallel engine_runs / cost deltas
+   silently lose updates and this comparison breaks. *)
+let test_parallel_experiments_identical_artifacts () =
+  let ids = [ "EXP-1"; "EXP-4"; "EXP-5"; "EXP-13" ] in
+  let seq =
+    Pool.sequential (fun () -> Rrs_experiments.Registry.run_many ~jobs:1 ids)
+  in
+  let par = Rrs_experiments.Registry.run_many ~jobs:4 ids in
+  Alcotest.(check int) "all experiments ran" (List.length ids)
+    (List.length par);
+  List.iter2
+    (fun (id_s, ((out_s : Rrs_experiments.Harness.outcome), sum_s))
+         (id_p, ((out_p : Rrs_experiments.Harness.outcome), sum_p)) ->
+      Alcotest.(check string) "input order" id_s id_p;
+      Alcotest.(check string)
+        (id_s ^ ": same table")
+        (Rrs_report.Table.to_string out_s.table)
+        (Rrs_report.Table.to_string out_p.table);
+      Alcotest.(check (list string)) (id_s ^ ": same findings") out_s.findings
+        out_p.findings;
+      Alcotest.(check string)
+        (id_s ^ ": artifact byte-identical modulo wall time")
+        (Rrs_obs.Run_summary.to_line (Rrs_obs.Run_summary.strip_timings sum_s))
+        (Rrs_obs.Run_summary.to_line (Rrs_obs.Run_summary.strip_timings sum_p)))
+    seq par
+
 let () =
   Alcotest.run "parallel"
     [
@@ -65,7 +188,15 @@ let () =
           Alcotest.test_case "map = sequential" `Quick
             test_map_matches_sequential;
           Alcotest.test_case "exceptions" `Quick test_exceptions_propagate;
+          Alcotest.test_case "backtrace survives" `Quick
+            test_exception_backtrace_survives;
           Alcotest.test_case "validation" `Quick test_domains_validation;
+          Alcotest.test_case "map_reduce" `Quick
+            test_map_reduce_results_and_shards;
+          Alcotest.test_case "map_reduce exceptions" `Quick
+            test_map_reduce_propagates_exceptions;
+          Alcotest.test_case "nested parallelism degrades" `Quick
+            test_nested_parallelism_degrades;
           Alcotest.test_case "run_both" `Quick test_run_both;
           Alcotest.test_case "num_domains" `Quick test_num_domains_positive;
         ] );
@@ -73,5 +204,7 @@ let () =
         [
           Alcotest.test_case "parallel engine sweep" `Slow
             test_parallel_engine_runs_deterministic;
+          Alcotest.test_case "parallel experiments, identical artifacts" `Slow
+            test_parallel_experiments_identical_artifacts;
         ] );
     ]

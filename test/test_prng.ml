@@ -160,6 +160,24 @@ let test_zipf () =
     (p0 > 0.3 && p0 < 0.5);
   Alcotest.(check int) "n=1 constant" 0 (Rng.zipf rng ~n:1 ~s:1.0)
 
+let test_zipf_parallel_determinism () =
+  (* Four domains hit a cold (n, s) cache entry at once: the
+     double-checked insert in [zipf_cdf] must hand every racer the same
+     published table, so identically-seeded generators stay in lockstep
+     with a sequential draw. *)
+  let n = 96 and s = 1.2 in
+  let draw () =
+    let rng = Rng.create ~seed:11 in
+    List.init 512 (fun _ -> Rng.zipf rng ~n ~s)
+  in
+  (* parallel first: the cache entry for this (n, s) must be cold so the
+     domains race to build it *)
+  let streams = Rrs_parallel.Pool.map ~domains:4 (fun _ -> draw ()) [ 0; 1; 2; 3 ] in
+  let expected = draw () in
+  List.iter
+    (Alcotest.(check (list int)) "same sequence under contention" expected)
+    streams
+
 let test_shuffle_permutation () =
   let rng = Rng.create ~seed:37 in
   let a = Array.init 50 Fun.id in
@@ -202,6 +220,8 @@ let () =
           Alcotest.test_case "poisson large" `Quick test_poisson_large_mean;
           Alcotest.test_case "geometric" `Quick test_geometric;
           Alcotest.test_case "zipf" `Quick test_zipf;
+          Alcotest.test_case "zipf parallel determinism" `Quick
+            test_zipf_parallel_determinism;
           Alcotest.test_case "pareto" `Quick test_pareto;
         ] );
       ( "combinatorial",
