@@ -1,0 +1,284 @@
+(* The incremental-ranking core bench: the asymptotic evidence behind the
+   delta-driven hot path (doc/PERFORMANCE.md).
+
+   Part 1 — scaling: rounds/sec of ΔLRU-EDF, Incremental vs Rebuild, as
+   the color universe grows.  The workload keeps the per-round change
+   count constant (a fixed number of active colors per batch window, all
+   delay bounds equal to the window length) so the Rebuild mode's O(C)
+   per-round scan is the only thing that grows with C.
+
+   Part 2 — differential: every ranking policy in both modes on every
+   workload family plus the Appendix A/B adversarial constructions; any
+   field of Engine.result differing (including final_cache and the full
+   recorded schedule) counts as a divergence.
+
+   Writes one run_summary JSONL line per scaling size plus one for the
+   differential section to BENCH_core.json; exits nonzero on any
+   divergence so CI can gate on it. *)
+
+open Rrs_core
+module Families = Rrs_workload.Families
+module Adv = Rrs_workload.Adversarial
+module Rng = Rrs_prng.Rng
+
+let sizes = ref [ 256; 512; 1024; 2048; 4096 ]
+let windows = ref 24
+let active = ref 8
+let delta = ref 4
+let n = ref 8
+let repeats = ref 3
+let diff_seeds = ref 2
+let out = ref "BENCH_core.json"
+
+let parse_sizes s =
+  sizes :=
+    List.map
+      (fun part ->
+        match int_of_string_opt (String.trim part) with
+        | Some v when v >= 1 -> v
+        | _ -> raise (Arg.Bad (Printf.sprintf "bad size %S" part)))
+      (String.split_on_char ',' s)
+
+let spec =
+  [
+    ("--sizes", Arg.String parse_sizes, "CSV color-universe sizes to sweep");
+    ("--windows", Arg.Set_int windows, "INT batch windows per instance");
+    ("--active", Arg.Set_int active, "INT active colors per window");
+    ("--delta", Arg.Set_int delta, "INT reconfiguration cost");
+    ("--n", Arg.Set_int n, "INT online resources (multiple of 4)");
+    ("--repeats", Arg.Set_int repeats, "INT best-of timing repetitions");
+    ("--diff-seeds", Arg.Set_int diff_seeds, "INT seeds per family (part 2)");
+    ("--out", Arg.Set_string out, "FILE JSONL artifact path");
+  ]
+
+let () =
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "core.exe: incremental-ranking scaling and differential bench"
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: scaling                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let ceil_pow2 x =
+  let rec go p = if p >= x then p else go (2 * p) in
+  go 1
+
+(* All delay bounds equal the (power-of-two) window length W >= C, and
+   each window hands [active] random colors a batch of [delta] jobs.
+   Change events per round are therefore O(active) on average no matter
+   how large C gets, while any per-round full scan pays O(C). *)
+let scaling_instance ~num_colors ~seed =
+  let w = ceil_pow2 num_colors in
+  let rng = Rng.create ~seed in
+  let batch = min w !delta in
+  let arrivals = ref [] in
+  for window = 0 to !windows - 1 do
+    let chosen = Hashtbl.create (2 * !active) in
+    while Hashtbl.length chosen < min !active num_colors do
+      Hashtbl.replace chosen (Rng.int rng num_colors) ()
+    done;
+    Hashtbl.iter
+      (fun color () ->
+        arrivals :=
+          { Types.round = window * w; color; count = batch } :: !arrivals)
+      chosen
+  done;
+  Instance.create
+    ~name:(Printf.sprintf "scaling-c%d" num_colors)
+    ~delta:!delta
+    ~delay:(Array.make num_colors w)
+    ~arrivals:!arrivals ()
+
+let best_of f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to max 1 !repeats do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    result := Some r;
+    if dt < !best then best := dt
+  done;
+  (Option.get !result, !best)
+
+let run_scaling oc =
+  print_endline
+    "================================================================";
+  Printf.printf
+    " Scaling: dlru-edf rounds/sec vs colors (windows=%d, active=%d)\n"
+    !windows !active;
+  print_endline
+    "================================================================";
+  Printf.printf "%8s %10s %14s %14s %9s %12s\n" "colors" "rounds"
+    "incr rnd/s" "rebuild rnd/s" "speedup" "rank_updates";
+  let all_identical = ref true in
+  List.iter
+    (fun size ->
+      let instance = scaling_instance ~num_colors:size ~seed:1 in
+      let run ?registry mode () =
+        Engine.run_policy
+          (Engine.config ~n:!n ())
+          instance
+          (Lru_edf.make ?registry ~mode instance ~n:!n).policy
+      in
+      let registry = Rrs_obs.Metrics.create () in
+      let incr_result, incr_seconds =
+        best_of (run ~registry Ranking.Incremental)
+      in
+      let updates =
+        Rrs_obs.Metrics.value (Rrs_obs.Metrics.counter registry "ranking_update")
+        / max 1 !repeats
+      in
+      let rebuild_result, rebuild_seconds = best_of (run Ranking.Rebuild) in
+      let identical = incr_result = rebuild_result in
+      if not identical then all_identical := false;
+      let rounds = incr_result.rounds_simulated in
+      let per_sec seconds = float_of_int rounds /. seconds in
+      Printf.printf "%8d %10d %14.0f %14.0f %8.2fx %12d%s\n" size rounds
+        (per_sec incr_seconds) (per_sec rebuild_seconds)
+        (rebuild_seconds /. incr_seconds)
+        updates
+        (if identical then "" else "  DIVERGED");
+      Rrs_obs.Run_summary.write oc
+        (Rrs_obs.Run_summary.make
+           ~id:(Printf.sprintf "core-scaling-c%d" size)
+           ~kind:"bench" ~seed:1
+           ~config:
+             [
+               ("family", "scaling");
+               ("policy", "dlru-edf");
+               ("n", string_of_int !n);
+               ("colors", string_of_int size);
+               ("windows", string_of_int !windows);
+               ("active", string_of_int !active);
+             ]
+           ~reconfig_cost:incr_result.cost.reconfig
+           ~drop_cost:incr_result.cost.drop
+           ~analysis:
+             [
+               ("rounds", float_of_int rounds);
+               ("incremental_seconds", incr_seconds);
+               ("rebuild_seconds", rebuild_seconds);
+               ("incremental_rounds_per_sec", per_sec incr_seconds);
+               ("rebuild_rounds_per_sec", per_sec rebuild_seconds);
+               ("speedup", rebuild_seconds /. incr_seconds);
+               ("ranking_updates", float_of_int updates);
+               ("identical", if identical then 1.0 else 0.0);
+             ]
+           ~timings:
+             [
+               {
+                 Rrs_obs.Run_summary.phase = "incremental";
+                 seconds = incr_seconds;
+                 count = max 1 !repeats;
+               };
+               {
+                 Rrs_obs.Run_summary.phase = "rebuild";
+                 seconds = rebuild_seconds;
+                 count = max 1 !repeats;
+               };
+             ]
+           ()))
+    !sizes;
+  !all_identical
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: differential                                                *)
+(* ------------------------------------------------------------------ *)
+
+let ranking_policies :
+    (string * (Ranking.mode -> Instance.t -> n:int -> Policy.t)) list =
+  [
+    ("dlru", fun mode instance ~n -> (Delta_lru.make ~mode instance ~n).policy);
+    ("edf", fun mode instance ~n -> (Edf_policy.make ~mode instance ~n).policy);
+    ( "seq-edf",
+      fun mode instance ~n -> (Edf_policy.make_seq ~mode instance ~n).policy );
+    ("dlru-edf", fun mode instance ~n -> (Lru_edf.make ~mode instance ~n).policy);
+  ]
+
+let diff_instances () =
+  let from_families =
+    List.concat_map
+      (fun (f : Families.family) ->
+        List.init !diff_seeds (fun i ->
+            (Printf.sprintf "%s-s%d" f.id (i + 1), f.build ~seed:(i + 1))))
+      Families.all
+  in
+  let adversarial =
+    [
+      ("appendix-a", Adv.dlru_instance { n = 8; delta = 2; j = 5; k = 7 });
+      ("appendix-b", Adv.edf_instance { n = 2; delta = 3; j = 2; k = 6 });
+    ]
+  in
+  from_families @ adversarial
+
+let run_differential oc =
+  print_endline
+    "================================================================";
+  print_endline " Differential: Incremental vs Rebuild, full-result equality";
+  print_endline
+    "================================================================";
+  let cases = ref 0 in
+  let divergences = ref 0 in
+  let instances = diff_instances () in
+  List.iter
+    (fun (iname, instance) ->
+      List.iter
+        (fun (pname, make) ->
+          incr cases;
+          let run mode =
+            Engine.run_policy
+              (Engine.config ~n:!n ~record_schedule:true ())
+              instance
+              (make mode instance ~n:!n)
+          in
+          if run Ranking.Incremental <> run Ranking.Rebuild then begin
+            incr divergences;
+            Printf.printf "DIVERGED: %s on %s\n" pname iname
+          end)
+        ranking_policies;
+      (* Par-EDF takes the same two paths below the engine *)
+      incr cases;
+      if
+        Par_edf.run ~mode:Ranking.Incremental instance ~m:2
+        <> Par_edf.run ~mode:Ranking.Rebuild instance ~m:2
+      then begin
+        incr divergences;
+        Printf.printf "DIVERGED: par-edf on %s\n" iname
+      end)
+    instances;
+  Printf.printf "%d cases (%d instances x %d policies): %d divergences\n"
+    !cases (List.length instances)
+    (List.length ranking_policies + 1)
+    !divergences;
+  Rrs_obs.Run_summary.write oc
+    (Rrs_obs.Run_summary.make ~id:"core-differential" ~kind:"bench"
+       ~config:
+         [
+           ("policies", "dlru,edf,seq-edf,dlru-edf,par-edf");
+           ("instances", string_of_int (List.length instances));
+           ("n", string_of_int !n);
+           ("seeds_per_family", string_of_int !diff_seeds);
+         ]
+       ~analysis:
+         [
+           ("cases", float_of_int !cases);
+           ("divergences", float_of_int !divergences);
+         ]
+       ());
+  !divergences = 0
+
+let () =
+  let ok =
+    Out_channel.with_open_text !out (fun oc ->
+        let scaling_ok = run_scaling oc in
+        let diff_ok = run_differential oc in
+        scaling_ok && diff_ok)
+  in
+  Printf.printf "run summaries written to %s\n" !out;
+  if not ok then begin
+    print_endline "core bench: DIVERGENCE DETECTED";
+    exit 1
+  end;
+  print_endline "core bench: done"

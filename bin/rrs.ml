@@ -122,6 +122,31 @@ let save_instance_arg =
     & opt (some string) None
     & info [ "save-instance" ] ~docv:"FILE" ~doc)
 
+let colors_arg =
+  let doc =
+    "Generate the workload at $(docv) colors instead of the family \
+     default — the scaling knob the core bench sweeps.  Only synthetic \
+     families support it (scenario families have a fixed cast)."
+  in
+  Arg.(value & opt (some int) None & info [ "colors" ] ~docv:"COLORS" ~doc)
+
+let ranking_arg =
+  let doc =
+    "Ranking maintenance for the ΔLRU/EDF policy family: \
+     $(b,incremental) (the delta-driven index, default) or $(b,rebuild) \
+     (the original per-round re-sort — the differential oracle).  Both \
+     make byte-identical decisions."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("incremental", Ranking.Incremental); ("rebuild", Ranking.Rebuild);
+           ])
+        Ranking.Incremental
+    & info [ "ranking" ] ~docv:"MODE" ~doc)
+
 let policy_id = function
   | `Lru_edf -> "dlru-edf"
   | `Dlru -> "dlru"
@@ -142,13 +167,26 @@ let with_analysis sink ~n ({ policy; eligibility } : Lru_edf.instrumented) =
   policy
 
 let simulate family seed n policy validate metrics_file trace_file
-    save_instance =
-  match lookup_family family with
+    save_instance colors mode =
+  let build_instance (f : Families.family) =
+    match colors with
+    | None -> Ok (f.build ~seed)
+    | Some c when c < 1 -> Error "--colors must be at least 1"
+    | Some c -> (
+        match f.scale with
+        | Some scale -> Ok (scale ~num_colors:c ~seed)
+        | None ->
+            Error
+              (Printf.sprintf
+                 "family %S has a fixed scenario cast and does not support \
+                  --colors; pick a synthetic family (e.g. uniform, zipf)"
+                 f.id))
+  in
+  match Result.bind (lookup_family family) build_instance with
   | Error msg ->
       prerr_endline msg;
       1
-  | Ok f -> (
-      let instance = f.build ~seed in
+  | Ok instance -> (
       Format.printf "%a@." Instance.pp instance;
       Option.iter
         (fun path ->
@@ -163,12 +201,18 @@ let simulate family seed n policy validate metrics_file trace_file
         in
         let run_plain make_policy =
           let cfg = Engine.config ~n ~record_schedule:validate ~sink () in
+          (* one registry shared by the policy (ranking_update) and the
+             per-round collector (drops/recolorings/backlog), so a single
+             metrics_registry line carries everything *)
+          let registry =
+            Option.map (fun _ -> Rrs_obs.Metrics.create ()) metrics_file
+          in
           let collector, policy =
-            let policy = make_policy sink in
-            match metrics_file with
+            let policy = make_policy sink registry in
+            match registry with
             | None -> (None, policy)
-            | Some _ ->
-                let m, p = Rrs_trace.Metrics.instrument policy in
+            | Some registry ->
+                let m, p = Rrs_trace.Metrics.instrument ~registry policy in
                 (Some m, p)
           in
           let t0 = Unix.gettimeofday () in
@@ -187,28 +231,30 @@ let simulate family seed n policy validate metrics_file trace_file
         let outcome =
           match policy with
           | `Lru_edf ->
-              run_plain (fun sink ->
-                  with_analysis sink ~n (Lru_edf.make ~sink instance ~n))
+              run_plain (fun sink registry ->
+                  with_analysis sink ~n
+                    (Lru_edf.make ~sink ?registry ~mode instance ~n))
           | `Dlru ->
-              run_plain (fun sink ->
+              run_plain (fun sink registry ->
                   let { Delta_lru.policy; eligibility } =
-                    Delta_lru.make ~sink instance ~n
+                    Delta_lru.make ~sink ?registry ~mode instance ~n
                   in
                   with_analysis sink ~n { Lru_edf.policy; eligibility })
           | `Edf ->
-              run_plain (fun sink -> (Edf_policy.make ~sink instance ~n).policy)
+              run_plain (fun sink registry ->
+                  (Edf_policy.make ~sink ?registry ~mode instance ~n).policy)
           | `Seq_edf ->
-              run_plain (fun sink ->
-                  (Edf_policy.make_seq ~sink instance ~n).policy)
-          | `Black -> run_plain (fun _ -> Static_policy.black instance ~n)
+              run_plain (fun sink registry ->
+                  (Edf_policy.make_seq ~sink ?registry ~mode instance ~n).policy)
+          | `Black -> run_plain (fun _ _ -> Static_policy.black instance ~n)
           | `Greedy ->
-              run_plain (fun _ -> Naive_policies.greedy_backlog instance ~n)
+              run_plain (fun _ _ -> Naive_policies.greedy_backlog instance ~n)
           | `Greedy_hysteresis ->
-              run_plain (fun _ ->
+              run_plain (fun _ _ ->
                   Naive_policies.greedy_backlog_hysteresis
                     ~threshold:instance.delta instance ~n)
           | `Round_robin ->
-              run_plain (fun _ -> Naive_policies.round_robin instance ~n)
+              run_plain (fun _ _ -> Naive_policies.round_robin instance ~n)
           | `Pipeline ->
               let t0 = Unix.gettimeofday () in
               let r = Var_batch.run instance ~n ~sink in
@@ -226,6 +272,8 @@ let simulate family seed n policy validate metrics_file trace_file
                      ("family", family);
                      ("policy", policy_id policy);
                      ("n", string_of_int n);
+                     ("ranking", Ranking.mode_to_string mode);
+                     ("colors", string_of_int instance.num_colors);
                    ]
                  ~reconfig_cost:r.reconfigurations ~drop_cost:r.dropped
                  ~analysis:
@@ -273,7 +321,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run one policy on one workload")
     Term.(
       const simulate $ family_arg $ seed_arg $ resources_arg $ policy_arg
-      $ validate_arg $ metrics_arg $ trace_arg $ save_instance_arg)
+      $ validate_arg $ metrics_arg $ trace_arg $ save_instance_arg
+      $ colors_arg $ ranking_arg)
 
 (* ------------------------------------------------------------------ *)
 (* rrs experiment                                                      *)

@@ -1,25 +1,37 @@
 type instrumented = { policy : Policy.t; eligibility : Eligibility.t }
 
-let rec take k = function
-  | [] -> []
-  | _ when k = 0 -> []
-  | x :: rest -> x :: take (k - 1) rest
-
-let make ?sink (instance : Instance.t) ~n =
+let make ?sink ?registry ?(mode = Ranking.Incremental) (instance : Instance.t)
+    ~n =
   if n < 2 || n mod 2 <> 0 then
     invalid_arg "Delta_lru.make: n must be a positive multiple of 2";
   let eligibility = Eligibility.create ?sink instance in
   let cache =
     Cache_state.create ~num_colors:instance.num_colors ~distinct_slots:(n / 2)
   in
+  let counter =
+    Option.map (fun r -> Rrs_obs.Metrics.counter r "ranking_update") registry
+  in
+  let index =
+    Ranking.Index.lazily ?counter eligibility ~delay:instance.delay
+  in
+  (* The n/2 eligible colors with the freshest timestamps.  Incremental:
+     a prefix query on the delta-maintained recency index.  Rebuild: the
+     original full re-sort — the differential oracle. *)
+  let by_recency (view : Policy.view) =
+    match mode with
+    | Ranking.Rebuild ->
+        Policy.take (n / 2)
+          (Ranking.timestamp_order eligibility
+             (Eligibility.eligible_colors eligibility))
+    | Ranking.Incremental ->
+        Ranking.Index.recency_prefix (index view.pending) ~k:(n / 2)
+  in
   let reconfigure (view : Policy.view) =
     Eligibility.begin_round eligibility ~view ~in_cache:(Cache_state.mem cache);
-    let eligible = Eligibility.eligible_colors eligibility in
-    let by_recency = Ranking.timestamp_order eligibility eligible in
-    let desired = take (n / 2) by_recency in
-    Cache_state.assign cache ~desired;
+    Cache_state.assign cache ~desired:(by_recency view);
     Cache_state.to_assignment cache ~replicated:true
   in
   { policy = { Policy.name = "dlru"; reconfigure }; eligibility }
 
 let policy instance ~n = (make instance ~n).policy
+let oracle_policy instance ~n = (make ~mode:Ranking.Rebuild instance ~n).policy

@@ -1,35 +1,41 @@
 type instrumented = { policy : Policy.t; eligibility : Eligibility.t }
 
-let rec take k = function
-  | [] -> []
-  | _ when k = 0 -> []
-  | x :: rest -> x :: take (k - 1) rest
-
 (* Shared EDF reconfiguration scheme over [distinct_slots] slots.  The
    new cached set is the best [distinct_slots] of (currently cached ∪
    top-ranked nonidle additions); evictions happen only under capacity
    pressure and take the worst-ranked colors, exactly as in the paper. *)
-let make_scheme ?sink ~name ~replicated ~distinct_slots (instance : Instance.t)
-    =
+let make_scheme ?sink ?registry ?(mode = Ranking.Incremental) ~name ~replicated
+    ~distinct_slots (instance : Instance.t) =
   let eligibility = Eligibility.create ?sink instance in
   let cache =
     Cache_state.create ~num_colors:instance.num_colors ~distinct_slots
   in
   let delay = instance.delay in
+  let counter =
+    Option.map (fun r -> Rrs_obs.Metrics.counter r "ranking_update") registry
+  in
+  let index = Ranking.Index.lazily ?counter eligibility ~delay in
+  (* The best-ranked [distinct_slots] eligible colors.  Incremental: a
+     prefix query on the delta-maintained rank index.  Rebuild: the
+     original full re-sort — the differential oracle. *)
+  let top_ranked (view : Policy.view) =
+    match mode with
+    | Ranking.Rebuild ->
+        Policy.take distinct_slots
+          (Ranking.ranked_eligible eligibility view.pending ~delay
+             ~exclude:(fun _ -> false))
+    | Ranking.Incremental ->
+        Ranking.Index.ranked_prefix (index view.pending) ~k:distinct_slots
+  in
   let reconfigure (view : Policy.view) =
     Eligibility.begin_round eligibility ~view ~in_cache:(Cache_state.mem cache);
-    let ranked =
-      Ranking.ranked_eligible eligibility view.pending ~delay
-        ~exclude:(fun _ -> false)
-    in
-    let top = take distinct_slots ranked in
     let additions =
       List.filter_map
         (fun (color, key) ->
           if Ranking.is_nonidle_eligible key && not (Cache_state.mem cache color)
           then Some color
           else None)
-        top
+        (top_ranked view)
     in
     let candidates =
       let cached = Cache_state.cached_colors cache in
@@ -41,7 +47,7 @@ let make_scheme ?sink ~name ~replicated ~distinct_slots (instance : Instance.t)
     let kept =
       candidates
       |> List.sort (fun (_, a) (_, b) -> Ranking.compare a b)
-      |> take distinct_slots
+      |> Policy.take distinct_slots
       |> List.map fst
     in
     Cache_state.assign cache ~desired:kept;
@@ -49,17 +55,21 @@ let make_scheme ?sink ~name ~replicated ~distinct_slots (instance : Instance.t)
   in
   { policy = { Policy.name; reconfigure }; eligibility }
 
-let make ?sink instance ~n =
+let make ?sink ?registry ?mode instance ~n =
   if n < 2 || n mod 2 <> 0 then
     invalid_arg "Edf_policy.make: n must be a positive multiple of 2";
-  make_scheme ?sink ~name:"edf" ~replicated:true ~distinct_slots:(n / 2)
-    instance
+  make_scheme ?sink ?registry ?mode ~name:"edf" ~replicated:true
+    ~distinct_slots:(n / 2) instance
 
 let policy instance ~n = (make instance ~n).policy
+let oracle_policy instance ~n = (make ~mode:Ranking.Rebuild instance ~n).policy
 
-let make_seq ?sink instance ~n =
+let make_seq ?sink ?registry ?mode instance ~n =
   if n < 1 then invalid_arg "Edf_policy.make_seq: n < 1";
-  make_scheme ?sink ~name:"seq-edf" ~replicated:false ~distinct_slots:n
-    instance
+  make_scheme ?sink ?registry ?mode ~name:"seq-edf" ~replicated:false
+    ~distinct_slots:n instance
 
 let seq_policy instance ~n = (make_seq instance ~n).policy
+
+let seq_oracle_policy instance ~n =
+  (make_seq ~mode:Ranking.Rebuild instance ~n).policy

@@ -15,15 +15,36 @@
 
 type instrumented = { policy : Policy.t; eligibility : Eligibility.t }
 
-val make : ?sink:Rrs_obs.Sink.t -> Instance.t -> n:int -> instrumented
+val make :
+  ?sink:Rrs_obs.Sink.t ->
+  ?registry:Rrs_obs.Metrics.t ->
+  ?mode:Ranking.mode ->
+  Instance.t ->
+  n:int ->
+  instrumented
 (** Standard EDF: [n/2] distinct slots, replicated.  [sink] is handed
-    to the underlying {!Eligibility.create}.
+    to the underlying {!Eligibility.create}.  [mode] (default
+    [Incremental]) selects the {!Ranking.Index}-backed hot path or the
+    original per-round re-sort; both make identical decisions.
+    [registry], when given, receives the ["ranking_update"] counter.
     @raise Invalid_argument if [n] is not a positive multiple of 2. *)
 
 val policy : Policy.factory
 
-val make_seq : ?sink:Rrs_obs.Sink.t -> Instance.t -> n:int -> instrumented
+val oracle_policy : Policy.factory
+(** [policy] forced to [Rebuild] mode — the differential oracle. *)
+
+val make_seq :
+  ?sink:Rrs_obs.Sink.t ->
+  ?registry:Rrs_obs.Metrics.t ->
+  ?mode:Ranking.mode ->
+  Instance.t ->
+  n:int ->
+  instrumented
 (** Seq-EDF: [n] distinct slots, no replication.
     @raise Invalid_argument if [n < 1]. *)
 
 val seq_policy : Policy.factory
+
+val seq_oracle_policy : Policy.factory
+(** [seq_policy] forced to [Rebuild] mode. *)

@@ -9,6 +9,13 @@ type color_info = {
   mutable wrap_events : int;
 }
 
+type change =
+  | Became_eligible of Types.color
+  | Became_ineligible of Types.color
+  | Deadline_moved of Types.color
+  | Timestamp_bumped of Types.color
+  | Wrapped of Types.color
+
 type t = {
   delta : int;
   delay : int array;
@@ -19,6 +26,7 @@ type t = {
   mutable eligible_drops : int;
   mutable ineligible_drops : int;
   mutable timestamp_listeners : (int -> int -> unit) list;
+  mutable change_listeners : (change -> unit) list; (* registration order *)
   sink : Rrs_obs.Sink.t;
   tracing : bool;
 }
@@ -51,9 +59,17 @@ let create ?(sink = Rrs_obs.Sink.null) (instance : Instance.t) =
     eligible_drops = 0;
     ineligible_drops = 0;
     timestamp_listeners = [];
+    change_listeners = [];
     sink;
     tracing = Rrs_obs.Sink.enabled sink;
   }
+
+let on_change t f = t.change_listeners <- t.change_listeners @ [ f ]
+
+let notify t change =
+  match t.change_listeners with
+  | [] -> ()
+  | listeners -> List.iter (fun f -> f change) listeners
 
 let classify_drop t color count =
   if t.info.(color).eligible then t.eligible_drops <- t.eligible_drops + count
@@ -70,7 +86,8 @@ let process_boundary t ~round ~in_cache color =
     if t.tracing then
       Rrs_obs.Sink.emit t.sink
         (Rrs_obs.Event.Timestamp_update { round; color });
-    List.iter (fun f -> f color round) (List.rev t.timestamp_listeners)
+    List.iter (fun f -> f color round) (List.rev t.timestamp_listeners);
+    notify t (Timestamp_bumped color)
   end;
   if ci.eligible && not (in_cache color) then begin
     ci.eligible <- false;
@@ -81,10 +98,12 @@ let process_boundary t ~round ~in_cache color =
     if t.tracing then
       Rrs_obs.Sink.emit t.sink
         (Rrs_obs.Event.Epoch_close
-           { round; color; epochs_ended = ci.epochs_ended })
+           { round; color; epochs_ended = ci.epochs_ended });
+    notify t (Became_ineligible color)
   end;
   ci.dd <- round + t.delay.(color);
-  Rrs_dstruct.Binary_heap.add t.boundary (round + t.delay.(color), color)
+  Rrs_dstruct.Binary_heap.add t.boundary (round + t.delay.(color), color);
+  notify t (Deadline_moved color)
 
 let process_arrival t ~round color count =
   if count > 0 then begin
@@ -108,7 +127,11 @@ let process_arrival t ~round color count =
         Rrs_obs.Sink.emit t.sink
           (Rrs_obs.Event.Credit { round; color; amount = t.delta })
       end;
-      if not ci.eligible then ci.eligible <- true
+      notify t (Wrapped color);
+      if not ci.eligible then begin
+        ci.eligible <- true;
+        notify t (Became_eligible color)
+      end
     end
   end
 
@@ -122,15 +145,13 @@ let begin_round t ~(view : Policy.view) ~in_cache =
        window ends this round *)
     let continue = ref true in
     while !continue do
-      match Rrs_dstruct.Binary_heap.pop_min_opt t.boundary with
+      match Rrs_dstruct.Binary_heap.peek_min_opt t.boundary with
       | Some (r, color) when r <= view.round ->
           (* r < view.round can only happen for colors added late; process
              them at the first opportunity *)
+          ignore (Rrs_dstruct.Binary_heap.pop_min t.boundary);
           process_boundary t ~round:view.round ~in_cache color
-      | Some entry ->
-          Rrs_dstruct.Binary_heap.add t.boundary entry;
-          continue := false
-      | None -> continue := false
+      | Some _ | None -> continue := false
     done;
     (* 3. arrival-phase counter updates *)
     List.iter

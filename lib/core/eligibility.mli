@@ -49,6 +49,33 @@ val counter : t -> Types.color -> int
 val eligible_colors : t -> Types.color list
 (** Ascending color order. *)
 
+(** {2 Change notifications} *)
+
+(** The typed per-color state transitions, published as they happen so
+    consumers (the incremental ranking {!Ranking.Index}, telemetry) can
+    pay only for state that changed instead of re-deriving color lists
+    every round.  Each constructor names the input of the EDF/ΔLRU rank
+    keys that just changed:
+    - [Became_eligible]/[Became_ineligible]: the eligibility flag
+      flipped (arrival-phase wrap / drop-phase epoch end);
+    - [Deadline_moved]: the color deadline [ℓ.dd] advanced to the end
+      of a new batch window (fires at every window boundary);
+    - [Timestamp_bumped]: the ΔLRU timestamp took a new value;
+    - [Wrapped]: a counter wrapping event (no rank-key change by
+      itself; exposed for completeness and telemetry). *)
+type change =
+  | Became_eligible of Types.color
+  | Became_ineligible of Types.color
+  | Deadline_moved of Types.color
+  | Timestamp_bumped of Types.color
+  | Wrapped of Types.color
+
+val on_change : t -> (change -> unit) -> unit
+(** Register a listener called synchronously at every {!change}, after
+    the state mutation it describes (reading the [Eligibility.t] from
+    the listener sees the new state).  Listeners run in registration
+    order and must not call {!begin_round}. *)
+
 (** {2 Analysis instrumentation} *)
 
 val on_timestamp_update : t -> (Types.color -> Types.round -> unit) -> unit

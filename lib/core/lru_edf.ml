@@ -1,15 +1,10 @@
 type instrumented = { policy : Policy.t; eligibility : Eligibility.t }
 
-let rec take k = function
-  | [] -> []
-  | _ when k = 0 -> []
-  | x :: rest -> x :: take (k - 1) rest
-
 let lru_slots ~n = n / 4
 let distinct_capacity ~n = n / 2
 
-let make_tuned ?sink ~lru_slots:quota ~distinct_slots ~replicated
-    (instance : Instance.t) ~n =
+let make_tuned ?sink ?registry ?(mode = Ranking.Incremental) ~lru_slots:quota
+    ~distinct_slots ~replicated (instance : Instance.t) ~n =
   let expected_n = if replicated then 2 * distinct_slots else distinct_slots in
   if n <> expected_n then
     invalid_arg
@@ -25,12 +20,36 @@ let make_tuned ?sink ~lru_slots:quota ~distinct_slots ~replicated
   in
   let delay = instance.delay in
   let edf_quota = distinct_slots - quota in
+  let counter =
+    Option.map (fun r -> Rrs_obs.Metrics.counter r "ranking_update") registry
+  in
+  let index = Ranking.Index.lazily ?counter eligibility ~delay in
+  (* Both ranking queries, incremental or rebuilt.  Incremental prefix
+     queries on the delta-maintained index return exactly the prefixes
+     the Rebuild re-sorts (the differential oracle) would. *)
+  let lru_prefix (view : Policy.view) =
+    match mode with
+    | Ranking.Rebuild ->
+        Policy.take quota
+          (Ranking.timestamp_order eligibility
+             (Eligibility.eligible_colors eligibility))
+    | Ranking.Incremental ->
+        Ranking.Index.recency_prefix (index view.pending) ~k:quota
+  in
+  let edf_prefix (view : Policy.view) ~excluded ~exclude =
+    match mode with
+    | Ranking.Rebuild ->
+        Policy.take edf_quota
+          (Ranking.ranked_eligible eligibility view.pending ~delay ~exclude)
+    | Ranking.Incremental ->
+        Ranking.Index.ranked_prefix_excluding (index view.pending) ~k:edf_quota
+          ~excluded ~exclude
+  in
   let reconfigure (view : Policy.view) =
     Eligibility.begin_round eligibility ~view ~in_cache:(Cache_state.mem cache);
     (* ΔLRU component: the [quota] eligible colors with the freshest
        timestamps are unconditionally cached *)
-    let eligible = Eligibility.eligible_colors eligibility in
-    let lru_set = take quota (Ranking.timestamp_order eligibility eligible) in
+    let lru_set = lru_prefix view in
     let is_lru =
       let flags = Hashtbl.create (2 * (quota + 1)) in
       List.iter (fun c -> Hashtbl.replace flags c ()) lru_set;
@@ -38,16 +57,13 @@ let make_tuned ?sink ~lru_slots:quota ~distinct_slots ~replicated
     in
     (* EDF component: rank the eligible non-LRU colors; the nonidle ones
        in the top [edf_quota] rankings that are not cached come in *)
-    let ranked_non_lru =
-      Ranking.ranked_eligible eligibility view.pending ~delay ~exclude:is_lru
-    in
     let additions =
       List.filter_map
         (fun (color, key) ->
           if Ranking.is_nonidle_eligible key && not (Cache_state.mem cache color)
           then Some color
           else None)
-        (take edf_quota ranked_non_lru)
+        (edf_prefix view ~excluded:(List.length lru_set) ~exclude:is_lru)
     in
     (* capacity pressure evicts the worst-ranked non-LRU colors *)
     let stay_candidates =
@@ -60,7 +76,7 @@ let make_tuned ?sink ~lru_slots:quota ~distinct_slots ~replicated
       |> List.map (fun color ->
              (color, Ranking.key_of_color eligibility view.pending ~delay color))
       |> List.sort (fun (_, a) (_, b) -> Ranking.compare a b)
-      |> take room
+      |> Policy.take room
       |> List.map fst
     in
     Cache_state.assign cache ~desired:(lru_set @ kept_non_lru);
@@ -73,11 +89,12 @@ let make_tuned ?sink ~lru_slots:quota ~distinct_slots ~replicated
   in
   { policy = { Policy.name; reconfigure }; eligibility }
 
-let make ?sink (instance : Instance.t) ~n =
+let make ?sink ?registry ?mode (instance : Instance.t) ~n =
   if n < 4 || n mod 4 <> 0 then
     invalid_arg "Lru_edf.make: n must be a positive multiple of 4";
-  make_tuned ?sink ~lru_slots:(lru_slots ~n)
+  make_tuned ?sink ?registry ?mode ~lru_slots:(lru_slots ~n)
     ~distinct_slots:(distinct_capacity ~n)
     ~replicated:true instance ~n
 
 let policy instance ~n = (make instance ~n).policy
+let oracle_policy instance ~n = (make ~mode:Ranking.Rebuild instance ~n).policy

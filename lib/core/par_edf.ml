@@ -4,17 +4,79 @@ type result = {
   drops_by_color : int array;
 }
 
-(* Per round we pop the best-ranked nonidle color from a heap keyed by
-   (earliest pending deadline, delay bound, color), execute one of its
-   jobs, and re-insert.  Jobs within a color are FIFO = EDF. *)
-let run (instance : Instance.t) ~m =
+(* Per round we take the best-ranked nonidle color — keyed by (earliest
+   pending deadline, delay bound, color) — execute one of its jobs, and
+   repeat up to m times.  Jobs within a color are FIFO = EDF.
+
+   Incremental: one indexed heap over the nonidle colors, kept in sync
+   by {!Pending.on_front_change} (adds to idle queues, front-batch
+   exhaustions, expiries); a round costs O(changes · log C + m log C)
+   instead of rebuilding the heap from a full nonidle scan.  Rebuild:
+   the original per-round scan-and-rebuild — the differential oracle.
+   The selection sequences coincide because the key is a total order
+   and both heaps always price a color at its live earliest deadline. *)
+let run ?(mode = Ranking.Incremental) (instance : Instance.t) ~m =
   if m < 1 then invalid_arg "Par_edf.run: m < 1";
   let pending = Pending.create ~num_colors:instance.num_colors in
   let arrivals = Instance.arrivals_by_round instance in
   let dropped = ref 0 in
   let executed = ref 0 in
   let drops_by_color = Array.make instance.num_colors 0 in
-  let heap = Rrs_dstruct.Binary_heap.create ~cmp:compare () in
+  let execute_best =
+    match mode with
+    | Ranking.Incremental ->
+        let module Iheap = Rrs_dstruct.Indexed_heap in
+        let heap =
+          Iheap.create ~cmp:Stdlib.compare
+            ~capacity:(max instance.num_colors 1)
+        in
+        Pending.on_front_change pending (fun color ->
+            match Pending.earliest_deadline pending color with
+            | Some deadline ->
+                Iheap.update heap color (deadline, instance.delay.(color), color)
+            | None -> if Iheap.mem heap color then Iheap.remove heap color);
+        fun () ->
+          let slots = ref m in
+          let continue_ = ref true in
+          while !slots > 0 && !continue_ do
+            match Iheap.peek_min_opt heap with
+            | None -> continue_ := false
+            | Some (color, _) -> (
+                (* executing may exhaust the front batch, in which case
+                   the listener reprices or removes [color] for us *)
+                match Pending.execute_one pending color with
+                | Some _ ->
+                    incr executed;
+                    decr slots
+                | None -> Iheap.remove heap color)
+          done
+    | Ranking.Rebuild ->
+        let heap = Rrs_dstruct.Binary_heap.create ~cmp:compare () in
+        fun () ->
+          (* rebuild the candidate heap from the nonidle colors (their
+             count is usually small and bounded by the number of colors) *)
+          Rrs_dstruct.Binary_heap.clear heap;
+          Pending.iter_nonidle pending (fun color _count ->
+              match Pending.earliest_deadline pending color with
+              | Some deadline ->
+                  Rrs_dstruct.Binary_heap.add heap
+                    (deadline, instance.delay.(color), color)
+              | None -> ());
+          let slots = ref m in
+          while !slots > 0 && not (Rrs_dstruct.Binary_heap.is_empty heap) do
+            let _, _, color = Rrs_dstruct.Binary_heap.pop_min heap in
+            match Pending.execute_one pending color with
+            | Some _ -> (
+                incr executed;
+                decr slots;
+                match Pending.earliest_deadline pending color with
+                | Some deadline ->
+                    Rrs_dstruct.Binary_heap.add heap
+                      (deadline, instance.delay.(color), color)
+                | None -> ())
+            | None -> ()
+          done
+  in
   for round = 0 to instance.horizon do
     List.iter
       (fun (color, count) ->
@@ -28,32 +90,7 @@ let run (instance : Instance.t) ~m =
           ~deadline:(round + instance.delay.(color))
           ~count)
       batch;
-    (* execute up to m best-ranked jobs; rebuild the candidate heap from
-       the nonidle colors (their count is usually small and bounded by
-       the number of colors) *)
-    Rrs_dstruct.Binary_heap.clear heap;
-    Pending.iter_nonidle pending (fun color _count ->
-        match Pending.earliest_deadline pending color with
-        | Some deadline ->
-            Rrs_dstruct.Binary_heap.add heap
-              (deadline, instance.delay.(color), color)
-        | None -> ());
-    let slots = ref m in
-    while
-      !slots > 0 && not (Rrs_dstruct.Binary_heap.is_empty heap)
-    do
-      let _, _, color = Rrs_dstruct.Binary_heap.pop_min heap in
-      (match Pending.execute_one pending color with
-      | Some _ ->
-          incr executed;
-          decr slots;
-          (match Pending.earliest_deadline pending color with
-          | Some deadline ->
-              Rrs_dstruct.Binary_heap.add heap
-                (deadline, instance.delay.(color), color)
-          | None -> ())
-      | None -> ())
-    done
+    execute_best ()
   done;
   { drop_cost = !dropped; executed = !executed; drops_by_color }
 

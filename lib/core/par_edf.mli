@@ -14,7 +14,11 @@ type result = {
   drops_by_color : int array;
 }
 
-val run : Instance.t -> m:int -> result
-(** @raise Invalid_argument if [m < 1]. *)
+val run : ?mode:Ranking.mode -> Instance.t -> m:int -> result
+(** [mode] (default [Incremental]) selects the
+    {!Rrs_dstruct.Indexed_heap}-backed hot path kept in sync by
+    {!Pending.on_front_change}, or the original per-round
+    scan-and-rebuild; both produce identical results.
+    @raise Invalid_argument if [m < 1]. *)
 
 val drop_cost : Instance.t -> m:int -> int

@@ -7,6 +7,7 @@ type t = {
   due : (int * int) Rrs_dstruct.Binary_heap.t; (* (deadline, color), lazy *)
   mutable grand_total : int;
   mutable nonidle : int;
+  mutable front_listeners : (int -> unit) list; (* registration order *)
 }
 
 let create ~num_colors =
@@ -17,7 +18,15 @@ let create ~num_colors =
     due = Rrs_dstruct.Binary_heap.create ~cmp:compare ();
     grand_total = 0;
     nonidle = 0;
+    front_listeners = [];
   }
+
+let on_front_change t f = t.front_listeners <- t.front_listeners @ [ f ]
+
+let notify_front t color =
+  match t.front_listeners with
+  | [] -> ()
+  | listeners -> List.iter (fun f -> f color) listeners
 
 let num_colors t = Array.length t.queues
 
@@ -39,6 +48,7 @@ let add t color ~deadline ~count =
     | Some back when deadline < back.deadline ->
         invalid_arg "Pending.add: deadline out of order"
     | _ -> ());
+    let was_idle = Queue.is_empty cq.q in
     (match cq.back with
     | Some back when back.deadline = deadline ->
         back.count <- back.count + count
@@ -47,7 +57,11 @@ let add t color ~deadline ~count =
         Queue.add bucket cq.q;
         cq.back <- Some bucket;
         Rrs_dstruct.Binary_heap.add t.due (deadline, color));
-    bump t color count
+    bump t color count;
+    (* the front (earliest deadline / idleness) only changes when the
+       queue was empty; appends behind an existing front are invisible
+       to deadline-keyed consumers *)
+    if was_idle then notify_front t color
   end
 
 let total t color = t.totals.(color)
@@ -65,11 +79,13 @@ let execute_one t color =
   | None -> None
   | Some b ->
       b.count <- b.count - 1;
-      if b.count = 0 then begin
+      let exhausted = b.count = 0 in
+      if exhausted then begin
         ignore (Queue.pop cq.q);
         sync_back cq
       end;
       bump t color (-1);
+      if exhausted then notify_front t color;
       Some b.deadline
 
 (* Drain this color's expired front buckets; the heap entry that led us
@@ -86,22 +102,24 @@ let expire_color t color ~now =
     | _ -> continue := false
   done;
   sync_back cq;
-  if !dropped > 0 then bump t color (- !dropped);
+  if !dropped > 0 then begin
+    bump t color (- !dropped);
+    notify_front t color
+  end;
   !dropped
 
 let expire t ~now =
   let affected = ref [] in
   let continue = ref true in
   while !continue do
-    match Rrs_dstruct.Binary_heap.pop_min_opt t.due with
+    match Rrs_dstruct.Binary_heap.peek_min_opt t.due with
     | Some (deadline, color) when deadline <= now ->
+        ignore (Rrs_dstruct.Binary_heap.pop_min t.due);
         let dropped = expire_color t color ~now in
         if dropped > 0 then affected := (color, dropped) :: !affected
-    | Some entry ->
-        (* not due yet: push back and stop *)
-        Rrs_dstruct.Binary_heap.add t.due entry;
+    | Some _ | None ->
+        (* first entry not due yet (or empty): stop without touching it *)
         continue := false
-    | None -> continue := false
   done;
   List.sort compare !affected
 
@@ -110,7 +128,10 @@ let drop_all t color =
   let dropped = t.totals.(color) in
   Queue.clear cq.q;
   cq.back <- None;
-  if dropped > 0 then bump t color (-dropped);
+  if dropped > 0 then begin
+    bump t color (-dropped);
+    notify_front t color
+  end;
   dropped
 
 let nonidle_count t = t.nonidle

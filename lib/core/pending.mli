@@ -52,3 +52,13 @@ val iter_nonidle : t -> (Types.color -> int -> unit) -> unit
 val snapshot : t -> (int * int) list array
 (** Per-color bucket lists [(deadline, count)], front first — for tests
     and the offline search. *)
+
+val on_front_change : t -> (Types.color -> unit) -> unit
+(** Register a listener called whenever a color's {e front} changes:
+    its earliest pending deadline moved or its idleness flipped (first
+    bucket created, front bucket consumed or expired, [drop_all]).
+    Appends behind an existing front do {e not} fire — they are
+    invisible to deadline-keyed consumers.  This is the delta feed the
+    incremental ranking ({!Ranking.Index}) and incremental Par-EDF are
+    driven by; listeners run in registration order and must not mutate
+    the [Pending.t] they observe. *)

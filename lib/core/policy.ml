@@ -14,6 +14,11 @@ type t = {
 
 type factory = Instance.t -> n:int -> t
 
+let rec take k = function
+  | [] -> []
+  | _ when k <= 0 -> []
+  | x :: rest -> x :: take (k - 1) rest
+
 let stable_assign ~current ~desired =
   let q = Array.length current in
   if List.length desired > q then

@@ -36,6 +36,11 @@ type factory = Instance.t -> n:int -> t
     policies only read [delta], [delay] and [num_colors]; oracle policies
     deliberately read everything and say so in their name). *)
 
+val take : int -> 'a list -> 'a list
+(** [take k xs] is the first [min k (length xs)] elements of [xs] — the
+    prefix-of-ranking helper shared by every reconfiguration scheme
+    (a non-negative [k] never raises; [k <= 0] is the empty list). *)
+
 val stable_assign :
   current:Types.color array -> desired:Types.color list -> Types.color array
 (** Shared slot-assignment helper: keep every color of [desired] that is

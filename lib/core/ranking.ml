@@ -47,3 +47,113 @@ let timestamp_order elig colors =
     List.map (fun color -> (-Eligibility.timestamp elig color, color)) colors
   in
   List.map snd (List.sort Stdlib.compare keyed)
+
+type mode = Incremental | Rebuild
+
+let mode_to_string = function
+  | Incremental -> "incremental"
+  | Rebuild -> "rebuild"
+
+module Index = struct
+  module Iheap = Rrs_dstruct.Indexed_heap
+
+  type t = {
+    elig : Eligibility.t;
+    pending : Pending.t;
+    delay : int array;
+    rank : key Iheap.t; (* eligible colors, by EDF rank key *)
+    recency : (int * int) Iheap.t; (* eligible colors, by (-ts, id) *)
+    counter : Rrs_obs.Metrics.counter option;
+    mutable updates : int;
+  }
+
+  let tick t =
+    t.updates <- t.updates + 1;
+    match t.counter with Some c -> Rrs_obs.Metrics.inc c 1 | None -> ()
+
+  (* Both heaps hold exactly the eligible colors; keys are recomputed
+     from the live Eligibility/Pending state at every refresh, so a heap
+     priority is always the same tuple the list-sort oracle would
+     compute.  [Iheap.update] inserts absent keys, which makes refresh
+     idempotent. *)
+  let refresh_rank t color =
+    if Eligibility.is_eligible t.elig color then begin
+      Iheap.update t.rank color
+        (key_of_color t.elig t.pending ~delay:t.delay color);
+      tick t
+    end
+
+  let refresh_recency t color =
+    if Eligibility.is_eligible t.elig color then begin
+      Iheap.update t.recency color (-Eligibility.timestamp t.elig color, color);
+      tick t
+    end
+
+  let drop t color =
+    if Iheap.mem t.rank color then begin
+      Iheap.remove t.rank color;
+      tick t
+    end;
+    if Iheap.mem t.recency color then begin
+      Iheap.remove t.recency color;
+      tick t
+    end
+
+  let create ?counter elig pending ~delay =
+    let capacity = max (Pending.num_colors pending) 1 in
+    let t =
+      {
+        elig;
+        pending;
+        delay;
+        rank = Iheap.create ~cmp:compare ~capacity;
+        recency = Iheap.create ~cmp:Stdlib.compare ~capacity;
+        counter;
+        updates = 0;
+      }
+    in
+    List.iter
+      (fun color ->
+        refresh_rank t color;
+        refresh_recency t color)
+      (Eligibility.eligible_colors elig);
+    Eligibility.on_change elig (function
+      | Eligibility.Became_eligible color ->
+          refresh_rank t color;
+          refresh_recency t color
+      | Eligibility.Became_ineligible color -> drop t color
+      | Eligibility.Deadline_moved color -> refresh_rank t color
+      | Eligibility.Timestamp_bumped color -> refresh_recency t color
+      | Eligibility.Wrapped _ -> ());
+    Pending.on_front_change pending (fun color -> refresh_rank t color);
+    t
+
+  (* Policies must not build the index before their first [reconfigure]
+     (the state it snapshots would be stale), so they all share this
+     memoizing constructor instead of open-coding the ref cell. *)
+  let lazily ?counter elig ~delay =
+    let cell = ref None in
+    fun pending ->
+      match !cell with
+      | Some t -> t
+      | None ->
+          let t = create ?counter elig pending ~delay in
+          cell := Some t;
+          t
+
+  let eligible_count t = Iheap.length t.rank
+  let updates t = t.updates
+  let ranked_prefix t ~k = Iheap.smallest t.rank k
+
+  let ranked_prefix_excluding t ~k ~excluded ~exclude =
+    Iheap.smallest t.rank (k + excluded)
+    |> List.filter (fun (color, _) -> not (exclude color))
+    |> Policy.take k
+
+  let ranked_all t = Iheap.smallest t.rank (Iheap.length t.rank)
+
+  let recency_prefix t ~k = List.map fst (Iheap.smallest t.recency k)
+
+  let recency_all t =
+    List.map fst (Iheap.smallest t.recency (Iheap.length t.recency))
+end

@@ -32,3 +32,82 @@ val timestamp_order :
   Eligibility.t -> Types.color list -> Types.color list
 (** The ΔLRU selection order: most recent timestamp first, ties by the
     consistent color order (ascending id). *)
+
+(** {2 Incremental maintenance}
+
+    {!ranked_eligible}/{!timestamp_order} rebuild and re-sort the whole
+    eligible set every round — O(C + E log E) per call even when nothing
+    changed.  {!Index} maintains the same two orders under the typed
+    change feed ({!Eligibility.on_change}, {!Pending.on_front_change}),
+    paying O(log C) per state change and O(k log C) per prefix query.
+    The list-sort functions stay as the reference oracle: an index query
+    always returns exactly the prefix the oracle would. *)
+
+type mode = Incremental | Rebuild
+(** How a policy maintains its ranking: [Incremental] (the
+    {!Index}-backed delta-driven hot path, the default) or [Rebuild]
+    (the original per-round list sort — the differential oracle). *)
+
+val mode_to_string : mode -> string
+
+module Index : sig
+  type t
+
+  val create :
+    ?counter:Rrs_obs.Metrics.counter ->
+    Eligibility.t ->
+    Pending.t ->
+    delay:int array ->
+    t
+  (** Build the index from the current state (O(E log E) once) and
+      subscribe to both change feeds; from then on every eligibility,
+      deadline, timestamp and pending-front transition updates the
+      affected color's keys in place.  Create it {e after} the state it
+      snapshots is current (policies create it lazily on their first
+      [reconfigure]).  [counter] (conventionally the registry's
+      ["ranking_update"]) is bumped once per incremental heap
+      operation. *)
+
+  val lazily :
+    ?counter:Rrs_obs.Metrics.counter ->
+    Eligibility.t ->
+    delay:int array ->
+    Pending.t ->
+    t
+  (** Memoizing {!create}: the first application to a [Pending.t] builds
+      the index, later applications return it.  Partially apply at
+      policy-construction time, resolve inside [reconfigure] — the
+      standard way policies defer the snapshot until the state is
+      live. *)
+
+  val ranked_prefix : t -> k:int -> (Types.color * key) list
+  (** The best-ranked [min k E] eligible colors, best first — equal to
+      [Policy.take k (ranked_eligible ...)] with no exclusion;
+      O(k log C), the heap is not modified. *)
+
+  val ranked_prefix_excluding :
+    t ->
+    k:int ->
+    excluded:int ->
+    exclude:(Types.color -> bool) ->
+    (Types.color * key) list
+  (** Same, skipping colors for which [exclude] holds.  [excluded] must
+      upper-bound the number of excluded colors present in the index
+      (the ΔLRU-EDF caller passes its LRU quota); O((k+excluded) log C). *)
+
+  val recency_prefix : t -> k:int -> Types.color list
+  (** The first [min k E] colors of the ΔLRU selection order — equal to
+      [Policy.take k (timestamp_order elig (eligible_colors elig))]. *)
+
+  val ranked_all : t -> (Types.color * key) list
+  (** Every eligible color, best rank first — the full oracle order, for
+      differential checks. *)
+
+  val recency_all : t -> Types.color list
+
+  val eligible_count : t -> int
+
+  val updates : t -> int
+  (** Incremental heap operations performed so far (the quantity the
+      ["ranking_update"] counter mirrors). *)
+end

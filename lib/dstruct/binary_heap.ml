@@ -52,6 +52,7 @@ let add h x =
   sift_up h (h.size - 1)
 
 let min h = if h.size = 0 then raise Not_found else h.data.(0)
+let peek_min_opt h = if h.size = 0 then None else Some h.data.(0)
 
 let pop_min h =
   if h.size = 0 then raise Not_found;

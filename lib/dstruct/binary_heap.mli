@@ -28,6 +28,11 @@ val min : 'a t -> 'a
 (** Smallest element without removing it.
     @raise Not_found on an empty heap. *)
 
+val peek_min_opt : 'a t -> 'a option
+(** Smallest element without removing it, [None] on an empty heap — the
+    O(1) guard that lets event-driven drains stop at the first
+    not-yet-due entry without a pop-then-re-add round trip. *)
+
 val pop_min : 'a t -> 'a
 (** Remove and return the smallest element.
     @raise Not_found on an empty heap. *)

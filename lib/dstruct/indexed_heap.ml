@@ -112,6 +112,7 @@ let pop_min h =
   binding
 
 let pop_min_opt h = if h.size = 0 then None else Some (pop_min h)
+let peek_min_opt h = if h.size = 0 then None else Some (min h)
 
 let clear h =
   for slot = 0 to h.size - 1 do

@@ -48,6 +48,10 @@ val pop_min : 'a t -> int * 'a
     @raise Not_found on an empty heap. *)
 
 val pop_min_opt : 'a t -> (int * 'a) option
+
+val peek_min_opt : 'a t -> (int * 'a) option
+(** The minimum binding without removing it; [None] on an empty heap. *)
+
 val clear : 'a t -> unit
 
 val iter : (int -> 'a -> unit) -> 'a t -> unit

@@ -19,8 +19,10 @@ type t = {
   mutable previous : Types.color array option;
 }
 
-let create ?(projection = Fun.id) () =
-  let registry = Rrs_obs.Metrics.create () in
+let create ?registry ?(projection = Fun.id) () =
+  let registry =
+    match registry with Some r -> r | None -> Rrs_obs.Metrics.create ()
+  in
   {
     series = [];
     registry;
@@ -84,8 +86,8 @@ let observe t (view : Policy.view) assignment =
       Rrs_obs.Metrics.observe t.backlog_hist backlog;
       t.series <- sample :: t.series
 
-let instrument ?projection (policy : Policy.t) =
-  let t = create ?projection () in
+let instrument ?registry ?projection (policy : Policy.t) =
+  let t = create ?registry ?projection () in
   let reconfigure view =
     let assignment = policy.Policy.reconfigure view in
     observe t view assignment;

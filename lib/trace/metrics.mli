@@ -27,13 +27,17 @@ type sample = {
 type t
 
 val instrument :
+  ?registry:Rrs_obs.Metrics.t ->
   ?projection:(Rrs_core.Types.color -> Rrs_core.Types.color) ->
   Rrs_core.Policy.t ->
   t * Rrs_core.Policy.t
 (** The returned policy must be run exactly once (policies are
     stateful); afterwards the series are available from [t].
-    [projection] must equal the engine's [cost_projection] for the
-    recoloring count to reproduce the engine's charge. *)
+    [registry], when given, hosts the instruments instead of a private
+    registry — pass the one the policy itself writes to (e.g. its
+    ["ranking_update"] counter) so one [metrics_registry] line carries
+    everything.  [projection] must equal the engine's [cost_projection]
+    for the recoloring count to reproduce the engine's charge. *)
 
 val samples : t -> sample list
 (** Chronological (one per round; mini-rounds are merged). *)

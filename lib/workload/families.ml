@@ -7,6 +7,7 @@ type family = {
   description : string;
   layer : layer;
   build : seed:int -> Rrs_core.Instance.t;
+  scale : (num_colors:int -> seed:int -> Rrs_core.Instance.t) option;
 }
 
 let layer_to_string = function
@@ -23,6 +24,11 @@ let all =
       build =
         (fun ~seed ->
           Synthetic.rate_limited (Rng.create ~seed) Synthetic.default_batched);
+      scale =
+        Some
+          (fun ~num_colors ~seed ->
+            Synthetic.rate_limited (Rng.create ~seed)
+              { Synthetic.default_batched with num_colors });
     };
     {
       id = "zipf";
@@ -32,6 +38,11 @@ let all =
         (fun ~seed ->
           Synthetic.zipf_batched (Rng.create ~seed) ~s:1.1
             Synthetic.default_batched);
+      scale =
+        Some
+          (fun ~num_colors ~seed ->
+            Synthetic.zipf_batched (Rng.create ~seed) ~s:1.1
+              { Synthetic.default_batched with num_colors });
     };
     {
       id = "bursty";
@@ -40,6 +51,14 @@ let all =
       build =
         (fun ~seed ->
           Synthetic.bursty (Rng.create ~seed) Synthetic.default_bursty);
+      scale =
+        Some
+          (fun ~num_colors ~seed ->
+            Synthetic.bursty (Rng.create ~seed)
+              {
+                Synthetic.default_bursty with
+                base = { Synthetic.default_bursty.base with num_colors };
+              });
     };
     {
       id = "background";
@@ -50,6 +69,7 @@ let all =
         (fun ~seed ->
           Scenarios.background_shortterm
             { Scenarios.default_background with seed });
+      scale = None;
     };
     {
       id = "router";
@@ -57,6 +77,7 @@ let all =
       layer = Rate_limited;
       build =
         (fun ~seed -> Scenarios.router { Scenarios.default_router with seed });
+      scale = None;
     };
     {
       id = "datacenter";
@@ -65,6 +86,7 @@ let all =
       build =
         (fun ~seed ->
           Scenarios.datacenter { Scenarios.default_datacenter with seed });
+      scale = None;
     };
     {
       id = "selfsim";
@@ -73,18 +95,28 @@ let all =
       build =
         (fun ~seed ->
           Synthetic.self_similar (Rng.create ~seed) Synthetic.default_self_similar);
+      scale =
+        Some
+          (fun ~num_colors ~seed ->
+            Synthetic.self_similar (Rng.create ~seed)
+              {
+                Synthetic.default_self_similar with
+                base = { Synthetic.default_self_similar.base with num_colors };
+              });
     };
     {
       id = "mixed-tenants";
       description = "bursty tenant + router tenant sharing one pool (union)";
       layer = Rate_limited;
       build = (fun ~seed -> Composite.mixed_tenants ~seed);
+      scale = None;
     };
     {
       id = "adv-noise";
       description = "Appendix-A construction running beside benign traffic";
       layer = Rate_limited;
       build = (fun ~seed -> Composite.adversarial_with_noise ~seed);
+      scale = None;
     };
     {
       id = "flash-crowd";
@@ -94,6 +126,7 @@ let all =
         (fun ~seed ->
           Composite.flash_crowd ~seed ~base_load:0.3 ~spike_load:2.0
             ~spike_at:256 ~horizon:512);
+      scale = None;
     };
     {
       id = "oversized";
@@ -103,6 +136,11 @@ let all =
         (fun ~seed ->
           Synthetic.batched_oversized (Rng.create ~seed)
             { Synthetic.default_batched with load = 2.5 });
+      scale =
+        Some
+          (fun ~num_colors ~seed ->
+            Synthetic.batched_oversized (Rng.create ~seed)
+              { Synthetic.default_batched with load = 2.5; num_colors });
     };
     {
       id = "unbatched";
@@ -112,6 +150,11 @@ let all =
       build =
         (fun ~seed ->
           Synthetic.unbatched (Rng.create ~seed) Synthetic.default_unbatched);
+      scale =
+        Some
+          (fun ~num_colors ~seed ->
+            Synthetic.unbatched (Rng.create ~seed)
+              { Synthetic.default_unbatched with num_colors });
     };
   ]
 

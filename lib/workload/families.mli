@@ -12,6 +12,10 @@ type family = {
   description : string;
   layer : layer;
   build : seed:int -> Rrs_core.Instance.t;
+  scale : (num_colors:int -> seed:int -> Rrs_core.Instance.t) option;
+      (** [build] at an explicit color-universe size, for scaling sweeps
+          ([rrs simulate --colors], the core bench).  [None] for scenario
+          families whose shape is tied to a fixed cast of services. *)
 }
 
 val all : family list

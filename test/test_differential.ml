@@ -1,0 +1,127 @@
+(* The decision-identity harness for the incremental ranking core: every
+   policy of the ΔLRU/EDF family, run in Incremental and in Rebuild mode
+   on the same instance, must produce the same Engine.result down to the
+   final cache and the full recorded schedule.  Instances cover the
+   workload families, the Appendix A/B adversarial constructions, and
+   QCheck-random instances (including non-power-of-two delays). *)
+
+open Rrs_core
+module Families = Rrs_workload.Families
+module Adv = Rrs_workload.Adversarial
+
+let policies : (string * (Ranking.mode -> Instance.t -> n:int -> Policy.t)) list
+    =
+  [
+    ("dlru", fun mode instance ~n -> (Delta_lru.make ~mode instance ~n).policy);
+    ("edf", fun mode instance ~n -> (Edf_policy.make ~mode instance ~n).policy);
+    ( "seq-edf",
+      fun mode instance ~n -> (Edf_policy.make_seq ~mode instance ~n).policy );
+    ("dlru-edf", fun mode instance ~n -> (Lru_edf.make ~mode instance ~n).policy);
+  ]
+
+let run_both ?(n = 8) instance make =
+  let run mode =
+    Engine.run_policy
+      (Engine.config ~n ~record_schedule:true ())
+      instance (make mode instance ~n)
+  in
+  (run Ranking.Incremental, run Ranking.Rebuild)
+
+(* Structural equality covers every field: cost, counters, the per-color
+   arrays, final_cache and the recorded schedule. *)
+let check_identical label instance =
+  List.iter
+    (fun (pname, make) ->
+      let incr, rebuild = run_both instance make in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s identical" pname label)
+        true (incr = rebuild))
+    policies;
+  let par mode = Par_edf.run ~mode instance ~m:2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "par-edf/%s identical" label)
+    true
+    (par Ranking.Incremental = par Ranking.Rebuild)
+
+let test_families () =
+  List.iter
+    (fun id ->
+      let f = Option.get (Families.find id) in
+      List.iter
+        (fun seed ->
+          check_identical (Printf.sprintf "%s-s%d" id seed) (f.build ~seed))
+        [ 1; 2 ])
+    [ "uniform"; "zipf"; "bursty"; "router"; "flash-crowd"; "oversized";
+      "unbatched" ]
+
+let test_adversarial () =
+  check_identical "appendix-a"
+    (Adv.dlru_instance { n = 8; delta = 2; j = 5; k = 7 });
+  check_identical "appendix-b"
+    (Adv.edf_instance { n = 2; delta = 3; j = 2; k = 6 })
+
+let test_scaled () =
+  (* the scaling knob the bench sweeps, at a testable size *)
+  let f = Option.get (Families.find "uniform") in
+  let scale = Option.get f.scale in
+  check_identical "uniform-c64" (scale ~num_colors:64 ~seed:3)
+
+(* Random instances: arbitrary rounds, arbitrary (not power-of-two)
+   delay bounds, duplicate arrivals — everything Instance.create
+   accepts. *)
+let instance_gen =
+  let open QCheck.Gen in
+  let* num_colors = int_range 1 6 in
+  let* delta = int_range 1 3 in
+  let* delay = array_size (return num_colors) (int_range 1 12) in
+  let* arrivals =
+    list_size (int_range 0 40)
+      (let* round = int_range 0 30 in
+       let* color = int_range 0 (num_colors - 1) in
+       let* count = int_range 1 5 in
+       return { Types.round; color; count })
+  in
+  return (Instance.create ~delta ~delay ~arrivals ())
+
+let arbitrary_instance =
+  QCheck.make instance_gen ~print:(fun i ->
+      Format.asprintf "%a" Instance.pp_full i)
+
+let prop_random_instances =
+  QCheck.Test.make ~count:60 ~name:"identical decisions on random instances"
+    arbitrary_instance (fun instance ->
+      List.for_all
+        (fun (_, make) ->
+          let incr, rebuild = run_both instance make in
+          incr = rebuild)
+        policies
+      && Par_edf.run ~mode:Ranking.Incremental instance ~m:2
+         = Par_edf.run ~mode:Ranking.Rebuild instance ~m:2)
+
+(* Double-speed engines exercise two reconfigurations per round against
+   one begin_round epoch update — a different event interleaving. *)
+let test_double_speed () =
+  let f = Option.get (Families.find "bursty") in
+  let instance = f.build ~seed:4 in
+  let run mode =
+    Engine.run_policy
+      (Engine.config ~n:8 ~mini_rounds:2 ~record_schedule:true ())
+      instance
+      (Edf_policy.make_seq ~mode instance ~n:8).policy
+  in
+  Alcotest.(check bool)
+    "ds-seq-edf identical" true
+    (run Ranking.Incremental = run Ranking.Rebuild)
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "incremental vs rebuild",
+        [
+          Alcotest.test_case "workload families" `Quick test_families;
+          Alcotest.test_case "appendix A/B" `Quick test_adversarial;
+          Alcotest.test_case "scaled universe" `Quick test_scaled;
+          Alcotest.test_case "double speed" `Quick test_double_speed;
+          QCheck_alcotest.to_alcotest prop_random_instances;
+        ] );
+    ]

@@ -58,6 +58,14 @@ let test_bh_fold_iter () =
   BH.iter (fun _ -> incr count) h;
   Alcotest.(check int) "iter count" 3 !count
 
+let test_bh_peek () =
+  let h = BH.create ~cmp:int_cmp () in
+  Alcotest.(check (option int)) "empty" None (BH.peek_min_opt h);
+  List.iter (BH.add h) [ 5; 2; 7 ];
+  Alcotest.(check (option int)) "min" (Some 2) (BH.peek_min_opt h);
+  Alcotest.(check int) "nondestructive" 3 (BH.length h);
+  Alcotest.(check int) "agrees with pop" 2 (BH.pop_min h)
+
 let prop_bh_sorts =
   QCheck.Test.make ~count:300 ~name:"binary heap sorts like List.sort"
     QCheck.(list int)
@@ -121,6 +129,16 @@ let test_ih_smallest () =
     "smallest beyond size"
     [ (1, 10); (3, 20); (2, 30); (0, 40); (4, 50) ]
     (IH.smallest h 99)
+
+let test_ih_peek () =
+  let h = IH.create ~cmp:int_cmp ~capacity:4 in
+  Alcotest.(check bool) "empty" true (IH.peek_min_opt h = None);
+  IH.insert h 2 20;
+  IH.insert h 0 5;
+  Alcotest.(check bool) "min" true (IH.peek_min_opt h = Some (0, 5));
+  Alcotest.(check int) "nondestructive" 2 (IH.length h);
+  IH.remove h 0;
+  Alcotest.(check bool) "tracks removals" true (IH.peek_min_opt h = Some (2, 20))
 
 let test_ih_clear () =
   let h = IH.create ~cmp:int_cmp ~capacity:4 in
@@ -381,6 +399,7 @@ let () =
           Alcotest.test_case "of_array" `Quick test_bh_of_array;
           Alcotest.test_case "clear+grow" `Quick test_bh_clear_and_grow;
           Alcotest.test_case "fold/iter" `Quick test_bh_fold_iter;
+          Alcotest.test_case "peek_min_opt" `Quick test_bh_peek;
         ] );
       qsuite "binary_heap_props" [ prop_bh_sorts; prop_bh_heapify ];
       ( "indexed_heap",
@@ -389,6 +408,7 @@ let () =
           Alcotest.test_case "update inserts" `Quick test_ih_update_inserts;
           Alcotest.test_case "out of range" `Quick test_ih_out_of_range;
           Alcotest.test_case "smallest" `Quick test_ih_smallest;
+          Alcotest.test_case "peek_min_opt" `Quick test_ih_peek;
           Alcotest.test_case "clear" `Quick test_ih_clear;
         ] );
       qsuite "indexed_heap_props" [ prop_ih_model ];

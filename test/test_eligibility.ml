@@ -26,6 +26,60 @@ let run_with_spy ?(cached = fun _ -> false) ~delta ~delay arrivals observe =
   ignore (Engine.run cfg instance factory);
   Option.get !elig
 
+(* The typed change feed driving Ranking.Index: every transition shows
+   up, in a consistent order, and listeners observe post-mutation
+   state. *)
+let test_change_feed () =
+  (* delta=2, delay=4, one uncached color: the round-0 batch of 2 wraps
+     and makes it eligible; at the round-4 boundary its epoch closes
+     (uncached), so it flips back to ineligible *)
+  let instance =
+    Instance.create ~delta:2 ~delay:[| 4 |] ~arrivals:[ arr 0 0 2 ] ()
+  in
+  let log = ref [] in
+  let consistent = ref true in
+  let factory (i : Instance.t) ~n =
+    let e = Eligibility.create i in
+    Eligibility.on_change e (fun change ->
+        log := change :: !log;
+        (* listeners run after the mutation *)
+        match change with
+        | Eligibility.Became_eligible c ->
+            consistent := !consistent && Eligibility.is_eligible e c
+        | Eligibility.Became_ineligible c ->
+            consistent := !consistent && not (Eligibility.is_eligible e c)
+        | _ -> ());
+    {
+      Policy.name = "spy";
+      reconfigure =
+        (fun view ->
+          Eligibility.begin_round e ~view ~in_cache:(fun _ -> false);
+          Array.make n Types.black);
+    }
+  in
+  ignore (Engine.run (Engine.config ~n:1 ()) instance factory);
+  let changes = List.rev !log in
+  let index_of change =
+    let rec go i = function
+      | [] -> Alcotest.failf "change not emitted"
+      | c :: _ when c = change -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 changes
+  in
+  Alcotest.(check bool) "post-mutation state" true !consistent;
+  Alcotest.(check bool) "wrap precedes eligibility" true
+    (index_of (Eligibility.Wrapped 0)
+    < index_of (Eligibility.Became_eligible 0));
+  Alcotest.(check bool) "eligible precedes epoch close" true
+    (index_of (Eligibility.Became_eligible 0)
+    < index_of (Eligibility.Became_ineligible 0));
+  Alcotest.(check bool) "timestamp bumped at the boundary" true
+    (index_of (Eligibility.Timestamp_bumped 0)
+    < index_of (Eligibility.Became_ineligible 0));
+  Alcotest.(check bool) "boundary moves the color deadline" true
+    (List.mem (Eligibility.Deadline_moved 0) changes)
+
 let test_counter_accumulates () =
   (* delta=5, batches of 2 at rounds 0,4,8: wrap at round 8 (2+2+2=6>=5) *)
   let log = ref [] in
@@ -182,6 +236,7 @@ let () =
       ( "counters",
         [
           Alcotest.test_case "accumulation" `Quick test_counter_accumulates;
+          Alcotest.test_case "change feed" `Quick test_change_feed;
           Alcotest.test_case "modulo wrap" `Quick test_wrap_resets_modulo;
         ] );
       ( "eligibility",

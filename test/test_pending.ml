@@ -69,6 +69,62 @@ let test_expire_after_execute () =
   ignore (Pending.execute_one p 0);
   Alcotest.(check (list (pair int int))) "no phantom drop" [] (Pending.expire p ~now:3)
 
+let test_expire_keeps_future_entries () =
+  (* the peek-based drain must stop at the first not-yet-due heap entry
+     and leave it in place: the same entry still triggers the drop when
+     its deadline arrives (regression for the pop-and-re-push drain) *)
+  let p = Pending.create ~num_colors:2 in
+  Pending.add p 0 ~deadline:2 ~count:1;
+  Pending.add p 1 ~deadline:9 ~count:2;
+  Alcotest.(check (list (pair int int)))
+    "only due" [ (0, 1) ] (Pending.expire p ~now:2);
+  Alcotest.(check (list (pair int int)))
+    "nothing between" [] (Pending.expire p ~now:8);
+  Alcotest.(check (list (pair int int)))
+    "future entry still fires" [ (1, 2) ] (Pending.expire p ~now:9)
+
+let test_stale_entry_then_live_bucket () =
+  (* a stale heap entry (its bucket was fully executed) must neither
+     produce a phantom drop nor hide the color's live later bucket *)
+  let p = Pending.create ~num_colors:1 in
+  Pending.add p 0 ~deadline:3 ~count:1;
+  Pending.add p 0 ~deadline:8 ~count:1;
+  ignore (Pending.execute_one p 0);
+  Alcotest.(check (list (pair int int)))
+    "stale entry, no drop" [] (Pending.expire p ~now:3);
+  Alcotest.(check (list (pair int int)))
+    "live bucket drops at its own deadline" [ (0, 1) ] (Pending.expire p ~now:8)
+
+let test_front_change_notifications () =
+  let p = Pending.create ~num_colors:2 in
+  let log = ref [] in
+  let take_log () =
+    let l = List.rev !log in
+    log := [];
+    l
+  in
+  Pending.on_front_change p (fun c -> log := c :: !log);
+  Pending.add p 0 ~deadline:5 ~count:2;
+  Alcotest.(check (list int)) "idle->nonidle fires" [ 0 ] (take_log ());
+  Pending.add p 0 ~deadline:7 ~count:1;
+  Alcotest.(check (list int)) "append behind front is silent" [] (take_log ());
+  ignore (Pending.execute_one p 0);
+  Alcotest.(check (list int)) "front bucket survives: silent" [] (take_log ());
+  ignore (Pending.execute_one p 0);
+  Alcotest.(check (list int)) "front bucket exhausted: fires" [ 0 ] (take_log ());
+  Pending.add p 1 ~deadline:6 ~count:1;
+  ignore (take_log ());
+  ignore (Pending.expire p ~now:7);
+  Alcotest.(check (list int))
+    "expiry fires per affected color" [ 0; 1 ]
+    (List.sort compare (take_log ()));
+  Pending.add p 0 ~deadline:9 ~count:3;
+  ignore (take_log ());
+  Alcotest.(check int) "drop_all count" 3 (Pending.drop_all p 0);
+  Alcotest.(check (list int)) "drop_all fires" [ 0 ] (take_log ());
+  Alcotest.(check int) "drop_all on idle is silent" 0 (Pending.drop_all p 1);
+  Alcotest.(check (list int)) "no event" [] (take_log ())
+
 let test_drop_all () =
   let p = Pending.create ~num_colors:2 in
   Pending.add p 0 ~deadline:3 ~count:2;
@@ -165,6 +221,12 @@ let () =
             test_expire_after_execute;
           Alcotest.test_case "drop_all" `Quick test_drop_all;
           Alcotest.test_case "iter_nonidle" `Quick test_iter_nonidle;
+          Alcotest.test_case "expire keeps future entries" `Quick
+            test_expire_keeps_future_entries;
+          Alcotest.test_case "stale entry then live bucket" `Quick
+            test_stale_entry_then_live_bucket;
+          Alcotest.test_case "front-change notifications" `Quick
+            test_front_change_notifications;
         ] );
       ("model", [ QCheck_alcotest.to_alcotest prop_model ]);
     ]

@@ -20,6 +20,13 @@ let occurrences cache =
     cache;
   tbl
 
+let test_take () =
+  Alcotest.(check (list int)) "prefix" [ 1; 2 ] (Policy.take 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "whole list" [ 1; 2; 3 ] (Policy.take 9 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "zero" [] (Policy.take 0 [ 1; 2 ]);
+  Alcotest.(check (list int)) "negative" [] (Policy.take (-3) [ 1; 2 ]);
+  Alcotest.(check (list int)) "empty" [] (Policy.take 4 [])
+
 let test_replication_invariant () =
   (* every cached color occupies exactly two locations, for all three
      algorithms, at the end of a busy run *)
@@ -178,6 +185,7 @@ let () =
     [
       ( "shared mechanics",
         [
+          Alcotest.test_case "take" `Quick test_take;
           Alcotest.test_case "replication invariant" `Quick
             test_replication_invariant;
           Alcotest.test_case "sub-delta colors never cached" `Quick

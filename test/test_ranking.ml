@@ -171,6 +171,73 @@ let prop_stable_assign_sound =
            (fun i c -> if List.mem c desired then result.(i) = c else true)
            current))
 
+(* Ranking.Index vs the list-sort oracle *)
+
+(* A policy that, every round, compares the delta-maintained index
+   against a from-scratch re-sort of the same state — both orders, over
+   the whole eligible set, not just a prefix — then acts like ΔLRU so
+   the run visits realistic cache configurations. *)
+let index_check_policy (instance : Instance.t) ~n =
+  let elig = Eligibility.create instance in
+  let cache =
+    Cache_state.create ~num_colors:instance.num_colors
+      ~distinct_slots:(n / 2)
+  in
+  let index = Ranking.Index.lazily elig ~delay:instance.delay in
+  let mismatches = ref 0 in
+  let reconfigure (view : Policy.view) =
+    Eligibility.begin_round elig ~view ~in_cache:(Cache_state.mem cache);
+    let idx = index view.pending in
+    let oracle_rank =
+      Ranking.ranked_eligible elig view.pending ~delay:instance.delay
+        ~exclude:(fun _ -> false)
+    in
+    if Ranking.Index.ranked_all idx <> oracle_rank then incr mismatches;
+    let oracle_recency =
+      Ranking.timestamp_order elig (Eligibility.eligible_colors elig)
+    in
+    if Ranking.Index.recency_all idx <> oracle_recency then incr mismatches;
+    if Ranking.Index.eligible_count idx <> List.length oracle_rank then
+      incr mismatches;
+    Cache_state.assign cache ~desired:(Policy.take (n / 2) oracle_recency);
+    Cache_state.to_assignment cache ~replicated:true
+  in
+  (mismatches, { Policy.name = "index-check"; reconfigure })
+
+let drive_index_check instance =
+  let mismatches, policy = index_check_policy instance ~n:8 in
+  ignore (Engine.run_policy (Engine.config ~n:8 ()) instance policy);
+  !mismatches
+
+let test_index_matches_oracle () =
+  List.iter
+    (fun (id, seed) ->
+      let f = Option.get (Rrs_workload.Families.find id) in
+      Alcotest.(check int)
+        (Printf.sprintf "%s-s%d mismatches" id seed)
+        0
+        (drive_index_check (f.build ~seed)))
+    [ ("uniform", 1); ("bursty", 1); ("flash-crowd", 1); ("unbatched", 1) ]
+
+let prop_index_matches_oracle =
+  let gen =
+    let open QCheck.Gen in
+    let* num_colors = int_range 1 6 in
+    let* delta = int_range 1 3 in
+    let* delay = array_size (return num_colors) (int_range 1 12) in
+    let* arrivals =
+      list_size (int_range 0 40)
+        (let* round = int_range 0 30 in
+         let* color = int_range 0 (num_colors - 1) in
+         let* count = int_range 1 5 in
+         return { Types.round; color; count })
+    in
+    return (Instance.create ~delta ~delay ~arrivals ())
+  in
+  QCheck.Test.make ~count:100 ~name:"index = oracle after every round"
+    (QCheck.make gen ~print:(fun i -> Format.asprintf "%a" Instance.pp_full i))
+    (fun instance -> drive_index_check instance = 0)
+
 let () =
   Alcotest.run "ranking"
     [
@@ -188,5 +255,11 @@ let () =
         [
           Alcotest.test_case "mechanics" `Quick test_cache_state_mechanics;
           QCheck_alcotest.to_alcotest prop_stable_assign_sound;
+        ] );
+      ( "incremental index",
+        [
+          Alcotest.test_case "families match oracle" `Quick
+            test_index_matches_oracle;
+          QCheck_alcotest.to_alcotest prop_index_matches_oracle;
         ] );
     ]
