@@ -62,9 +62,12 @@ let parallel_speedup oc =
   in
   let identical =
     List.for_all2
-      (fun (_, (_, a)) (_, (_, b)) ->
-        Rrs_obs.Run_summary.(
-          to_line (strip_timings a) = to_line (strip_timings b)))
+      (fun (_, a) (_, b) ->
+        match (a, b) with
+        | Ok (_, a), Ok (_, b) ->
+            Rrs_obs.Run_summary.(
+              to_line (strip_timings a) = to_line (strip_timings b))
+        | _ -> false)
       seq_results par_results
   in
   if not identical then

@@ -1,0 +1,317 @@
+(* The robustness campaign.
+
+   Part 1 drives a fault-injection campaign through the supervised
+   experiment sweep: one deterministic plan per seed, together covering
+   every in-sweep probe point (pool.worker, harness.run_policy,
+   engine.run, engine.round), each run at --jobs 4.  The contract under
+   test: every injection is contained (the sweep never raises), no
+   sibling loses its result, and a failed experiment is reported as a
+   typed failure.
+
+   Part 2 runs the same plan idea against a JSONL-traced engine run to
+   exercise the sink.jsonl probe, and checks the committed artifact
+   prefix stays parseable after the injected crash.
+
+   Part 3 measures what the machinery costs when it is idle: probe
+   points without a plan, probe points under an empty plan, and a
+   Record-mode watchdog consuming a full event stream.
+
+   Everything lands in BENCH_robust.json as run_summary lines; the
+   campaign records carry an "uncontained" count that CI greps for 0.
+   Exit status is nonzero if any acceptance check fails. *)
+
+open Rrs_core
+module Families = Rrs_workload.Families
+module Registry = Rrs_experiments.Registry
+module Fault = Rrs_robust.Fault
+module Supervisor = Rrs_robust.Supervisor
+module Watchdog = Rrs_robust.Watchdog
+module Sink = Rrs_obs.Sink
+
+let failures : string list ref = ref []
+let fail fmt = Printf.ksprintf (fun msg -> failures := msg :: !failures) fmt
+
+let experiment_ids = [ "EXP-1"; "EXP-4"; "EXP-5"; "EXP-13" ]
+let campaign_jobs = 4
+
+(* no real sleeping anywhere in the campaign: delays are counted, and
+   the supervisor's backoff clock is a no-op *)
+let sleeps = Atomic.make 0
+
+let supervise_policy =
+  {
+    Supervisor.default with
+    timeout = Some 120.0;
+    retries = 1;
+    backoff = 0.0;
+    jitter = 0.0;
+    clock =
+      { Supervisor.now = Unix.gettimeofday; sleep = (fun _ -> ignore ()) };
+  }
+
+(* One plan per seed; across the five seeds every in-sweep probe point
+   carries at least one Fail rule.  Seed 2's engine.run injection is
+   transient, so it also exercises the retry path — note that with a
+   timeout set each attempt runs in a fresh domain whose per-domain Nth
+   counter restarts, so the injection recurs on the retry and the
+   failure is reported after the budget exhausts (still contained). *)
+let campaign_rules seed =
+  match seed with
+  | 1 -> [ Fault.fail_on "pool.worker" (Fault.Nth 1) ]
+  | 2 -> [ Fault.fail_on ~transient:true "engine.run" (Fault.Nth 2) ]
+  | 3 -> [ Fault.fail_on "harness.run_policy" (Fault.Nth 5) ]
+  | 4 ->
+      [
+        Fault.fail_on "engine.round" (Fault.Nth 200);
+        Fault.delay_on "engine.round" (Fault.Every 1000) ~seconds:0.001;
+      ]
+  | _ ->
+      [
+        Fault.delay_on "engine.round" (Fault.Every 50) ~seconds:0.0005;
+        Fault.fail_on ~transient:true "harness.run_policy" (Fault.Prob 0.02);
+      ]
+
+let seeds = [ 1; 2; 3; 4; 5 ]
+
+let fired = Hashtbl.create 8
+
+let record_fired plan =
+  List.iter
+    (fun (point, count) ->
+      let existing = Option.value ~default:0 (Hashtbl.find_opt fired point) in
+      Hashtbl.replace fired point (existing + count))
+    (Fault.injected plan)
+
+let experiment_campaign () =
+  print_endline
+    "================================================================";
+  print_endline " Fault-injection campaign (supervised experiment sweep)";
+  print_endline
+    "================================================================";
+  let uncontained = ref 0 in
+  let contained = ref 0 in
+  List.iter
+    (fun seed ->
+      let plan =
+        Fault.plan ~seed
+          ~sleep:(fun _ -> ignore (Atomic.fetch_and_add sleeps 1))
+          (campaign_rules seed)
+      in
+      let results =
+        try
+          Fault.with_plan plan (fun () ->
+              Registry.run_many ~jobs:campaign_jobs ~policy:supervise_policy
+                ~keep_going:true experiment_ids)
+        with e ->
+          incr uncontained;
+          fail "seed %d: injection escaped the sweep: %s" seed
+            (Printexc.to_string e);
+          []
+      in
+      record_fired plan;
+      let failed = Registry.failures results in
+      contained := !contained + List.length failed;
+      if results <> [] && List.length results <> List.length experiment_ids
+      then
+        fail "seed %d: sweep returned %d of %d results" seed
+          (List.length results) (List.length experiment_ids);
+      List.iteri
+        (fun i (id, _) ->
+          if id <> List.nth experiment_ids i then
+            fail "seed %d: result order broken at %d (%s)" seed i id)
+        results;
+      Printf.printf "seed %d: %d/%d experiments failed (all contained)\n" seed
+        (List.length failed) (List.length experiment_ids))
+    seeds;
+  (* every in-sweep probe point must have fired somewhere in the campaign *)
+  List.iter
+    (fun point ->
+      if point <> "sink.jsonl" then
+        let count = Option.value ~default:0 (Hashtbl.find_opt fired point) in
+        if count = 0 then fail "probe point %s never fired" point)
+    Fault.standard_points;
+  (!contained, !uncontained)
+
+let sink_campaign () =
+  print_endline
+    "================================================================";
+  print_endline " Crash-safe artifacts (sink.jsonl injections, torn traces)";
+  print_endline
+    "================================================================";
+  let router = (Option.get (Families.find "router")).build ~seed:1 in
+  let uncontained = ref 0 in
+  let contained = ref 0 in
+  let parseable = ref 0 in
+  let path = "robust_sink_campaign.jsonl" in
+  List.iter
+    (fun seed ->
+      let plan =
+        Fault.plan ~seed [ Fault.fail_on "sink.jsonl" (Fault.Nth (25 * seed)) ]
+      in
+      (match
+         Fault.with_plan plan (fun () ->
+             Sink.with_jsonl path (fun sink ->
+                 let ({ policy; _ } : Lru_edf.instrumented) =
+                   Lru_edf.make ~sink router ~n:8
+                 in
+                 ignore
+                   (Engine.run_policy (Engine.config ~n:8 ~sink ()) router
+                      policy)))
+       with
+      | () -> fail "seed %d: sink.jsonl injection never fired" seed
+      | exception Rrs_fault.Injected _ -> incr contained
+      | exception e ->
+          incr uncontained;
+          fail "seed %d: sink injection escaped as %s" seed
+            (Printexc.to_string e));
+      record_fired plan;
+      (* the crash was contained by with_jsonl's commit-on-raise: the
+         renamed artifact must hold the complete prefix of event lines *)
+      match In_channel.with_open_text path In_channel.input_lines with
+      | exception Sys_error msg -> fail "seed %d: no artifact: %s" seed msg
+      | lines ->
+          if lines = [] then fail "seed %d: artifact is empty" seed;
+          if
+            List.for_all
+              (fun line -> Result.is_ok (Rrs_obs.Event.of_line line))
+              lines
+          then incr parseable
+          else fail "seed %d: artifact has an unparseable line" seed)
+    seeds;
+  (try Sys.remove path with Sys_error _ -> ());
+  (!contained, !uncontained, !parseable)
+
+(* ------------------------------------------------------------------ *)
+(* overhead                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let best_of repeats f =
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let overhead () =
+  print_endline
+    "================================================================";
+  print_endline " Probe and watchdog overhead (dlru-edf/router, n=8)";
+  print_endline
+    "================================================================";
+  let router = (Option.get (Families.find "router")).build ~seed:1 in
+  let repeats = 10 in
+  let run sink =
+    let ({ policy; _ } : Lru_edf.instrumented) =
+      if Sink.enabled sink then Lru_edf.make ~sink router ~n:8
+      else Lru_edf.make router ~n:8
+    in
+    ignore (Engine.run_policy (Engine.config ~n:8 ~sink ()) router policy)
+  in
+  let no_plan = best_of repeats (fun () -> run Sink.null) in
+  let empty_plan =
+    best_of repeats (fun () ->
+        Fault.with_plan (Fault.plan []) (fun () -> run Sink.null))
+  in
+  let wd_events = ref 0 in
+  let watchdog =
+    best_of repeats (fun () ->
+        let wd = Watchdog.create ~policy:Watchdog.Record ~delta:router.delta () in
+        run (Watchdog.attach wd Sink.null);
+        Watchdog.finish wd;
+        wd_events := Watchdog.events_seen wd;
+        if not (Watchdog.ok wd) then
+          List.iter
+            (fun v ->
+              fail "watchdog: %s" (Format.asprintf "%a" Watchdog.pp_violation v))
+            (Watchdog.violations wd))
+  in
+  Printf.printf "no plan:     %.3f ms/run\n" (no_plan *. 1e3);
+  Printf.printf "empty plan:  %.3f ms/run (%+.1f%%)\n" (empty_plan *. 1e3)
+    ((empty_plan -. no_plan) /. no_plan *. 100.);
+  Printf.printf "watchdog:    %.3f ms/run (%d events checked)\n"
+    (watchdog *. 1e3) !wd_events;
+  (no_plan, empty_plan, watchdog, !wd_events)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  let exp_contained, exp_uncontained = experiment_campaign () in
+  let sink_contained, sink_uncontained, sink_parseable = sink_campaign () in
+  let no_plan, empty_plan, watchdog_seconds, wd_events = overhead () in
+  let fired_analysis =
+    List.map
+      (fun point ->
+        ( "fired_" ^ String.map (fun c -> if c = '.' then '_' else c) point,
+          float_of_int (Option.value ~default:0 (Hashtbl.find_opt fired point))
+        ))
+      Fault.standard_points
+  in
+  Out_channel.with_open_text "BENCH_robust.json" (fun oc ->
+      let write = Rrs_obs.Run_summary.write oc in
+      write
+        (Rrs_obs.Run_summary.make ~id:"fault-campaign" ~kind:"bench"
+           ~config:
+             [
+               ("experiments", String.concat "," experiment_ids);
+               ("jobs", string_of_int campaign_jobs);
+               ("seeds", string_of_int (List.length seeds));
+             ]
+           ~analysis:
+             ([
+                ("contained", float_of_int exp_contained);
+                ("uncontained", float_of_int exp_uncontained);
+                ("delays_served", float_of_int (Atomic.get sleeps));
+              ]
+             @ fired_analysis)
+           ());
+      write
+        (Rrs_obs.Run_summary.make ~id:"sink-campaign" ~kind:"bench"
+           ~config:[ ("seeds", string_of_int (List.length seeds)) ]
+           ~analysis:
+             [
+               ("contained", float_of_int sink_contained);
+               ("uncontained", float_of_int sink_uncontained);
+               ("artifacts_parseable", float_of_int sink_parseable);
+             ]
+           ());
+      write
+        (Rrs_obs.Run_summary.make ~id:"robust-overhead" ~kind:"bench"
+           ~config:[ ("family", "router"); ("policy", "dlru-edf"); ("n", "8") ]
+           ~analysis:
+             [
+               ("no_plan_seconds", no_plan);
+               ("empty_plan_seconds", empty_plan);
+               ("watchdog_seconds", watchdog_seconds);
+               ("watchdog_events", float_of_int wd_events);
+             ]
+           ~timings:
+             [
+               {
+                 Rrs_obs.Run_summary.phase = "no_plan";
+                 seconds = no_plan;
+                 count = 10;
+               };
+               {
+                 Rrs_obs.Run_summary.phase = "watchdog";
+                 seconds = watchdog_seconds;
+                 count = 10;
+               };
+             ]
+           ()));
+  (match Rrs_obs.Run_summary.load "BENCH_robust.json" with
+  | Ok summaries when List.length summaries = 3 -> ()
+  | Ok summaries ->
+      fail "BENCH_robust.json holds %d summaries, expected 3"
+        (List.length summaries)
+  | Error msg -> fail "BENCH_robust.json unreadable: %s" msg);
+  Printf.printf "campaign finished in %.1f s\n" (Unix.gettimeofday () -. t0);
+  print_endline "run summaries written to BENCH_robust.json";
+  match List.rev !failures with
+  | [] -> print_endline "robust bench: all acceptance checks passed"
+  | msgs ->
+      List.iter (fun m -> Printf.eprintf "FAIL: %s\n" m) msgs;
+      exit 1

@@ -193,12 +193,8 @@ let simulate family seed n policy validate metrics_file trace_file
           Rrs_trace.Instance_io.save path instance;
           Format.printf "instance saved to %s@." path)
         save_instance;
-      let simulate_with oc_opt =
-        let sink =
-          match oc_opt with
-          | None -> Rrs_obs.Sink.null
-          | Some oc -> Rrs_obs.Sink.jsonl oc
-        in
+      let simulate_with sink_opt =
+        let sink = Option.value ~default:Rrs_obs.Sink.null sink_opt in
         let run_plain make_policy =
           let cfg = Engine.config ~n ~record_schedule:validate ~sink () in
           (* one registry shared by the policy (ranking_update) and the
@@ -262,9 +258,10 @@ let simulate family seed n policy validate metrics_file trace_file
         in
         let (r, seconds), _ = outcome in
         Option.iter
-          (fun oc ->
-            Rrs_obs.Run_summary.write oc
-              (Rrs_obs.Run_summary.make
+          (fun sink ->
+            Rrs_obs.Sink.write_line sink
+              (Rrs_obs.Run_summary.to_line
+                 (Rrs_obs.Run_summary.make
                  ~id:(Printf.sprintf "%s-s%d" family seed)
                  ~kind:"simulate" ~seed
                  ~config:
@@ -285,8 +282,8 @@ let simulate family seed n policy validate metrics_file trace_file
                    [
                      { Rrs_obs.Run_summary.phase = "engine"; seconds; count = 1 };
                    ]
-                 ()))
-          oc_opt;
+                 ())))
+          sink_opt;
         outcome
       in
       let outcome =
@@ -294,7 +291,8 @@ let simulate family seed n policy validate metrics_file trace_file
         | None -> simulate_with None
         | Some path ->
             let result =
-              Out_channel.with_open_text path (fun oc -> simulate_with (Some oc))
+              Rrs_obs.Sink.with_jsonl path (fun sink ->
+                  simulate_with (Some sink))
             in
             Format.printf "trace written to %s@." path;
             result
@@ -330,8 +328,8 @@ let simulate_cmd =
 
 let experiment_cmd =
   let id_arg =
-    let doc = "Experiment id (e.g. EXP-A); omit to run every experiment." in
-    Arg.(value & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+    let doc = "Experiment ids (e.g. EXP-A); omit to run every experiment." in
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
   let markdown_arg =
     let doc = "Emit GitHub-markdown tables (for EXPERIMENTS.md updates)." in
@@ -354,7 +352,40 @@ let experiment_cmd =
     in
     Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
-  let run id markdown out jobs =
+  let timeout_arg =
+    let doc =
+      "Abandon an experiment after $(docv) wall-clock seconds (counts as a \
+       transient failure, so it retries under $(b,--retries))."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let retries_arg =
+    let doc =
+      "Retry a transiently failing experiment up to $(docv) more times \
+       (deterministic exponential backoff)."
+    in
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let keep_going_arg =
+    let doc =
+      "Keep running the remaining experiments after one fails (the failures \
+       are listed at the end either way).  Without this flag, experiments \
+       not yet started when a failure lands are skipped."
+    in
+    Arg.(value & flag & info [ "k"; "keep-going" ] ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "With $(b,--out): read the artifact left by a previous (possibly \
+       crashed) run, skip the experiments it already records — tolerating \
+       a torn final line — and write the merged artifact."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let run id markdown out jobs timeout retries keep_going resume =
+    let module Registry = Rrs_experiments.Registry in
+    let module Supervisor = Rrs_robust.Supervisor in
     let emit =
       if markdown then Rrs_experiments.Harness.print_markdown
       else Rrs_experiments.Harness.print
@@ -364,33 +395,109 @@ let experiment_cmd =
     in
     let ids =
       match id with
-      | None -> Ok (Rrs_experiments.Registry.ids ())
-      | Some id ->
-          if Rrs_experiments.Registry.find id <> None then Ok [ id ]
-          else Error id
+      | [] -> Ok (Registry.ids ())
+      | ids -> (
+          match List.find_opt (fun id -> Registry.find id = None) ids with
+          | Some bad -> Error bad
+          | None -> Ok ids)
     in
     match ids with
     | Error id ->
         Printf.eprintf "unknown experiment %s; known: %s\n" id
-          (String.concat ", " (Rrs_experiments.Registry.ids ()));
+          (String.concat ", " (Registry.ids ()));
         1
-    | Ok ids ->
-        let results = Rrs_experiments.Registry.run_many ~jobs ids in
-        (match out with
-        | None -> List.iter (fun (_, (outcome, _)) -> emit outcome) results
-        | Some path ->
-            Out_channel.with_open_text path (fun oc ->
-                List.iter
-                  (fun (_, (outcome, summary)) ->
-                    emit outcome;
-                    Rrs_obs.Run_summary.write oc summary)
-                  results);
-            Format.printf "run summaries written to %s@." path);
-        0
+    | Ok ids -> (
+        let previous =
+          match (resume, out) with
+          | false, _ -> Ok []
+          | true, None ->
+              Error "--resume only makes sense together with --out"
+          | true, Some path when not (Sys.file_exists path) -> Ok []
+          | true, Some path -> (
+              match Rrs_obs.Run_summary.load_tolerant path with
+              | Error msg -> Error msg
+              | Ok (summaries, torn) ->
+                  Option.iter
+                    (fun { Rrs_obs.Run_summary.lineno; reason } ->
+                      Format.printf
+                        "resume: ignoring torn line %d of %s (%s)@." lineno
+                        path reason)
+                    torn;
+                  Ok summaries)
+        in
+        match previous with
+        | Error msg ->
+            prerr_endline msg;
+            1
+        | Ok previous ->
+            let done_ids =
+              List.map (fun s -> s.Rrs_obs.Run_summary.id) previous
+            in
+            let todo =
+              List.filter (fun id -> not (List.mem id done_ids)) ids
+            in
+            if resume && List.length todo < List.length ids then
+              Format.printf "resume: %d of %d experiments already recorded@."
+                (List.length ids - List.length todo)
+                (List.length ids);
+            let policy = { Supervisor.default with timeout; retries } in
+            let results =
+              Registry.run_many ~jobs ~policy ~keep_going todo
+            in
+            List.iter
+              (fun (_, r) ->
+                match r with Ok (outcome, _) -> emit outcome | Error _ -> ())
+              results;
+            (match out with
+            | None -> ()
+            | Some path ->
+                Rrs_obs.Sink.with_jsonl path (fun sink ->
+                    let line s =
+                      Rrs_obs.Sink.write_line sink
+                        (Rrs_obs.Run_summary.to_line s)
+                    in
+                    (* requested order: the prior run's line if it has
+                       one, else this run's (failed ids get no line, so
+                       a further --resume completes exactly them) *)
+                    List.iter
+                      (fun id ->
+                        match
+                          List.find_opt
+                            (fun s -> s.Rrs_obs.Run_summary.id = id)
+                            previous
+                        with
+                        | Some s -> line s
+                        | None -> (
+                            match List.assoc_opt id results with
+                            | Some (Ok (_, summary)) -> line summary
+                            | Some (Error _) | None -> ()))
+                      ids;
+                    (* summaries of ids outside this invocation survive *)
+                    List.iter
+                      (fun s ->
+                        if not (List.mem s.Rrs_obs.Run_summary.id ids) then
+                          line s)
+                      previous);
+                Format.printf "run summaries written to %s@." path);
+            let failures = Registry.failures results in
+            List.iter
+              (fun (_, f) ->
+                Format.eprintf "%a@." Supervisor.pp_failure f;
+                let bt = Printexc.raw_backtrace_to_string f.backtrace in
+                if String.trim bt <> "" then prerr_string bt)
+              failures;
+            if failures = [] then 0
+            else begin
+              Printf.eprintf "%d of %d experiments failed\n"
+                (List.length failures) (List.length todo);
+              1
+            end)
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a reproduction experiment")
-    Term.(const run $ id_arg $ markdown_arg $ out_arg $ jobs_arg)
+    Term.(
+      const run $ id_arg $ markdown_arg $ out_arg $ jobs_arg $ timeout_arg
+      $ retries_arg $ keep_going_arg $ resume_arg)
 
 (* ------------------------------------------------------------------ *)
 (* rrs opt                                                             *)
@@ -508,4 +615,6 @@ let main =
   Cmd.group info
     [ list_cmd; simulate_cmd; experiment_cmd; opt_cmd; replay_cmd; describe_cmd ]
 
-let () = exit (Cmd.eval' main)
+let () =
+  Printexc.record_backtrace true;
+  exit (Cmd.eval' main)

@@ -34,6 +34,7 @@ let check_assignment cfg instance assignment =
     assignment
 
 let run_policy cfg (instance : Instance.t) (policy : Policy.t) =
+  Rrs_fault.probe "engine.run";
   let pending = Pending.create ~num_colors:instance.num_colors in
   let cache = Array.make cfg.n Types.black in
   let arrivals = Instance.arrivals_by_round instance in
@@ -51,6 +52,7 @@ let run_policy cfg (instance : Instance.t) (policy : Policy.t) =
   let executions_by_color = Array.make instance.num_colors 0 in
   let end_round = instance.horizon in
   for round = 0 to end_round do
+    Rrs_fault.probe "engine.round";
     (* drop phase *)
     let expired = Pending.expire pending ~now:round in
     List.iter

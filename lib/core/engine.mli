@@ -21,7 +21,12 @@
     execution).  Reconfigure/Drop/Execute events carry post-projection
     colors, so the event stream always reproduces the cost accounting.
     With the default {!Rrs_obs.Sink.null} the engine allocates nothing
-    for tracing and pays one predictable branch per potential event. *)
+    for tracing and pays one predictable branch per potential event.
+
+    Fault probes ({!Rrs_fault.probe}): ["engine.run"] once per run,
+    ["engine.round"] at the top of every round — free without an
+    installed plan, and the hooks an injection campaign uses to crash
+    or stall a run mid-flight. *)
 
 type config = {
   n : int;  (** resources given to the policy *)

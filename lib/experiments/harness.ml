@@ -60,6 +60,7 @@ let record_result (result : Rrs_core.Engine.result) =
   Metrics.inc (Metrics.counter reg "drop_cost") result.dropped
 
 let run_policy instance ~n factory =
+  Rrs_fault.probe "harness.run_policy";
   let result =
     Metrics.time
       (Metrics.timer (current ()) "engine_run")

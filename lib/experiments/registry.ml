@@ -53,13 +53,52 @@ let run_in_scope id run =
 let run_summarized id =
   Option.map (fun run -> run_in_scope id run) (find id)
 
-let run_many ?(jobs = 1) ids =
+module Supervisor = Rrs_robust.Supervisor
+
+type run_result =
+  (Harness.outcome * Rrs_obs.Run_summary.t, Supervisor.failure) result
+
+let run_many ?(jobs = 1) ?(policy = Supervisor.default) ?(keep_going = true) ids
+    =
   let tasks =
     List.filter_map (fun id -> Option.map (fun run -> (id, run)) (find id)) ids
   in
-  Rrs_parallel.Pool.map ~domains:jobs
-    (fun (id, run) -> (id, run_in_scope id run))
-    tasks
+  let abort = Atomic.make false in
+  let supervised (id, run) =
+    if (not keep_going) && Atomic.get abort then
+      (id, Error (Supervisor.skipped ~name:id))
+    else
+      match Supervisor.run ~policy ~name:id (fun () -> run_in_scope id run) with
+      | Ok _ as ok -> (id, ok)
+      | Error _ as err ->
+          if not keep_going then Atomic.set abort true;
+          (id, err)
+  in
+  (* map_results, not map: a crash that escapes the supervisor (a
+     "pool.worker" injection fires outside the supervised thunk) still
+     must not cost the sibling experiments their results *)
+  Rrs_parallel.Pool.map_results ~domains:jobs supervised tasks
+  |> List.map2
+       (fun (id, _) -> function
+         | Ok pair -> pair
+         | Error (exn, backtrace) ->
+             ( id,
+               Error
+                 {
+                   Supervisor.name = id;
+                   exn;
+                   backtrace;
+                   attempts = 1;
+                   phase = "exception";
+                   classified = policy.Supervisor.classify exn;
+                 } ))
+       tasks
+
+let failures results =
+  List.filter_map
+    (fun (id, r) ->
+      match r with Ok _ -> None | Error f -> Some (id, f))
+    results
 
 let run_and_print_all () =
   List.iter (fun (_, run) -> Harness.print (run ())) all

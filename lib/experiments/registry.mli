@@ -16,10 +16,16 @@ val run_summarized :
     timing.  [None] for unknown ids.  This is what
     [rrs experiment --out] writes, one JSONL line per experiment. *)
 
+type run_result =
+  (Harness.outcome * Rrs_obs.Run_summary.t, Rrs_robust.Supervisor.failure)
+  result
+
 val run_many :
   ?jobs:int ->
+  ?policy:Rrs_robust.Supervisor.policy ->
+  ?keep_going:bool ->
   string list ->
-  (string * (Harness.outcome * Rrs_obs.Run_summary.t)) list
+  (string * run_result) list
 (** Run the given experiments (unknown ids are skipped), spreading them
     over [jobs] domains (default 1; experiments' own inner sweeps then
     degrade to sequential — see the nesting note in
@@ -27,6 +33,21 @@ val run_many :
     totals and cost/count artifact fields are identical for every
     [jobs]; only wall-clock fields vary (strip them with
     {!Rrs_obs.Run_summary.strip_timings} to compare artifacts).  This
-    is the [rrs experiment --jobs] / [bench] path. *)
+    is the [rrs experiment --jobs] / [bench] path.
+
+    Every experiment runs under {!Rrs_robust.Supervisor.run} with
+    [policy] (default {!Rrs_robust.Supervisor.default}: no timeout, no
+    retries): a raising, hanging or fault-injected experiment comes
+    back as [Error failure] while its siblings keep their results —
+    the sweep itself never raises.  With [keep_going = false] (default
+    [true]), experiments not yet started when a failure lands are
+    skipped ({!Rrs_robust.Supervisor.skipped}); already-running
+    siblings still finish.  Which in-flight tasks slip through the
+    abort check depends on scheduling at [jobs > 1]; at [jobs = 1]
+    exactly the tasks after the first failure are skipped. *)
+
+val failures :
+  (string * run_result) list -> (string * Rrs_robust.Supervisor.failure) list
+(** The failed entries of a {!run_many} result, in order. *)
 
 val run_and_print_all : unit -> unit

@@ -1,0 +1,132 @@
+module Rng = Rrs_prng.Rng
+
+exception Injected of { point : string; hit : int; transient : bool }
+
+type trigger = Nth of int | Every of int | Prob of float | Always
+type action = Fail of { transient : bool } | Delay of float
+type rule = { point : string; trigger : trigger; action : action }
+
+let validate_trigger = function
+  | Nth n when n < 1 -> invalid_arg "Rrs_fault.plan: Nth < 1"
+  | Every k when k < 1 -> invalid_arg "Rrs_fault.plan: Every < 1"
+  | Prob p when not (p >= 0.0 && p <= 1.0) ->
+      invalid_arg "Rrs_fault.plan: Prob outside [0, 1]"
+  | Nth _ | Every _ | Prob _ | Always -> ()
+
+let fail_on ?(transient = false) point trigger =
+  { point; trigger; action = Fail { transient } }
+
+let delay_on point trigger ~seconds = { point; trigger; action = Delay seconds }
+
+type point_stats = { total_hits : int Atomic.t; fired : int Atomic.t }
+
+type plan = {
+  seed : int;
+  sleep : float -> unit;
+  order : string list; (* distinct points, rule order *)
+  rules_by_point : (string, rule list) Hashtbl.t;
+  stats : (string, point_stats) Hashtbl.t;
+  (* each domain entering the plan's scope takes the next index, which
+     seeds its private RNG stream deterministically *)
+  domain_counter : int Atomic.t;
+}
+
+let plan ?(seed = 0) ?(sleep = Unix.sleepf) rules =
+  List.iter (fun r -> validate_trigger r.trigger) rules;
+  let rules_by_point = Hashtbl.create 8 in
+  let stats = Hashtbl.create 8 in
+  let order =
+    List.fold_left
+      (fun acc r ->
+        let existing =
+          Option.value ~default:[] (Hashtbl.find_opt rules_by_point r.point)
+        in
+        Hashtbl.replace rules_by_point r.point (existing @ [ r ]);
+        if Hashtbl.mem stats r.point then acc
+        else begin
+          Hashtbl.add stats r.point
+            { total_hits = Atomic.make 0; fired = Atomic.make 0 };
+          r.point :: acc
+        end)
+      [] rules
+    |> List.rev
+  in
+  { seed; sleep; order; rules_by_point; stats; domain_counter = Atomic.make 0 }
+
+let points t = t.order
+
+(* ------------------------------------------------------------------ *)
+(* the per-domain instance: private hit counters + private RNG stream  *)
+(* ------------------------------------------------------------------ *)
+
+type inst = {
+  plan : plan;
+  local_hits : (string, int ref) Hashtbl.t;
+  rng : Rng.t;
+}
+
+let derive plan =
+  let index = Atomic.fetch_and_add plan.domain_counter 1 in
+  {
+    plan;
+    local_hits = Hashtbl.create 8;
+    (* decorrelate sibling streams; the mix constant is splitmix64's *)
+    rng = Rng.create ~seed:(plan.seed + (index * 0x9e3779b9));
+  }
+
+let scope : inst option Domain.DLS.key =
+  Domain.DLS.new_key
+    ~split_from_parent:(function
+      | None -> None
+      | Some inst -> Some (derive inst.plan))
+    (fun () -> None)
+
+let with_plan plan thunk =
+  let outer = Domain.DLS.get scope in
+  Domain.DLS.set scope (Some (derive plan));
+  Fun.protect ~finally:(fun () -> Domain.DLS.set scope outer) thunk
+
+let active () = Domain.DLS.get scope <> None
+
+let hit inst point rules =
+  let count =
+    match Hashtbl.find_opt inst.local_hits point with
+    | Some r ->
+        incr r;
+        !r
+    | None ->
+        Hashtbl.add inst.local_hits point (ref 1);
+        1
+  in
+  let stats = Hashtbl.find inst.plan.stats point in
+  ignore (Atomic.fetch_and_add stats.total_hits 1);
+  let matches = function
+    | Nth n -> count = n
+    | Every k -> count mod k = 0
+    | Prob p -> Rng.bernoulli inst.rng p
+    | Always -> true
+  in
+  match List.find_opt (fun r -> matches r.trigger) rules with
+  | None -> ()
+  | Some r -> (
+      ignore (Atomic.fetch_and_add stats.fired 1);
+      match r.action with
+      | Delay seconds -> inst.plan.sleep seconds
+      | Fail { transient } -> raise (Injected { point; hit = count; transient }))
+
+let probe point =
+  match Domain.DLS.get scope with
+  | None -> ()
+  | Some inst -> (
+      match Hashtbl.find_opt inst.plan.rules_by_point point with
+      | None -> ()
+      | Some rules -> hit inst point rules)
+
+let read field t =
+  List.map (fun point -> (point, Atomic.get (field (Hashtbl.find t.stats point)))) t.order
+
+let hits t = read (fun s -> s.total_hits) t
+let injected t = read (fun s -> s.fired) t
+
+let standard_points =
+  [ "engine.run"; "engine.round"; "harness.run_policy"; "sink.jsonl"; "pool.worker" ]

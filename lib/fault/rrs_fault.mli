@@ -1,0 +1,87 @@
+(** Deterministic fault injection, dynamically scoped per domain.
+
+    The execution substrate (engine, experiment harness, JSONL sinks,
+    pool workers) carries named {e probe points} — plain
+    [Rrs_fault.probe "engine.round"] calls.  With no plan installed a
+    probe is one domain-local read and a branch: nothing allocates,
+    nothing can fire, so instrumented hot paths stay free in
+    production (the robust bench measures this).
+
+    A {e plan} maps probe points to rules.  Installing it with
+    {!with_plan} scopes it to the calling domain — and, through
+    [Domain.DLS] inheritance, to every domain spawned under the scope
+    (the [Rrs_parallel.Pool] workers of a parallel sweep).  Each domain
+    gets its {e own} hit counters and its own seeded RNG stream, so
+    triggers are deterministic per domain and never race across
+    siblings; the shared {!hits}/{!injected} totals are aggregated with
+    atomics and are exact.
+
+    Plans are deterministic by construction: [Nth]/[Every] fire on
+    exact per-domain hit counts, [Prob] draws from a generator derived
+    from the plan seed and the domain's spawn index ({!Rrs_prng.Rng} —
+    no wall-clock anywhere), and [Delay] calls the plan's [sleep]
+    function, injectable so tests never block. *)
+
+exception Injected of { point : string; hit : int; transient : bool }
+(** Raised by a matching [Fail] rule.  [hit] is the per-domain hit
+    count of the probe point at the moment of injection; [transient]
+    tells supervisors ({!Rrs_robust.Supervisor}) whether retrying can
+    help. *)
+
+type trigger =
+  | Nth of int  (** fire on exactly the n-th per-domain hit (1-based) *)
+  | Every of int  (** fire on every k-th per-domain hit *)
+  | Prob of float  (** fire with this probability, seeded per domain *)
+  | Always
+
+type action =
+  | Fail of { transient : bool }  (** raise {!Injected} *)
+  | Delay of float  (** call the plan's [sleep] with this many seconds *)
+
+type rule = { point : string; trigger : trigger; action : action }
+
+val fail_on : ?transient:bool -> string -> trigger -> rule
+(** Fail rule for the given point; [transient] defaults to [false]. *)
+
+val delay_on : string -> trigger -> seconds:float -> rule
+(** Delay rule for the given point. *)
+
+type plan
+
+val plan : ?seed:int -> ?sleep:(float -> unit) -> rule list -> plan
+(** [seed] (default 0) drives every [Prob] draw; [sleep] (default
+    [Unix.sleepf]) serves [Delay] actions — pass [ignore]-like
+    functions in tests.
+    @raise Invalid_argument on a non-positive [Nth]/[Every] or a
+    [Prob] outside [0, 1]. *)
+
+val points : plan -> string list
+(** The distinct probe points the plan has rules for, in rule order. *)
+
+val with_plan : plan -> (unit -> 'a) -> 'a
+(** Install the plan for the dynamic extent of the thunk on this
+    domain and its descendants; restores the outer plan (or none) on
+    exit, also on raise.  The same plan may be installed repeatedly
+    (e.g. once per campaign seed); shared counters keep accumulating. *)
+
+val active : unit -> bool
+(** Is a plan installed in the current domain's scope? *)
+
+val probe : string -> unit
+(** The probe-point entry: no-op without a plan or when the plan has no
+    rule for this point; otherwise counts the hit and applies the first
+    rule whose trigger matches.
+    @raise Injected when a [Fail] rule fires. *)
+
+val hits : plan -> (string * int) list
+(** Per-point probe evaluations, aggregated over every domain that ran
+    under the plan, in {!points} order. *)
+
+val injected : plan -> (string * int) list
+(** Per-point count of rules that fired (both [Fail] and [Delay]),
+    aggregated over every domain, in {!points} order. *)
+
+val standard_points : string list
+(** The probe points planted across the repo (see doc/ROBUSTNESS.md):
+    ["engine.run"], ["engine.round"], ["harness.run_policy"],
+    ["sink.jsonl"], ["pool.worker"]. *)

@@ -125,32 +125,59 @@ let write oc t =
   output_string oc (to_line t);
   output_char oc '\n'
 
-let load path =
+(* Ok None: skip the line (blank, or a valid line of another type). *)
+let parse_line line =
+  if String.trim line = "" then Ok None
+  else
+    match Json.parse line with
+    | Error msg -> Error msg
+    | Ok json -> (
+        match Json.member "type" json with
+        | Some (Json.String "run_summary") ->
+            Result.map Option.some (of_json json)
+        | Some (Json.String _) -> Ok None
+        | _ -> Error "line has no \"type\" tag")
+
+let numbered_lines path =
   match In_channel.with_open_text path In_channel.input_lines with
   | exception Sys_error msg -> Error msg
-  | lines ->
-      let* summaries =
-        List.fold_left
-          (fun acc (lineno, line) ->
-            let* acc = acc in
-            if String.trim line = "" then Ok acc
-            else
-              match Json.parse line with
-              | Error msg ->
-                  Error (Printf.sprintf "%s:%d: %s" path lineno msg)
-              | Ok json -> (
-                  match Json.member "type" json with
-                  | Some (Json.String "run_summary") -> (
-                      match of_json json with
-                      | Ok summary -> Ok (summary :: acc)
-                      | Error msg ->
-                          Error (Printf.sprintf "%s:%d: %s" path lineno msg))
-                  | Some (Json.String _) -> Ok acc
-                  | _ ->
-                      Error
-                        (Printf.sprintf "%s:%d: line has no \"type\" tag" path
-                           lineno)))
-          (Ok [])
-          (List.mapi (fun k line -> (k + 1, line)) lines)
-      in
-      Ok (List.rev summaries)
+  | lines -> Ok (List.mapi (fun k line -> (k + 1, line)) lines)
+
+let load path =
+  let* lines = numbered_lines path in
+  let* summaries =
+    List.fold_left
+      (fun acc (lineno, line) ->
+        let* acc = acc in
+        match parse_line line with
+        | Ok None -> Ok acc
+        | Ok (Some summary) -> Ok (summary :: acc)
+        | Error msg -> Error (Printf.sprintf "%s:%d: %s" path lineno msg))
+      (Ok []) lines
+  in
+  Ok (List.rev summaries)
+
+type torn_tail = { lineno : int; reason : string }
+
+let load_tolerant path =
+  let* lines = numbered_lines path in
+  let last_content =
+    List.fold_left
+      (fun acc (lineno, line) -> if String.trim line = "" then acc else lineno)
+      0 lines
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc, None)
+    | (lineno, line) :: rest -> (
+        match parse_line line with
+        | Ok None -> go acc rest
+        | Ok (Some summary) -> go (summary :: acc) rest
+        | Error reason when lineno = last_content ->
+            (* a crash mid-write leaves exactly one torn line, and only
+               at the end of the file: tolerate that one *)
+            go acc rest |> Result.map (fun (summaries, _) ->
+                (summaries, Some { lineno; reason }))
+        | Error reason ->
+            Error (Printf.sprintf "%s:%d: %s" path lineno reason))
+  in
+  go [] lines

@@ -65,3 +65,13 @@ val load : string -> (t list, string) result
 (** Read a JSONL file, returning its run summaries in order.  Lines of
     other types (e.g. events in a [--trace] file) are skipped; blank
     lines are ignored; a malformed line is an error. *)
+
+type torn_tail = { lineno : int; reason : string }
+
+val load_tolerant : string -> (t list * torn_tail option, string) result
+(** Like {!load}, but tolerates a malformed {e final} line: a process
+    killed mid-write truncates exactly the line it was writing, which
+    is necessarily the last one.  The torn line is skipped and reported
+    so callers (e.g. [rrs experiment --resume]) can tell a clean
+    artifact from a crashed one.  A malformed line anywhere before the
+    tail is still a hard error — that is corruption, not a crash. *)

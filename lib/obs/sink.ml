@@ -25,6 +25,7 @@ let emit t event =
       push buffer event;
       ignore (Atomic.fetch_and_add t.emitted 1)
   | Jsonl { oc; oc_mutex } ->
+      Rrs_fault.probe "sink.jsonl";
       (* one write of the whole line under the sink's lock: concurrent
          emitters cannot tear a JSONL line *)
       let line = Event.to_line event ^ "\n" in
@@ -33,6 +34,22 @@ let emit t event =
   | Callback f ->
       f event;
       ignore (Atomic.fetch_and_add t.emitted 1)
+
+let write_line t line =
+  match t.kind with
+  | Jsonl { oc; oc_mutex } ->
+      let line = line ^ "\n" in
+      Mutex.protect oc_mutex (fun () -> output_string oc line)
+  | Null | Memory _ | Callback _ -> ()
+
+let with_jsonl path f =
+  let temp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+  let oc = open_out temp in
+  let commit () =
+    close_out oc;
+    Sys.rename temp path
+  in
+  Fun.protect ~finally:commit (fun () -> f (jsonl oc))
 
 let events t =
   match t.kind with

@@ -34,7 +34,18 @@ val jsonl : out_channel -> t
 (** Writes one canonical JSON line per event ({!Event.to_line}), each
     as one atomic write.  The channel is not closed by the sink; flush
     or close it yourself (and do not write to the channel from outside
-    the sink while emitters are running). *)
+    the sink while emitters are running).  Each emission passes the
+    ["sink.jsonl"] fault probe ({!Rrs_fault.probe}) before taking the
+    lock, so injected I/O failures never leave the mutex held. *)
+
+val with_jsonl : string -> (t -> 'a) -> 'a
+(** [with_jsonl path f] runs [f] with a {!jsonl} sink writing to a
+    temporary file next to [path], then flushes, closes and atomically
+    renames it into place.  Readers of [path] therefore never observe a
+    half-written artifact.  The commit happens {e also when [f]
+    raises}: a contained failure leaves the complete, parseable prefix
+    of lines emitted so far — no buffered line is lost — which is what
+    resumable sweeps rely on. *)
 
 val callback : (Event.t -> unit) -> t
 (** Calls the function on every event — for custom aggregation. *)
@@ -44,6 +55,12 @@ val enabled : t -> bool
 
 val emit : t -> Event.t -> unit
 (** No-op on {!null} (but see the guard contract above). *)
+
+val write_line : t -> string -> unit
+(** Append one raw line (newline added) through a {!jsonl} sink's lock —
+    how non-event artifact lines (run summaries) share the file with
+    concurrent event emitters without tearing.  No-op on every other
+    sink kind. *)
 
 val events : t -> Event.t list
 (** Chronological buffered events of a {!memory} sink; [[]] for every

@@ -44,35 +44,63 @@ let resolve_domains ~name domains n =
   min requested n
 
 let run_task f x =
-  match f x with
+  match
+    Rrs_fault.probe "pool.worker";
+    f x
+  with
   | v -> Done v
   | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+
+(* work stealing by atomic counter: workers pull the next index *)
+let stealing_worker f items results =
+  let n = Array.length items in
+  let next = Atomic.make 0 in
+  fun () ->
+    marked (fun () ->
+        let continue = ref true in
+        while !continue do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then continue := false
+          else results.(i) <- run_task f items.(i)
+        done)
+
+let steal_all f items workers =
+  let results = Array.make (Array.length items) Pending in
+  let worker = stealing_worker f items results in
+  let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join spawned;
+  results
+
+let probed f x =
+  Rrs_fault.probe "pool.worker";
+  f x
 
 let map ?domains f xs =
   let items = Array.of_list xs in
   let n = Array.length items in
   let workers = resolve_domains ~name:"Pool.map" domains n in
-  if workers <= 1 then List.map f xs
+  if workers <= 1 then List.map (probed f) xs
   else begin
-    let results = Array.make n Pending in
-    let next = Atomic.make 0 in
-    (* work stealing by atomic counter: workers pull the next index *)
-    let worker () =
-      marked (fun () ->
-          let continue = ref true in
-          while !continue do
-            let i = Atomic.fetch_and_add next 1 in
-            if i >= n then continue := false
-            else results.(i) <- run_task f items.(i)
-          done)
-    in
-    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join spawned;
+    let results = steal_all f items workers in
     (* surface the first failure in input order, if any *)
     reraise_first_failure results;
     collect results
   end
+
+let map_results ?domains f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let workers = resolve_domains ~name:"Pool.map_results" domains n in
+  let results =
+    if workers <= 1 then Array.map (run_task f) items
+    else steal_all f items workers
+  in
+  Array.to_list results
+  |> List.map (function
+       | Done v -> Ok v
+       | Failed (e, bt) -> Error (e, bt)
+       | Pending -> assert false)
 
 let map_reduce ?domains ~init ~f xs =
   let items = Array.of_list xs in
@@ -81,7 +109,7 @@ let map_reduce ?domains ~init ~f xs =
   if n = 0 then ([], [])
   else if workers <= 1 then begin
     let acc = init () in
-    (List.map (f acc) xs, [ acc ])
+    (List.map (probed (f acc)) xs, [ acc ])
   end
   else begin
     let results = Array.make n Pending in

@@ -20,7 +20,14 @@
 
     Exceptions raised by a task are captured {e with their backtrace}
     and re-raised in the caller (via [Printexc.raise_with_backtrace],
-    so the worker's trace survives) once every worker has stopped. *)
+    so the worker's trace survives) once every worker has stopped.
+    {!map_results} instead hands every per-task outcome back as a
+    [result], so one poisoned item cannot take its siblings' results
+    down with it — supervised sweeps build on it.
+
+    Every task evaluation passes the ["pool.worker"] fault probe
+    ({!Rrs_fault.probe}) — also on the sequential degrade path, so an
+    injection campaign behaves the same at any [~domains]. *)
 
 val num_domains : unit -> int
 (** Recommended parallelism: [Domain.recommended_domain_count], at
@@ -35,6 +42,18 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
     @raise Invalid_argument if [domains < 1].  Re-raises the first task
     exception (by input order, with its backtrace) after all workers
     finish. *)
+
+val map_results :
+  ?domains:int ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, exn * Printexc.raw_backtrace) result list
+(** {!map} that contains failures instead of re-raising: every task
+    runs to its own conclusion and the outcomes come back in input
+    order, [Error] carrying the task's exception and backtrace.  The
+    sweep itself never raises (short of asserts), whatever the tasks
+    do.
+    @raise Invalid_argument if [domains < 1]. *)
 
 val map_reduce :
   ?domains:int ->

@@ -1,0 +1,5 @@
+(* Re-export: the fault plane lives in its own library (rrs_fault) so
+   that probe points can sit below rrs_obs (Sink.jsonl carries one),
+   but callers of the robustness layer address it as Rrs_robust.Fault
+   alongside Supervisor and Watchdog. *)
+include Rrs_fault

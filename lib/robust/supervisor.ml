@@ -1,0 +1,127 @@
+module Rng = Rrs_prng.Rng
+
+type clock = { now : unit -> float; sleep : float -> unit }
+
+let wall_clock = { now = Unix.gettimeofday; sleep = Unix.sleepf }
+
+type error_class = Transient | Fatal
+
+exception Timed_out of { name : string; seconds : float }
+exception Skipped of string
+
+type failure = {
+  name : string;
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;
+  attempts : int;
+  phase : string;
+  classified : error_class;
+}
+
+type policy = {
+  timeout : float option;
+  retries : int;
+  backoff : float;
+  backoff_factor : float;
+  jitter : float;
+  seed : int;
+  classify : exn -> error_class;
+  clock : clock;
+}
+
+let classify_default = function
+  | Timed_out _ -> Transient
+  | Rrs_fault.Injected { transient; _ } -> if transient then Transient else Fatal
+  | _ -> Fatal
+
+let default =
+  {
+    timeout = None;
+    retries = 0;
+    backoff = 0.05;
+    backoff_factor = 2.0;
+    jitter = 0.5;
+    seed = 0;
+    classify = classify_default;
+    clock = wall_clock;
+  }
+
+let capture thunk =
+  match thunk () with
+  | v -> Ok v
+  | exception e -> Error (e, Printexc.get_raw_backtrace ())
+
+(* One attempt under a wall-clock budget: the thunk runs on a fresh
+   domain (inheriting the caller's DLS scopes — telemetry, fault plan)
+   while this domain polls a completion cell against the deadline.  On
+   timeout the runner domain is abandoned, not joined: domains cannot
+   be cancelled, so it finishes (or spins) in the background while the
+   sweep moves on — the price of a worst-case guarantee on the
+   supervisor side. *)
+let attempt_with_timeout clock seconds ~name thunk =
+  let cell = Atomic.make None in
+  let runner = Domain.spawn (fun () -> Atomic.set cell (Some (capture thunk))) in
+  let deadline = clock.now () +. seconds in
+  let rec wait () =
+    match Atomic.get cell with
+    | Some r ->
+        Domain.join runner;
+        r
+    | None ->
+        if clock.now () >= deadline then
+          Error (Timed_out { name; seconds }, Printexc.get_callstack 0)
+        else begin
+          clock.sleep 0.001;
+          wait ()
+        end
+  in
+  wait ()
+
+let attempt policy ~name thunk =
+  match policy.timeout with
+  | None -> capture thunk
+  | Some seconds -> attempt_with_timeout policy.clock seconds ~name thunk
+
+let run ?(policy = default) ~name thunk =
+  let rng = Rng.create ~seed:policy.seed in
+  let rec go attempts =
+    match attempt policy ~name thunk with
+    | Ok v -> Ok v
+    | Error (exn, backtrace) ->
+        let classified = policy.classify exn in
+        let phase =
+          match exn with Timed_out _ -> "timeout" | _ -> "exception"
+        in
+        if classified = Fatal || attempts > policy.retries then
+          Error { name; exn; backtrace; attempts; phase; classified }
+        else begin
+          let base =
+            policy.backoff
+            *. (policy.backoff_factor ** float_of_int (attempts - 1))
+          in
+          policy.clock.sleep (base *. (1.0 +. Rng.float rng policy.jitter));
+          go (attempts + 1)
+        end
+  in
+  go 1
+
+let skipped ~name =
+  {
+    name;
+    exn = Skipped name;
+    backtrace = Printexc.get_callstack 0;
+    attempts = 0;
+    phase = "skipped";
+    classified = Transient;
+  }
+
+let pp_failure fmt f =
+  if f.phase = "skipped" then
+    Format.fprintf fmt "%s: skipped (stopped after an earlier failure)" f.name
+  else
+    Format.fprintf fmt "%s: failed after %d attempt%s (%s, %s): %s" f.name
+      f.attempts
+      (if f.attempts = 1 then "" else "s")
+      f.phase
+      (match f.classified with Transient -> "transient" | Fatal -> "fatal")
+      (Printexc.to_string f.exn)

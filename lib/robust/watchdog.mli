@@ -1,0 +1,95 @@
+(** Live invariant checking over the engine's event stream.
+
+    A watchdog {!attach}es in front of any {!Rrs_obs.Sink.t} and
+    replays the run's bookkeeping from the events alone: the projected
+    cache contents (from [Reconfigure]), per-color eligibility (from
+    [Counter_wrap]/[Epoch_close], matching the engine's pre-transition
+    drop classification — [Drop] events of a round precede its
+    eligibility transitions), and the epoch count (from [Epoch_open]).
+    Against that state it checks, as each event arrives:
+
+    - {b stream sanity}: rounds non-decreasing, counts/credits
+      non-negative, no self-reconfigurations;
+    - {b cache consistency}: every [Reconfigure]'s [from_color] equals
+      the tracked color of that resource, every [Execute]'s color
+      matches the configuration that produced it;
+    - {b epoch lifecycle}: epochs only reopen from the ineligible
+      state, only close from the eligible state, wrap and epoch
+      counters only grow;
+    and, at {!finish}:
+
+    - {b Lemma 3.3 bound}: reconfiguration charges ≤ 4 · epochs opened
+      (i.e. reconfiguration cost ≤ 4·Δ·numEpochs);
+    - {b Lemma 3.4 bound}: ineligible drops ≤ Δ · epochs opened.
+
+    The lemma budgets are amortized over the whole run — a mid-run
+    prefix can legitimately run one epoch's worth of charges ahead of
+    the bound while that epoch's service is in flight — so they are
+    checked when the caller declares the run complete, not per event.
+    The lemma bounds are only meaningful for instrumented policies
+    (those emitting eligibility events — {!Rrs_core.Lru_edf} with a
+    sink); they switch on at the first eligibility-family event and
+    stay off for plain policies, whose drops the lemmas do not bound.
+    They are also specific to the paper's ΔLRU-based algorithm: an
+    instrumented baseline like pure EDF emits the same eligibility
+    events but reconfigures outside the ΔLRU budget, so its charges
+    legitimately exceed 4·numEpochs — pass [~lemma_bounds:false] to
+    watch such a policy with the structural checks only.  They assume
+    an unprojected trace: under [cost_projection] the eligibility
+    events carry pre-projection colors and the watchdog's replayed
+    eligibility goes stale.
+
+    Under [Record] the watchdog only accumulates {!violations} — it
+    never raises and never writes, so a recorded run is decision- and
+    result-identical to an unwatched one (test_differential checks
+    this across every workload family and both appendix instances).
+    [Fail_fast] raises {!Invariant_violation} at the first offence.
+    [Off] makes {!attach} the identity, restoring the null-sink fast
+    path. *)
+
+type policy = Fail_fast | Record | Off
+
+type violation = {
+  round : int;  (** round of the offending event *)
+  invariant : string;  (** stable name, e.g. ["lemma_3_3"] *)
+  detail : string;
+}
+
+exception Invariant_violation of violation
+
+type t
+
+val create : ?policy:policy -> ?lemma_bounds:bool -> delta:int -> unit -> t
+(** [delta] is the instance's Δ (both lemma bounds scale with it).
+    [policy] defaults to [Record]; [lemma_bounds] defaults to [true]
+    and controls the Lemma 3.3 / 3.4 budget checks (the structural
+    checks are unconditional).
+    @raise Invalid_argument if [delta < 1]. *)
+
+val attach : t -> Rrs_obs.Sink.t -> Rrs_obs.Sink.t
+(** A sink that checks each event and forwards it to the given inner
+    sink.  With policy [Off] this is the inner sink itself — no
+    wrapper, no cost.  Otherwise the returned sink reports as enabled
+    even over a null inner sink, because the watchdog itself consumes
+    the stream. *)
+
+val observe : t -> Rrs_obs.Event.t -> unit
+(** Check one event directly (what the attached sink calls).
+    @raise Invariant_violation under [Fail_fast]. *)
+
+val finish : t -> unit
+(** Declare the run complete and apply the amortized Lemma 3.3 / 3.4
+    budget checks against the final accumulators.  Idempotent in the
+    sense that the accumulators do not change; calling it mid-run
+    checks the (possibly transiently over-budget) prefix instead.
+    @raise Invariant_violation under [Fail_fast]. *)
+
+val events_seen : t -> int
+
+val violations : t -> violation list
+(** In detection order; empty under [Off]. *)
+
+val ok : t -> bool
+(** [violations t = []]. *)
+
+val pp_violation : Format.formatter -> violation -> unit

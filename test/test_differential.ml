@@ -113,6 +113,87 @@ let test_double_speed () =
     "ds-seq-edf identical" true
     (run Ranking.Incremental = run Ranking.Rebuild)
 
+(* The watchdog's non-perturbation guarantee: attaching a Record-mode
+   watchdog to a fully instrumented run must leave Engine.result
+   structurally identical to the uninstrumented run — same cost, same
+   counters, same recorded schedule.  Doubles as an empirical check that
+   the live Lemma 3.3 / 3.4 prefix bounds hold on every family and both
+   appendix constructions. *)
+module Watchdog = Rrs_robust.Watchdog
+module Sink = Rrs_obs.Sink
+
+(* the bool says whether the policy lives inside the ΔLRU budgets —
+   the EDF baselines emit the same eligibility events but reconfigure
+   freely, so Lemma 3.3/3.4 do not bound them *)
+let sinked_policies :
+    (string * bool * (sink:Sink.t -> Instance.t -> n:int -> Policy.t)) list =
+  [
+    ( "dlru",
+      true,
+      fun ~sink instance ~n -> (Delta_lru.make ~sink instance ~n).policy );
+    ( "edf",
+      false,
+      fun ~sink instance ~n -> (Edf_policy.make ~sink instance ~n).policy );
+    ( "seq-edf",
+      false,
+      fun ~sink instance ~n -> (Edf_policy.make_seq ~sink instance ~n).policy );
+    ( "dlru-edf",
+      true,
+      fun ~sink instance ~n -> (Lru_edf.make ~sink instance ~n).policy );
+  ]
+
+(* [rate_limited] says the instance lives in the layer the lemmas are
+   stated for; the batched/unbatched families feed reduction pipelines
+   and running a policy on them directly is outside the bounds *)
+let check_watchdog_inert ?(rate_limited = true) label instance =
+  List.iter
+    (fun (pname, budgeted, make) ->
+      let lemma_bounds = budgeted && rate_limited in
+      let n = 8 in
+      let run sink =
+        Engine.run_policy
+          (Engine.config ~n ~record_schedule:true ~sink ())
+          instance
+          (make ~sink instance ~n)
+      in
+      let plain = run Sink.null in
+      let wd =
+        Watchdog.create ~policy:Watchdog.Record ~lemma_bounds
+          ~delta:instance.Instance.delta ()
+      in
+      let watched = run (Watchdog.attach wd Sink.null) in
+      Watchdog.finish wd;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s watchdog-inert" pname label)
+        true (plain = watched);
+      (match Watchdog.violations wd with
+      | [] -> ()
+      | v :: _ ->
+          Alcotest.failf "%s/%s: watchdog flagged %a after %d events" pname
+            label Watchdog.pp_violation v
+            (Watchdog.events_seen wd));
+      if Watchdog.events_seen wd = 0 then
+        Alcotest.failf "%s/%s: instrumented run emitted no events" pname label)
+    sinked_policies
+
+let test_watchdog_record_inert () =
+  List.iter
+    (fun id ->
+      let f = Option.get (Families.find id) in
+      let rate_limited = f.layer = Families.Rate_limited in
+      List.iter
+        (fun seed ->
+          check_watchdog_inert ~rate_limited
+            (Printf.sprintf "%s-s%d" id seed)
+            (f.build ~seed))
+        [ 1; 2 ])
+    [ "uniform"; "zipf"; "bursty"; "router"; "flash-crowd"; "oversized";
+      "unbatched" ];
+  check_watchdog_inert "appendix-a"
+    (Adv.dlru_instance { n = 8; delta = 2; j = 5; k = 7 });
+  check_watchdog_inert "appendix-b"
+    (Adv.edf_instance { n = 2; delta = 3; j = 2; k = 6 })
+
 let () =
   Alcotest.run "differential"
     [
@@ -123,5 +204,10 @@ let () =
           Alcotest.test_case "scaled universe" `Quick test_scaled;
           Alcotest.test_case "double speed" `Quick test_double_speed;
           QCheck_alcotest.to_alcotest prop_random_instances;
+        ] );
+      ( "watchdog non-perturbation",
+        [
+          Alcotest.test_case "record mode is inert" `Quick
+            test_watchdog_record_inert;
         ] );
     ]

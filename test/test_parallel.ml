@@ -164,6 +164,13 @@ let test_parallel_experiments_identical_artifacts () =
   let par = Rrs_experiments.Registry.run_many ~jobs:4 ids in
   Alcotest.(check int) "all experiments ran" (List.length ids)
     (List.length par);
+  let unwrap (id, r) =
+    match r with
+    | Ok pair -> (id, pair)
+    | Error f ->
+        Alcotest.failf "%s failed: %a" id Rrs_robust.Supervisor.pp_failure f
+  in
+  let seq = List.map unwrap seq and par = List.map unwrap par in
   List.iter2
     (fun (id_s, ((out_s : Rrs_experiments.Harness.outcome), sum_s))
          (id_p, ((out_p : Rrs_experiments.Harness.outcome), sum_p)) ->

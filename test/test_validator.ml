@@ -140,6 +140,71 @@ let test_rejects_self_reconfigure () =
   expect_rejected "self reconfigure"
     (Validator.check ~strict_drops:false instance sched)
 
+(* lenient mode: drop declarations are ignored entirely, but the drop
+   cost is still recomputed from the instance's own expirations and
+   infeasible executions are still rejected *)
+let strip_drops sched =
+  let events =
+    Array.of_list
+      (List.filter
+         (fun (_, e) -> match e with Schedule.Drop _ -> false | _ -> true)
+         (Array.to_list sched.Schedule.events))
+  in
+  { sched with Schedule.events }
+
+let test_lenient_recomputes_drop_cost () =
+  let r, sched = good_schedule () in
+  let report = Validator.check ~strict_drops:false instance (strip_drops sched) in
+  Alcotest.(check bool) "ok without declarations" true report.ok;
+  Alcotest.(check bool) "drop cost recomputed, not read from events" true
+    (Cost.equal report.recomputed_cost r.cost);
+  Alcotest.(check int) "executed" r.executed report.executed
+
+let test_lenient_still_rejects_infeasible () =
+  let _, sched = good_schedule () in
+  let bad =
+    tamper (strip_drops sched) (fun (r, e) ->
+        match e with
+        | Schedule.Execute x when x.resource = 0 ->
+            (r, Schedule.Execute { x with color = 1 })
+        | _ -> (r, e))
+  in
+  expect_rejected "lenient wrong color"
+    (Validator.check ~strict_drops:false instance bad)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_pp_report_valid () =
+  let report, _ =
+    let r, sched = good_schedule () in
+    (Validator.check instance sched, r)
+  in
+  let rendered = Format.asprintf "%a" Validator.pp_report report in
+  Alcotest.(check bool) "starts with valid" true
+    (String.starts_with ~prefix:"valid:" rendered);
+  Alcotest.(check bool) "counts present" true
+    (contains rendered "executed" && contains rendered "dropped")
+
+let test_pp_report_invalid () =
+  let _, sched = good_schedule () in
+  let bad =
+    tamper sched (fun (r, e) ->
+        match e with
+        | Schedule.Execute x -> (r, Schedule.Execute { x with resource = 9 })
+        | _ -> (r, e))
+  in
+  let report = Validator.check instance bad in
+  let rendered = Format.asprintf "%a" Validator.pp_report report in
+  Alcotest.(check bool) "header" true
+    (contains rendered
+       (Printf.sprintf "INVALID (%d violations)"
+          (List.length report.Validator.violations)));
+  Alcotest.(check bool) "violation lines carry rounds" true
+    (contains rendered "[round ")
+
 let test_check_result_detects_cost_mismatch () =
   let r, _ = good_schedule () in
   let lied = { r with Engine.cost = Cost.make ~reconfig:0 ~drop:0 } in
@@ -174,6 +239,18 @@ let () =
             test_rejects_execution_after_deadline;
           Alcotest.test_case "self reconfigure" `Quick
             test_rejects_self_reconfigure;
+        ] );
+      ( "lenient mode",
+        [
+          Alcotest.test_case "recomputes drop cost" `Quick
+            test_lenient_recomputes_drop_cost;
+          Alcotest.test_case "still rejects infeasible" `Quick
+            test_lenient_still_rejects_infeasible;
+        ] );
+      ( "reporting",
+        [
+          Alcotest.test_case "pp_report valid" `Quick test_pp_report_valid;
+          Alcotest.test_case "pp_report invalid" `Quick test_pp_report_invalid;
         ] );
       ( "check_result",
         [
