@@ -131,6 +131,24 @@ let run_scaling oc =
         / max 1 !repeats
       in
       let rebuild_result, rebuild_seconds = best_of (run Ranking.Rebuild) in
+      (* one extra instrumented run: the engine's own registry measures
+         per-round latency and allocations (doc/PERFORMANCE.md); kept
+         out of the [best_of] runs so rounds/sec stays unperturbed *)
+      let engine_reg = Rrs_obs.Metrics.create () in
+      ignore
+        (Engine.run_policy
+           (Engine.config ~n:!n ~registry:engine_reg ())
+           instance
+           (Lru_edf.make ~mode:Ranking.Incremental instance ~n:!n).policy);
+      let latency =
+        Rrs_obs.Metrics.histogram_stats
+          (Rrs_obs.Metrics.histogram engine_reg "engine_round_latency_us"
+             ~max_value:Engine.round_latency_max_us)
+      in
+      let q p = float_of_int (Rrs_stats.Histogram.quantile latency p) /. 1e6 in
+      let gauge name =
+        Rrs_obs.Metrics.gauge_value (Rrs_obs.Metrics.gauge engine_reg name)
+      in
       let identical = incr_result = rebuild_result in
       if not identical then all_identical := false;
       let rounds = incr_result.rounds_simulated in
@@ -165,6 +183,15 @@ let run_scaling oc =
                ("speedup", rebuild_seconds /. incr_seconds);
                ("ranking_updates", float_of_int updates);
                ("identical", if identical then 1.0 else 0.0);
+               ("round_latency_p50_seconds", q 0.5);
+               ("round_latency_p95_seconds", q 0.95);
+               ("round_latency_p99_seconds", q 0.99);
+               ( "alloc_minor_words_per_round",
+                 gauge "alloc_minor_words_per_round" );
+               ( "alloc_promoted_words_per_round",
+                 gauge "alloc_promoted_words_per_round" );
+               ( "alloc_major_words_per_round",
+                 gauge "alloc_major_words_per_round" );
              ]
            ~timings:
              [

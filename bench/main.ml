@@ -28,7 +28,7 @@ let run_experiments oc =
   List.iter
     (fun id ->
       match Rrs_experiments.Registry.run_summarized id with
-      | Some (outcome, summary) ->
+      | Some { Rrs_experiments.Registry.outcome; summary; _ } ->
           Rrs_experiments.Harness.print outcome;
           Rrs_obs.Run_summary.write oc summary
       | None -> ())
@@ -64,7 +64,8 @@ let parallel_speedup oc =
     List.for_all2
       (fun (_, a) (_, b) ->
         match (a, b) with
-        | Ok (_, a), Ok (_, b) ->
+        | ( Ok { Rrs_experiments.Registry.summary = a; _ },
+            Ok { Rrs_experiments.Registry.summary = b; _ } ) ->
             Rrs_obs.Run_summary.(
               to_line (strip_timings a) = to_line (strip_timings b))
         | _ -> false)

@@ -115,6 +115,67 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let profile_arg =
+  let doc =
+    "Profile the run with hierarchical spans and write a Chrome \
+     trace-event JSON file (open in Perfetto / $(b,chrome://tracing)).  \
+     One track per domain; span end events carry minor/promoted/major \
+     allocation word deltas.  See doc/TELEMETRY.md, \"Profiling\"."
+  in
+  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+
+(* Run [f] under a fresh profiler scope and commit the Chrome trace —
+   shared by simulate and experiment. *)
+let with_profile profile_file f =
+  match profile_file with
+  | None -> f ()
+  | Some path ->
+      let prof = Rrs_prof.create () in
+      let finally () =
+        Rrs_prof.write_chrome prof path;
+        Format.printf "profile written to %s (%d events)@." path
+          (Rrs_prof.events prof)
+      in
+      Fun.protect ~finally (fun () -> Rrs_prof.with_profiler prof f)
+
+(* The engine's self-measurement registry, folded into a run summary:
+   round-latency percentiles (in seconds, so strip_timings covers them)
+   and the allocations-per-round gauges. *)
+let registry_analysis = function
+  | None -> []
+  | Some reg ->
+      let h =
+        Rrs_obs.Metrics.histogram_stats
+          (Rrs_obs.Metrics.histogram reg "engine_round_latency_us"
+             ~max_value:Engine.round_latency_max_us)
+      in
+      let latency =
+        if Rrs_stats.Histogram.count h = 0 then []
+        else
+          List.map
+            (fun (name, q) ->
+              (name, float_of_int (Rrs_stats.Histogram.quantile h q) /. 1e6))
+            [
+              ("round_latency_p50_seconds", 0.5);
+              ("round_latency_p95_seconds", 0.95);
+              ("round_latency_p99_seconds", 0.99);
+            ]
+      in
+      let gauges =
+        List.filter_map
+          (fun name ->
+            let v =
+              Rrs_obs.Metrics.gauge_value (Rrs_obs.Metrics.gauge reg name)
+            in
+            if Float.is_nan v then None else Some (name, v))
+          [
+            "alloc_minor_words_per_round";
+            "alloc_promoted_words_per_round";
+            "alloc_major_words_per_round";
+          ]
+      in
+      latency @ gauges
+
 let save_instance_arg =
   let doc = "Also save the generated instance to this CSV file." in
   Arg.(
@@ -167,7 +228,7 @@ let with_analysis sink ~n ({ policy; eligibility } : Lru_edf.instrumented) =
   policy
 
 let simulate family seed n policy validate metrics_file trace_file
-    save_instance colors mode =
+    save_instance colors mode profile_file =
   let build_instance (f : Families.family) =
     match colors with
     | None -> Ok (f.build ~seed)
@@ -196,20 +257,27 @@ let simulate family seed n policy validate metrics_file trace_file
       let simulate_with sink_opt =
         let sink = Option.value ~default:Rrs_obs.Sink.null sink_opt in
         let run_plain make_policy =
-          let cfg = Engine.config ~n ~record_schedule:validate ~sink () in
-          (* one registry shared by the policy (ranking_update) and the
-             per-round collector (drops/recolorings/backlog), so a single
-             metrics_registry line carries everything *)
+          (* one registry shared by the policy (ranking_update), the
+             per-round collector (drops/recolorings/backlog) and the
+             engine's own round-latency/allocation telemetry, so a
+             single metrics_registry line carries everything.  A trace
+             run gets the registry too: its run_summary line then
+             carries latency percentiles and allocation gauges. *)
           let registry =
-            Option.map (fun _ -> Rrs_obs.Metrics.create ()) metrics_file
+            if Option.is_some metrics_file || Option.is_some sink_opt then
+              Some (Rrs_obs.Metrics.create ())
+            else None
+          in
+          let cfg =
+            Engine.config ~n ~record_schedule:validate ~sink ?registry ()
           in
           let collector, policy =
             let policy = make_policy sink registry in
-            match registry with
-            | None -> (None, policy)
-            | Some registry ->
+            match (registry, metrics_file) with
+            | Some registry, Some _ ->
                 let m, p = Rrs_trace.Metrics.instrument ~registry policy in
                 (Some m, p)
+            | _ -> (None, policy)
           in
           let t0 = Unix.gettimeofday () in
           let r = Engine.run_policy cfg instance policy in
@@ -221,6 +289,7 @@ let simulate family seed n policy validate metrics_file trace_file
               Format.printf "metrics written to %s@." path
           | _ -> ());
           ( (r, seconds),
+            registry,
             if validate then Some (Validator.check_result instance r) else None
           )
         in
@@ -254,9 +323,9 @@ let simulate family seed n policy validate metrics_file trace_file
           | `Pipeline ->
               let t0 = Unix.gettimeofday () in
               let r = Var_batch.run instance ~n ~sink in
-              ((r, Unix.gettimeofday () -. t0), None)
+              ((r, Unix.gettimeofday () -. t0), None, None)
         in
-        let (r, seconds), _ = outcome in
+        let (r, seconds), registry, _ = outcome in
         Option.iter
           (fun sink ->
             Rrs_obs.Sink.write_line sink
@@ -274,10 +343,11 @@ let simulate family seed n policy validate metrics_file trace_file
                    ]
                  ~reconfig_cost:r.reconfigurations ~drop_cost:r.dropped
                  ~analysis:
-                   [
-                     ("executed", float_of_int r.executed);
-                     ("rounds", float_of_int r.rounds_simulated);
-                   ]
+                   ([
+                      ("executed", float_of_int r.executed);
+                      ("rounds", float_of_int r.rounds_simulated);
+                    ]
+                   @ registry_analysis registry)
                  ~timings:
                    [
                      { Rrs_obs.Run_summary.phase = "engine"; seconds; count = 1 };
@@ -287,6 +357,7 @@ let simulate family seed n policy validate metrics_file trace_file
         outcome
       in
       let outcome =
+        with_profile profile_file @@ fun () ->
         match trace_file with
         | None -> simulate_with None
         | Some path ->
@@ -298,7 +369,7 @@ let simulate family seed n policy validate metrics_file trace_file
             result
       in
       match outcome with
-      | (r, _), report ->
+      | (r, _), _, report ->
           Format.printf "cost: %a@." Cost.pp r.cost;
           Format.printf "executed %d, dropped %d, %d recolorings over %d rounds@."
             r.executed r.dropped r.reconfigurations r.rounds_simulated;
@@ -320,7 +391,7 @@ let simulate_cmd =
     Term.(
       const simulate $ family_arg $ seed_arg $ resources_arg $ policy_arg
       $ validate_arg $ metrics_arg $ trace_arg $ save_instance_arg
-      $ colors_arg $ ranking_arg)
+      $ colors_arg $ ranking_arg $ profile_arg)
 
 (* ------------------------------------------------------------------ *)
 (* rrs experiment                                                      *)
@@ -351,6 +422,17 @@ let experiment_cmd =
        wall-clock fields differ (see doc/TELEMETRY.md)."
     in
     Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let exp_metrics_arg =
+    let doc =
+      "Write one $(b,metrics_registry) JSONL line per experiment (the \
+       experiment's private telemetry registry — counters, gauges, \
+       histograms, timers) to this file, in requested-id order.  The \
+       lines are identical for every $(b,--jobs); failed experiments \
+       get no line.  Same registry schema as $(b,rrs simulate \
+       --metrics); see doc/TELEMETRY.md."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
   in
   let timeout_arg =
     let doc =
@@ -383,7 +465,8 @@ let experiment_cmd =
     in
     Arg.(value & flag & info [ "resume" ] ~doc)
   in
-  let run id markdown out jobs timeout retries keep_going resume =
+  let run id markdown out jobs timeout retries keep_going resume metrics_out
+      profile_file =
     let module Registry = Rrs_experiments.Registry in
     let module Supervisor = Rrs_robust.Supervisor in
     let emit =
@@ -442,12 +525,36 @@ let experiment_cmd =
                 (List.length ids);
             let policy = { Supervisor.default with timeout; retries } in
             let results =
-              Registry.run_many ~jobs ~policy ~keep_going todo
+              with_profile profile_file (fun () ->
+                  Registry.run_many ~jobs ~policy ~keep_going todo)
             in
             List.iter
               (fun (_, r) ->
-                match r with Ok (outcome, _) -> emit outcome | Error _ -> ())
+                match r with
+                | Ok s -> emit s.Registry.outcome
+                | Error _ -> ())
               results;
+            (match metrics_out with
+            | None -> ()
+            | Some path ->
+                Rrs_obs.Sink.with_jsonl path (fun sink ->
+                    List.iter
+                      (fun id ->
+                        match List.assoc_opt id results with
+                        | Some (Ok s) ->
+                            Rrs_obs.Sink.write_line sink
+                              (Rrs_obs.Json.to_string
+                                 (Rrs_obs.Json.Assoc
+                                    [
+                                      ( "type",
+                                        Rrs_obs.Json.String "metrics_registry"
+                                      );
+                                      ("id", Rrs_obs.Json.String id);
+                                      ("registry", s.Registry.metrics);
+                                    ]))
+                        | Some (Error _) | None -> ())
+                      ids);
+                Format.printf "metrics registries written to %s@." path);
             (match out with
             | None -> ()
             | Some path ->
@@ -469,7 +576,7 @@ let experiment_cmd =
                         | Some s -> line s
                         | None -> (
                             match List.assoc_opt id results with
-                            | Some (Ok (_, summary)) -> line summary
+                            | Some (Ok s) -> line s.Registry.summary
                             | Some (Error _) | None -> ()))
                       ids;
                     (* summaries of ids outside this invocation survive *)
@@ -497,7 +604,47 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Regenerate a reproduction experiment")
     Term.(
       const run $ id_arg $ markdown_arg $ out_arg $ jobs_arg $ timeout_arg
-      $ retries_arg $ keep_going_arg $ resume_arg)
+      $ retries_arg $ keep_going_arg $ resume_arg $ exp_metrics_arg
+      $ profile_arg)
+
+(* ------------------------------------------------------------------ *)
+(* rrs benchdiff                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let benchdiff_cmd =
+  let baseline_arg =
+    let doc = "Baseline run-summary JSONL artifact (the committed one)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BASELINE" ~doc)
+  in
+  let current_arg =
+    let doc = "Current run-summary JSONL artifact (the freshly measured one)." in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"CURRENT" ~doc)
+  in
+  let report_arg =
+    let doc = "Also write the rendered delta report to this file." in
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+  in
+  let run baseline current report_file =
+    match Rrs_obs.Benchdiff.compare_files ~baseline ~current () with
+    | Error msg ->
+        Printf.eprintf "benchdiff: %s\n" msg;
+        2
+    | Ok report ->
+        let text = Rrs_obs.Benchdiff.render report in
+        print_string text;
+        Option.iter
+          (fun path ->
+            Out_channel.with_open_text path (fun oc -> output_string oc text))
+          report_file;
+        if Rrs_obs.Benchdiff.ok report then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "benchdiff"
+       ~doc:
+         "Compare two run-summary artifacts metric by metric \
+          (deterministic metrics exactly, performance metrics with \
+          per-metric noise tolerances) and fail on regression")
+    Term.(const run $ baseline_arg $ current_arg $ report_arg)
 
 (* ------------------------------------------------------------------ *)
 (* rrs opt                                                             *)
@@ -613,7 +760,15 @@ let main =
   let doc = "reconfigurable resource scheduling with variable delay bounds" in
   let info = Cmd.info "rrs" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ list_cmd; simulate_cmd; experiment_cmd; opt_cmd; replay_cmd; describe_cmd ]
+    [
+      list_cmd;
+      simulate_cmd;
+      experiment_cmd;
+      benchdiff_cmd;
+      opt_cmd;
+      replay_cmd;
+      describe_cmd;
+    ]
 
 let () =
   Printexc.record_backtrace true;

@@ -7,6 +7,7 @@ type mapping = {
 let transform (instance : Instance.t) =
   if not (Instance.is_batched instance) then
     invalid_arg "Distribute.transform: instance is not batched";
+  Rrs_prof.span "distribute.transform" @@ fun () ->
   (* subcolors needed per color: the largest batch, in chunks of D *)
   let max_batch = Array.make instance.num_colors 0 in
   Array.iter

@@ -137,6 +137,9 @@ let process_arrival t ~round color count =
 
 let begin_round t ~(view : Policy.view) ~in_cache =
   if view.round > t.last_round then begin
+    (* the round's whole eligibility transition batch — and therefore
+       the Ranking.Index update batch it feeds — profiles as one span *)
+    Rrs_prof.enter "eligibility.begin_round";
     t.last_round <- view.round;
     (* 1. drop-phase classification uses the pre-transition eligibility,
        so classify before any boundary processing *)
@@ -156,7 +159,8 @@ let begin_round t ~(view : Policy.view) ~in_cache =
     (* 3. arrival-phase counter updates *)
     List.iter
       (fun (color, count) -> process_arrival t ~round:view.round color count)
-      view.arrivals
+      view.arrivals;
+    Rrs_prof.leave "eligibility.begin_round"
   end
 
 let is_eligible t color = t.info.(color).eligible

@@ -4,13 +4,14 @@ type config = {
   record_schedule : bool;
   cost_projection : (Types.color -> Types.color) option;
   sink : Rrs_obs.Sink.t;
+  registry : Rrs_obs.Metrics.t option;
 }
 
 let config ?(mini_rounds = 1) ?(record_schedule = false) ?cost_projection
-    ?(sink = Rrs_obs.Sink.null) ~n () =
+    ?(sink = Rrs_obs.Sink.null) ?registry ~n () =
   if n < 1 then invalid_arg "Engine.config: n < 1";
   if mini_rounds < 1 then invalid_arg "Engine.config: mini_rounds < 1";
-  { n; mini_rounds; record_schedule; cost_projection; sink }
+  { n; mini_rounds; record_schedule; cost_projection; sink; registry }
 
 type result = {
   cost : Cost.t;
@@ -33,14 +34,63 @@ let check_assignment cfg instance assignment =
         invalid_arg "Engine: policy returned an out-of-range color")
     assignment
 
+(* Round-latency and allocation telemetry, active only when the config
+   carries a registry: the latency of every round lands in an exact
+   µs histogram (clamped at ~65 ms — far beyond any simulated round),
+   and the run's GC counter deltas become allocations-per-round gauges.
+   Without a registry the engine pays one branch per round and
+   allocates nothing for this. *)
+let round_latency_max_us = 65535
+
+type telemetry = {
+  latency : Rrs_obs.Metrics.histogram;
+  reg : Rrs_obs.Metrics.t;
+  minor0 : float;
+  promoted0 : float;
+  major0 : float;
+}
+
+let telemetry_start = function
+  | None -> None
+  | Some reg ->
+      let minor0, promoted0, major0 = Gc.counters () in
+      Some
+        {
+          latency =
+            Rrs_obs.Metrics.histogram reg "engine_round_latency_us"
+              ~max_value:round_latency_max_us;
+          reg;
+          minor0;
+          promoted0;
+          major0;
+        }
+
+let telemetry_finish t ~rounds =
+  match t with
+  | None -> ()
+  | Some t ->
+      let minor1, promoted1, major1 = Gc.counters () in
+      let per_round v0 v1 = (v1 -. v0) /. float_of_int (max rounds 1) in
+      let gauge name v =
+        Rrs_obs.Metrics.set (Rrs_obs.Metrics.gauge t.reg name) v
+      in
+      gauge "alloc_minor_words_per_round" (per_round t.minor0 minor1);
+      gauge "alloc_promoted_words_per_round" (per_round t.promoted0 promoted1);
+      gauge "alloc_major_words_per_round" (per_round t.major0 major1);
+      Rrs_obs.Metrics.inc
+        (Rrs_obs.Metrics.counter t.reg "engine_rounds")
+        rounds
+
 let run_policy cfg (instance : Instance.t) (policy : Policy.t) =
   Rrs_fault.probe "engine.run";
+  Rrs_prof.enter "engine.run";
   let pending = Pending.create ~num_colors:instance.num_colors in
   let cache = Array.make cfg.n Types.black in
   let arrivals = Instance.arrivals_by_round instance in
   let project = match cfg.cost_projection with Some f -> f | None -> Fun.id in
   let sink = cfg.sink in
   let tracing = Rrs_obs.Sink.enabled sink in
+  let telemetry = telemetry_start cfg.registry in
   let events = if cfg.record_schedule then Some (ref []) else None in
   let record round e =
     match events with Some evs -> evs := (round, e) :: !evs | None -> ()
@@ -53,7 +103,12 @@ let run_policy cfg (instance : Instance.t) (policy : Policy.t) =
   let end_round = instance.horizon in
   for round = 0 to end_round do
     Rrs_fault.probe "engine.round";
+    Rrs_prof.enter "engine.round";
+    let round_t0 =
+      match telemetry with None -> 0. | Some _ -> Unix.gettimeofday ()
+    in
     (* drop phase *)
+    Rrs_prof.enter "engine.drop";
     let expired = Pending.expire pending ~now:round in
     List.iter
       (fun (color, count) ->
@@ -64,7 +119,9 @@ let run_policy cfg (instance : Instance.t) (policy : Policy.t) =
           Rrs_obs.Sink.emit sink
             (Rrs_obs.Event.Drop { round; color = project color; count }))
       expired;
+    Rrs_prof.leave "engine.drop";
     (* arrival phase *)
+    Rrs_prof.enter "engine.arrival";
     let batch = if round < Array.length arrivals then arrivals.(round) else [] in
     List.iter
       (fun (color, count) ->
@@ -74,10 +131,12 @@ let run_policy cfg (instance : Instance.t) (policy : Policy.t) =
         if tracing then
           Rrs_obs.Sink.emit sink (Rrs_obs.Event.Arrival { round; color; count }))
       batch;
+    Rrs_prof.leave "engine.arrival";
     (* reconfiguration + execution, [mini_rounds] times *)
     for mini_round = 0 to cfg.mini_rounds - 1 do
       if tracing then
         Rrs_obs.Sink.emit sink (Rrs_obs.Event.Mini_round { round; mini_round });
+      Rrs_prof.enter "engine.reconfigure";
       let view =
         {
           Policy.round;
@@ -118,7 +177,9 @@ let run_policy cfg (instance : Instance.t) (policy : Policy.t) =
           cache.(resource) <- new_color
         end
       done;
+      Rrs_prof.leave "engine.reconfigure";
       (* execution phase: one pending job per configured resource *)
+      Rrs_prof.enter "engine.execute";
       for resource = 0 to cfg.n - 1 do
         let color = cache.(resource) in
         if color <> Types.black then
@@ -134,10 +195,18 @@ let run_policy cfg (instance : Instance.t) (policy : Policy.t) =
                   (Rrs_obs.Event.Execute
                      { round; mini_round; resource; color = project color })
           | None -> ()
-      done
-    done
+      done;
+      Rrs_prof.leave "engine.execute"
+    done;
+    (match telemetry with
+    | None -> ()
+    | Some t ->
+        Rrs_obs.Metrics.observe t.latency
+          (int_of_float ((Unix.gettimeofday () -. round_t0) *. 1e6)));
+    Rrs_prof.leave "engine.round"
   done;
   assert (Pending.grand_total pending = 0);
+  telemetry_finish telemetry ~rounds:(end_round + 1);
   let schedule =
     match events with
     | None -> None
@@ -149,6 +218,7 @@ let run_policy cfg (instance : Instance.t) (policy : Policy.t) =
             events = Array.of_list (List.rev !evs);
           }
   in
+  Rrs_prof.leave "engine.run";
   {
     cost =
       Cost.make ~reconfig:(instance.delta * !reconfig_charges) ~drop:!dropped;

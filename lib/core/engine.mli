@@ -26,7 +26,21 @@
     Fault probes ({!Rrs_fault.probe}): ["engine.run"] once per run,
     ["engine.round"] at the top of every round — free without an
     installed plan, and the hooks an injection campaign uses to crash
-    or stall a run mid-flight. *)
+    or stall a run mid-flight.
+
+    Profiling spans ({!Rrs_prof}): ["engine.run"], per-round
+    ["engine.round"] with child spans ["engine.drop"],
+    ["engine.arrival"], ["engine.reconfigure"] and ["engine.execute"]
+    per mini-round.  With no profiler attached each span site is one
+    atomic load and a branch (see doc/TELEMETRY.md, "Profiling").
+
+    [registry], when given, receives the engine's self-measurement:
+    the ["engine_round_latency_us"] histogram (exact per-round wall
+    latency in microseconds, clamped at 65535), the
+    ["alloc_minor_words_per_round"] / ["alloc_promoted_words_per_round"]
+    / ["alloc_major_words_per_round"] gauges (GC counter deltas over
+    the run divided by rounds), and the ["engine_rounds"] counter.
+    Without it the engine takes no clock readings and no GC samples. *)
 
 type config = {
   n : int;  (** resources given to the policy *)
@@ -34,13 +48,20 @@ type config = {
   record_schedule : bool;
   cost_projection : (Types.color -> Types.color) option;
   sink : Rrs_obs.Sink.t;  (** round-phase event sink *)
+  registry : Rrs_obs.Metrics.t option;
+      (** round-latency / allocation self-measurement target *)
 }
+
+val round_latency_max_us : int
+(** Top bucket of the ["engine_round_latency_us"] histogram (65535 µs);
+    slower rounds clamp into it. *)
 
 val config :
   ?mini_rounds:int ->
   ?record_schedule:bool ->
   ?cost_projection:(Types.color -> Types.color) ->
   ?sink:Rrs_obs.Sink.t ->
+  ?registry:Rrs_obs.Metrics.t ->
   n:int ->
   unit ->
   config

@@ -14,10 +14,16 @@ type t = {
 
 type factory = Instance.t -> n:int -> t
 
-let rec take k = function
+let rec take_impl k = function
   | [] -> []
   | _ when k <= 0 -> []
-  | x :: rest -> x :: take (k - 1) rest
+  | x :: rest -> x :: take_impl (k - 1) rest
+
+let take k xs =
+  Rrs_prof.enter "policy.take";
+  let r = take_impl k xs in
+  Rrs_prof.leave "policy.take";
+  r
 
 let stable_assign ~current ~desired =
   let q = Array.length current in

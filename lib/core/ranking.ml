@@ -112,11 +112,12 @@ module Index = struct
         updates = 0;
       }
     in
-    List.iter
-      (fun color ->
-        refresh_rank t color;
-        refresh_recency t color)
-      (Eligibility.eligible_colors elig);
+    Rrs_prof.span "ranking.index.build" (fun () ->
+        List.iter
+          (fun color ->
+            refresh_rank t color;
+            refresh_recency t color)
+          (Eligibility.eligible_colors elig));
     Eligibility.on_change elig (function
       | Eligibility.Became_eligible color ->
           refresh_rank t color;
@@ -143,16 +144,30 @@ module Index = struct
 
   let eligible_count t = Iheap.length t.rank
   let updates t = t.updates
-  let ranked_prefix t ~k = Iheap.smallest t.rank k
+
+  let ranked_prefix t ~k =
+    Rrs_prof.enter "ranking.query";
+    let r = Iheap.smallest t.rank k in
+    Rrs_prof.leave "ranking.query";
+    r
 
   let ranked_prefix_excluding t ~k ~excluded ~exclude =
-    Iheap.smallest t.rank (k + excluded)
-    |> List.filter (fun (color, _) -> not (exclude color))
-    |> Policy.take k
+    Rrs_prof.enter "ranking.query";
+    let r =
+      Iheap.smallest t.rank (k + excluded)
+      |> List.filter (fun (color, _) -> not (exclude color))
+      |> Policy.take k
+    in
+    Rrs_prof.leave "ranking.query";
+    r
 
   let ranked_all t = Iheap.smallest t.rank (Iheap.length t.rank)
 
-  let recency_prefix t ~k = List.map fst (Iheap.smallest t.recency k)
+  let recency_prefix t ~k =
+    Rrs_prof.enter "ranking.query";
+    let r = List.map fst (Iheap.smallest t.recency k) in
+    Rrs_prof.leave "ranking.query";
+    r
 
   let recency_all t =
     List.map fst (Iheap.smallest t.recency (Iheap.length t.recency))

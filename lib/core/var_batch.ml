@@ -3,6 +3,7 @@ let batched_delay d =
   if d = 1 then 1 else Types.floor_pow2 d / 2
 
 let transform (instance : Instance.t) =
+  Rrs_prof.span "var_batch.transform" @@ fun () ->
   let delay' = Array.map batched_delay instance.delay in
   let arrivals =
     Array.to_list instance.arrivals

@@ -36,10 +36,19 @@ let summarize id (outcome : Harness.outcome) ~(before : Harness.snapshot)
       [ { Rrs_obs.Run_summary.phase = "experiment"; seconds; count = 1 } ]
     ()
 
+type success = {
+  outcome : Harness.outcome;
+  summary : Rrs_obs.Run_summary.t;
+  metrics : Rrs_obs.Json.t;
+}
+
 (* One experiment runs against a private registry (inherited by its
    pool workers — see Harness.with_telemetry), so its cost deltas are
    exact even when other experiments run concurrently; the registry is
-   folded into the process-wide one afterwards. *)
+   folded into the process-wide one afterwards.  The pre-merge snapshot
+   is kept as [metrics]: the experiment's own instruments, uncontaminated
+   by concurrent siblings, so [rrs experiment --metrics] is identical
+   for every [--jobs]. *)
 let run_in_scope id run =
   let reg = Rrs_obs.Metrics.create () in
   let before = Harness.snapshot_of reg in
@@ -47,16 +56,16 @@ let run_in_scope id run =
   let outcome = Harness.with_telemetry reg run in
   let seconds = Unix.gettimeofday () -. t0 in
   let after = Harness.snapshot_of reg in
+  let metrics = Rrs_obs.Metrics.to_json reg in
   Rrs_obs.Metrics.merge_into ~into:Harness.telemetry reg;
-  (outcome, summarize id outcome ~before ~after ~seconds)
+  { outcome; summary = summarize id outcome ~before ~after ~seconds; metrics }
 
 let run_summarized id =
   Option.map (fun run -> run_in_scope id run) (find id)
 
 module Supervisor = Rrs_robust.Supervisor
 
-type run_result =
-  (Harness.outcome * Rrs_obs.Run_summary.t, Supervisor.failure) result
+type run_result = (success, Supervisor.failure) result
 
 let run_many ?(jobs = 1) ?(policy = Supervisor.default) ?(keep_going = true) ids
     =

@@ -7,18 +7,26 @@ val all : (string * (unit -> Harness.outcome)) list
 val ids : unit -> string list
 val find : string -> (unit -> Harness.outcome) option
 
-val run_summarized :
-    string -> (Harness.outcome * Rrs_obs.Run_summary.t) option
+type success = {
+  outcome : Harness.outcome;
+  summary : Rrs_obs.Run_summary.t;
+  metrics : Rrs_obs.Json.t;
+      (** the experiment's private registry ({!Rrs_obs.Metrics.to_json}),
+          snapshotted before the fold into the process-wide telemetry —
+          so it only holds this experiment's instruments and is
+          identical for every [--jobs] *)
+}
+
+val run_summarized : string -> success option
 (** Run one experiment and also return its canonical run artifact:
     engine cost and run-count deltas from a private telemetry registry
     scoped to the experiment ({!Harness.with_telemetry} — exact even
     under concurrency), total wall time as the ["experiment"] phase
-    timing.  [None] for unknown ids.  This is what
-    [rrs experiment --out] writes, one JSONL line per experiment. *)
+    timing.  [None] for unknown ids.  [summary] is what
+    [rrs experiment --out] writes, one JSONL line per experiment;
+    [metrics] is the [--metrics] registry line. *)
 
-type run_result =
-  (Harness.outcome * Rrs_obs.Run_summary.t, Rrs_robust.Supervisor.failure)
-  result
+type run_result = (success, Rrs_robust.Supervisor.failure) result
 
 val run_many :
   ?jobs:int ->

@@ -78,7 +78,10 @@ let histogram t name ~max_value =
 let observe h v =
   Mutex.protect h.hist_mutex (fun () -> Rrs_stats.Histogram.add h.hist v)
 
-let histogram_stats h = h.hist
+(* A copy taken under the instrument's lock: the caller gets a frozen,
+   internally consistent snapshot even while observers keep writing. *)
+let histogram_stats h =
+  Mutex.protect h.hist_mutex (fun () -> Rrs_stats.Histogram.copy h.hist)
 
 let timer t name =
   intern t name ~kind:"timer"
@@ -109,7 +112,13 @@ let timer_count tm =
 let timer_total tm =
   Mutex.protect tm.timer_mutex (fun () -> Rrs_stats.Running.sum tm.stats)
 
-let timer_stats tm = tm.stats
+(* Same snapshot discipline as [histogram_stats]: the Welford aggregate
+   is multi-word, so returning the live record would let a reader see a
+   torn (count, mean, m2) triple while a span lands on another domain.
+   The copy is taken under the timer's mutex, so it is always a state
+   the aggregate actually passed through. *)
+let timer_stats tm =
+  Mutex.protect tm.timer_mutex (fun () -> Rrs_stats.Running.copy tm.stats)
 
 let sorted_instruments t =
   Mutex.protect t.registry_mutex (fun () ->

@@ -22,6 +22,8 @@
     The only non-linearizable read is {!to_json} (and {!timers}) taken
     {e while} writers are still running: each instrument is snapshotted
     consistently, but the sections are read one instrument at a time.
+    {!timer_stats} and {!histogram_stats} return mutex-protected
+    snapshot copies, so they are safe mid-run too.
     For contention-free parallel aggregation, give each shard its own
     [t] and fold them with {!merge_into} (see Pool.map_reduce in
     [rrs_parallel]). *)
@@ -62,8 +64,10 @@ val histogram : t -> string -> max_value:int -> histogram
 val observe : histogram -> int -> unit
 
 val histogram_stats : histogram -> Rrs_stats.Histogram.t
-(** The live bucket state — read it only after concurrent writers have
-    finished. *)
+(** A {e snapshot copy} of the bucket state, taken under the
+    instrument's mutex: safe to read (and keep) while concurrent
+    observers are still running — it reflects some consistent prefix of
+    the observation stream. *)
 
 (** {2 Phase timers} — wall-clock spans. *)
 
@@ -88,8 +92,12 @@ val timer_total : timer -> float
 (** Sum of recorded span durations, seconds. *)
 
 val timer_stats : timer -> Rrs_stats.Running.t
-(** The live aggregate — read it only after concurrent writers have
-    finished (use {!timer_count}/{!timer_total} for safe point reads). *)
+(** A {e snapshot copy} of the Welford aggregate, taken under the
+    timer's mutex.  Safe to call while spans are still being recorded
+    on other domains: the returned value is always a state the
+    aggregate actually passed through — never a torn multi-word read —
+    and it is yours (later spans do not mutate it).  {!timer_count} and
+    {!timer_total} remain the cheap point reads. *)
 
 (** {2 Shard-and-merge} *)
 

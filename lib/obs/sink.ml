@@ -26,10 +26,12 @@ let emit t event =
       ignore (Atomic.fetch_and_add t.emitted 1)
   | Jsonl { oc; oc_mutex } ->
       Rrs_fault.probe "sink.jsonl";
+      Rrs_prof.enter "sink.jsonl";
       (* one write of the whole line under the sink's lock: concurrent
          emitters cannot tear a JSONL line *)
       let line = Event.to_line event ^ "\n" in
       Mutex.protect oc_mutex (fun () -> output_string oc line);
+      Rrs_prof.leave "sink.jsonl";
       ignore (Atomic.fetch_and_add t.emitted 1)
   | Callback f ->
       f event;
@@ -46,8 +48,9 @@ let with_jsonl path f =
   let temp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
   let oc = open_out temp in
   let commit () =
-    close_out oc;
-    Sys.rename temp path
+    Rrs_prof.span "sink.commit" (fun () ->
+        close_out oc;
+        Sys.rename temp path)
   in
   Fun.protect ~finally:commit (fun () -> f (jsonl oc))
 

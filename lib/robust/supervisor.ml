@@ -85,7 +85,13 @@ let attempt policy ~name thunk =
 let run ?(policy = default) ~name thunk =
   let rng = Rng.create ~seed:policy.seed in
   let rec go attempts =
-    match attempt policy ~name thunk with
+    (* with a timeout the thunk runs on a fresh domain, which records
+       onto its own profiler track; this span covers the supervised
+       wait (attempt + poll) as seen from the supervisor's domain *)
+    Rrs_prof.enter "supervisor.attempt";
+    let outcome = attempt policy ~name thunk in
+    Rrs_prof.leave "supervisor.attempt";
+    match outcome with
     | Ok v -> Ok v
     | Error (exn, backtrace) ->
         let classified = policy.classify exn in

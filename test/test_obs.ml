@@ -333,6 +333,95 @@ let test_metrics_shards_merge_to_sequential_totals () =
   Alcotest.(check int) "merged span count" (List.length items)
     (Metrics.timer_count (Metrics.timer merged "work"))
 
+(* merge_into must preserve the full distributions, not just the
+   counts: quantiles of the 4-domain sharded histogram and the Welford
+   aggregate of the sharded timer equal a sequentially-built reference *)
+let test_metrics_merge_preserves_distributions () =
+  let items = List.init 200 (fun i -> i + 1) in
+  let observe reg x =
+    Metrics.observe (Metrics.histogram reg "lat" ~max_value:256) (x mod 97);
+    (* timers only record real wall-clock spans, so the timer check
+       below is on count/total additivity rather than exact values *)
+    ignore (Metrics.time (Metrics.timer reg "work") (fun () -> ()))
+  in
+  let _, shards =
+    Pool.map_reduce ~domains:hammer_domains
+      ~init:(fun () -> Metrics.create ())
+      ~f:(fun shard x -> observe shard x)
+      items
+  in
+  let merged = Metrics.create () in
+  List.iter (fun shard -> Metrics.merge_into ~into:merged shard) shards;
+  let reference = Metrics.create () in
+  List.iter (fun x -> observe reference x) items;
+  let hist reg =
+    Metrics.histogram_stats (Metrics.histogram reg "lat" ~max_value:256)
+  in
+  let mh = hist merged and rh = hist reference in
+  List.iter
+    (fun q ->
+      Alcotest.(check int)
+        (Printf.sprintf "merged q%.2f = sequential" q)
+        (Rrs_stats.Histogram.quantile rh q)
+        (Rrs_stats.Histogram.quantile mh q))
+    [ 0.0; 0.25; 0.5; 0.95; 0.99; 1.0 ];
+  Alcotest.(check int) "merged histogram count"
+    (Rrs_stats.Histogram.count rh)
+    (Rrs_stats.Histogram.count mh);
+  let merged_stats = Metrics.timer_stats (Metrics.timer merged "work") in
+  Alcotest.(check int) "merged timer count" (List.length items)
+    (Rrs_stats.Running.count merged_stats);
+  let shard_total =
+    List.fold_left
+      (fun acc shard -> acc +. Metrics.timer_total (Metrics.timer shard "work"))
+      0. shards
+  in
+  Alcotest.(check bool) "merged timer total = sum of shards" true
+    (Float.abs (Metrics.timer_total (Metrics.timer merged "work") -. shard_total)
+    < 1e-9);
+  Alcotest.(check bool) "merged mean finite" true
+    (Float.is_finite (Rrs_stats.Running.mean merged_stats))
+
+(* the torn-read regression (satellite of the profiling PR): snapshot
+   reads taken while another domain is mid-update must always be
+   consistent states — counts never go backwards, means stay finite *)
+let test_stats_snapshot_reads_mid_run () =
+  let reg = Metrics.create () in
+  let t = Metrics.timer reg "spans" in
+  let h = Metrics.histogram reg "obs" ~max_value:32 in
+  let stop = Atomic.make false in
+  let writer =
+    Domain.spawn (fun () ->
+        let i = ref 0 in
+        while not (Atomic.get stop) do
+          incr i;
+          Metrics.observe h (!i mod 33);
+          ignore (Metrics.time t (fun () -> ()))
+        done)
+  in
+  let last_timer = ref 0 and last_hist = ref 0 in
+  for _ = 1 to 2_000 do
+    let ts = Metrics.timer_stats t in
+    let n = Rrs_stats.Running.count ts in
+    Alcotest.(check bool) "timer count monotone" true (n >= !last_timer);
+    last_timer := n;
+    if n > 0 then begin
+      Alcotest.(check bool) "mean finite" true
+        (Float.is_finite (Rrs_stats.Running.mean ts));
+      Alcotest.(check bool) "variance nonnegative" true
+        (Rrs_stats.Running.variance ts >= 0.)
+    end;
+    let hs = Metrics.histogram_stats h in
+    let hn = Rrs_stats.Histogram.count hs in
+    Alcotest.(check bool) "histogram count monotone" true (hn >= !last_hist);
+    last_hist := hn;
+    if hn > 0 then
+      Alcotest.(check bool) "quantile within domain" true
+        (Rrs_stats.Histogram.quantile hs 0.5 <= 32)
+  done;
+  Atomic.set stop true;
+  Domain.join writer
+
 let test_sink_jsonl_parallel_lines_not_torn () =
   let path = Filename.temp_file "rrs_obs" ".jsonl" in
   let per_domain = 500 in
@@ -529,6 +618,10 @@ let () =
         [
           Alcotest.test_case "parallel updates lose nothing" `Quick
             test_metrics_parallel_updates_lose_nothing;
+          Alcotest.test_case "merge preserves distributions" `Quick
+            test_metrics_merge_preserves_distributions;
+          Alcotest.test_case "snapshot reads mid-run" `Quick
+            test_stats_snapshot_reads_mid_run;
           Alcotest.test_case "shards merge to sequential totals" `Quick
             test_metrics_shards_merge_to_sequential_totals;
           Alcotest.test_case "parallel jsonl lines not torn" `Quick

@@ -166,14 +166,15 @@ let test_parallel_experiments_identical_artifacts () =
     (List.length par);
   let unwrap (id, r) =
     match r with
-    | Ok pair -> (id, pair)
+    | Ok { Rrs_experiments.Registry.outcome; summary; metrics } ->
+        (id, (outcome, summary, metrics))
     | Error f ->
         Alcotest.failf "%s failed: %a" id Rrs_robust.Supervisor.pp_failure f
   in
   let seq = List.map unwrap seq and par = List.map unwrap par in
   List.iter2
-    (fun (id_s, ((out_s : Rrs_experiments.Harness.outcome), sum_s))
-         (id_p, ((out_p : Rrs_experiments.Harness.outcome), sum_p)) ->
+    (fun (id_s, ((out_s : Rrs_experiments.Harness.outcome), sum_s, met_s))
+         (id_p, ((out_p : Rrs_experiments.Harness.outcome), sum_p, met_p)) ->
       Alcotest.(check string) "input order" id_s id_p;
       Alcotest.(check string)
         (id_s ^ ": same table")
@@ -184,7 +185,18 @@ let test_parallel_experiments_identical_artifacts () =
       Alcotest.(check string)
         (id_s ^ ": artifact byte-identical modulo wall time")
         (Rrs_obs.Run_summary.to_line (Rrs_obs.Run_summary.strip_timings sum_s))
-        (Rrs_obs.Run_summary.to_line (Rrs_obs.Run_summary.strip_timings sum_p)))
+        (Rrs_obs.Run_summary.to_line (Rrs_obs.Run_summary.strip_timings sum_p));
+      (* the private-registry counters (not the wall-clock timer
+         sections) must be jobs-invariant too: this is what makes
+         [rrs experiment --metrics --jobs N] deterministic *)
+      let counters j =
+        match Rrs_obs.Json.member "counters" j with
+        | Some c -> Rrs_obs.Json.to_string c
+        | None -> "{}"
+      in
+      Alcotest.(check string)
+        (id_s ^ ": registry counters jobs-invariant")
+        (counters met_s) (counters met_p))
     seq par
 
 let () =

@@ -538,7 +538,9 @@ let test_resume_completes_missing_ids () =
   let summaries ids =
     List.filter_map
       (fun (_, r) ->
-        match r with Ok (_, s) -> Some s | Error _ -> None)
+        match r with
+        | Ok { Rrs_experiments.Registry.summary = s; _ } -> Some s
+        | Error _ -> None)
       (Rrs_experiments.Registry.run_many ~jobs:1 ids)
   in
   let uninterrupted = summaries sweep_ids in
