@@ -21,13 +21,14 @@ module Families = Rrs_workload.Families
 module Adv = Rrs_workload.Adversarial
 module Rng = Rrs_prng.Rng
 
-let sizes = ref [ 256; 512; 1024; 2048; 4096 ]
+let sizes = ref [ 256; 512; 1024; 2048; 4096; 65536 ]
 let windows = ref 24
 let active = ref 8
 let delta = ref 4
 let n = ref 8
 let repeats = ref 3
 let diff_seeds = ref 2
+let rebuild_cap = ref 4096
 let out = ref "BENCH_core.json"
 
 let parse_sizes s =
@@ -48,6 +49,10 @@ let spec =
     ("--n", Arg.Set_int n, "INT online resources (multiple of 4)");
     ("--repeats", Arg.Set_int repeats, "INT best-of timing repetitions");
     ("--diff-seeds", Arg.Set_int diff_seeds, "INT seeds per family (part 2)");
+    ( "--rebuild-cap",
+      Arg.Set_int rebuild_cap,
+      "INT largest size that still times the O(C)-per-round Rebuild arm \
+       (above it rows are incremental-only)" );
     ("--out", Arg.Set_string out, "FILE JSONL artifact path");
   ]
 
@@ -130,7 +135,14 @@ let run_scaling oc =
         Rrs_obs.Metrics.value (Rrs_obs.Metrics.counter registry "ranking_update")
         / max 1 !repeats
       in
-      let rebuild_result, rebuild_seconds = best_of (run Ranking.Rebuild) in
+      (* the Rebuild arm's per-round scan is Θ(C): above the cap a timing
+         run would dominate the whole bench for no extra signal, so large
+         sizes are incremental-only rows (the differential section still
+         exercises both arms on every instance it runs) *)
+      let rebuild =
+        if size <= !rebuild_cap then Some (best_of (run Ranking.Rebuild))
+        else None
+      in
       (* one extra instrumented run: the engine's own registry measures
          per-round latency and allocations (doc/PERFORMANCE.md); kept
          out of the [best_of] runs so rounds/sec stays unperturbed *)
@@ -149,15 +161,24 @@ let run_scaling oc =
       let gauge name =
         Rrs_obs.Metrics.gauge_value (Rrs_obs.Metrics.gauge engine_reg name)
       in
-      let identical = incr_result = rebuild_result in
+      let identical =
+        match rebuild with
+        | Some (rebuild_result, _) -> incr_result = rebuild_result
+        | None -> true
+      in
       if not identical then all_identical := false;
       let rounds = incr_result.rounds_simulated in
       let per_sec seconds = float_of_int rounds /. seconds in
-      Printf.printf "%8d %10d %14.0f %14.0f %8.2fx %12d%s\n" size rounds
-        (per_sec incr_seconds) (per_sec rebuild_seconds)
-        (rebuild_seconds /. incr_seconds)
-        updates
-        (if identical then "" else "  DIVERGED");
+      (match rebuild with
+      | Some (_, rebuild_seconds) ->
+          Printf.printf "%8d %10d %14.0f %14.0f %8.2fx %12d%s\n" size rounds
+            (per_sec incr_seconds) (per_sec rebuild_seconds)
+            (rebuild_seconds /. incr_seconds)
+            updates
+            (if identical then "" else "  DIVERGED")
+      | None ->
+          Printf.printf "%8d %10d %14.0f %14s %9s %12d\n" size rounds
+            (per_sec incr_seconds) "-" "-" updates);
       Rrs_obs.Run_summary.write oc
         (Rrs_obs.Run_summary.make
            ~id:(Printf.sprintf "core-scaling-c%d" size)
@@ -174,38 +195,48 @@ let run_scaling oc =
            ~reconfig_cost:incr_result.cost.reconfig
            ~drop_cost:incr_result.cost.drop
            ~analysis:
-             [
-               ("rounds", float_of_int rounds);
-               ("incremental_seconds", incr_seconds);
-               ("rebuild_seconds", rebuild_seconds);
-               ("incremental_rounds_per_sec", per_sec incr_seconds);
-               ("rebuild_rounds_per_sec", per_sec rebuild_seconds);
-               ("speedup", rebuild_seconds /. incr_seconds);
-               ("ranking_updates", float_of_int updates);
-               ("identical", if identical then 1.0 else 0.0);
-               ("round_latency_p50_seconds", q 0.5);
-               ("round_latency_p95_seconds", q 0.95);
-               ("round_latency_p99_seconds", q 0.99);
-               ( "alloc_minor_words_per_round",
-                 gauge "alloc_minor_words_per_round" );
-               ( "alloc_promoted_words_per_round",
-                 gauge "alloc_promoted_words_per_round" );
-               ( "alloc_major_words_per_round",
-                 gauge "alloc_major_words_per_round" );
-             ]
+             ([
+                ("rounds", float_of_int rounds);
+                ("incremental_seconds", incr_seconds);
+                ("incremental_rounds_per_sec", per_sec incr_seconds);
+                ("ranking_updates", float_of_int updates);
+                ("round_latency_p50_seconds", q 0.5);
+                ("round_latency_p95_seconds", q 0.95);
+                ("round_latency_p99_seconds", q 0.99);
+                ( "alloc_minor_words_per_round",
+                  gauge "alloc_minor_words_per_round" );
+                ( "alloc_promoted_words_per_round",
+                  gauge "alloc_promoted_words_per_round" );
+                ( "alloc_major_words_per_round",
+                  gauge "alloc_major_words_per_round" );
+              ]
+             @
+             match rebuild with
+             | Some (_, rebuild_seconds) ->
+                 [
+                   ("rebuild_seconds", rebuild_seconds);
+                   ("rebuild_rounds_per_sec", per_sec rebuild_seconds);
+                   ("speedup", rebuild_seconds /. incr_seconds);
+                   ("identical", if identical then 1.0 else 0.0);
+                 ]
+             | None -> [])
            ~timings:
-             [
-               {
-                 Rrs_obs.Run_summary.phase = "incremental";
-                 seconds = incr_seconds;
-                 count = max 1 !repeats;
-               };
-               {
-                 Rrs_obs.Run_summary.phase = "rebuild";
-                 seconds = rebuild_seconds;
-                 count = max 1 !repeats;
-               };
-             ]
+             ({
+                Rrs_obs.Run_summary.phase = "incremental";
+                seconds = incr_seconds;
+                count = max 1 !repeats;
+              }
+             ::
+             (match rebuild with
+             | Some (_, rebuild_seconds) ->
+                 [
+                   {
+                     Rrs_obs.Run_summary.phase = "rebuild";
+                     seconds = rebuild_seconds;
+                     count = max 1 !repeats;
+                   };
+                 ]
+             | None -> []))
            ()))
     !sizes;
   !all_identical

@@ -11,7 +11,20 @@ val cached_colors : t -> Types.color list
 (** Ascending color order; excludes black. *)
 
 val assign : t -> desired:Types.color list -> unit
-(** Update the distinct slots via {!Policy.stable_assign}. *)
+(** Update the distinct slots with {!Policy.stable_assign} placement
+    semantics (desired colors in place stay; newcomers fill, in desired
+    order, the left-to-right slots whose occupants are unwanted).
+    @raise Invalid_argument exactly when [Policy.stable_assign] would. *)
+
+val assign_array : t -> int array -> int -> unit
+(** [assign_array t buf len]: {!assign} over [buf.(0 .. len-1)] without
+    touching the list — the zero-alloc hot-path entry (policies keep
+    [buf] as reusable scratch). *)
+
+val live_slots : t -> Types.color array
+(** The live distinct-slot array itself, {e not} a copy — read-only
+    borrow for the policies' candidate scans; callers must not mutate
+    it and must not hold it across an {!assign}. *)
 
 val to_assignment : t -> replicated:bool -> Types.color array
 (** The full engine assignment: the distinct slots, doubled when

@@ -8,27 +8,37 @@ let make ?sink ?registry ?(mode = Ranking.Incremental) (instance : Instance.t)
   let cache =
     Cache_state.create ~num_colors:instance.num_colors ~distinct_slots:(n / 2)
   in
+  let in_cache = Cache_state.mem cache in
   let counter =
     Option.map (fun r -> Rrs_obs.Metrics.counter r "ranking_update") registry
   in
   let index =
     Ranking.Index.lazily ?counter eligibility ~delay:instance.delay
   in
+  let k = n / 2 in
+  (* reusable scratch: the desired-set buffer the recency prefix lands
+     in, so a round allocates no list *)
+  let buf = Array.make (max 1 k) 0 in
   (* The n/2 eligible colors with the freshest timestamps.  Incremental:
-     a prefix query on the delta-maintained recency index.  Rebuild: the
-     original full re-sort — the differential oracle. *)
-  let by_recency (view : Policy.view) =
-    match mode with
-    | Ranking.Rebuild ->
-        Policy.take (n / 2)
-          (Ranking.timestamp_order eligibility
-             (Eligibility.eligible_colors eligibility))
-    | Ranking.Incremental ->
-        Ranking.Index.recency_prefix (index view.pending) ~k:(n / 2)
-  in
+     a prefix query on the delta-maintained recency index, written into
+     scratch.  Rebuild: the original full re-sort — the differential
+     oracle. *)
   let reconfigure (view : Policy.view) =
-    Eligibility.begin_round eligibility ~view ~in_cache:(Cache_state.mem cache);
-    Cache_state.assign cache ~desired:(by_recency view);
+    Eligibility.begin_round eligibility ~view ~in_cache;
+    let len =
+      match mode with
+      | Ranking.Rebuild ->
+          let desired =
+            Policy.take k
+              (Ranking.timestamp_order eligibility
+                 (Eligibility.eligible_colors eligibility))
+          in
+          List.iteri (fun i c -> buf.(i) <- c) desired;
+          List.length desired
+      | Ranking.Incremental ->
+          Ranking.Index.recency_prefix_into (index view.pending) ~k ~out:buf
+    in
+    Cache_state.assign_array cache buf len;
     Cache_state.to_assignment cache ~replicated:true
   in
   { policy = { Policy.name = "dlru"; reconfigure }; eligibility }

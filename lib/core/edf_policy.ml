@@ -3,39 +3,75 @@ type instrumented = { policy : Policy.t; eligibility : Eligibility.t }
 (* Shared EDF reconfiguration scheme over [distinct_slots] slots.  The
    new cached set is the best [distinct_slots] of (currently cached ∪
    top-ranked nonidle additions); evictions happen only under capacity
-   pressure and take the worst-ranked colors, exactly as in the paper. *)
+   pressure and take the worst-ranked colors, exactly as in the paper.
+
+   The Incremental arm runs entirely on reusable scratch buffers:
+   prefix queries land in [top_buf], the candidate set is collected as
+   packed rank keys in [cand] (the key embeds the color, so sorting the
+   ints *is* sorting (color, key) pairs by rank), selection is an
+   insertion sort over at most distinct_slots + k keys, and the slot
+   assignment goes through [Cache_state.assign_array].  The Rebuild arm
+   keeps the verbatim seed list pipeline — the differential oracle. *)
+
 let make_scheme ?sink ?registry ?(mode = Ranking.Incremental) ~name ~replicated
     ~distinct_slots (instance : Instance.t) =
   let eligibility = Eligibility.create ?sink instance in
   let cache =
     Cache_state.create ~num_colors:instance.num_colors ~distinct_slots
   in
+  let in_cache = Cache_state.mem cache in
   let delay = instance.delay in
   let counter =
     Option.map (fun r -> Rrs_obs.Metrics.counter r "ranking_update") registry
   in
   let index = Ranking.Index.lazily ?counter eligibility ~delay in
-  (* The best-ranked [distinct_slots] eligible colors.  Incremental: a
-     prefix query on the delta-maintained rank index.  Rebuild: the
-     original full re-sort — the differential oracle. *)
-  let top_ranked (view : Policy.view) =
-    match mode with
-    | Ranking.Rebuild ->
-        Policy.take distinct_slots
-          (Ranking.ranked_eligible eligibility view.pending ~delay
-             ~exclude:(fun _ -> false))
-    | Ranking.Incremental ->
-        Ranking.Index.ranked_prefix (index view.pending) ~k:distinct_slots
+  let top_buf = Array.make (max 1 distinct_slots) 0 in
+  let cand = Array.make (max 1 (2 * distinct_slots)) 0 in
+  let desired = Array.make (max 1 distinct_slots) 0 in
+  let reconfigure_incremental (view : Policy.view) =
+    Eligibility.begin_round eligibility ~view ~in_cache;
+    let idx = index view.pending in
+    let top = Ranking.Index.ranked_prefix_into idx ~k:distinct_slots ~out:top_buf in
+    (* candidates: currently cached colors, plus the top-ranked nonidle
+       eligible colors not yet cached; all priced by their live packed
+       rank key (identical to what the oracle's key_of_color computes) *)
+    let ncand = ref 0 in
+    let slots = Cache_state.live_slots cache in
+    for s = 0 to Array.length slots - 1 do
+      let c = slots.(s) in
+      if c <> Types.black then begin
+        cand.(!ncand) <-
+          (Ranking.key_of_color eligibility view.pending ~delay c :> int);
+        incr ncand
+      end
+    done;
+    for i = 0 to top - 1 do
+      let c = top_buf.(i) in
+      let key = Ranking.Index.rank_key idx c in
+      if Ranking.is_nonidle_eligible key && not (Cache_state.mem cache c) then begin
+        cand.(!ncand) <- (key :> int);
+        incr ncand
+      end
+    done;
+    Policy.sort_int_prefix cand !ncand;
+    let keep = min distinct_slots !ncand in
+    for i = 0 to keep - 1 do
+      desired.(i) <- Packed.key_color cand.(i)
+    done;
+    Cache_state.assign_array cache desired keep;
+    Cache_state.to_assignment cache ~replicated
   in
-  let reconfigure (view : Policy.view) =
-    Eligibility.begin_round eligibility ~view ~in_cache:(Cache_state.mem cache);
+  let reconfigure_rebuild (view : Policy.view) =
+    Eligibility.begin_round eligibility ~view ~in_cache;
     let additions =
       List.filter_map
         (fun (color, key) ->
           if Ranking.is_nonidle_eligible key && not (Cache_state.mem cache color)
           then Some color
           else None)
-        (top_ranked view)
+        (Policy.take distinct_slots
+           (Ranking.ranked_eligible eligibility view.pending ~delay
+              ~exclude:(fun _ -> false)))
     in
     let candidates =
       let cached = Cache_state.cached_colors cache in
@@ -52,6 +88,11 @@ let make_scheme ?sink ?registry ?(mode = Ranking.Incremental) ~name ~replicated
     in
     Cache_state.assign cache ~desired:kept;
     Cache_state.to_assignment cache ~replicated
+  in
+  let reconfigure =
+    match mode with
+    | Ranking.Incremental -> reconfigure_incremental
+    | Ranking.Rebuild -> reconfigure_rebuild
   in
   { policy = { Policy.name; reconfigure }; eligibility }
 

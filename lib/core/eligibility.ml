@@ -20,18 +20,25 @@ type t = {
   delta : int;
   delay : int array;
   info : color_info array;
-  boundary : (int * int) Rrs_dstruct.Binary_heap.t; (* (next multiple, color) *)
+  boundary : Rrs_dstruct.Int_heap.t; (* packed (next multiple, color) *)
   mutable last_round : int;
   mutable total_epochs_ended : int;
   mutable eligible_drops : int;
   mutable ineligible_drops : int;
-  mutable timestamp_listeners : (int -> int -> unit) list;
-  mutable change_listeners : (change -> unit) list; (* registration order *)
+  (* listeners stored in registration order once, iterated by index
+     without allocating (no List.rev per event, no l @ [f] per
+     registration) *)
+  mutable timestamp_listeners : (int -> int -> unit) array;
+  mutable timestamp_listener_count : int;
+  mutable change_listeners : (change -> unit) array;
+  mutable change_listener_count : int;
   sink : Rrs_obs.Sink.t;
   tracing : bool;
 }
 
 let create ?(sink = Rrs_obs.Sink.null) (instance : Instance.t) =
+  if instance.num_colors > Packed.max_colors then
+    invalid_arg "Eligibility.create: num_colors exceeds the packed color field";
   let info =
     Array.init instance.num_colors (fun _ ->
         {
@@ -45,9 +52,14 @@ let create ?(sink = Rrs_obs.Sink.null) (instance : Instance.t) =
           wrap_events = 0;
         })
   in
-  let boundary = Rrs_dstruct.Binary_heap.create ~cmp:compare () in
+  let boundary =
+    Rrs_dstruct.Int_heap.create
+      ~initial_capacity:(Stdlib.max 16 instance.num_colors) ()
+  in
   (* round 0 is a multiple of every delay bound *)
-  Array.iteri (fun color _ -> Rrs_dstruct.Binary_heap.add boundary (0, color))
+  Array.iteri
+    (fun color _ ->
+      Rrs_dstruct.Int_heap.add boundary (Packed.pack_pair ~value:0 ~color))
     instance.delay;
   {
     delta = instance.delta;
@@ -58,18 +70,41 @@ let create ?(sink = Rrs_obs.Sink.null) (instance : Instance.t) =
     total_epochs_ended = 0;
     eligible_drops = 0;
     ineligible_drops = 0;
-    timestamp_listeners = [];
-    change_listeners = [];
+    timestamp_listeners = [||];
+    timestamp_listener_count = 0;
+    change_listeners = [||];
+    change_listener_count = 0;
     sink;
     tracing = Rrs_obs.Sink.enabled sink;
   }
 
-let on_change t f = t.change_listeners <- t.change_listeners @ [ f ]
+let append listeners count f =
+  if count = Array.length listeners then begin
+    let bigger = Array.make (Stdlib.max 4 (2 * count)) f in
+    Array.blit listeners 0 bigger 0 count;
+    bigger
+  end
+  else begin
+    listeners.(count) <- f;
+    listeners
+  end
+
+let on_change t f =
+  let a = append t.change_listeners t.change_listener_count f in
+  a.(t.change_listener_count) <- f;
+  t.change_listeners <- a;
+  t.change_listener_count <- t.change_listener_count + 1
+
+let on_timestamp_update t f =
+  let a = append t.timestamp_listeners t.timestamp_listener_count f in
+  a.(t.timestamp_listener_count) <- f;
+  t.timestamp_listeners <- a;
+  t.timestamp_listener_count <- t.timestamp_listener_count + 1
 
 let notify t change =
-  match t.change_listeners with
-  | [] -> ()
-  | listeners -> List.iter (fun f -> f change) listeners
+  for i = 0 to t.change_listener_count - 1 do
+    (Array.unsafe_get t.change_listeners i) change
+  done
 
 let classify_drop t color count =
   if t.info.(color).eligible then t.eligible_drops <- t.eligible_drops + count
@@ -86,7 +121,9 @@ let process_boundary t ~round ~in_cache color =
     if t.tracing then
       Rrs_obs.Sink.emit t.sink
         (Rrs_obs.Event.Timestamp_update { round; color });
-    List.iter (fun f -> f color round) (List.rev t.timestamp_listeners);
+    for i = 0 to t.timestamp_listener_count - 1 do
+      (Array.unsafe_get t.timestamp_listeners i) color round
+    done;
     notify t (Timestamp_bumped color)
   end;
   if ci.eligible && not (in_cache color) then begin
@@ -102,7 +139,8 @@ let process_boundary t ~round ~in_cache color =
     notify t (Became_ineligible color)
   end;
   ci.dd <- round + t.delay.(color);
-  Rrs_dstruct.Binary_heap.add t.boundary (round + t.delay.(color), color);
+  Rrs_dstruct.Int_heap.add t.boundary
+    (Packed.pack_pair ~value:(round + t.delay.(color)) ~color);
   notify t (Deadline_moved color)
 
 let process_arrival t ~round color count =
@@ -135,32 +173,57 @@ let process_arrival t ~round color count =
     end
   end
 
+(* Plain recursion instead of List.iter closures: begin_round runs once
+   per round on the hot path and must not allocate. *)
+let rec classify_drops t = function
+  | [] -> ()
+  | (color, count) :: rest ->
+      classify_drop t color count;
+      classify_drops t rest
+
+let rec process_arrivals t ~round = function
+  | [] -> ()
+  | (color, count) :: rest ->
+      process_arrival t ~round color count;
+      process_arrivals t ~round rest
+
+let begin_round_body t ~(view : Policy.view) ~in_cache =
+  t.last_round <- view.round;
+  (* 1. drop-phase classification uses the pre-transition eligibility,
+     so classify before any boundary processing *)
+  classify_drops t view.dropped;
+  (* 2. boundary (drop-phase) transitions for every color whose batch
+     window ends this round *)
+  let continue = ref true in
+  while !continue do
+    if Rrs_dstruct.Int_heap.is_empty t.boundary then continue := false
+    else begin
+      let packed = Rrs_dstruct.Int_heap.min t.boundary in
+      (* a boundary < view.round can only belong to colors added late;
+         process them at the first opportunity *)
+      if Packed.pair_value packed <= view.round then begin
+        ignore (Rrs_dstruct.Int_heap.pop_min t.boundary);
+        process_boundary t ~round:view.round ~in_cache
+          (Packed.pair_color packed)
+      end
+      else continue := false
+    end
+  done;
+  (* 3. arrival-phase counter updates *)
+  process_arrivals t ~round:view.round view.arrivals
+
 let begin_round t ~(view : Policy.view) ~in_cache =
   if view.round > t.last_round then begin
     (* the round's whole eligibility transition batch — and therefore
-       the Ranking.Index update batch it feeds — profiles as one span *)
+       the Ranking.Index update batch it feeds — profiles as one span.
+       enter/leave with an exception match instead of Rrs_prof.span:
+       same balance guarantee, no per-round closure. *)
     Rrs_prof.enter "eligibility.begin_round";
-    t.last_round <- view.round;
-    (* 1. drop-phase classification uses the pre-transition eligibility,
-       so classify before any boundary processing *)
-    List.iter (fun (color, count) -> classify_drop t color count) view.dropped;
-    (* 2. boundary (drop-phase) transitions for every color whose batch
-       window ends this round *)
-    let continue = ref true in
-    while !continue do
-      match Rrs_dstruct.Binary_heap.peek_min_opt t.boundary with
-      | Some (r, color) when r <= view.round ->
-          (* r < view.round can only happen for colors added late; process
-             them at the first opportunity *)
-          ignore (Rrs_dstruct.Binary_heap.pop_min t.boundary);
-          process_boundary t ~round:view.round ~in_cache color
-      | Some _ | None -> continue := false
-    done;
-    (* 3. arrival-phase counter updates *)
-    List.iter
-      (fun (color, count) -> process_arrival t ~round:view.round color count)
-      view.arrivals;
-    Rrs_prof.leave "eligibility.begin_round"
+    match begin_round_body t ~view ~in_cache with
+    | () -> Rrs_prof.leave "eligibility.begin_round"
+    | exception e ->
+        Rrs_prof.leave "eligibility.begin_round";
+        raise e
   end
 
 let is_eligible t color = t.info.(color).eligible
@@ -186,6 +249,3 @@ let wrap_events_total t =
 
 let eligible_drops t = t.eligible_drops
 let ineligible_drops t = t.ineligible_drops
-
-let on_timestamp_update t f =
-  t.timestamp_listeners <- f :: t.timestamp_listeners

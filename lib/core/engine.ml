@@ -28,11 +28,11 @@ type result = {
 let check_assignment cfg instance assignment =
   if Array.length assignment <> cfg.n then
     invalid_arg "Engine: policy returned an assignment of the wrong length";
-  Array.iter
-    (fun c ->
-      if c <> Types.black && (c < 0 || c >= instance.Instance.num_colors) then
-        invalid_arg "Engine: policy returned an out-of-range color")
-    assignment
+  for i = 0 to Array.length assignment - 1 do
+    let c = assignment.(i) in
+    if c <> Types.black && (c < 0 || c >= instance.Instance.num_colors) then
+      invalid_arg "Engine: policy returned an out-of-range color"
+  done
 
 (* Round-latency and allocation telemetry, active only when the config
    carries a registry: the latency of every round lands in an exact
@@ -182,19 +182,16 @@ let run_policy cfg (instance : Instance.t) (policy : Policy.t) =
       Rrs_prof.enter "engine.execute";
       for resource = 0 to cfg.n - 1 do
         let color = cache.(resource) in
-        if color <> Types.black then
-          match Pending.execute_one pending color with
-          | Some _deadline ->
-              incr executed;
-              executions_by_color.(color) <- executions_by_color.(color) + 1;
-              record round
-                (Schedule.Execute
-                   { resource; mini_round; color = project color });
-              if tracing then
-                Rrs_obs.Sink.emit sink
-                  (Rrs_obs.Event.Execute
-                     { round; mini_round; resource; color = project color })
-          | None -> ()
+        if color <> Types.black && Pending.execute pending color then begin
+          incr executed;
+          executions_by_color.(color) <- executions_by_color.(color) + 1;
+          record round
+            (Schedule.Execute { resource; mini_round; color = project color });
+          if tracing then
+            Rrs_obs.Sink.emit sink
+              (Rrs_obs.Event.Execute
+                 { round; mini_round; resource; color = project color })
+        end
       done;
       Rrs_prof.leave "engine.execute"
     done;

@@ -18,68 +18,106 @@ let make_tuned ?sink ?registry ?(mode = Ranking.Incremental) ~lru_slots:quota
   let cache =
     Cache_state.create ~num_colors:instance.num_colors ~distinct_slots
   in
+  let in_cache = Cache_state.mem cache in
   let delay = instance.delay in
   let edf_quota = distinct_slots - quota in
   let counter =
     Option.map (fun r -> Rrs_obs.Metrics.counter r "ranking_update") registry
   in
   let index = Ranking.Index.lazily ?counter eligibility ~delay in
+  (* Reusable per-policy scratch: the whole round runs on flat buffers,
+     allocating only the engine-facing assignment array.
+     - [lru_buf]/[edf_buf]: prefix query results;
+     - [is_lru]: flag array replacing the per-round Hashtbl;
+     - [cand]: candidate set as packed rank keys (the key embeds the
+       color, so sorting the ints is sorting (color, key) by rank);
+     - [desired]: the final desired set for assign_array. *)
+  let lru_buf = Array.make (max 1 quota) 0 in
+  let edf_buf = Array.make (max 1 edf_quota) 0 in
+  let is_lru = Array.make (max 1 instance.num_colors) false in
+  let cand = Array.make (max 1 (distinct_slots + edf_quota)) 0 in
+  let desired = Array.make (max 1 distinct_slots) 0 in
+  let exclude c = Array.unsafe_get is_lru c in
   (* Both ranking queries, incremental or rebuilt.  Incremental prefix
      queries on the delta-maintained index return exactly the prefixes
-     the Rebuild re-sorts (the differential oracle) would. *)
+     the Rebuild re-sorts (the differential oracle) would; both land in
+     the same scratch buffers so everything downstream is shared. *)
   let lru_prefix (view : Policy.view) =
     match mode with
     | Ranking.Rebuild ->
-        Policy.take quota
-          (Ranking.timestamp_order eligibility
-             (Eligibility.eligible_colors eligibility))
+        let lru_set =
+          Policy.take quota
+            (Ranking.timestamp_order eligibility
+               (Eligibility.eligible_colors eligibility))
+        in
+        List.iteri (fun i c -> lru_buf.(i) <- c) lru_set;
+        List.length lru_set
     | Ranking.Incremental ->
-        Ranking.Index.recency_prefix (index view.pending) ~k:quota
+        Ranking.Index.recency_prefix_into (index view.pending) ~k:quota
+          ~out:lru_buf
   in
-  let edf_prefix (view : Policy.view) ~excluded ~exclude =
+  (* the top-[edf_quota] ranked non-LRU eligible colors, with their
+     packed keys readable afterwards; [excluded] upper-bounds the LRU
+     colors the rank prefix may contain *)
+  let edf_prefix (view : Policy.view) ~excluded =
     match mode with
     | Ranking.Rebuild ->
-        Policy.take edf_quota
-          (Ranking.ranked_eligible eligibility view.pending ~delay ~exclude)
+        let ranked =
+          Policy.take edf_quota
+            (Ranking.ranked_eligible eligibility view.pending ~delay ~exclude)
+        in
+        List.iteri (fun i (c, _) -> edf_buf.(i) <- c) ranked;
+        List.length ranked
     | Ranking.Incremental ->
-        Ranking.Index.ranked_prefix_excluding (index view.pending) ~k:edf_quota
-          ~excluded ~exclude
+        Ranking.Index.ranked_prefix_excluding_into (index view.pending)
+          ~k:edf_quota ~excluded ~exclude ~out:edf_buf
   in
   let reconfigure (view : Policy.view) =
-    Eligibility.begin_round eligibility ~view ~in_cache:(Cache_state.mem cache);
+    Eligibility.begin_round eligibility ~view ~in_cache;
     (* ΔLRU component: the [quota] eligible colors with the freshest
        timestamps are unconditionally cached *)
-    let lru_set = lru_prefix view in
-    let is_lru =
-      let flags = Hashtbl.create (2 * (quota + 1)) in
-      List.iter (fun c -> Hashtbl.replace flags c ()) lru_set;
-      fun c -> Hashtbl.mem flags c
-    in
+    let lru_len = lru_prefix view in
+    for i = 0 to lru_len - 1 do
+      is_lru.(lru_buf.(i)) <- true
+    done;
     (* EDF component: rank the eligible non-LRU colors; the nonidle ones
        in the top [edf_quota] rankings that are not cached come in *)
-    let additions =
-      List.filter_map
-        (fun (color, key) ->
-          if Ranking.is_nonidle_eligible key && not (Cache_state.mem cache color)
-          then Some color
-          else None)
-        (edf_prefix view ~excluded:(List.length lru_set) ~exclude:is_lru)
-    in
+    let edf_len = edf_prefix view ~excluded:lru_len in
+    (* candidate keep-set: currently cached non-LRU colors plus the
+       nonidle uncached EDF additions, priced by their live rank key *)
+    let ncand = ref 0 in
+    let slots = Cache_state.live_slots cache in
+    for s = 0 to Array.length slots - 1 do
+      let c = slots.(s) in
+      if c <> Types.black && not is_lru.(c) then begin
+        cand.(!ncand) <-
+          (Ranking.key_of_color eligibility view.pending ~delay c :> int);
+        incr ncand
+      end
+    done;
+    for i = 0 to edf_len - 1 do
+      let c = edf_buf.(i) in
+      let key = Ranking.key_of_color eligibility view.pending ~delay c in
+      if Ranking.is_nonidle_eligible key && not (Cache_state.mem cache c)
+      then begin
+        cand.(!ncand) <- (key :> int);
+        incr ncand
+      end
+    done;
     (* capacity pressure evicts the worst-ranked non-LRU colors *)
-    let stay_candidates =
-      List.filter (fun c -> not (is_lru c)) (Cache_state.cached_colors cache)
-      @ additions
-    in
-    let room = distinct_slots - List.length lru_set in
-    let kept_non_lru =
-      stay_candidates
-      |> List.map (fun color ->
-             (color, Ranking.key_of_color eligibility view.pending ~delay color))
-      |> List.sort (fun (_, a) (_, b) -> Ranking.compare a b)
-      |> Policy.take room
-      |> List.map fst
-    in
-    Cache_state.assign cache ~desired:(lru_set @ kept_non_lru);
+    Policy.sort_int_prefix cand !ncand;
+    let room = distinct_slots - lru_len in
+    let keep = min room !ncand in
+    for i = 0 to lru_len - 1 do
+      desired.(i) <- lru_buf.(i)
+    done;
+    for i = 0 to keep - 1 do
+      desired.(lru_len + i) <- Packed.key_color cand.(i)
+    done;
+    for i = 0 to lru_len - 1 do
+      is_lru.(lru_buf.(i)) <- false
+    done;
+    Cache_state.assign_array cache desired (lru_len + keep);
     Cache_state.to_assignment cache ~replicated
   in
   let name =

@@ -1,0 +1,80 @@
+(* Bit-packing of the ranking keys into single tagged ints.
+
+   A native OCaml int carries 63 bits; we use the low 62 so every packed
+   value is non-negative and plain [<] on packed values is exactly the
+   lexicographic order on the unpacked fields (each field is
+   non-negative and fits its width):
+
+     rank key  [klass|deadline|delay|color]   2+23+20+17 = 62 bits
+     recency   [bias - timestamp|color]         45+17     = 62 bits
+     pair      [value|color]                    45+17     = 62 bits
+
+   Field widths cover every workload the repo generates with headroom:
+   2^17 colors (the ceiling of the packed hot path — twice the
+   65536-color bench sweep), 2^20 delay bounds (the scaling workload
+   sets delay = W = ceil_pow2(C), so 65536 colors needs delay 2^16; the
+   adversarial appendix-B family reaches 2^(k + n/2 - 1), 2^17 in
+   EXP-9), 2^23 rounds of deadline headroom (deadline = round + delay).
+   Every packer validates its inputs and raises [Invalid_argument] on
+   overflow; [Ranking.Index] additionally validates the whole instance
+   (num_colors, max delay) once at build time so per-call guards never
+   fire on accepted instances. *)
+
+let color_bits = 17
+let max_colors = 1 lsl color_bits
+let color_mask = max_colors - 1
+let delay_bits = 20
+let max_delay = 1 lsl delay_bits
+let deadline_bits = 23
+let max_deadline = 1 lsl deadline_bits
+let klass_bits = 2
+let () = assert (klass_bits + deadline_bits + delay_bits + color_bits = 62)
+
+let[@inline] check_color color =
+  if color < 0 || color >= max_colors then
+    invalid_arg "Packed: color out of range"
+
+let[@inline] pack_key ~klass ~deadline ~delay ~color =
+  if klass < 0 || klass > 3 then invalid_arg "Packed.pack_key: klass";
+  if deadline < 0 || deadline >= max_deadline then
+    invalid_arg "Packed.pack_key: deadline overflow";
+  if delay < 0 || delay >= max_delay then
+    invalid_arg "Packed.pack_key: delay overflow";
+  check_color color;
+  (((((klass lsl deadline_bits) lor deadline) lsl delay_bits) lor delay)
+   lsl color_bits)
+  lor color
+
+let[@inline] key_klass k = (k lsr (deadline_bits + delay_bits + color_bits)) land 3
+let[@inline] key_deadline k =
+  (k lsr (delay_bits + color_bits)) land (max_deadline - 1)
+let[@inline] key_delay k = (k lsr color_bits) land (max_delay - 1)
+let[@inline] key_color k = k land color_mask
+
+(* Recency: ΔLRU wants "most recent timestamp first, ties by ascending
+   color", i.e. ascending (-timestamp, color).  Timestamps are >= -1 and
+   bounded by the round count; biasing by 2^44 keeps the negated field
+   non-negative so the packed value compares like the pair. *)
+let ts_bias = 1 lsl (62 - color_bits - 1)
+
+let[@inline] pack_recency ~timestamp ~color =
+  if timestamp < -1 || timestamp >= ts_bias then
+    invalid_arg "Packed.pack_recency: timestamp overflow";
+  check_color color;
+  ((ts_bias - timestamp) lsl color_bits) lor color
+
+let[@inline] recency_timestamp p = ts_bias - (p lsr color_bits)
+let[@inline] recency_color p = p land color_mask
+
+(* Generic (value, color) pairs for the event heaps (due deadlines,
+   boundary rounds): ascending value, ties by ascending color. *)
+let max_pair_value = 1 lsl (62 - color_bits)
+
+let[@inline] pack_pair ~value ~color =
+  if value < 0 || value >= max_pair_value then
+    invalid_arg "Packed.pack_pair: value overflow";
+  check_color color;
+  (value lsl color_bits) lor color
+
+let[@inline] pair_value p = p lsr color_bits
+let[@inline] pair_color p = p land color_mask

@@ -8,10 +8,12 @@ type result = {
    pending deadline, delay bound, color) — execute one of its jobs, and
    repeat up to m times.  Jobs within a color are FIFO = EDF.
 
-   Incremental: one indexed heap over the nonidle colors, kept in sync
-   by {!Pending.on_front_change} (adds to idle queues, front-batch
-   exhaustions, expiries); a round costs O(changes · log C + m log C)
-   instead of rebuilding the heap from a full nonidle scan.  Rebuild:
+   Incremental: one flat int-indexed heap over the nonidle colors,
+   priced by the packed klass-0 rank key (int order = the tuple order
+   above), kept in sync by {!Pending.on_front_change} (adds to idle
+   queues, front-batch exhaustions, expiries); a round costs
+   O(changes · log C + m log C) instead of rebuilding the heap from a
+   full nonidle scan, and allocates nothing.  Rebuild:
    the original per-round scan-and-rebuild — the differential oracle.
    The selection sequences coincide because the key is a total order
    and both heaps always price a color at its live earliest deadline. *)
@@ -25,30 +27,30 @@ let run ?(mode = Ranking.Incremental) (instance : Instance.t) ~m =
   let execute_best =
     match mode with
     | Ranking.Incremental ->
-        let module Iheap = Rrs_dstruct.Indexed_heap in
-        let heap =
-          Iheap.create ~cmp:Stdlib.compare
-            ~capacity:(max instance.num_colors 1)
-        in
+        let module Iheap = Rrs_dstruct.Int_indexed_heap in
+        let heap = Iheap.create ~capacity:(max instance.num_colors 1) in
         Pending.on_front_change pending (fun color ->
-            match Pending.earliest_deadline pending color with
-            | Some deadline ->
-                Iheap.update heap color (deadline, instance.delay.(color), color)
-            | None -> if Iheap.mem heap color then Iheap.remove heap color);
+            let deadline = Pending.front_deadline pending color in
+            if deadline >= 0 then
+              Iheap.update heap color
+                (Packed.pack_key ~klass:0 ~deadline
+                   ~delay:instance.delay.(color) ~color)
+            else Iheap.remove heap color);
         fun () ->
           let slots = ref m in
           let continue_ = ref true in
           while !slots > 0 && !continue_ do
-            match Iheap.peek_min_opt heap with
-            | None -> continue_ := false
-            | Some (color, _) -> (
-                (* executing may exhaust the front batch, in which case
-                   the listener reprices or removes [color] for us *)
-                match Pending.execute_one pending color with
-                | Some _ ->
-                    incr executed;
-                    decr slots
-                | None -> Iheap.remove heap color)
+            if Iheap.is_empty heap then continue_ := false
+            else begin
+              let color = Iheap.min_key heap in
+              (* executing may exhaust the front batch, in which case
+                 the listener reprices or removes [color] for us *)
+              if Pending.execute pending color then begin
+                incr executed;
+                decr slots
+              end
+              else Iheap.remove heap color
+            end
           done
     | Ranking.Rebuild ->
         let heap = Rrs_dstruct.Binary_heap.create ~cmp:compare () in

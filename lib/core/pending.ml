@@ -4,29 +4,42 @@ type color_queue = { q : bucket Queue.t; mutable back : bucket option }
 type t = {
   queues : color_queue array; (* per color, deadline-ascending *)
   totals : int array;
-  due : (int * int) Rrs_dstruct.Binary_heap.t; (* (deadline, color), lazy *)
+  due : Rrs_dstruct.Int_heap.t; (* packed (deadline, color), lazy *)
   mutable grand_total : int;
   mutable nonidle : int;
-  mutable front_listeners : (int -> unit) list; (* registration order *)
+  (* listeners in registration order, iterated without allocating *)
+  mutable front_listeners : (int -> unit) array;
+  mutable front_listener_count : int;
 }
 
 let create ~num_colors =
+  if num_colors > Packed.max_colors then
+    invalid_arg "Pending.create: num_colors exceeds the packed color field";
   {
     queues =
       Array.init num_colors (fun _ -> { q = Queue.create (); back = None });
     totals = Array.make num_colors 0;
-    due = Rrs_dstruct.Binary_heap.create ~cmp:compare ();
+    due = Rrs_dstruct.Int_heap.create ();
     grand_total = 0;
     nonidle = 0;
-    front_listeners = [];
+    front_listeners = [||];
+    front_listener_count = 0;
   }
 
-let on_front_change t f = t.front_listeners <- t.front_listeners @ [ f ]
+let on_front_change t f =
+  let n = t.front_listener_count in
+  if n = Array.length t.front_listeners then begin
+    let bigger = Array.make (Stdlib.max 4 (2 * n)) f in
+    Array.blit t.front_listeners 0 bigger 0 n;
+    t.front_listeners <- bigger
+  end;
+  t.front_listeners.(n) <- f;
+  t.front_listener_count <- n + 1
 
 let notify_front t color =
-  match t.front_listeners with
-  | [] -> ()
-  | listeners -> List.iter (fun f -> f color) listeners
+  for i = 0 to t.front_listener_count - 1 do
+    (Array.unsafe_get t.front_listeners i) color
+  done
 
 let num_colors t = Array.length t.queues
 
@@ -56,7 +69,8 @@ let add t color ~deadline ~count =
         let bucket = { deadline; count } in
         Queue.add bucket cq.q;
         cq.back <- Some bucket;
-        Rrs_dstruct.Binary_heap.add t.due (deadline, color));
+        Rrs_dstruct.Int_heap.add t.due
+          (Packed.pack_pair ~value:deadline ~color));
     bump t color count;
     (* the front (earliest deadline / idleness) only changes when the
        queue was empty; appends behind an existing front are invisible
@@ -68,25 +82,38 @@ let total t color = t.totals.(color)
 let grand_total t = t.grand_total
 let is_idle t color = t.totals.(color) = 0
 
+(* Zero-alloc front accessor for the hot path; [-1] encodes idleness
+   (deadlines are non-negative by construction). *)
+let front_deadline t color =
+  let q = t.queues.(color).q in
+  if Queue.is_empty q then -1 else (Queue.peek q).deadline
+
 let earliest_deadline t color =
-  match Queue.peek_opt t.queues.(color).q with
-  | None -> None
-  | Some b -> Some b.deadline
+  let d = front_deadline t color in
+  if d < 0 then None else Some d
+
+(* Consume the earliest-deadline pending job; [true] if one existed.
+   The option-returning wrapper below allocates and is kept off the
+   engine's per-resource execution loop. *)
+let execute t color =
+  let cq = t.queues.(color) in
+  if Queue.is_empty cq.q then false
+  else begin
+    let b = Queue.peek cq.q in
+    b.count <- b.count - 1;
+    let exhausted = b.count = 0 in
+    if exhausted then begin
+      ignore (Queue.pop cq.q);
+      sync_back cq
+    end;
+    bump t color (-1);
+    if exhausted then notify_front t color;
+    true
+  end
 
 let execute_one t color =
-  let cq = t.queues.(color) in
-  match Queue.peek_opt cq.q with
-  | None -> None
-  | Some b ->
-      b.count <- b.count - 1;
-      let exhausted = b.count = 0 in
-      if exhausted then begin
-        ignore (Queue.pop cq.q);
-        sync_back cq
-      end;
-      bump t color (-1);
-      if exhausted then notify_front t color;
-      Some b.deadline
+  let deadline = front_deadline t color in
+  if execute t color then Some deadline else None
 
 (* Drain this color's expired front buckets; the heap entry that led us
    here may be stale (bucket already consumed), which is fine. *)
@@ -112,14 +139,19 @@ let expire t ~now =
   let affected = ref [] in
   let continue = ref true in
   while !continue do
-    match Rrs_dstruct.Binary_heap.peek_min_opt t.due with
-    | Some (deadline, color) when deadline <= now ->
-        ignore (Rrs_dstruct.Binary_heap.pop_min t.due);
+    if Rrs_dstruct.Int_heap.is_empty t.due then continue := false
+    else begin
+      let packed = Rrs_dstruct.Int_heap.min t.due in
+      if Packed.pair_value packed <= now then begin
+        ignore (Rrs_dstruct.Int_heap.pop_min t.due);
+        let color = Packed.pair_color packed in
         let dropped = expire_color t color ~now in
         if dropped > 0 then affected := (color, dropped) :: !affected
-    | Some _ | None ->
-        (* first entry not due yet (or empty): stop without touching it *)
+      end
+      else
+        (* first entry not due yet: stop without touching it *)
         continue := false
+    end
   done;
   List.sort compare !affected
 

@@ -9,6 +9,9 @@
 type t
 
 val create : num_colors:int -> t
+(** @raise Invalid_argument if [num_colors] exceeds the packed color
+    field ({!Packed.max_colors}). *)
+
 val num_colors : t -> int
 
 val add : t -> Types.color -> deadline:int -> count:int -> unit
@@ -29,9 +32,19 @@ val is_idle : t -> Types.color -> bool
 
 val earliest_deadline : t -> Types.color -> int option
 
+val front_deadline : t -> Types.color -> int
+(** {!earliest_deadline} without the option box: the color's earliest
+    pending deadline, or [-1] when it is idle (deadlines are
+    non-negative).  The zero-alloc accessor the ranking hot path uses. *)
+
+val execute : t -> Types.color -> bool
+(** Consume the earliest-deadline pending job of the color; [false] if
+    the color is idle.  Zero-alloc — the engine's per-resource execution
+    call. *)
+
 val execute_one : t -> Types.color -> int option
-(** Consume the earliest-deadline pending job of the color; returns the
-    job's deadline, or [None] if the color is idle. *)
+(** {!execute}, additionally returning the consumed job's deadline
+    (allocates the option). *)
 
 val expire : t -> now:int -> (Types.color * int) list
 (** Drop every pending job whose deadline is [<= now]; returns the drop

@@ -20,10 +20,25 @@ let rec take_impl k = function
   | x :: rest -> x :: take_impl (k - 1) rest
 
 let take k xs =
-  Rrs_prof.enter "policy.take";
-  let r = take_impl k xs in
-  Rrs_prof.leave "policy.take";
-  r
+  (* Fun.protect-backed span: balanced even if the traversal raises
+     (this is an oracle/cold path, so the closure is acceptable) *)
+  Rrs_prof.span "policy.take" (fun () -> take_impl k xs)
+
+(* Ascending insertion sort of a.(0 .. len-1) — the flat-buffer
+   selection sort for candidate sets of O(cache size) packed keys,
+   where insertion sort on an int array beats an allocating merge
+   sort.  Since packed rank keys embed the color as the last tie-break,
+   sorting the ints is exactly sorting (color, key) pairs by rank. *)
+let sort_int_prefix (a : int array) len =
+  for i = 1 to len - 1 do
+    let v = a.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && a.(!j) > v do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- v
+  done
 
 let stable_assign ~current ~desired =
   let q = Array.length current in

@@ -41,6 +41,13 @@ val take : int -> 'a list -> 'a list
     prefix-of-ranking helper shared by every reconfiguration scheme
     (a non-negative [k] never raises; [k <= 0] is the empty list). *)
 
+val sort_int_prefix : int array -> int -> unit
+(** [sort_int_prefix a len] sorts [a.(0 .. len-1)] ascending in place
+    (insertion sort — allocation-free, and fast on the small candidate
+    sets the flat policies rank).  Packed rank keys embed the color as
+    the last tie-break, so sorting the ints is sorting (color, key)
+    pairs by rank. *)
+
 val stable_assign :
   current:Types.color array -> desired:Types.color list -> Types.color array
 (** Shared slot-assignment helper: keep every color of [desired] that is

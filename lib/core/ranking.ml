@@ -1,34 +1,37 @@
 (* Rank keys compare lexicographically:
    class (0 = eligible nonidle, 1 = eligible idle, 2 = ineligible),
-   then deadline, then delay bound, then color id. *)
-type key = { klass : int; deadline : int; delay : int; color : int }
+   then deadline, then delay bound, then color id.
 
-let compare a b =
-  match Stdlib.compare a.klass b.klass with
-  | 0 -> (
-      match Stdlib.compare a.deadline b.deadline with
-      | 0 -> (
-          match Stdlib.compare a.delay b.delay with
-          | 0 -> Stdlib.compare a.color b.color
-          | c -> c)
-      | c -> c)
-  | c -> c
+   A key is the four fields packed into one tagged int (Packed), so the
+   lexicographic order is plain integer [<] and the flat
+   Int_indexed_heap can hold keys without boxing. *)
+type key = int
+
+let compare : key -> key -> int = Int.compare
+
+let pack_key = Packed.pack_key
+let key_klass = Packed.key_klass
+let key_deadline = Packed.key_deadline
+let key_delay = Packed.key_delay
+let key_color = Packed.key_color
 
 let key_of_color elig pending ~delay color =
   if not (Eligibility.is_eligible elig color) then
-    { klass = 2; deadline = 0; delay = 0; color }
-  else
-    match Pending.earliest_deadline pending color with
-    | Some d -> { klass = 0; deadline = d; delay = delay.(color); color }
-    | None ->
-        {
-          klass = 1;
-          deadline = Eligibility.color_deadline elig color;
-          delay = delay.(color);
-          color;
-        }
+    Packed.pack_key ~klass:2 ~deadline:0 ~delay:0 ~color
+  else begin
+    let d = Pending.front_deadline pending color in
+    if d >= 0 then
+      Packed.pack_key ~klass:0 ~deadline:d
+        ~delay:(Array.unsafe_get delay color)
+        ~color
+    else
+      Packed.pack_key ~klass:1
+        ~deadline:(Eligibility.color_deadline elig color)
+        ~delay:(Array.unsafe_get delay color)
+        ~color
+  end
 
-let is_nonidle_eligible k = k.klass = 0
+let is_nonidle_eligible k = Packed.key_klass k = 0
 
 let ranked_eligible elig pending ~delay ~exclude =
   let keyed =
@@ -55,16 +58,17 @@ let mode_to_string = function
   | Rebuild -> "rebuild"
 
 module Index = struct
-  module Iheap = Rrs_dstruct.Indexed_heap
+  module Iheap = Rrs_dstruct.Int_indexed_heap
 
   type t = {
     elig : Eligibility.t;
     pending : Pending.t;
     delay : int array;
-    rank : key Iheap.t; (* eligible colors, by EDF rank key *)
-    recency : (int * int) Iheap.t; (* eligible colors, by (-ts, id) *)
+    rank : Iheap.t; (* eligible colors, by packed EDF rank key *)
+    recency : Iheap.t; (* eligible colors, by packed (-ts, id) *)
     counter : Rrs_obs.Metrics.counter option;
     mutable updates : int;
+    qbuf : int array; (* scratch for the filtered prefix query *)
   }
 
   let tick t =
@@ -73,9 +77,9 @@ module Index = struct
 
   (* Both heaps hold exactly the eligible colors; keys are recomputed
      from the live Eligibility/Pending state at every refresh, so a heap
-     priority is always the same tuple the list-sort oracle would
-     compute.  [Iheap.update] inserts absent keys, which makes refresh
-     idempotent. *)
+     priority is always the packed form of the tuple the list-sort
+     oracle would compute.  [Iheap.update] inserts absent keys, which
+     makes refresh idempotent. *)
   let refresh_rank t color =
     if Eligibility.is_eligible t.elig color then begin
       Iheap.update t.rank color
@@ -85,7 +89,10 @@ module Index = struct
 
   let refresh_recency t color =
     if Eligibility.is_eligible t.elig color then begin
-      Iheap.update t.recency color (-Eligibility.timestamp t.elig color, color);
+      Iheap.update t.recency color
+        (Packed.pack_recency
+           ~timestamp:(Eligibility.timestamp t.elig color)
+           ~color);
       tick t
     end
 
@@ -100,16 +107,27 @@ module Index = struct
     end
 
   let create ?counter elig pending ~delay =
-    let capacity = max (Pending.num_colors pending) 1 in
+    let capacity = Stdlib.max (Pending.num_colors pending) 1 in
+    (* field-width validation at build time: every key the index will
+       ever pack stays inside the Packed layout, so the per-pack guards
+       never fire later *)
+    if capacity > Packed.max_colors then
+      invalid_arg "Ranking.Index: num_colors exceeds the packed color field";
+    Array.iter
+      (fun d ->
+        if d < 0 || d >= Packed.max_delay then
+          invalid_arg "Ranking.Index: delay bound exceeds the packed field")
+      delay;
     let t =
       {
         elig;
         pending;
         delay;
-        rank = Iheap.create ~cmp:compare ~capacity;
-        recency = Iheap.create ~cmp:Stdlib.compare ~capacity;
+        rank = Iheap.create ~capacity;
+        recency = Iheap.create ~capacity;
         counter;
         updates = 0;
+        qbuf = Array.make capacity 0;
       }
     in
     Rrs_prof.span "ranking.index.build" (fun () ->
@@ -145,30 +163,77 @@ module Index = struct
   let eligible_count t = Iheap.length t.rank
   let updates t = t.updates
 
-  let ranked_prefix t ~k =
+  (* Scratch-buffer queries: the hot path.  Spans use enter/leave with
+     an exception match — balanced on raise like Rrs_prof.span, without
+     allocating a closure per query. *)
+
+  let ranked_prefix_into t ~k ~out =
     Rrs_prof.enter "ranking.query";
-    let r = Iheap.smallest t.rank k in
-    Rrs_prof.leave "ranking.query";
-    r
+    match Iheap.smallest_into t.rank k ~out with
+    | n ->
+        Rrs_prof.leave "ranking.query";
+        n
+    | exception e ->
+        Rrs_prof.leave "ranking.query";
+        raise e
+
+  let ranked_prefix_excluding_into t ~k ~excluded ~exclude ~out =
+    Rrs_prof.enter "ranking.query";
+    match
+      let m = Iheap.smallest_into t.rank (k + excluded) ~out:t.qbuf in
+      let kept = ref 0 in
+      let i = ref 0 in
+      while !i < m && !kept < k do
+        let color = Array.unsafe_get t.qbuf !i in
+        if not (exclude color) then begin
+          out.(!kept) <- color;
+          incr kept
+        end;
+        incr i
+      done;
+      !kept
+    with
+    | n ->
+        Rrs_prof.leave "ranking.query";
+        n
+    | exception e ->
+        Rrs_prof.leave "ranking.query";
+        raise e
+
+  let recency_prefix_into t ~k ~out =
+    Rrs_prof.enter "ranking.query";
+    match Iheap.smallest_into t.recency k ~out with
+    | n ->
+        Rrs_prof.leave "ranking.query";
+        n
+    | exception e ->
+        Rrs_prof.leave "ranking.query";
+        raise e
+
+  let rank_key t color = Iheap.priority t.rank color
+
+  (* List-building wrappers over the scratch queries: cold paths for the
+     oracle comparisons and tests. *)
+
+  let keyed_list t out n =
+    List.init n (fun i -> (out.(i), Iheap.priority t.rank out.(i)))
+
+  let ranked_prefix t ~k =
+    let out = Array.make (Stdlib.max 1 (Stdlib.min k (eligible_count t))) 0 in
+    let n = ranked_prefix_into t ~k ~out in
+    keyed_list t out n
 
   let ranked_prefix_excluding t ~k ~excluded ~exclude =
-    Rrs_prof.enter "ranking.query";
-    let r =
-      Iheap.smallest t.rank (k + excluded)
-      |> List.filter (fun (color, _) -> not (exclude color))
-      |> Policy.take k
-    in
-    Rrs_prof.leave "ranking.query";
-    r
+    let out = Array.make (Stdlib.max 1 (Stdlib.min k (eligible_count t))) 0 in
+    let n = ranked_prefix_excluding_into t ~k ~excluded ~exclude ~out in
+    keyed_list t out n
 
-  let ranked_all t = Iheap.smallest t.rank (Iheap.length t.rank)
+  let ranked_all t = ranked_prefix t ~k:(eligible_count t)
 
   let recency_prefix t ~k =
-    Rrs_prof.enter "ranking.query";
-    let r = List.map fst (Iheap.smallest t.recency k) in
-    Rrs_prof.leave "ranking.query";
-    r
+    let out = Array.make (Stdlib.max 1 (Stdlib.min k (eligible_count t))) 0 in
+    let n = recency_prefix_into t ~k ~out in
+    List.init n (fun i -> out.(i))
 
-  let recency_all t =
-    List.map fst (Iheap.smallest t.recency (Iheap.length t.recency))
+  let recency_all t = recency_prefix t ~k:(Iheap.length t.recency)
 end

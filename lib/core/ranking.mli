@@ -6,10 +6,23 @@
     Ineligible colors are ranked strictly worse than all eligible colors
     (they are eviction fodder); among themselves they rank by color id. *)
 
-type key
-(** Totally ordered rank key; smaller = better (cache-worthy). *)
+type key = private int
+(** Totally ordered rank key; smaller = better (cache-worthy).  The
+    [(klass, deadline, delay, color)] tuple packed into one tagged int
+    ({!Packed}), so {!compare} is plain integer comparison and the flat
+    index heaps hold keys unboxed. *)
 
 val compare : key -> key -> int
+
+val pack_key : klass:int -> deadline:int -> delay:int -> color:int -> key
+(** Direct field packing; the inverse of the accessors below.  Exposed
+    for the packed-vs-record differential tests.
+    @raise Invalid_argument on field overflow ({!Packed}). *)
+
+val key_klass : key -> int
+val key_deadline : key -> int
+val key_delay : key -> int
+val key_color : key -> int
 
 val key_of_color :
   Eligibility.t -> Pending.t -> delay:int array -> Types.color -> key
@@ -79,6 +92,35 @@ module Index : sig
       policy-construction time, resolve inside [reconfigure] — the
       standard way policies defer the snapshot until the state is
       live. *)
+
+  (** {3 Scratch-buffer queries — the zero-alloc hot path}
+
+      Each writes the answer's colors into a caller-owned [out] buffer
+      and returns how many were written, best rank first; the heaps are
+      not modified and a warm call allocates nothing.  All three are
+      wrapped in the ["ranking.query"] profiler span, balanced even if
+      the body (e.g. a caller-supplied [exclude]) raises. *)
+
+  val ranked_prefix_into : t -> k:int -> out:int array -> int
+  (** The best-ranked [min k E] eligible colors; O(k log k).
+      @raise Invalid_argument if [out] is too small. *)
+
+  val ranked_prefix_excluding_into :
+    t -> k:int -> excluded:int -> exclude:(Types.color -> bool) ->
+    out:int array -> int
+  (** Same, skipping colors for which [exclude] holds.  [excluded] must
+      upper-bound the number of excluded colors present in the index. *)
+
+  val recency_prefix_into : t -> k:int -> out:int array -> int
+  (** The first [min k E] colors of the ΔLRU selection order. *)
+
+  val rank_key : t -> Types.color -> key
+  (** The indexed rank key of an eligible color — what
+      {!key_of_color} would recompute, read straight from the index;
+      zero-alloc.
+      @raise Not_found if the color is not in the index. *)
+
+  (** {3 List-building wrappers — cold paths for oracle and tests} *)
 
   val ranked_prefix : t -> k:int -> (Types.color * key) list
   (** The best-ranked [min k E] eligible colors, best first — equal to

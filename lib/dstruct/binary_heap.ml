@@ -2,14 +2,20 @@ type 'a t = {
   cmp : 'a -> 'a -> int;
   mutable data : 'a array;
   mutable size : int;
+  hint : int; (* requested initial capacity; first grow allocates exactly it *)
 }
 
 let create ~cmp ?(initial_capacity = 16) () =
   if initial_capacity < 1 then invalid_arg "Binary_heap.create";
-  { cmp; data = [||]; size = 0 }
+  (* The backing array stays empty until the first [add] supplies a seed
+     element, but the capacity hint is honored: the first allocation is
+     exactly [initial_capacity], so [initial_capacity] adds never grow. *)
+  { cmp; data = [||]; size = 0; hint = initial_capacity }
 
 let length h = h.size
 let is_empty h = h.size = 0
+let capacity h =
+  if Array.length h.data = 0 then h.hint else Array.length h.data
 
 let swap h i j =
   let tmp = h.data.(i) in
@@ -39,8 +45,10 @@ let rec sift_down h i =
   end
 
 let grow h x =
-  (* [x] seeds the fresh array; slots beyond [size] are never read. *)
-  let capacity = max 16 (2 * Array.length h.data) in
+  (* [x] seeds the fresh array; slots beyond [size] are never read.  The
+     first allocation honors the creation-time capacity hint exactly;
+     subsequent growth doubles. *)
+  let capacity = max h.hint (2 * Array.length h.data) in
   let data = Array.make capacity x in
   Array.blit h.data 0 data 0 h.size;
   h.data <- data
@@ -68,7 +76,9 @@ let pop_min_opt h = if h.size = 0 then None else Some (pop_min h)
 let clear h = h.size <- 0
 
 let of_array ~cmp a =
-  let h = { cmp; data = Array.copy a; size = Array.length a } in
+  let h =
+    { cmp; data = Array.copy a; size = Array.length a; hint = 16 }
+  in
   for i = (h.size / 2) - 1 downto 0 do
     sift_down h i
   done;

@@ -11,7 +11,15 @@ type 'a t
 
 val create : cmp:('a -> 'a -> int) -> ?initial_capacity:int -> unit -> 'a t
 (** [create ~cmp ()] is a fresh empty heap ordered by [cmp].
+    [initial_capacity] (default 16) is honored: the first backing-array
+    allocation is exactly that size, so the first [initial_capacity]
+    [add]s never reallocate.
     @raise Invalid_argument if [initial_capacity < 1]. *)
+
+val capacity : 'a t -> int
+(** Current backing-array capacity (the creation-time hint until the
+    first [add] materializes it).  Exposed for capacity-regression
+    tests. *)
 
 val of_array : cmp:('a -> 'a -> int) -> 'a array -> 'a t
 (** [of_array ~cmp a] heapifies a copy of [a] in O(n). *)

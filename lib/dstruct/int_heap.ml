@@ -1,0 +1,118 @@
+(* Flat 4-ary min-heap of plain ints.
+
+   The hot event heaps (Pending.due, Eligibility.boundary) used to hold
+   (int * int) tuples under a polymorphic comparator: one two-word block
+   per entry plus a closure-indirected compare per sift step.  Packing
+   the pair into a single tagged int (Rrs_core.Packed) makes every entry
+   unboxed, every comparison a native [<], and the 4-ary layout keeps a
+   parent's children in one cache line.
+
+   Layout: parent of slot i is (i-1)/4; children are 4i+1 .. 4i+4.
+
+   Safe/unsafe split (after the vicare binary-heaps exemplar): the
+   [unsafe_] tier skips bounds checks and is only reachable from the
+   public operations, which establish 0 <= slot < size before calling
+   it; [check_invariant] exercises the whole structure under test. *)
+
+type t = { mutable data : int array; mutable size : int; hint : int }
+
+let create ?(initial_capacity = 16) () =
+  if initial_capacity < 1 then invalid_arg "Int_heap.create";
+  { data = [||]; size = 0; hint = initial_capacity }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let capacity h =
+  if Array.length h.data = 0 then h.hint else Array.length h.data
+
+let clear h = h.size <- 0
+
+(* -- unsafe tier: callers guarantee 0 <= i < size ------------------- *)
+
+let[@inline] unsafe_get h i = Array.unsafe_get h.data i
+let[@inline] unsafe_set h i v = Array.unsafe_set h.data i v
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) lsr 2 in
+    let v = unsafe_get h i and pv = unsafe_get h parent in
+    if v < pv then begin
+      unsafe_set h i pv;
+      unsafe_set h parent v;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let first = (i lsl 2) + 1 in
+  if first < h.size then begin
+    let size = h.size in
+    let best = first in
+    let best =
+      if first + 1 < size && unsafe_get h (first + 1) < unsafe_get h best then
+        first + 1
+      else best
+    in
+    let best =
+      if first + 2 < size && unsafe_get h (first + 2) < unsafe_get h best then
+        first + 2
+      else best
+    in
+    let best =
+      if first + 3 < size && unsafe_get h (first + 3) < unsafe_get h best then
+        first + 3
+      else best
+    in
+    let v = unsafe_get h i and bv = unsafe_get h best in
+    if bv < v then begin
+      unsafe_set h i bv;
+      unsafe_set h best v;
+      sift_down h best
+    end
+  end
+
+(* -- safe public operations ----------------------------------------- *)
+
+let grow h =
+  let capacity = max h.hint (2 * Array.length h.data) in
+  let data = Array.make capacity 0 in
+  Array.blit h.data 0 data 0 h.size;
+  h.data <- data
+
+let add h x =
+  if h.size = Array.length h.data then grow h;
+  h.data.(h.size) <- x;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let min h = if h.size = 0 then raise Not_found else h.data.(0)
+
+let pop_min h =
+  if h.size = 0 then raise Not_found;
+  let top = h.data.(0) in
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    h.data.(0) <- h.data.(h.size);
+    sift_down h 0
+  end;
+  top
+
+let iter f h =
+  for i = 0 to h.size - 1 do
+    f h.data.(i)
+  done
+
+let to_sorted_list h =
+  let copy = { h with data = Array.sub h.data 0 h.size } in
+  let rec drain acc =
+    if is_empty copy then List.rev acc else drain (pop_min copy :: acc)
+  in
+  drain []
+
+let check_invariant h =
+  let ok = ref true in
+  for i = 1 to h.size - 1 do
+    if h.data.((i - 1) lsr 2) > h.data.(i) then ok := false
+  done;
+  h.size >= 0 && h.size <= Array.length h.data && !ok

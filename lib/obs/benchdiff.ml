@@ -27,7 +27,9 @@ let default_rules =
     rule "analysis.engine_runs" Exact;
     (* deterministic work counts: improvements fine, growth gated *)
     rule ~rel_tol:0.10 "analysis.ranking_updates" Lower_better;
-    rule ~rel_tol:0.25 ~abs_tol:64. "analysis.alloc_*" Lower_better;
+    (* the flat hot path holds allocations near zero, so the band is
+       tight: noise headroom only, any real regression trips it *)
+    rule ~rel_tol:0.08 ~abs_tol:16. "analysis.alloc_*" Lower_better;
     (* machine-relative ratio — the load-bearing perf gate *)
     rule ~rel_tol:0.35 ~abs_tol:0.15 "analysis.speedup" Higher_better;
     (* absolute machine speed: gate only on order-of-magnitude collapse *)

@@ -52,7 +52,7 @@ let test_injected_regressions_fail () =
       ("analysis.speedup", with_metric "speedup" 0.9);
       (* deterministic work count growth beyond 10% *)
       ("analysis.ranking_updates", with_metric "ranking_updates" 1500.0);
-      (* allocation growth beyond 25% and 64 words *)
+      (* allocation growth beyond 8% and 16 words *)
       ( "analysis.alloc_minor_words_per_round",
         with_metric "alloc_minor_words_per_round" 700.0 );
       (* exact metrics: any drift at all *)
@@ -93,7 +93,7 @@ let test_noise_within_tolerance_passes () =
           ("speedup", 1.2); (* -20% < 35% *)
           ("ranking_updates", 1251.0);
           ("identical", 1.0);
-          ("alloc_minor_words_per_round", 550.0); (* +10% < 25% *)
+          ("alloc_minor_words_per_round", 510.0); (* +2% < 8% *)
         ];
     ]
   in

@@ -2,6 +2,8 @@
 
 module BH = Rrs_dstruct.Binary_heap
 module IH = Rrs_dstruct.Indexed_heap
+module IntH = Rrs_dstruct.Int_heap
+module IIH = Rrs_dstruct.Int_indexed_heap
 module PH = Rrs_dstruct.Pairing_heap
 module DQ = Rrs_dstruct.Deque
 module RB = Rrs_dstruct.Ring_buffer
@@ -65,6 +67,21 @@ let test_bh_peek () =
   Alcotest.(check (option int)) "min" (Some 2) (BH.peek_min_opt h);
   Alcotest.(check int) "nondestructive" 3 (BH.length h);
   Alcotest.(check int) "agrees with pop" 2 (BH.pop_min h)
+
+(* regression: [create ~initial_capacity] used to be silently ignored,
+   so the first [add] always started from the tiny default and paid the
+   doubling ladder *)
+let test_bh_initial_capacity () =
+  let h = BH.create ~cmp:int_cmp ~initial_capacity:64 () in
+  Alcotest.(check int) "capacity honored" 64 (BH.capacity h);
+  BH.add h 7;
+  Alcotest.(check int) "first add does not grow" 64 (BH.capacity h);
+  for i = 1 to 63 do
+    BH.add h i
+  done;
+  Alcotest.(check int) "still at hint when full" 64 (BH.capacity h);
+  BH.add h 99;
+  Alcotest.(check bool) "grows past the hint" true (BH.capacity h > 64)
 
 let prop_bh_sorts =
   QCheck.Test.make ~count:300 ~name:"binary heap sorts like List.sort"
@@ -200,6 +217,171 @@ let prop_ih_model =
               p = p'
           | _ -> false)
         ops)
+
+(* ------------------------------------------------------------------ *)
+(* Int heap (flat 4-ary)                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_inth_basics () =
+  let h = IntH.create ~initial_capacity:4 () in
+  Alcotest.(check int) "capacity honored" 4 (IntH.capacity h);
+  Alcotest.(check bool) "empty" true (IntH.is_empty h);
+  Alcotest.check_raises "min raises" Not_found (fun () -> ignore (IntH.min h));
+  List.iter (IntH.add h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  Alcotest.(check bool) "invariant" true (IntH.check_invariant h);
+  Alcotest.(check int) "min" 1 (IntH.min h);
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 2; 3; 4; 5; 9 ]
+    (IntH.to_sorted_list h);
+  Alcotest.(check int) "nondestructive" 7 (IntH.length h);
+  let drained = List.init 7 (fun _ -> IntH.pop_min h) in
+  Alcotest.(check (list int)) "drain order" [ 1; 1; 2; 3; 4; 5; 9 ] drained;
+  IntH.clear h;
+  IntH.add h 42;
+  Alcotest.(check int) "usable after clear" 42 (IntH.min h)
+
+let prop_inth_sorts =
+  QCheck.Test.make ~count:300 ~name:"int heap sorts like List.sort"
+    QCheck.(list int)
+    (fun xs ->
+      let xs = List.map abs xs in
+      let h = IntH.create () in
+      List.iter (IntH.add h) xs;
+      IntH.to_sorted_list h = List.sort int_cmp xs && IntH.check_invariant h)
+
+(* ------------------------------------------------------------------ *)
+(* Int indexed heap (flat 4-ary)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_iih_basics () =
+  let h = IIH.create ~capacity:8 in
+  IIH.insert h 3 30;
+  IIH.insert h 1 10;
+  IIH.insert h 5 50;
+  Alcotest.(check int) "length" 3 (IIH.length h);
+  Alcotest.(check bool) "mem" true (IIH.mem h 3);
+  Alcotest.(check bool) "not mem" false (IIH.mem h 0);
+  Alcotest.(check int) "priority" 30 (IIH.priority h 3);
+  Alcotest.(check (pair int int)) "min" (1, 10) (IIH.min h);
+  Alcotest.(check int) "min_key" 1 (IIH.min_key h);
+  IIH.update h 5 5;
+  Alcotest.(check (pair int int)) "decrease-key" (5, 5) (IIH.min h);
+  IIH.update h 5 500;
+  Alcotest.(check (pair int int)) "increase-key" (1, 10) (IIH.min h);
+  IIH.remove h 1;
+  Alcotest.(check (pair int int)) "after remove" (3, 30) (IIH.min h);
+  IIH.remove h 1;
+  Alcotest.(check int) "remove absent is noop" 2 (IIH.length h);
+  Alcotest.(check bool) "invariant" true (IIH.check_invariant h);
+  Alcotest.check_raises "key range"
+    (Invalid_argument "Int_indexed_heap: key out of range") (fun () ->
+      IIH.insert h 8 0)
+
+let test_iih_smallest_into () =
+  let h = IIH.create ~capacity:10 in
+  List.iteri (fun key prio -> IIH.insert h key prio) [ 40; 10; 30; 20; 50 ];
+  let out = Array.make 10 (-1) in
+  let got = IIH.smallest_into h 3 ~out in
+  Alcotest.(check int) "count" 3 got;
+  Alcotest.(check (list int)) "ascending priority order" [ 1; 3; 2 ]
+    (Array.to_list (Array.sub out 0 got));
+  Alcotest.(check int) "nondestructive" 5 (IIH.length h);
+  Alcotest.(check int) "beyond size" 5 (IIH.smallest_into h 99 ~out);
+  Alcotest.(check (list (pair int int)))
+    "smallest list agrees"
+    [ (1, 10); (3, 20); (2, 30) ]
+    (IIH.smallest h 3);
+  Alcotest.check_raises "out too small"
+    (Invalid_argument "Int_indexed_heap.smallest_into: out buffer too small")
+    (fun () -> ignore (IIH.smallest_into h 3 ~out:(Array.make 2 0)))
+
+(* differential: the flat 4-ary heap against the reference Indexed_heap
+   on identical random op sequences — same membership, same priorities,
+   same minimum at every step *)
+let iih_op =
+  let open QCheck in
+  oneof
+    [
+      map (fun (k, p) -> `Update (k, p)) (pair (int_bound 15) small_nat);
+      map (fun k -> `Remove k) (int_bound 15);
+      always `Pop;
+    ]
+
+let prop_iih_differential =
+  QCheck.Test.make ~count:500
+    ~name:"int indexed heap matches Indexed_heap on random ops"
+    QCheck.(list iih_op)
+    (fun ops ->
+      let flat = IIH.create ~capacity:16 in
+      let reference = IH.create ~cmp:int_cmp ~capacity:16 in
+      List.for_all
+        (fun op ->
+          (match op with
+          | `Update (k, p) ->
+              IIH.update flat k p;
+              IH.update reference k p
+          | `Remove k ->
+              IIH.remove flat k;
+              IH.remove reference k
+          | `Pop -> (
+              (* pop both; priority ties may pick different keys, so
+                 re-align by removing the flat heap's choice from both *)
+              match IIH.pop_min_opt flat with
+              | None -> assert (IH.pop_min_opt reference = None)
+              | Some (k, p) ->
+                  if IH.priority reference k <> p then
+                    failwith "pop priority mismatch";
+                  IH.remove reference k));
+          IIH.check_invariant flat
+          && IIH.length flat = IH.length reference
+          && List.for_all
+               (fun k ->
+                 IIH.mem flat k = IH.mem reference k
+                 && ((not (IIH.mem flat k))
+                    || IIH.priority flat k = IH.priority reference k))
+               (List.init 16 Fun.id)
+          &&
+          match (IIH.peek_min_opt flat, IH.peek_min_opt reference) with
+          | None, None -> true
+          | Some (_, p), Some (_, p') -> p = p'
+          | _ -> false)
+        ops)
+
+(* storm: the 4-ary invariant (and both directions of the position
+   index) survives arbitrary interleavings of update/remove/pop *)
+let prop_iih_storm =
+  QCheck.Test.make ~count:200 ~name:"4-ary invariant under op storms"
+    QCheck.(pair (int_range 1 64) (list iih_op))
+    (fun (cap, ops) ->
+      let h = IIH.create ~capacity:64 in
+      List.iter
+        (fun op ->
+          match op with
+          | `Update (k, p) -> IIH.update h (k mod cap) p
+          | `Remove k -> IIH.remove h (k mod cap)
+          | `Pop -> ignore (IIH.pop_min_opt h))
+        ops;
+      IIH.check_invariant h)
+
+let prop_iih_smallest_matches_sort =
+  QCheck.Test.make ~count:300 ~name:"smallest_into = sorted prefix"
+    QCheck.(pair (int_bound 20) (list (pair (int_bound 31) small_nat)))
+    (fun (k, bindings) ->
+      let h = IIH.create ~capacity:32 in
+      (* distinct priorities (key is the low tie-break, as in the packed
+         rank keys) so the expected prefix is unique *)
+      List.iter (fun (key, p) -> IIH.update h key ((p * 32) + key)) bindings;
+      let out = Array.make 32 (-1) in
+      let got = IIH.smallest_into h k ~out in
+      let expected =
+        let all = ref [] in
+        IIH.iter (fun key p -> all := (p, key) :: !all) h;
+        List.filteri
+          (fun i _ -> i < k)
+          (List.map snd (List.sort compare !all))
+      in
+      got = List.length expected
+      && Array.to_list (Array.sub out 0 got) = expected
+      && IIH.check_invariant h)
 
 (* ------------------------------------------------------------------ *)
 (* Pairing heap                                                        *)
@@ -398,6 +580,8 @@ let () =
           Alcotest.test_case "ordering" `Quick test_bh_order;
           Alcotest.test_case "of_array" `Quick test_bh_of_array;
           Alcotest.test_case "clear+grow" `Quick test_bh_clear_and_grow;
+          Alcotest.test_case "initial capacity honored" `Quick
+            test_bh_initial_capacity;
           Alcotest.test_case "fold/iter" `Quick test_bh_fold_iter;
           Alcotest.test_case "peek_min_opt" `Quick test_bh_peek;
         ] );
@@ -412,6 +596,20 @@ let () =
           Alcotest.test_case "clear" `Quick test_ih_clear;
         ] );
       qsuite "indexed_heap_props" [ prop_ih_model ];
+      ( "int_heap",
+        [ Alcotest.test_case "basics" `Quick test_inth_basics ] );
+      qsuite "int_heap_props" [ prop_inth_sorts ];
+      ( "int_indexed_heap",
+        [
+          Alcotest.test_case "basics" `Quick test_iih_basics;
+          Alcotest.test_case "smallest_into" `Quick test_iih_smallest_into;
+        ] );
+      qsuite "int_indexed_heap_props"
+        [
+          prop_iih_differential;
+          prop_iih_storm;
+          prop_iih_smallest_matches_sort;
+        ];
       ( "pairing_heap",
         [
           Alcotest.test_case "basics" `Quick test_ph_basics;

@@ -230,6 +230,53 @@ let test_idempotent_within_round () =
   Alcotest.(check int) "single wrap despite two mini-rounds" 1
     (Eligibility.wrap_events_total e)
 
+(* regression: listeners used to live in a list appended with [l @ [f]]
+   (quadratic registration) and be iterated via [List.rev] per event
+   (per-event allocation); they are now stored once in registration
+   order — every event must still see all listeners, first-registered
+   first *)
+let test_listener_registration_order () =
+  let instance =
+    Instance.create ~delta:2 ~delay:[| 4; 4 |]
+      ~arrivals:[ arr 0 0 4; arr 1 1 2 ]
+      ()
+  in
+  let calls = ref [] in
+  let factory (i : Instance.t) ~n =
+    let e = Eligibility.create i in
+    List.iter
+      (fun tag ->
+        Eligibility.on_timestamp_update e (fun color ts ->
+            calls := (tag, color, ts) :: !calls);
+        Eligibility.on_change e (fun _ -> calls := (tag, -1, -1) :: !calls))
+      [ "first"; "second"; "third" ];
+    {
+      Policy.name = "spy";
+      reconfigure =
+        (fun view ->
+          Eligibility.begin_round e ~view ~in_cache:(fun _ -> false);
+          Array.make n Types.black);
+    }
+  in
+  ignore (Engine.run (Engine.config ~n:1 ()) instance factory);
+  let events = List.rev !calls in
+  Alcotest.(check bool) "listeners fired" true (events <> []);
+  Alcotest.(check int) "all three saw every event" 0
+    (List.length events mod 3);
+  (* consecutive triples carry identical payloads in registration order *)
+  let rec check = function
+    | (("first", c1, t1) as _a)
+      :: ("second", c2, t2)
+      :: ("third", c3, t3)
+      :: rest ->
+        Alcotest.(check bool) "same payload across the triple" true
+          (c1 = c2 && c2 = c3 && t1 = t2 && t2 = t3);
+        check rest
+    | [] -> ()
+    | _ -> Alcotest.fail "listeners out of registration order"
+  in
+  check events
+
 let () =
   Alcotest.run "eligibility"
     [
@@ -262,5 +309,7 @@ let () =
             test_epochs_total_counts_active;
           Alcotest.test_case "mini-round idempotency" `Quick
             test_idempotent_within_round;
+          Alcotest.test_case "listener registration order" `Quick
+            test_listener_registration_order;
         ] );
     ]

@@ -24,6 +24,35 @@ let test_execute_order () =
   Alcotest.(check (option int)) "then later" (Some 9) (Pending.execute_one p 0);
   Alcotest.(check (option int)) "then empty" None (Pending.execute_one p 0)
 
+(* the zero-alloc accessors agree with their option-boxed counterparts
+   through arbitrary execute/expire traffic *)
+let test_flat_accessors_agree () =
+  let p = Pending.create ~num_colors:2 in
+  let agree msg =
+    List.iter
+      (fun c ->
+        let expected =
+          match Pending.earliest_deadline p c with Some d -> d | None -> -1
+        in
+        Alcotest.(check int) (Printf.sprintf "%s: color %d" msg c) expected
+          (Pending.front_deadline p c))
+      [ 0; 1 ]
+  in
+  agree "empty";
+  Pending.add p 0 ~deadline:5 ~count:2;
+  Pending.add p 0 ~deadline:7 ~count:1;
+  Pending.add p 1 ~deadline:6 ~count:1;
+  agree "loaded";
+  Alcotest.(check bool) "execute consumes" true (Pending.execute p 0);
+  agree "after execute";
+  Alcotest.(check bool) "execute drains bucket" true (Pending.execute p 0);
+  agree "front bucket gone";
+  Alcotest.(check int) "front moved to 7" 7 (Pending.front_deadline p 0);
+  ignore (Pending.expire p ~now:7);
+  agree "after expire";
+  Alcotest.(check int) "idle is -1" (-1) (Pending.front_deadline p 0);
+  Alcotest.(check bool) "execute on idle is false" false (Pending.execute p 0)
+
 let test_merge_same_deadline () =
   let p = Pending.create ~num_colors:1 in
   Pending.add p 0 ~deadline:5 ~count:2;
@@ -227,6 +256,8 @@ let () =
             test_stale_entry_then_live_bucket;
           Alcotest.test_case "front-change notifications" `Quick
             test_front_change_notifications;
+          Alcotest.test_case "flat accessors agree" `Quick
+            test_flat_accessors_agree;
         ] );
       ("model", [ QCheck_alcotest.to_alcotest prop_model ]);
     ]

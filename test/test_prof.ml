@@ -99,7 +99,12 @@ let tracks_of evs =
 let test_trace_structure () =
   let prof = Prof.create () in
   let f = Option.get (Families.find "uniform") in
-  ignore (Prof.with_profiler prof (fun () -> run_instrumented (f.build ~seed:1)));
+  (* both ranking arms: the incremental hot path emits ranking.query,
+     while policy.take lives only on the Rebuild/oracle list pipeline *)
+  ignore
+    (Prof.with_profiler prof (fun () ->
+         ignore (run_instrumented (f.build ~seed:1));
+         run_instrumented ~mode:Ranking.Rebuild (f.build ~seed:1)));
   Alcotest.(check bool) "events recorded" true (Prof.events prof > 0);
   let evs = parse_events (Prof.to_chrome_string prof) in
   List.iter (fun (tid, evs) -> check_track tid evs) (tracks_of evs);
@@ -183,6 +188,54 @@ let test_exception_closes_open_spans () =
    with Failure _ -> ());
   let evs = parse_events (Prof.to_chrome_string prof) in
   List.iter (fun (tid, evs) -> check_track tid evs) (tracks_of evs)
+
+(* regression: the ranking hot-path queries guard their enter/leave pair
+   by hand (no closure); a query whose [exclude] callback raises must
+   close "ranking.query" on the exception path itself, not lean on the
+   export-time cleanup of leaked spans *)
+let test_raising_query_leaves_stack_balanced () =
+  let prof = Prof.create () in
+  let instance = small_instance () in
+  Prof.with_profiler prof (fun () ->
+      let elig = Eligibility.create instance in
+      let pending = Pending.create ~num_colors:instance.num_colors in
+      let view =
+        {
+          Policy.round = 0;
+          mini_round = 0;
+          arrivals = [ (0, 2); (1, 1) ];
+          dropped = [];
+          cache = [||];
+          pending;
+        }
+      in
+      Eligibility.begin_round elig ~view ~in_cache:(fun _ -> false);
+      let index = Ranking.Index.lazily elig ~delay:instance.delay in
+      let idx = index pending in
+      let out = Array.make 4 0 in
+      (try
+         ignore
+           (Ranking.Index.ranked_prefix_excluding_into idx ~k:2 ~excluded:0
+              ~exclude:(fun _ -> failwith "boom")
+              ~out)
+       with Failure _ -> ());
+      Prof.span "probe" (fun () -> ()));
+  let evs = parse_events (Prof.to_chrome_string prof) in
+  List.iter (fun (tid, evs) -> check_track tid evs) (tracks_of evs);
+  (* chronological event order: the query's E precedes the probe's B,
+     i.e. the span was closed by the raising query, not at export *)
+  let rec index_of p i = function
+    | [] -> Alcotest.fail "expected event missing"
+    | e :: rest -> if p e then i else index_of p (i + 1) rest
+  in
+  let query_end =
+    index_of (fun e -> e.ph = "E" && e.name = "ranking.query") 0 evs
+  in
+  let probe_begin =
+    index_of (fun e -> e.ph = "B" && e.name = "probe") 0 evs
+  in
+  Alcotest.(check bool) "query closed before probe opened" true
+    (query_end < probe_begin)
 
 (* ------------------------------------------------------------------ *)
 (* Multi-domain tracks                                                 *)
@@ -315,6 +368,8 @@ let () =
             test_unbalanced_and_inactive_sites;
           Alcotest.test_case "exception closes spans" `Quick
             test_exception_closes_open_spans;
+          Alcotest.test_case "raising query stays balanced" `Quick
+            test_raising_query_leaves_stack_balanced;
         ] );
       ( "domains",
         [

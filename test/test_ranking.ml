@@ -238,6 +238,99 @@ let prop_index_matches_oracle =
     (QCheck.make gen ~print:(fun i -> Format.asprintf "%a" Instance.pp_full i))
     (fun instance -> drive_index_check instance = 0)
 
+(* ------------------------------------------------------------------ *)
+(* Packed keys                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* the load-bearing property of the flat hot path: native [<] on packed
+   keys is exactly the lexicographic order on the unpacked tuples *)
+let packed_field_gen =
+  let open QCheck.Gen in
+  let* klass = int_range 0 3 in
+  let* deadline = int_range 0 (Packed.max_deadline - 1) in
+  let* delay = int_range 0 (Packed.max_delay - 1) in
+  let* color = int_range 0 (Packed.max_colors - 1) in
+  return (klass, deadline, delay, color)
+
+let prop_packed_key_is_lex_order =
+  QCheck.Test.make ~count:1000 ~name:"packed key compare = tuple compare"
+    (QCheck.make QCheck.Gen.(pair packed_field_gen packed_field_gen))
+    (fun ((ka, da, ya, ca), (kb, db, yb, cb)) ->
+      let a = Packed.pack_key ~klass:ka ~deadline:da ~delay:ya ~color:ca in
+      let b = Packed.pack_key ~klass:kb ~deadline:db ~delay:yb ~color:cb in
+      compare a b = compare (ka, da, ya, ca) (kb, db, yb, cb)
+      && Packed.key_klass a = ka
+      && Packed.key_deadline a = da
+      && Packed.key_delay a = ya
+      && Packed.key_color a = ca)
+
+let prop_packed_recency_order =
+  QCheck.Test.make ~count:1000 ~name:"packed recency = (-ts, color) order"
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (pair (int_range (-1) 100000) (int_range 0 (Packed.max_colors - 1)))
+           (pair (int_range (-1) 100000) (int_range 0 (Packed.max_colors - 1)))))
+    (fun ((ta, ca), (tb, cb)) ->
+      let a = Packed.pack_recency ~timestamp:ta ~color:ca in
+      let b = Packed.pack_recency ~timestamp:tb ~color:cb in
+      compare a b = compare (-ta, ca) (-tb, cb)
+      && Packed.recency_timestamp a = ta
+      && Packed.recency_color a = ca)
+
+let test_packed_overflow_guards () =
+  let ok ~klass ~deadline ~delay ~color =
+    ignore (Packed.pack_key ~klass ~deadline ~delay ~color)
+  in
+  (* the exact field boundaries round-trip *)
+  let top =
+    Packed.pack_key ~klass:3 ~deadline:(Packed.max_deadline - 1)
+      ~delay:(Packed.max_delay - 1) ~color:(Packed.max_colors - 1)
+  in
+  Alcotest.(check int) "top klass" 3 (Packed.key_klass top);
+  Alcotest.(check int) "top deadline" (Packed.max_deadline - 1)
+    (Packed.key_deadline top);
+  Alcotest.(check int) "top delay" (Packed.max_delay - 1)
+    (Packed.key_delay top);
+  Alcotest.(check int) "top color" (Packed.max_colors - 1)
+    (Packed.key_color top);
+  Alcotest.(check bool) "packed values stay non-negative" true (top >= 0);
+  (* one past each field raises *)
+  Alcotest.check_raises "klass overflow"
+    (Invalid_argument "Packed.pack_key: klass") (fun () ->
+      ok ~klass:4 ~deadline:0 ~delay:0 ~color:0);
+  Alcotest.check_raises "deadline overflow"
+    (Invalid_argument "Packed.pack_key: deadline overflow") (fun () ->
+      ok ~klass:0 ~deadline:Packed.max_deadline ~delay:0 ~color:0);
+  Alcotest.check_raises "delay overflow"
+    (Invalid_argument "Packed.pack_key: delay overflow") (fun () ->
+      ok ~klass:0 ~deadline:0 ~delay:Packed.max_delay ~color:0);
+  Alcotest.check_raises "color overflow"
+    (Invalid_argument "Packed: color out of range") (fun () ->
+      ok ~klass:0 ~deadline:0 ~delay:0 ~color:Packed.max_colors);
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Packed.pack_key: delay overflow") (fun () ->
+      ok ~klass:0 ~deadline:0 ~delay:(-1) ~color:0);
+  Alcotest.check_raises "recency timestamp underflow"
+    (Invalid_argument "Packed.pack_recency: timestamp overflow") (fun () ->
+      ignore (Packed.pack_recency ~timestamp:(-2) ~color:0));
+  Alcotest.check_raises "pair value overflow"
+    (Invalid_argument "Packed.pack_pair: value overflow") (fun () ->
+      ignore (Packed.pack_pair ~value:Packed.max_pair_value ~color:0))
+
+(* an index refuses instances whose delay bounds don't fit the field *)
+let test_index_rejects_oversized_delay () =
+  let delay = [| 4; Packed.max_delay |] in
+  let instance =
+    Instance.create ~delta:1 ~delay ~arrivals:[ arr 0 0 1 ] ()
+  in
+  let elig = Eligibility.create instance in
+  Alcotest.check_raises "index build rejects"
+    (Invalid_argument "Ranking.Index: delay bound exceeds the packed field")
+    (fun () ->
+      let pending = Pending.create ~num_colors:2 in
+      ignore (Ranking.Index.lazily elig ~delay pending))
+
 let () =
   Alcotest.run "ranking"
     [
@@ -261,5 +354,14 @@ let () =
           Alcotest.test_case "families match oracle" `Quick
             test_index_matches_oracle;
           QCheck_alcotest.to_alcotest prop_index_matches_oracle;
+        ] );
+      ( "packed keys",
+        [
+          QCheck_alcotest.to_alcotest prop_packed_key_is_lex_order;
+          QCheck_alcotest.to_alcotest prop_packed_recency_order;
+          Alcotest.test_case "overflow guards" `Quick
+            test_packed_overflow_guards;
+          Alcotest.test_case "index rejects oversized delay" `Quick
+            test_index_rejects_oversized_delay;
         ] );
     ]
