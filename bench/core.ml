@@ -280,16 +280,30 @@ let run_differential oc =
   let cases = ref 0 in
   let divergences = ref 0 in
   let instances = diff_instances () in
+  (* the live-telemetry plane rides along on the Incremental arm only:
+     its engine events stream into a flight recorder and a heartbeat
+     observes every round, while the Rebuild arm stays bare.  The
+     full-result equality below therefore proves ranking-mode identity
+     AND that recorder + heartbeat perturb nothing (the ISSUE's
+     non-perturbation acceptance bar, same standard as the Watchdog). *)
+  let recorder = Rrs_obs.Flight_recorder.create ~capacity:256 () in
+  let heartbeat = Rrs_obs.Heartbeat.create ~every_rounds:128 () in
   List.iter
     (fun (iname, instance) ->
       List.iter
         (fun (pname, make) ->
           incr cases;
           let run mode =
-            Engine.run_policy
-              (Engine.config ~n:!n ~record_schedule:true ())
-              instance
-              (make mode instance ~n:!n)
+            let cfg =
+              match mode with
+              | Ranking.Incremental ->
+                  Engine.config ~n:!n ~record_schedule:true
+                    ~sink:(Rrs_obs.Flight_recorder.sink recorder)
+                    ~heartbeat ()
+              | Ranking.Rebuild ->
+                  Engine.config ~n:!n ~record_schedule:true ()
+            in
+            Engine.run_policy cfg instance (make mode instance ~n:!n)
           in
           if run Ranking.Incremental <> run Ranking.Rebuild then begin
             incr divergences;
@@ -310,6 +324,11 @@ let run_differential oc =
     !cases (List.length instances)
     (List.length ranking_policies + 1)
     !divergences;
+  Printf.printf
+    "live telemetry attached to the incremental arm: %d events recorded, %d \
+     heartbeats\n"
+    (Rrs_obs.Flight_recorder.events_recorded recorder)
+    (Rrs_obs.Heartbeat.beats heartbeat);
   Rrs_obs.Run_summary.write oc
     (Rrs_obs.Run_summary.make ~id:"core-differential" ~kind:"bench"
        ~config:
@@ -323,6 +342,11 @@ let run_differential oc =
          [
            ("cases", float_of_int !cases);
            ("divergences", float_of_int !divergences);
+           ( "recorder_events",
+             float_of_int (Rrs_obs.Flight_recorder.events_recorded recorder)
+           );
+           ( "heartbeat_rounds",
+             float_of_int (Rrs_obs.Heartbeat.rounds_observed heartbeat) );
          ]
        ());
   !divergences = 0

@@ -318,6 +318,91 @@ let sink_overhead oc =
              count = repeats;
            };
          ]
+       ());
+  null_seconds
+
+(* The live-telemetry plane (flight recorder ring + heartbeat
+   accounting) must cost no more than full tracing: the recorder is a
+   bounded overwrite of what the memory sink retains unboundedly, and
+   the heartbeat adds integer accumulation per round plus one beat
+   every [every_rounds].  Timed against the same run as above; the
+   null-sink baseline is shared so the percentages are comparable. *)
+let live_telemetry_overhead oc ~null_seconds =
+  print_endline "================================================================";
+  print_endline " Live telemetry overhead (flight recorder + heartbeat)";
+  print_endline "================================================================";
+  let repeats = 10 in
+  let best_of f =
+    let best = ref infinity in
+    for _ = 1 to repeats do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let events = ref 0 in
+  let recorder_seconds =
+    best_of (fun () ->
+        let r = Rrs_obs.Flight_recorder.create () in
+        ignore
+          (Engine.run
+             (Engine.config ~n:8 ~sink:(Rrs_obs.Flight_recorder.sink r) ())
+             router_instance Lru_edf.policy);
+        events := Rrs_obs.Flight_recorder.events_recorded r)
+  in
+  let beats = ref 0 in
+  let both_seconds =
+    best_of (fun () ->
+        let r = Rrs_obs.Flight_recorder.create () in
+        let hb = Rrs_obs.Heartbeat.create ~every_rounds:64 () in
+        ignore
+          (Engine.run
+             (Engine.config ~n:8
+                ~sink:(Rrs_obs.Flight_recorder.sink r)
+                ~heartbeat:hb ())
+             router_instance Lru_edf.policy);
+        beats := Rrs_obs.Heartbeat.beats hb)
+  in
+  let pct x = (x -. null_seconds) /. null_seconds *. 100. in
+  Printf.printf "recorder sink:        %.3f ms/run (%d events, %+.1f%%)\n"
+    (recorder_seconds *. 1e3) !events (pct recorder_seconds);
+  Printf.printf "recorder + heartbeat: %.3f ms/run (%d beats, %+.1f%%)\n"
+    (both_seconds *. 1e3) !beats (pct both_seconds);
+  Rrs_obs.Run_summary.write oc
+    (Rrs_obs.Run_summary.make ~id:"live-telemetry-overhead" ~kind:"bench"
+       ~config:
+         [
+           ("family", "router");
+           ("policy", "dlru-edf");
+           ("n", "8");
+           ("repeats", string_of_int repeats);
+           ("heartbeat_every", "64");
+         ]
+       ~analysis:
+         [
+           ("null_seconds", null_seconds);
+           ("recorder_seconds", recorder_seconds);
+           ("recorder_heartbeat_seconds", both_seconds);
+           ("recorder_overhead_pct", pct recorder_seconds);
+           ("recorder_heartbeat_overhead_pct", pct both_seconds);
+           ("events", float_of_int !events);
+           ("beats", float_of_int !beats);
+         ]
+       ~timings:
+         [
+           {
+             Rrs_obs.Run_summary.phase = "recorder";
+             seconds = recorder_seconds;
+             count = repeats;
+           };
+           {
+             Rrs_obs.Run_summary.phase = "recorder_heartbeat";
+             seconds = both_seconds;
+             count = repeats;
+           };
+         ]
        ())
 
 let () =
@@ -325,6 +410,7 @@ let () =
       run_experiments oc;
       parallel_speedup oc;
       run_microbenchmarks ();
-      sink_overhead oc);
+      let null_seconds = sink_overhead oc in
+      live_telemetry_overhead oc ~null_seconds);
   print_endline "run summaries written to BENCH_obs.json";
   print_endline "bench: done"

@@ -54,10 +54,19 @@ let supervise_policy =
    transient, so it also exercises the retry path — note that with a
    timeout set each attempt runs in a fresh domain whose per-domain Nth
    counter restarts, so the injection recurs on the retry and the
-   failure is reported after the budget exhausts (still contained). *)
+   failure is reported after the budget exhausts (still contained).
+
+   Seed 1 uses [Every 1], not [Nth 1]: the pool's work-stealing loop
+   makes "how many worker domains pull at least one task" a race, so a
+   per-domain Nth trigger would fail a run-dependent number of
+   experiments (3 or 4 of 4) and flap the Exact-gated contained count.
+   [Every 1] fires on every task's worker probe — all 4 experiments
+   fail, deterministically, all outside the supervised thunk (the
+   probe precedes it), so this seed pins the sweep's escape-containment
+   path and its crash-dump hook. *)
 let campaign_rules seed =
   match seed with
-  | 1 -> [ Fault.fail_on "pool.worker" (Fault.Nth 1) ]
+  | 1 -> [ Fault.fail_on "pool.worker" (Fault.Every 1) ]
   | 2 -> [ Fault.fail_on ~transient:true "engine.run" (Fault.Nth 2) ]
   | 3 -> [ Fault.fail_on "harness.run_policy" (Fault.Nth 5) ]
   | 4 ->
@@ -82,6 +91,44 @@ let record_fired plan =
       Hashtbl.replace fired point (existing + count))
     (Fault.injected plan)
 
+let dump_root = "robust_crash_dumps"
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+(* The flight-recorder contract under fault fire: every final failure
+   of the sweep must leave a crash-<id>.jsonl black-box whose first
+   line is a flight_recorder header. *)
+let check_crash_dumps ~seed ~dir failed =
+  let dumps = ref 0 in
+  List.iter
+    (fun (id, (f : Supervisor.failure)) ->
+      if f.phase <> "skipped" then begin
+        let path = Rrs_obs.Flight_recorder.crash_dump_path ~dir ~name:id in
+        if not (Sys.file_exists path) then
+          fail "seed %d: no crash dump for failed %s" seed id
+        else begin
+          incr dumps;
+          match In_channel.with_open_text path In_channel.input_lines with
+          | [] | (exception Sys_error _) ->
+              fail "seed %d: crash dump for %s is empty" seed id
+          | header :: _ -> (
+              match Rrs_obs.Json.parse header with
+              | Ok j
+                when Rrs_obs.Json.member "type" j
+                     = Some (Rrs_obs.Json.String "flight_recorder") ->
+                  ()
+              | _ -> fail "seed %d: crash dump for %s: bad header" seed id)
+        end
+      end)
+    failed;
+  !dumps
+
 let experiment_campaign () =
   print_endline
     "================================================================";
@@ -90,6 +137,10 @@ let experiment_campaign () =
     "================================================================";
   let uncontained = ref 0 in
   let contained = ref 0 in
+  let crash_dumps = ref 0 in
+  rm_rf dump_root;
+  Unix.mkdir dump_root 0o755;
+  let recorder = Rrs_obs.Flight_recorder.create () in
   List.iter
     (fun seed ->
       let plan =
@@ -97,11 +148,14 @@ let experiment_campaign () =
           ~sleep:(fun _ -> ignore (Atomic.fetch_and_add sleeps 1))
           (campaign_rules seed)
       in
+      let dump_dir = Filename.concat dump_root (Printf.sprintf "seed-%d" seed) in
       let results =
         try
           Fault.with_plan plan (fun () ->
-              Registry.run_many ~jobs:campaign_jobs ~policy:supervise_policy
-                ~keep_going:true experiment_ids)
+              Rrs_obs.Flight_recorder.with_recorder ~dump_dir recorder
+                (fun () ->
+                  Registry.run_many ~jobs:campaign_jobs
+                    ~policy:supervise_policy ~keep_going:true experiment_ids))
         with e ->
           incr uncontained;
           fail "seed %d: injection escaped the sweep: %s" seed
@@ -111,6 +165,7 @@ let experiment_campaign () =
       record_fired plan;
       let failed = Registry.failures results in
       contained := !contained + List.length failed;
+      crash_dumps := !crash_dumps + check_crash_dumps ~seed ~dir:dump_dir failed;
       if results <> [] && List.length results <> List.length experiment_ids
       then
         fail "seed %d: sweep returned %d of %d results" seed
@@ -130,7 +185,35 @@ let experiment_campaign () =
         let count = Option.value ~default:0 (Hashtbl.find_opt fired point) in
         if count = 0 then fail "probe point %s never fired" point)
     Fault.standard_points;
-  (!contained, !uncontained)
+  (* clean control sweep: no plan installed — with the same recorder
+     armed, the supervisor must take no crash dump, and a heartbeat
+     observed ambiently by every engine documents the run (the CI
+     smoke uploads its stream + status files) *)
+  let clean_dir = Filename.concat dump_root "clean" in
+  let hb =
+    Rrs_obs.Heartbeat.create ~every_rounds:256 ~path:"robust_heartbeat.jsonl"
+      ~status_path:"robust_heartbeat.status" ()
+  in
+  let clean_results =
+    Rrs_obs.Flight_recorder.with_recorder ~dump_dir:clean_dir recorder
+      (fun () ->
+        Rrs_obs.Heartbeat.with_heartbeat hb (fun () ->
+            Registry.run_many ~jobs:campaign_jobs ~policy:supervise_policy
+              ~keep_going:true experiment_ids))
+  in
+  Rrs_obs.Heartbeat.finish hb;
+  if Registry.failures clean_results <> [] then
+    fail "clean sweep reported failures";
+  if Sys.file_exists clean_dir then
+    fail "clean sweep produced crash dumps";
+  if Rrs_obs.Heartbeat.rounds_observed hb = 0 then
+    fail "clean sweep heartbeat observed no rounds";
+  Printf.printf
+    "clean sweep: 0 failures, 0 crash dumps, heartbeat %d beats over %d \
+     rounds\n"
+    (Rrs_obs.Heartbeat.beats hb)
+    (Rrs_obs.Heartbeat.rounds_observed hb);
+  (!contained, !uncontained, !crash_dumps, Rrs_obs.Heartbeat.rounds_observed hb)
 
 let sink_campaign () =
   print_endline
@@ -239,7 +322,9 @@ let overhead () =
 
 let () =
   let t0 = Unix.gettimeofday () in
-  let exp_contained, exp_uncontained = experiment_campaign () in
+  let exp_contained, exp_uncontained, crash_dumps, heartbeat_rounds =
+    experiment_campaign ()
+  in
   let sink_contained, sink_uncontained, sink_parseable = sink_campaign () in
   let no_plan, empty_plan, watchdog_seconds, wd_events = overhead () in
   let fired_analysis =
@@ -264,6 +349,8 @@ let () =
              ([
                 ("contained", float_of_int exp_contained);
                 ("uncontained", float_of_int exp_uncontained);
+                ("crash_dumps", float_of_int crash_dumps);
+                ("heartbeat_rounds", float_of_int heartbeat_rounds);
                 ("delays_served", float_of_int (Atomic.get sleeps));
               ]
              @ fired_analysis)

@@ -124,6 +124,50 @@ let profile_arg =
   in
   Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
 
+let heartbeat_arg =
+  let doc =
+    "Stream live health snapshots to this JSONL file (one \
+     $(b,heartbeat) object per beat, flushed immediately so the file \
+     can be tailed), plus an atomically-replaced single-line status \
+     file at $(docv)$(b,.status) and a Prometheus text exposition at \
+     $(docv)$(b,.prom).  Render the latest beat with $(b,rrs status); \
+     see doc/TELEMETRY.md, \"Live telemetry\"."
+  in
+  Arg.(value & opt (some string) None & info [ "heartbeat" ] ~docv:"FILE" ~doc)
+
+let heartbeat_every_arg =
+  let doc = "Beat every $(docv) engine rounds (with $(b,--heartbeat))." in
+  Arg.(
+    value & opt int 64 & info [ "heartbeat-every" ] ~docv:"ROUNDS" ~doc)
+
+(* Run [f] with an ambient heartbeat committed on the way out — shared
+   by simulate and experiment.  The engine(s) under [f] pick the
+   heartbeat up through Heartbeat.ambient, so this also covers runs
+   the CLI never configures directly (the pipeline policy's inner
+   engines, every experiment of a sweep). *)
+let with_heartbeat heartbeat_file ~every ?registry f =
+  match heartbeat_file with
+  | None -> f ()
+  | Some path ->
+      if every < 1 then begin
+        prerr_endline "--heartbeat-every must be at least 1";
+        exit 1
+      end;
+      let hb =
+        Rrs_obs.Heartbeat.create ~every_rounds:every ~path
+          ~status_path:(path ^ ".status")
+          ?expose_path:(Option.map (fun _ -> path ^ ".prom") registry)
+          ?registry ()
+      in
+      let finally () =
+        Rrs_obs.Heartbeat.finish hb;
+        Format.printf "heartbeat written to %s (%d beats over %d rounds)@."
+          path
+          (Rrs_obs.Heartbeat.beats hb)
+          (Rrs_obs.Heartbeat.rounds_observed hb)
+      in
+      Fun.protect ~finally (fun () -> Rrs_obs.Heartbeat.with_heartbeat hb f)
+
 (* Run [f] under a fresh profiler scope and commit the Chrome trace —
    shared by simulate and experiment. *)
 let with_profile profile_file f =
@@ -228,7 +272,7 @@ let with_analysis sink ~n ({ policy; eligibility } : Lru_edf.instrumented) =
   policy
 
 let simulate family seed n policy validate metrics_file trace_file
-    save_instance colors mode profile_file =
+    save_instance colors mode profile_file heartbeat_file heartbeat_every =
   let build_instance (f : Families.family) =
     match colors with
     | None -> Ok (f.build ~seed)
@@ -254,20 +298,23 @@ let simulate family seed n policy validate metrics_file trace_file
           Rrs_trace.Instance_io.save path instance;
           Format.printf "instance saved to %s@." path)
         save_instance;
+      (* one registry shared by the policy (ranking_update), the
+         per-round collector (drops/recolorings/backlog), the engine's
+         own round-latency/allocation telemetry, and the heartbeat's
+         Prometheus exposition, so a single metrics_registry line (and
+         .prom file) carries everything.  A trace run gets the registry
+         too: its run_summary line then carries latency percentiles and
+         allocation gauges. *)
+      let registry =
+        if
+          Option.is_some metrics_file || Option.is_some trace_file
+          || Option.is_some heartbeat_file
+        then Some (Rrs_obs.Metrics.create ())
+        else None
+      in
       let simulate_with sink_opt =
         let sink = Option.value ~default:Rrs_obs.Sink.null sink_opt in
         let run_plain make_policy =
-          (* one registry shared by the policy (ranking_update), the
-             per-round collector (drops/recolorings/backlog) and the
-             engine's own round-latency/allocation telemetry, so a
-             single metrics_registry line carries everything.  A trace
-             run gets the registry too: its run_summary line then
-             carries latency percentiles and allocation gauges. *)
-          let registry =
-            if Option.is_some metrics_file || Option.is_some sink_opt then
-              Some (Rrs_obs.Metrics.create ())
-            else None
-          in
           let cfg =
             Engine.config ~n ~record_schedule:validate ~sink ?registry ()
           in
@@ -358,6 +405,8 @@ let simulate family seed n policy validate metrics_file trace_file
       in
       let outcome =
         with_profile profile_file @@ fun () ->
+        with_heartbeat heartbeat_file ~every:heartbeat_every ?registry
+        @@ fun () ->
         match trace_file with
         | None -> simulate_with None
         | Some path ->
@@ -391,7 +440,8 @@ let simulate_cmd =
     Term.(
       const simulate $ family_arg $ seed_arg $ resources_arg $ policy_arg
       $ validate_arg $ metrics_arg $ trace_arg $ save_instance_arg
-      $ colors_arg $ ranking_arg $ profile_arg)
+      $ colors_arg $ ranking_arg $ profile_arg $ heartbeat_arg
+      $ heartbeat_every_arg)
 
 (* ------------------------------------------------------------------ *)
 (* rrs experiment                                                      *)
@@ -466,7 +516,7 @@ let experiment_cmd =
     Arg.(value & flag & info [ "resume" ] ~doc)
   in
   let run id markdown out jobs timeout retries keep_going resume metrics_out
-      profile_file =
+      profile_file heartbeat_file heartbeat_every =
     let module Registry = Rrs_experiments.Registry in
     let module Supervisor = Rrs_robust.Supervisor in
     let emit =
@@ -500,11 +550,16 @@ let experiment_cmd =
               match Rrs_obs.Run_summary.load_tolerant path with
               | Error msg -> Error msg
               | Ok (summaries, torn) ->
+                  (* a torn trailing line means the previous run died
+                     mid-write: its experiment will re-run, but say so
+                     loudly — silently shrinking the artifact reads as
+                     data loss *)
                   Option.iter
                     (fun { Rrs_obs.Run_summary.lineno; reason } ->
-                      Format.printf
-                        "resume: ignoring torn line %d of %s (%s)@." lineno
-                        path reason)
+                      Format.eprintf
+                        "warning: resume: skipped torn trailing line %d of \
+                         %s (%s); its experiment will re-run@."
+                        lineno path reason)
                     torn;
                   Ok summaries)
         in
@@ -524,9 +579,22 @@ let experiment_cmd =
                 (List.length ids - List.length todo)
                 (List.length ids);
             let policy = { Supervisor.default with timeout; retries } in
+            (* the always-on black-box: every experiment sweep runs
+               under a flight recorder armed to dump next to the run
+               artifact (or into the working directory), so any
+               classified failure ships a crash-<id>.jsonl window of
+               its last engine events *)
+            let dump_dir =
+              match out with Some path -> Filename.dirname path | None -> "."
+            in
+            let recorder = Rrs_obs.Flight_recorder.create () in
             let results =
               with_profile profile_file (fun () ->
-                  Registry.run_many ~jobs ~policy ~keep_going todo)
+                  Rrs_obs.Flight_recorder.with_recorder ~dump_dir recorder
+                    (fun () ->
+                      with_heartbeat heartbeat_file ~every:heartbeat_every
+                        ~registry:Rrs_experiments.Harness.telemetry (fun () ->
+                          Registry.run_many ~jobs ~policy ~keep_going todo)))
             in
             List.iter
               (fun (_, r) ->
@@ -590,6 +658,12 @@ let experiment_cmd =
             List.iter
               (fun (_, f) ->
                 Format.eprintf "%a@." Supervisor.pp_failure f;
+                let dump =
+                  Rrs_obs.Flight_recorder.crash_dump_path ~dir:dump_dir
+                    ~name:f.Supervisor.name
+                in
+                if Sys.file_exists dump then
+                  Format.eprintf "  crash dump: %s@." dump;
                 let bt = Printexc.raw_backtrace_to_string f.backtrace in
                 if String.trim bt <> "" then prerr_string bt)
               failures;
@@ -605,7 +679,82 @@ let experiment_cmd =
     Term.(
       const run $ id_arg $ markdown_arg $ out_arg $ jobs_arg $ timeout_arg
       $ retries_arg $ keep_going_arg $ resume_arg $ exp_metrics_arg
-      $ profile_arg)
+      $ profile_arg $ heartbeat_arg $ heartbeat_every_arg)
+
+(* ------------------------------------------------------------------ *)
+(* rrs status                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let status_cmd =
+  let file_arg =
+    let doc =
+      "A heartbeat stream ($(b,--heartbeat) FILE) or its single-line \
+       $(b,.status) companion."
+    in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    let module J = Rrs_obs.Json in
+    let heartbeat_line acc line =
+      match J.parse line with
+      | Ok j when J.member "type" j = Some (J.String "heartbeat") -> Some j
+      | _ -> acc
+    in
+    let last =
+      In_channel.with_open_text file In_channel.input_lines
+      |> List.fold_left heartbeat_line None
+    in
+    match last with
+    | None ->
+        Printf.eprintf "status: no heartbeat line in %s\n" file;
+        1
+    | Some j ->
+        let int name =
+          Option.bind (J.member name j) (fun v -> Result.to_option (J.to_int v))
+        in
+        let float name =
+          Option.bind (J.member name j) (fun v ->
+              Result.to_option (J.to_float v))
+        in
+        let i0 name = Option.value ~default:0 (int name) in
+        let final = J.member "final" j = Some (J.Bool true) in
+        Format.printf "beat %d%s — round %d, %d rounds observed@." (i0 "beat")
+          (if final then " (final)" else " (running)")
+          (i0 "round") (i0 "rounds");
+        Format.printf
+          "cost: reconfig %d + drop %d = %d (%d recolorings, %d executed)@."
+          (i0 "reconfig_cost") (i0 "drop_cost") (i0 "total_cost")
+          (i0 "recolorings") (i0 "executed");
+        (match (int "round_latency_p50_us", int "round_latency_p95_us",
+                int "round_latency_p99_us")
+         with
+        | Some p50, Some p95, Some p99 ->
+            Format.printf "round latency p50/p95/p99: %d/%d/%d us@." p50 p95
+              p99
+        | _ -> ());
+        (match
+           (float "alloc_minor_words_per_round", int "major_collections")
+         with
+        | Some minor, Some majors ->
+            Format.printf
+              "alloc: %.0f minor words/round, %d major collections@." minor
+              majors
+        | _ -> ());
+        Format.printf "window: %d rounds, %.3fs since previous beat@."
+          (i0 "rounds_since")
+          (Option.value ~default:0. (float "seconds_since"));
+        if final then 0
+        else begin
+          Format.printf "(stream still open — run had not finished here)@.";
+          0
+        end
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:
+         "Render the latest heartbeat of a run (live or finished) \
+          human-readably")
+    Term.(const run $ file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* rrs benchdiff                                                       *)
@@ -764,6 +913,7 @@ let main =
       list_cmd;
       simulate_cmd;
       experiment_cmd;
+      status_cmd;
       benchdiff_cmd;
       opt_cmd;
       replay_cmd;

@@ -5,13 +5,14 @@ type config = {
   cost_projection : (Types.color -> Types.color) option;
   sink : Rrs_obs.Sink.t;
   registry : Rrs_obs.Metrics.t option;
+  heartbeat : Rrs_obs.Heartbeat.t option;
 }
 
 let config ?(mini_rounds = 1) ?(record_schedule = false) ?cost_projection
-    ?(sink = Rrs_obs.Sink.null) ?registry ~n () =
+    ?(sink = Rrs_obs.Sink.null) ?registry ?heartbeat ~n () =
   if n < 1 then invalid_arg "Engine.config: n < 1";
   if mini_rounds < 1 then invalid_arg "Engine.config: mini_rounds < 1";
-  { n; mini_rounds; record_schedule; cost_projection; sink; registry }
+  { n; mini_rounds; record_schedule; cost_projection; sink; registry; heartbeat }
 
 type result = {
   cost : Cost.t;
@@ -91,6 +92,15 @@ let run_policy cfg (instance : Instance.t) (policy : Policy.t) =
   let sink = cfg.sink in
   let tracing = Rrs_obs.Sink.enabled sink in
   let telemetry = telemetry_start cfg.registry in
+  (* An explicit config heartbeat wins; otherwise pick up the ambient
+     one (Heartbeat.with_heartbeat), so a sweep installs one heartbeat
+     and every engine under it reports without config plumbing. *)
+  let heartbeat =
+    match cfg.heartbeat with
+    | Some _ as h -> h
+    | None -> Rrs_obs.Heartbeat.ambient ()
+  in
+  let need_clock = Option.is_some telemetry || Option.is_some heartbeat in
   let events = if cfg.record_schedule then Some (ref []) else None in
   let record round e =
     match events with Some evs -> evs := (round, e) :: !evs | None -> ()
@@ -104,9 +114,12 @@ let run_policy cfg (instance : Instance.t) (policy : Policy.t) =
   for round = 0 to end_round do
     Rrs_fault.probe "engine.round";
     Rrs_prof.enter "engine.round";
-    let round_t0 =
-      match telemetry with None -> 0. | Some _ -> Unix.gettimeofday ()
-    in
+    let round_t0 = if need_clock then Unix.gettimeofday () else 0. in
+    (* this round's increments for the heartbeat: plain int reads, no
+       allocation on the hot path whether or not one is attached *)
+    let hb_charges0 = !reconfig_charges in
+    let hb_executed0 = !executed in
+    let hb_dropped0 = !dropped in
     (* drop phase *)
     Rrs_prof.enter "engine.drop";
     let expired = Pending.expire pending ~now:round in
@@ -195,11 +208,22 @@ let run_policy cfg (instance : Instance.t) (policy : Policy.t) =
       done;
       Rrs_prof.leave "engine.execute"
     done;
-    (match telemetry with
-    | None -> ()
-    | Some t ->
-        Rrs_obs.Metrics.observe t.latency
-          (int_of_float ((Unix.gettimeofday () -. round_t0) *. 1e6)));
+    if need_clock then begin
+      let latency_us =
+        int_of_float ((Unix.gettimeofday () -. round_t0) *. 1e6)
+      in
+      (match telemetry with
+      | None -> ()
+      | Some t -> Rrs_obs.Metrics.observe t.latency latency_us);
+      match heartbeat with
+      | None -> ()
+      | Some hb ->
+          Rrs_obs.Heartbeat.observe_round hb ~round ~delta:instance.delta
+            ~recolorings:(!reconfig_charges - hb_charges0)
+            ~executed:(!executed - hb_executed0)
+            ~dropped:(!dropped - hb_dropped0)
+            ~latency_us
+    end;
     Rrs_prof.leave "engine.round"
   done;
   assert (Pending.grand_total pending = 0);

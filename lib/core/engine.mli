@@ -40,7 +40,14 @@
     ["alloc_minor_words_per_round"] / ["alloc_promoted_words_per_round"]
     / ["alloc_major_words_per_round"] gauges (GC counter deltas over
     the run divided by rounds), and the ["engine_rounds"] counter.
-    Without it the engine takes no clock readings and no GC samples. *)
+    Without it the engine takes no clock readings and no GC samples.
+
+    [heartbeat] receives one {!Rrs_obs.Heartbeat.observe_round} per
+    round (this round's recolorings/executions/drops plus its wall
+    latency); when the config carries none, the ambient heartbeat
+    ({!Rrs_obs.Heartbeat.with_heartbeat}) is observed instead.  A
+    heartbeat only reads the engine's counters — it cannot perturb a
+    decision (doc/TELEMETRY.md, "Live telemetry"). *)
 
 type config = {
   n : int;  (** resources given to the policy *)
@@ -50,6 +57,8 @@ type config = {
   sink : Rrs_obs.Sink.t;  (** round-phase event sink *)
   registry : Rrs_obs.Metrics.t option;
       (** round-latency / allocation self-measurement target *)
+  heartbeat : Rrs_obs.Heartbeat.t option;
+      (** per-round health reporting; [None] = observe the ambient one *)
 }
 
 val round_latency_max_us : int
@@ -62,6 +71,7 @@ val config :
   ?cost_projection:(Types.color -> Types.color) ->
   ?sink:Rrs_obs.Sink.t ->
   ?registry:Rrs_obs.Metrics.t ->
+  ?heartbeat:Rrs_obs.Heartbeat.t ->
   n:int ->
   unit ->
   config

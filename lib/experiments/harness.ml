@@ -65,7 +65,18 @@ let run_policy instance ~n factory =
     Metrics.time
       (Metrics.timer (current ()) "engine_run")
       (fun () ->
-        Rrs_core.Engine.run (Rrs_core.Engine.config ~n ()) instance factory)
+        (* an ambient flight recorder black-boxes every harness run:
+           the engine streams its round events into the recorder's
+           bounded ring, so a later crash dump shows what the run was
+           doing — with none ambient the sink stays null and the
+           engine allocates nothing for tracing *)
+        let sink =
+          match Rrs_obs.Flight_recorder.ambient () with
+          | Some r -> Rrs_obs.Flight_recorder.sink r
+          | None -> Rrs_obs.Sink.null
+        in
+        Rrs_core.Engine.run (Rrs_core.Engine.config ~n ~sink ()) instance
+          factory)
   in
   record_result result;
   result

@@ -91,6 +91,18 @@ let run_many ?(jobs = 1) ?(policy = Supervisor.default) ?(keep_going = true) ids
        (fun (id, _) -> function
          | Ok pair -> pair
          | Error (exn, backtrace) ->
+             (* this failure escaped the supervisor (e.g. a pool.worker
+                injection fired outside the supervised thunk), so the
+                crash black-box the supervisor would have taken is
+                taken here, at the sweep's containment point *)
+             (match Rrs_obs.Flight_recorder.crash_scope () with
+             | Some (recorder, dir) -> (
+                 try
+                   ignore
+                     (Rrs_obs.Flight_recorder.crash_dump recorder ~dir
+                        ~name:id ~reason:(Printexc.to_string exn))
+                 with _ -> ())
+             | None -> ());
              ( id,
                Error
                  {

@@ -1,0 +1,178 @@
+(* Layout mirrors the profiler: one recorder holds a lock-free list of
+   per-domain rings; a domain writes only its own ring (one short
+   mutex section, uncontended except against a concurrent dump), and a
+   single global atomic hands out sequence numbers so [recent] can
+   merge the rings back into emission order.
+
+   Why per-domain rings still satisfy the *global* last-N contract: a
+   slot is overwritten only after its own domain records [capacity]
+   later events, and every one of those is also globally later — so
+   any event with fewer than [capacity] global successors is still
+   sitting in its ring.  [recent] unions the rings, sorts by sequence
+   number, and keeps the last [capacity]: exactly the global suffix. *)
+
+type slot = { seq : int; event : Event.t }
+
+type track = {
+  lock : Mutex.t;
+  ring : slot option array;
+  mutable pos : int; (* next write index *)
+}
+
+type t = {
+  cap : int;
+  seq : int Atomic.t; (* also the total-events-recorded count *)
+  tracks : track list Atomic.t;
+  snap_lock : Mutex.t;
+  snap_ring : Json.t option array;
+  mutable snap_pos : int;
+}
+
+let create ?(capacity = 512) ?(snapshot_capacity = 32) () =
+  if capacity < 1 then invalid_arg "Flight_recorder.create: capacity < 1";
+  if snapshot_capacity < 1 then
+    invalid_arg "Flight_recorder.create: snapshot_capacity < 1";
+  {
+    cap = capacity;
+    seq = Atomic.make 0;
+    tracks = Atomic.make [];
+    snap_lock = Mutex.create ();
+    snap_ring = Array.make snapshot_capacity None;
+    snap_pos = 0;
+  }
+
+let capacity t = t.cap
+
+(* Same two-key DLS discipline as Rrs_prof: the scope is inherited by
+   spawned domains, the track cache is not (rings have a single writer
+   by construction, so each domain must mint its own). *)
+let scope : (t * string option) option Domain.DLS.key =
+  Domain.DLS.new_key ~split_from_parent:Fun.id (fun () -> None)
+
+let track_cache : (t * track) option Domain.DLS.key =
+  Domain.DLS.new_key ~split_from_parent:(fun _ -> None) (fun () -> None)
+
+let rec register_track t track =
+  let old = Atomic.get t.tracks in
+  if not (Atomic.compare_and_set t.tracks old (track :: old)) then
+    register_track t track
+
+let track_for t =
+  match Domain.DLS.get track_cache with
+  | Some (owner, track) when owner == t -> track
+  | _ ->
+      let track =
+        { lock = Mutex.create (); ring = Array.make t.cap None; pos = 0 }
+      in
+      register_track t track;
+      Domain.DLS.set track_cache (Some (t, track));
+      track
+
+let record t event =
+  let track = track_for t in
+  let seq = Atomic.fetch_and_add t.seq 1 in
+  Mutex.protect track.lock (fun () ->
+      track.ring.(track.pos) <- Some { seq; event };
+      track.pos <- (track.pos + 1) mod t.cap)
+
+let record_snapshot t json =
+  Mutex.protect t.snap_lock (fun () ->
+      t.snap_ring.(t.snap_pos) <- Some json;
+      t.snap_pos <- (t.snap_pos + 1) mod Array.length t.snap_ring)
+
+let sink t = Sink.callback (fun e -> record t e)
+
+let attach t inner =
+  Sink.callback (fun e ->
+      record t e;
+      Sink.emit inner e)
+
+let events_recorded t = Atomic.get t.seq
+
+(* Read a ring oldest-first: starting at [pos] and wrapping visits the
+   oldest live slot first whether or not the ring has filled (unfilled
+   slots are [None] and drop out). *)
+let ring_to_list ring pos =
+  let n = Array.length ring in
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    match ring.((pos + i) mod n) with
+    | Some s -> acc := s :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let rec drop k l =
+  if k <= 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl
+
+let recent t =
+  let slots =
+    List.concat_map
+      (fun track ->
+        Mutex.protect track.lock (fun () -> ring_to_list track.ring track.pos))
+      (Atomic.get t.tracks)
+  in
+  let sorted = List.sort (fun (a : slot) b -> compare a.seq b.seq) slots in
+  List.map (fun s -> s.event) (drop (List.length sorted - t.cap) sorted)
+
+let snapshots t =
+  Mutex.protect t.snap_lock (fun () -> ring_to_list t.snap_ring t.snap_pos)
+
+let with_recorder ?dump_dir t thunk =
+  let outer = Domain.DLS.get scope in
+  Domain.DLS.set scope (Some (t, dump_dir));
+  Fun.protect ~finally:(fun () -> Domain.DLS.set scope outer) thunk
+
+let ambient () =
+  match Domain.DLS.get scope with Some (t, _) -> Some t | None -> None
+
+let crash_scope () =
+  match Domain.DLS.get scope with
+  | Some (t, Some dir) -> Some (t, dir)
+  | Some (_, None) | None -> None
+
+(* Dump lines go through [Sink.write_line], never [Sink.emit]: emit's
+   jsonl path carries the "sink.jsonl" fault probe, and a crash dump
+   must still commit when the failure being dumped *is* an injected
+   sink fault. *)
+let dump ?name ?reason t path =
+  let events = recent t in
+  let snaps = snapshots t in
+  let header =
+    Json.Assoc
+      ([
+         ("type", Json.String "flight_recorder");
+         ("capacity", Json.Int t.cap);
+         ("events_recorded", Json.Int (events_recorded t));
+         ("events_retained", Json.Int (List.length events));
+         ("snapshots", Json.Int (List.length snaps));
+       ]
+      @ (match name with
+        | Some n -> [ ("name", Json.String n) ]
+        | None -> [])
+      @
+      match reason with
+      | Some r -> [ ("reason", Json.String r) ]
+      | None -> [])
+  in
+  Sink.with_jsonl path (fun s ->
+      Sink.write_line s (Json.to_string header);
+      List.iter (fun e -> Sink.write_line s (Event.to_line e)) events;
+      List.iter (fun j -> Sink.write_line s (Json.to_string j)) snaps)
+
+let sanitize name =
+  String.map
+    (function
+      | ('A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '.' | '_' | '-') as c -> c
+      | _ -> '-')
+    name
+
+let crash_dump_path ~dir ~name =
+  Filename.concat dir ("crash-" ^ sanitize name ^ ".jsonl")
+
+let crash_dump t ~dir ~name ~reason =
+  (try Unix.mkdir dir 0o755 with
+  | Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path = crash_dump_path ~dir ~name in
+  dump ~name ~reason t path;
+  path

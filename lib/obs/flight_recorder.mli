@@ -1,0 +1,116 @@
+(** The flight recorder: a fixed-capacity black-box of recent telemetry.
+
+    A recorder retains the {e last N} typed events that flowed through
+    it, plus a short ring of recent metrics snapshots (heartbeat lines),
+    in O(capacity) memory no matter how long the run is — the piece the
+    unbounded {!Sink.memory} buffer cannot provide for a long-lived
+    scheduler.  When something goes wrong, {!dump} (or the automatic
+    crash dump the {!Rrs_robust.Supervisor} takes on every classified
+    failure) commits the retained window atomically next to the run
+    artifact, so a failure is diagnosable without replaying the run.
+
+    {b Per-domain recording.}  Like the profiler ([Rrs_prof]) each
+    domain writes into its own ring — rings are keyed by
+    [Domain.self ()] and registered lock-free — so concurrent emitters
+    never contend on a shared cursor.  Every recorded event carries a
+    global sequence number (one atomic increment), which is what lets
+    {!recent} merge the per-domain rings back into emission order.
+    [recent] and [dump] take each ring's lock briefly; recording takes
+    only the calling domain's own ring lock, which is uncontended
+    except against a concurrent dump.
+
+    {b Retention contract.}  {!recent} returns exactly the
+    min(capacity, recorded) most recent events in sequence order: an
+    event is returned iff fewer than [capacity] events were recorded
+    after it, globally.  (A domain's ring overwrites its slot only
+    after that domain recorded [capacity] later events — which are
+    also globally later — so the per-domain rings always cover the
+    global suffix; [test/test_obs.ml] checks this against a full
+    {!Sink.memory} trace by QCheck, including wraparound and
+    multi-domain merges.)
+
+    {b Non-perturbation.}  Attaching a recorder changes no decision:
+    the 130-case differential suite ([bench/core.exe] part 2 and
+    [test/test_differential.ml]) runs with a recorder and heartbeats
+    attached and requires bit-identical results.  The cost of recording
+    is measured into [BENCH_obs.json] next to the sink-overhead record
+    (doc/TELEMETRY.md, "Live telemetry"). *)
+
+type t
+
+val create : ?capacity:int -> ?snapshot_capacity:int -> unit -> t
+(** [capacity] (default 512) bounds the retained events;
+    [snapshot_capacity] (default 32) bounds the retained metrics
+    snapshots.  @raise Invalid_argument if either is [< 1]. *)
+
+val capacity : t -> int
+
+val record : t -> Event.t -> unit
+(** Record one event into the calling domain's ring (evicting that
+    ring's oldest entry once full). *)
+
+val record_snapshot : t -> Json.t -> unit
+(** Record one metrics snapshot (e.g. a heartbeat line) into the
+    snapshot ring — what {!Heartbeat} calls on every beat when a
+    recorder is ambient. *)
+
+val sink : t -> Sink.t
+(** A sink that records every event (and forwards nothing) — the
+    always-on black-box attachment for otherwise untraced runs. *)
+
+val attach : t -> Sink.t -> Sink.t
+(** A sink that records every event and forwards it to the inner sink
+    (compose with a JSONL trace or a {!Rrs_robust.Watchdog}). *)
+
+val events_recorded : t -> int
+(** Total events ever recorded (not just retained). *)
+
+val recent : t -> Event.t list
+(** The retained window, oldest first — the last
+    min(capacity, recorded) events in global sequence order. *)
+
+val snapshots : t -> Json.t list
+(** Retained metrics snapshots, oldest first. *)
+
+(** {2 Ambient scope}
+
+    The active recorder is dynamically scoped through [Domain.DLS] and
+    inherited by spawned domains ([split_from_parent]), the same
+    pattern as the fault plane and the profiler: install it once
+    around a sweep and every engine run, pool worker and supervisor
+    attempt under it records into the same black-box. *)
+
+val with_recorder : ?dump_dir:string -> t -> (unit -> 'a) -> 'a
+(** Install [t] as the ambient recorder for the dynamic extent of the
+    thunk (also on raise); domains spawned inside inherit it.
+    [dump_dir], when given, arms automatic crash dumps: the
+    {!Rrs_robust.Supervisor} writes {!crash_dump} there on every
+    classified failure. *)
+
+val ambient : unit -> t option
+(** The ambient recorder of the calling domain, if any. *)
+
+val crash_scope : unit -> (t * string) option
+(** The ambient recorder together with its [dump_dir] — [None] unless
+    {!with_recorder} was given one.  What the supervisor consults. *)
+
+(** {2 Dumps} *)
+
+val dump : ?name:string -> ?reason:string -> t -> string -> unit
+(** [dump t path] commits the black-box to [path] as JSONL via the
+    {!Sink.with_jsonl} temp+rename pattern — readers never observe a
+    torn dump.  Line 1 is a [{"type":"flight_recorder",...}] header
+    (capacity, events recorded/retained, and [name]/[reason] when
+    given), followed by the retained events oldest-first, followed by
+    the retained snapshots oldest-first. *)
+
+val crash_dump_path : dir:string -> name:string -> string
+(** [dir/crash-<name>.jsonl] with [name] sanitised to
+    [[A-Za-z0-9._-]] — where {!crash_dump} writes, exposed so callers
+    (CLI, bench) can find dumps without re-deriving the rule. *)
+
+val crash_dump : t -> dir:string -> name:string -> reason:string -> string
+(** Dump to {!crash_dump_path} and return the path.  Used by the
+    supervisor on classified failures; any exception during the dump
+    is the caller's to contain (the supervisor swallows it — a failed
+    dump must never escalate a contained failure). *)

@@ -1,0 +1,91 @@
+(** Periodic health snapshots for long-running schedules.
+
+    A heartbeat turns the engine's per-round observations into a
+    bounded stream of snapshot lines: every K rounds and/or T seconds
+    it emits one JSON object — round reached, cumulative costs,
+    recolorings, round-latency percentiles {e since the last beat},
+    allocation/GC gauges — to an owned JSONL stream (flushed per
+    line, so it can be tailed live), an atomically-replaced
+    single-line status file, and a Prometheus exposition file
+    ({!Metrics.expose}) when a registry is attached.  [rrs status]
+    renders the latest line of either file.
+
+    The clock is injectable, so time-based cadence is deterministic
+    under test; with the default [every_rounds] cadence alone a run's
+    beat sequence is a pure function of the round stream.
+
+    A heartbeat observes shared counters and never feeds anything back
+    into a decision path — the 130-case differential suite runs with a
+    heartbeat attached to one arm and requires bit-identical results.
+    Several engines (a parallel sweep) may observe one heartbeat
+    concurrently: totals accumulate under the beat lock; the GC gauges
+    are then approximate (counters are per-domain, sampled from
+    whichever domain beats).
+
+    Like the recorder and the profiler, a heartbeat can be installed
+    ambiently ({!with_heartbeat}, DLS-scoped, inherited by spawned
+    domains): the engine picks it up when its config carries none. *)
+
+type t
+
+val create :
+  ?every_rounds:int ->
+  ?every_seconds:float ->
+  ?clock:(unit -> float) ->
+  ?path:string ->
+  ?status_path:string ->
+  ?expose_path:string ->
+  ?registry:Metrics.t ->
+  ?extra:(unit -> (string * Json.t) list) ->
+  unit ->
+  t
+(** [every_rounds] (default 64, [>= 1]) beats after that many observed
+    rounds; [every_seconds], when given, additionally beats once that
+    much [clock] time passed since the last beat (checked on round
+    boundaries — an idle engine emits nothing).  [path] is an owned
+    JSONL stream (created/truncated now, closed by {!finish});
+    [status_path] is atomically replaced with the latest beat line;
+    [expose_path] is atomically replaced with [Metrics.expose registry]
+    on every beat (requires [registry]).  [extra] contributes fields
+    appended to every beat line (e.g. watchdog status).
+    @raise Invalid_argument if [every_rounds < 1]. *)
+
+val observe_round :
+  t ->
+  round:int ->
+  delta:int ->
+  recolorings:int ->
+  executed:int ->
+  dropped:int ->
+  latency_us:int ->
+  unit
+(** Feed one engine round: [recolorings]/[executed]/[dropped] are this
+    round's increments (not cumulative), [delta] the instance's
+    reconfiguration charge (so [reconfig_cost] accumulates
+    [delta * recolorings]), [latency_us] the round's wall-clock
+    (negative = unknown, skipped from the percentile window).  Beats
+    when the cadence is due.  No-op after {!finish}. *)
+
+val beat : t -> unit
+(** Force a beat now (if anything was observed since the last one,
+    or nothing was ever emitted).  No-op after {!finish}. *)
+
+val finish : t -> unit
+(** Emit one last beat line carrying ["final":true], close the owned
+    stream.  Idempotent. *)
+
+val beats : t -> int
+val rounds_observed : t -> int
+
+val last_line : t -> string option
+(** The latest beat line emitted, if any — what the status file
+    holds. *)
+
+(** {2 Ambient scope} *)
+
+val with_heartbeat : t -> (unit -> 'a) -> 'a
+(** Install [t] as the ambient heartbeat for the dynamic extent of the
+    thunk (also on raise); spawned domains inherit it.  Engines whose
+    config carries no heartbeat observe the ambient one. *)
+
+val ambient : unit -> t option

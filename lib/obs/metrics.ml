@@ -169,6 +169,81 @@ let merge_into ~into src =
               Rrs_stats.Running.merge_into ~into:dst.stats snapshot))
     (sorted_instruments src)
 
+(* Prometheus text exposition (format 0.0.4): one block per instrument,
+   names folded onto the Prometheus grammar.  Histograms and timers
+   render as summaries — histograms with exact quantiles (the Fenwick
+   state answers them directly), timers with count/sum only (Welford
+   keeps no quantile state).  Unset gauges (NaN) are omitted: absence
+   is the Prometheus idiom for "no sample", and NaN would poison any
+   aggregation. *)
+let prom_name name =
+  String.mapi
+    (fun i c ->
+      match c with
+      | 'A' .. 'Z' | 'a' .. 'z' | '_' | ':' -> c
+      | '0' .. '9' when i > 0 -> c
+      | _ -> '_')
+    name
+
+let prom_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let expose t =
+  let buf = Buffer.create 1024 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  List.iter
+    (fun (name, i) ->
+      let n = prom_name name in
+      match i with
+      | Counter c ->
+          line "# TYPE %s counter" n;
+          line "%s %d" n (Atomic.get c)
+      | Gauge g ->
+          let v = Atomic.get g in
+          if not (Float.is_nan v) then begin
+            line "# TYPE %s gauge" n;
+            line "%s %s" n (prom_float v)
+          end
+      | Histogram h ->
+          let snapshot =
+            Mutex.protect h.hist_mutex (fun () ->
+                Rrs_stats.Histogram.copy h.hist)
+          in
+          let count = Rrs_stats.Histogram.count snapshot in
+          line "# TYPE %s summary" n;
+          if count > 0 then
+            List.iter
+              (fun q ->
+                line "%s{quantile=\"%g\"} %d" n q
+                  (Rrs_stats.Histogram.quantile snapshot q))
+              [ 0.5; 0.95; 0.99 ];
+          let sum =
+            List.fold_left
+              (fun acc (v, c) -> acc +. (float_of_int v *. float_of_int c))
+              0.
+              (Rrs_stats.Histogram.to_assoc snapshot)
+          in
+          line "%s_sum %s" n (prom_float sum);
+          line "%s_count %d" n count
+      | Timer tm ->
+          let snapshot =
+            Mutex.protect tm.timer_mutex (fun () ->
+                Rrs_stats.Running.copy tm.stats)
+          in
+          let n = n ^ "_seconds" in
+          line "# TYPE %s summary" n;
+          line "%s_sum %s" n (prom_float (Rrs_stats.Running.sum snapshot));
+          line "%s_count %d" n (Rrs_stats.Running.count snapshot))
+    (sorted_instruments t);
+  Buffer.contents buf
+
 let to_json t =
   let all = sorted_instruments t in
   let section f = List.filter_map f all in

@@ -120,3 +120,14 @@ val to_json : t -> Json.t
 (** [{"counters":{...},"gauges":{...},"histograms":{...},
     "timers":{...}}] with every section's fields in ascending name
     order — canonical, so snapshots diff cleanly. *)
+
+val expose : t -> string
+(** Prometheus text exposition (format 0.0.4), instruments in
+    ascending name order: counters as [counter], set gauges as [gauge]
+    (unset gauges are omitted — absence, not NaN), histograms as
+    [summary] blocks with exact 0.5/0.95/0.99 quantiles plus
+    [_sum]/[_count], timers as [<name>_seconds] summaries with
+    [_sum]/[_count].  Names are folded onto the Prometheus grammar
+    ([[a-zA-Z_:][a-zA-Z0-9_:]*], bad characters become ['_']).  Safe
+    to call mid-run: multi-word instruments are snapshotted under
+    their mutex, same discipline as {!to_json}. *)

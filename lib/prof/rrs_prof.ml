@@ -198,6 +198,12 @@ let render_track buf ~first track =
     (Printf.sprintf
        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"domain-%d\"}}"
        tid tid);
+  (* sort tracks by domain id in Perfetto's timeline, not by first-event
+     time (domain 0 on top even when a spawned domain profiles first) *)
+  Buffer.add_string buf
+    (Printf.sprintf
+       ",{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"sort_index\":%d}}"
+       tid tid);
   let open_spans = ref [] in
   let close ev (b : ev) =
     add_event buf ~first ~tid ~ph:'E' ~name:ev.name ~ts:ev.ts
@@ -236,7 +242,10 @@ let to_chrome_string t =
   in
   let buf = Buffer.create 65536 in
   Buffer.add_string buf "{\"traceEvents\":[";
-  let first = ref true in
+  (* process-level metadata first, so Perfetto labels the single pid *)
+  Buffer.add_string buf
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"rrs\"}}";
+  let first = ref false in
   List.iter (fun track -> render_track buf ~first track) tracks;
   Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
   Buffer.contents buf

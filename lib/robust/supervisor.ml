@@ -98,8 +98,22 @@ let run ?(policy = default) ~name thunk =
         let phase =
           match exn with Timed_out _ -> "timeout" | _ -> "exception"
         in
-        if classified = Fatal || attempts > policy.retries then
+        if classified = Fatal || attempts > policy.retries then begin
+          (* the failure is final: commit the flight-recorder black-box
+             next to the run artifact (when one is armed), so every
+             classified failure ships its last-N event window.  A dump
+             failure must never escalate a contained failure — swallow
+             it and return the classification unchanged. *)
+          (match Rrs_obs.Flight_recorder.crash_scope () with
+          | Some (recorder, dir) -> (
+              try
+                ignore
+                  (Rrs_obs.Flight_recorder.crash_dump recorder ~dir ~name
+                     ~reason:(Printexc.to_string exn))
+              with _ -> ())
+          | None -> ());
           Error { name; exn; backtrace; attempts; phase; classified }
+        end
         else begin
           let base =
             policy.backoff

@@ -66,7 +66,15 @@ val run : ?policy:policy -> name:string -> (unit -> 'a) -> ('a, failure) result
 (** Run the thunk under the policy.  Transient failures are retried up
     to [retries] times with backoff sleeps in between; fatal failures
     and exhausted retries return the last failure, with the attempt
-    count and the raising attempt's backtrace. *)
+    count and the raising attempt's backtrace.
+
+    When a flight recorder with a dump directory is ambient
+    ({!Rrs_obs.Flight_recorder.with_recorder} [~dump_dir]), every
+    {e final} failure additionally commits a crash black-box via
+    {!Rrs_obs.Flight_recorder.crash_dump} (name = the supervised
+    [name], reason = the exception) before returning — retried
+    attempts do not dump, and a dump error is swallowed so it can
+    never escalate a contained failure. *)
 
 val skipped : name:string -> failure
 (** The failure value of a never-started task ({!Skipped}). *)

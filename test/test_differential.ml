@@ -194,6 +194,53 @@ let test_watchdog_record_inert () =
   check_watchdog_inert "appendix-b"
     (Adv.edf_instance { n = 2; delta = 3; j = 2; k = 6 })
 
+(* The live-telemetry plane's non-perturbation guarantee: a run with a
+   flight recorder attached as its sink and a heartbeat observing every
+   round must leave Engine.result structurally identical — including
+   the recorded schedule — to the bare Sink.null run.  Both sides must
+   actually have telemetered: a recorder that saw no events or a
+   heartbeat that observed no rounds would make the equality vacuous. *)
+module Flight_recorder = Rrs_obs.Flight_recorder
+module Heartbeat = Rrs_obs.Heartbeat
+
+let check_telemetry_inert label instance =
+  List.iter
+    (fun (pname, _, make) ->
+      let n = 8 in
+      let run sink heartbeat =
+        Engine.run_policy
+          (Engine.config ~n ~record_schedule:true ~sink ?heartbeat ())
+          instance
+          (make ~sink instance ~n)
+      in
+      let plain = run Sink.null None in
+      let recorder = Flight_recorder.create ~capacity:128 () in
+      let hb = Heartbeat.create ~every_rounds:32 () in
+      let telemetered = run (Flight_recorder.sink recorder) (Some hb) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s telemetry-inert" pname label)
+        true
+        (plain = telemetered);
+      if Flight_recorder.events_recorded recorder = 0 then
+        Alcotest.failf "%s/%s: recorder saw no events" pname label;
+      if Heartbeat.rounds_observed hb = 0 then
+        Alcotest.failf "%s/%s: heartbeat observed no rounds" pname label)
+    sinked_policies
+
+let test_telemetry_inert () =
+  List.iter
+    (fun id ->
+      let f = Option.get (Families.find id) in
+      List.iter
+        (fun seed ->
+          check_telemetry_inert
+            (Printf.sprintf "%s-s%d" id seed)
+            (f.build ~seed))
+        [ 1; 2 ])
+    [ "uniform"; "bursty"; "router" ];
+  check_telemetry_inert "appendix-a"
+    (Adv.dlru_instance { n = 8; delta = 2; j = 5; k = 7 })
+
 let () =
   Alcotest.run "differential"
     [
@@ -209,5 +256,7 @@ let () =
         [
           Alcotest.test_case "record mode is inert" `Quick
             test_watchdog_record_inert;
+          Alcotest.test_case "recorder + heartbeat are inert" `Quick
+            test_telemetry_inert;
         ] );
     ]

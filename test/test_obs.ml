@@ -570,6 +570,231 @@ let test_metrics_recolorings_match_engine_projected () =
         r.reconfigurations last.cumulative_recolorings
   | [] -> Alcotest.fail "no samples"
 
+(* ------------------------------------------------------------------ *)
+(* flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Flight_recorder = Rrs_obs.Flight_recorder
+module Heartbeat = Rrs_obs.Heartbeat
+
+let nth_event i = List.nth all_event_variants (i mod List.length all_event_variants)
+
+let last_n n xs =
+  let len = List.length xs in
+  if len <= n then xs else List.filteri (fun i _ -> i >= len - n) xs
+
+let test_recorder_retains_suffix () =
+  let r = Flight_recorder.create ~capacity:8 () in
+  let emitted = List.init 20 nth_event in
+  List.iter (Flight_recorder.record r) emitted;
+  Alcotest.(check int) "recorded total" 20 (Flight_recorder.events_recorded r);
+  Alcotest.(check bool) "last 8, oldest first" true
+    (Flight_recorder.recent r = last_n 8 emitted);
+  (* under capacity: everything is retained *)
+  let small = Flight_recorder.create ~capacity:64 () in
+  List.iter (Flight_recorder.record small) emitted;
+  Alcotest.(check bool) "under capacity keeps all" true
+    (Flight_recorder.recent small = emitted)
+
+(* Satellite property: for any capacity and any emission schedule
+   spread across domains, the recorder's window is {e exactly} the
+   last-N suffix of the full Sink.memory trace.  Phases alternate
+   between the main domain and a freshly spawned one, with a join
+   barrier between phases so the memory sink's order is the global
+   sequence order; per-phase counts larger than the capacity exercise
+   ring wraparound, multiple spawned phases exercise the multi-domain
+   merge in [recent]. *)
+let prop_recorder_suffix =
+  QCheck.Test.make ~count:100
+    ~name:"recorder window = last-N suffix of the full trace"
+    QCheck.(
+      pair (int_range 1 48) (list_of_size Gen.(int_range 0 8) (int_range 0 40)))
+    (fun (cap, phases) ->
+      let r = Flight_recorder.create ~capacity:cap () in
+      let mem = Sink.memory () in
+      let sink = Flight_recorder.attach r mem in
+      let counter = ref 0 in
+      List.iteri
+        (fun pi count ->
+          let emit () =
+            for _ = 1 to count do
+              Sink.emit sink (nth_event !counter);
+              incr counter
+            done
+          in
+          if pi mod 2 = 0 then emit ()
+          else Domain.join (Domain.spawn emit))
+        phases;
+      let full = Sink.events mem in
+      Flight_recorder.events_recorded r = List.length full
+      && Flight_recorder.recent r = last_n cap full)
+
+let test_recorder_dump_format () =
+  let path = Filename.temp_file "rrs_dump" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let r = Flight_recorder.create ~capacity:4 ~snapshot_capacity:2 () in
+      List.iter (Flight_recorder.record r) (List.init 10 nth_event);
+      Flight_recorder.record_snapshot r (Json.Assoc [ ("beat", Json.Int 1) ]);
+      Flight_recorder.record_snapshot r (Json.Assoc [ ("beat", Json.Int 2) ]);
+      Flight_recorder.record_snapshot r (Json.Assoc [ ("beat", Json.Int 3) ]);
+      Flight_recorder.dump ~name:"unit" ~reason:"because" r path;
+      match In_channel.with_open_text path In_channel.input_lines with
+      | header :: rest ->
+          let json = Json.parse_exn header in
+          let int_field key =
+            Option.get (Json.member key json) |> Json.to_int |> Result.get_ok
+          in
+          Alcotest.(check string) "type" "flight_recorder"
+            (Option.get (Json.member "type" json)
+            |> Json.to_string_lit |> Result.get_ok);
+          Alcotest.(check int) "events_recorded" 10 (int_field "events_recorded");
+          Alcotest.(check int) "events_retained" 4 (int_field "events_retained");
+          Alcotest.(check int) "snapshots" 2 (int_field "snapshots");
+          let events, snaps =
+            List.partition (fun l -> Result.is_ok (Event.of_line l)) rest
+          in
+          Alcotest.(check bool) "events are the window" true
+            (List.map (fun l -> Result.get_ok (Event.of_line l)) events
+            = Flight_recorder.recent r);
+          (* snapshot ring capacity 2: beats 2 and 3 survive *)
+          Alcotest.(check (list string)) "snapshot suffix"
+            [ "{\"beat\":2}"; "{\"beat\":3}" ]
+            snaps
+      | [] -> Alcotest.fail "empty dump")
+
+(* ------------------------------------------------------------------ *)
+(* heartbeat                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let observe hb ~round =
+  Heartbeat.observe_round hb ~round ~delta:2 ~recolorings:1 ~executed:3
+    ~dropped:1 ~latency_us:5
+
+let test_heartbeat_round_cadence () =
+  let hb = Heartbeat.create ~every_rounds:4 () in
+  for round = 1 to 10 do
+    observe hb ~round
+  done;
+  Alcotest.(check int) "beats at rounds 4 and 8" 2 (Heartbeat.beats hb);
+  Alcotest.(check int) "rounds observed" 10 (Heartbeat.rounds_observed hb);
+  Heartbeat.beat hb;
+  Alcotest.(check int) "forced beat" 3 (Heartbeat.beats hb);
+  let line = Option.get (Heartbeat.last_line hb) in
+  let json = Json.parse_exn line in
+  let int_field key =
+    Option.get (Json.member key json) |> Json.to_int |> Result.get_ok
+  in
+  Alcotest.(check string) "line type" "heartbeat"
+    (Option.get (Json.member "type" json)
+    |> Json.to_string_lit |> Result.get_ok);
+  Alcotest.(check int) "round reached" 10 (int_field "round");
+  (* delta 2 x 1 recoloring x 10 rounds; drops cost 1 each *)
+  Alcotest.(check int) "reconfig_cost" 20 (int_field "reconfig_cost");
+  Alcotest.(check int) "drop_cost" 10 (int_field "drop_cost");
+  Alcotest.(check int) "total_cost" 30 (int_field "total_cost");
+  Alcotest.(check int) "executed" 30 (int_field "executed")
+
+let test_heartbeat_time_cadence () =
+  let now = ref 0.0 in
+  let hb =
+    Heartbeat.create ~every_rounds:max_int ~every_seconds:1.0
+      ~clock:(fun () -> !now)
+      ()
+  in
+  observe hb ~round:1;
+  observe hb ~round:2;
+  Alcotest.(check int) "no beat before the deadline" 0 (Heartbeat.beats hb);
+  now := 1.5;
+  observe hb ~round:3;
+  Alcotest.(check int) "beat once time passed" 1 (Heartbeat.beats hb);
+  observe hb ~round:4;
+  Alcotest.(check int) "window restarts" 1 (Heartbeat.beats hb);
+  now := 3.0;
+  observe hb ~round:5;
+  Alcotest.(check int) "second deadline" 2 (Heartbeat.beats hb)
+
+let test_heartbeat_stream_and_status () =
+  let path = Filename.temp_file "rrs_hb" ".jsonl" in
+  let status = path ^ ".status" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove path;
+      if Sys.file_exists status then Sys.remove status)
+    (fun () ->
+      let hb =
+        Heartbeat.create ~every_rounds:2 ~path ~status_path:status ()
+      in
+      for round = 1 to 5 do
+        observe hb ~round
+      done;
+      Heartbeat.finish hb;
+      Heartbeat.finish hb (* idempotent *);
+      let lines = In_channel.with_open_text path In_channel.input_lines in
+      (* beats at rounds 2 and 4, plus the final beat for round 5 *)
+      Alcotest.(check int) "stream lines" 3 (List.length lines);
+      List.iter
+        (fun l ->
+          Alcotest.(check string) "parses as heartbeat" "heartbeat"
+            (Option.get (Json.member "type" (Json.parse_exn l))
+            |> Json.to_string_lit |> Result.get_ok))
+        lines;
+      let final = Json.parse_exn (List.nth lines 2) in
+      Alcotest.(check bool) "final flag" true
+        (Json.member "final" final = Some (Json.Bool true));
+      let status_line =
+        String.trim
+          (In_channel.with_open_text status In_channel.input_all)
+      in
+      Alcotest.(check string) "status = last line" status_line
+        (Option.get (Heartbeat.last_line hb)))
+
+let test_heartbeat_feeds_ambient_recorder () =
+  let r = Flight_recorder.create () in
+  Flight_recorder.with_recorder r (fun () ->
+      let hb = Heartbeat.create ~every_rounds:1 () in
+      for round = 1 to 3 do
+        observe hb ~round
+      done);
+  Alcotest.(check int) "each beat snapshotted" 3
+    (List.length (Flight_recorder.snapshots r))
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition                                               *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_metrics_expose () =
+  let reg = Metrics.create () in
+  Metrics.inc (Metrics.counter reg "events.total") 7;
+  Metrics.set (Metrics.gauge reg "alloc/minor") 12.5;
+  let h = Metrics.histogram reg "latency.us" ~max_value:1000 in
+  for v = 1 to 100 do
+    Metrics.observe h v
+  done;
+  let text = Metrics.expose reg in
+  (* names folded into the Prometheus grammar *)
+  Alcotest.(check bool) "counter line" true
+    (contains ~needle:"# TYPE events_total counter" text
+    && contains ~needle:"events_total 7" text);
+  Alcotest.(check bool) "gauge line" true
+    (contains ~needle:"alloc_minor 12.5" text);
+  Alcotest.(check bool) "summary quantile" true
+    (contains ~needle:"latency_us{quantile=\"0.5\"}" text);
+  Alcotest.(check bool) "summary count" true
+    (contains ~needle:"latency_us_count 100" text);
+  (* an unset gauge must not render a NaN sample *)
+  ignore (Metrics.gauge reg "never.set");
+  Alcotest.(check bool) "unset gauge omitted" false
+    (contains ~needle:"never_set" (Metrics.expose reg));
+  Alcotest.(check bool) "no NaN anywhere" false
+    (contains ~needle:"nan" (String.lowercase_ascii (Metrics.expose reg)))
+
 let () =
   Alcotest.run "obs"
     [
@@ -628,6 +853,24 @@ let () =
             test_sink_jsonl_parallel_lines_not_torn;
           Alcotest.test_case "parallel memory sink keeps all" `Quick
             test_sink_memory_parallel_keeps_every_event;
+        ] );
+      ( "flight recorder",
+        [
+          Alcotest.test_case "retains the last-N window" `Quick
+            test_recorder_retains_suffix;
+          QCheck_alcotest.to_alcotest prop_recorder_suffix;
+          Alcotest.test_case "dump format" `Quick test_recorder_dump_format;
+        ] );
+      ( "heartbeat",
+        [
+          Alcotest.test_case "round cadence" `Quick test_heartbeat_round_cadence;
+          Alcotest.test_case "time cadence (injected clock)" `Quick
+            test_heartbeat_time_cadence;
+          Alcotest.test_case "stream, status and final beat" `Quick
+            test_heartbeat_stream_and_status;
+          Alcotest.test_case "beats feed the ambient recorder" `Quick
+            test_heartbeat_feeds_ambient_recorder;
+          Alcotest.test_case "prometheus exposition" `Quick test_metrics_expose;
         ] );
       ( "run_summary",
         [

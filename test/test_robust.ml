@@ -565,6 +565,94 @@ let test_resume_completes_missing_ids () =
   | Error msg -> Alcotest.fail msg);
   Sys.remove path
 
+(* ------------------------------------------------------------------ *)
+(* crash dumps                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Flight_recorder = Rrs_obs.Flight_recorder
+
+(* a supervisor failure under an armed recorder scope must leave a
+   black-box: crash-<name>.jsonl, header line first, then the retained
+   event window *)
+let test_supervisor_auto_crash_dump () =
+  let dir = temp_path "dumps" in
+  let recorder = Flight_recorder.create ~capacity:8 () in
+  let result =
+    Flight_recorder.with_recorder ~dump_dir:dir recorder (fun () ->
+        for round = 1 to 20 do
+          Flight_recorder.record recorder
+            (Event.Drop { round; color = 0; count = 1 })
+        done;
+        Supervisor.run ~name:"boom task" (fun () -> raise (Boom 3)))
+  in
+  (match result with
+  | Error f -> Alcotest.(check bool) "exn kept" true (f.exn = Boom 3)
+  | Ok _ -> Alcotest.fail "failure not captured");
+  let path = Flight_recorder.crash_dump_path ~dir ~name:"boom task" in
+  Alcotest.(check bool)
+    "name sanitised into the filename" true
+    (Filename.basename path = "crash-boom-task.jsonl");
+  (match In_channel.with_open_text path In_channel.input_lines with
+  | [] -> Alcotest.fail "empty dump"
+  | header :: events ->
+      let json = Rrs_obs.Json.parse_exn header in
+      let str key =
+        Option.get (Rrs_obs.Json.member key json)
+        |> Rrs_obs.Json.to_string_lit |> Result.get_ok
+      in
+      Alcotest.(check string) "header type" "flight_recorder" (str "type");
+      Alcotest.(check string) "header name" "boom task" (str "name");
+      Alcotest.(check bool)
+        "reason carries the exception" true
+        (let reason = str "reason" in
+         let nl = String.length "Boom" and hl = String.length reason in
+         let rec go i =
+           i + nl <= hl && (String.sub reason i nl = "Boom" || go (i + 1))
+         in
+         go 0);
+      (* capacity 8, 20 recorded: the dump holds exactly the last 8 *)
+      Alcotest.(check int) "retained window" 8 (List.length events);
+      List.iteri
+        (fun i line ->
+          match Result.get_ok (Event.of_line line) with
+          | Event.Drop { round; _ } ->
+              Alcotest.(check int) "suffix, oldest first" (13 + i) round
+          | _ -> Alcotest.fail "unexpected event in dump")
+        events);
+  Sys.remove path
+
+(* a transient failure that recovers on retry is not a final failure:
+   no dump; and a clean run leaves nothing either *)
+let test_crash_dump_only_on_final_failure () =
+  let dir = temp_path "dumps_clean" in
+  let recorder = Flight_recorder.create () in
+  let clock, _ = test_clock () in
+  let calls = ref 0 in
+  let result =
+    Flight_recorder.with_recorder ~dump_dir:dir recorder (fun () ->
+        Supervisor.run ~policy:(retry_policy clock) ~name:"recovers" (fun () ->
+            incr calls;
+            if !calls < 2 then raise (Boom 1) else "ok"))
+  in
+  (match result with
+  | Ok v -> Alcotest.(check string) "recovered" "ok" v
+  | Error f -> Alcotest.failf "should recover: %a" Supervisor.pp_failure f);
+  Alcotest.(check bool)
+    "no dump for a recovered task" false
+    (Sys.file_exists (Flight_recorder.crash_dump_path ~dir ~name:"recovers"));
+  (* without a dump_dir the scope is unarmed: a final failure dumps
+     nowhere and still returns normally *)
+  let unarmed = Flight_recorder.create () in
+  (match
+     Flight_recorder.with_recorder unarmed (fun () ->
+         Supervisor.run ~name:"unarmed" (fun () -> raise (Boom 9)))
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "failure not captured");
+  Alcotest.(check bool)
+    "unarmed scope left no directory" false
+    (Sys.file_exists (Flight_recorder.crash_dump_path ~dir:"." ~name:"unarmed"))
+
 let () =
   Alcotest.run "robust"
     [
@@ -619,6 +707,10 @@ let () =
             test_run_many_keep_going_false_skips;
           Alcotest.test_case "parallel under faults" `Quick
             test_run_many_parallel_under_faults;
+          Alcotest.test_case "supervisor takes a crash dump" `Quick
+            test_supervisor_auto_crash_dump;
+          Alcotest.test_case "no dump unless final failure" `Quick
+            test_crash_dump_only_on_final_failure;
           Alcotest.test_case "resume completes missing ids" `Quick
             test_resume_completes_missing_ids;
         ] );
