@@ -276,16 +276,11 @@ let simulate family seed n policy validate metrics_file trace_file
   let build_instance (f : Families.family) =
     match colors with
     | None -> Ok (f.build ~seed)
-    | Some c when c < 1 -> Error "--colors must be at least 1"
-    | Some c -> (
-        match f.scale with
-        | Some scale -> Ok (scale ~num_colors:c ~seed)
-        | None ->
-            Error
-              (Printf.sprintf
-                 "family %S has a fixed scenario cast and does not support \
-                  --colors; pick a synthetic family (e.g. uniform, zipf)"
-                 f.id))
+    | Some c ->
+        Result.map_error
+          (fun e ->
+            Printf.sprintf "--colors: %s" (Families.string_of_scale_error e))
+          (Families.scale_to f ~num_colors:c ~seed)
   in
   match Result.bind (lookup_family family) build_instance with
   | Error msg ->
@@ -691,24 +686,46 @@ let status_cmd =
       "A heartbeat stream ($(b,--heartbeat) FILE) or its single-line \
        $(b,.status) companion."
     in
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
-  let run file =
-    let module J = Rrs_obs.Json in
-    let heartbeat_line acc line =
-      match J.parse line with
-      | Ok j when J.member "type" j = Some (J.String "heartbeat") -> Some j
-      | _ -> acc
+  let watch_arg =
+    let doc =
+      "Poll the file every $(docv) seconds and re-render whenever a new \
+       beat lands; exits 0 once the final beat ($(b,\"final\":true)) is \
+       seen.  A file that does not exist yet is waited for — the live \
+       session may not have beaten."
     in
-    let last =
-      In_channel.with_open_text file In_channel.input_lines
-      |> List.fold_left heartbeat_line None
-    in
-    match last with
-    | None ->
-        Printf.eprintf "status: no heartbeat line in %s\n" file;
-        1
-    | Some j ->
+    Arg.(value & opt (some float) None & info [ "watch" ] ~docv:"SECS" ~doc)
+  in
+  let module J = Rrs_obs.Json in
+  (* distinguish the failure modes instead of raising: a path that is
+     not there, a file with no bytes, and a file with bytes but no
+     parseable heartbeat line each get their own message *)
+  let last_beat file =
+    if not (Sys.file_exists file) then Error `Missing
+    else
+      let lines = In_channel.with_open_text file In_channel.input_lines in
+      if List.for_all (fun l -> String.trim l = "") lines then Error `Empty
+      else
+        let heartbeat_line acc line =
+          match J.parse line with
+          | Ok j when J.member "type" j = Some (J.String "heartbeat") -> Some j
+          | _ -> acc
+        in
+        match List.fold_left heartbeat_line None lines with
+        | None -> Error `No_beat
+        | Some j -> Ok j
+  in
+  let describe_error file = function
+    | `Missing ->
+        Printf.sprintf
+          "status: %s: no such file (give the --heartbeat stream or its \
+           .status companion)"
+          file
+    | `Empty -> Printf.sprintf "status: %s: file is empty (no beat yet?)" file
+    | `No_beat -> Printf.sprintf "status: no heartbeat line in %s" file
+  in
+  let render j =
         let int name =
           Option.bind (J.member name j) (fun v -> Result.to_option (J.to_int v))
         in
@@ -743,18 +760,235 @@ let status_cmd =
         Format.printf "window: %d rounds, %.3fs since previous beat@."
           (i0 "rounds_since")
           (Option.value ~default:0. (float "seconds_since"));
-        if final then 0
-        else begin
+        if not final then
           Format.printf "(stream still open — run had not finished here)@.";
-          0
-        end
+        final
+  in
+  let run file watch =
+    match watch with
+    | None -> (
+        match last_beat file with
+        | Error e ->
+            prerr_endline (describe_error file e);
+            1
+        | Ok j ->
+            ignore (render j);
+            0)
+    | Some secs ->
+        if secs <= 0. then begin
+          prerr_endline "status: --watch must be positive";
+          exit 1
+        end;
+        let rec poll ~warned last_shown =
+          let state =
+            match last_beat file with
+            | Error e -> Error e
+            | Ok j ->
+                let beat =
+                  Option.bind (J.member "beat" j) (fun v ->
+                      Result.to_option (J.to_int v))
+                in
+                Ok (j, beat)
+          in
+          let warned, next_shown, final =
+            match state with
+            | Error e ->
+                (* a live session may simply not have beaten yet *)
+                if not warned then
+                  Format.printf "(waiting: %s)@." (describe_error file e);
+                (true, last_shown, false)
+            | Ok (j, beat) ->
+                if beat <> last_shown || last_shown = None then
+                  (warned, beat, render j)
+                else (warned, last_shown, false)
+          in
+          if final then 0
+          else begin
+            Unix.sleepf secs;
+            poll ~warned next_shown
+          end
+        in
+        poll ~warned:false None
   in
   Cmd.v
     (Cmd.info "status"
        ~doc:
          "Render the latest heartbeat of a run (live or finished) \
           human-readably")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ watch_arg)
+
+(* ------------------------------------------------------------------ *)
+(* rrs serve                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let module Server = Rrs_service.Server in
+  let module Stream = Rrs_workload.Arrival_stream in
+  let policy_arg =
+    let doc =
+      Printf.sprintf
+        "Streaming policy: %s (the online subset of the simulate table; \
+         the pipeline policy needs the whole instance up front)."
+        (String.concat ", "
+           (List.map (fun (id, _) -> "$(b," ^ id ^ ")") Server.policies))
+    in
+    Arg.(
+      value & opt string "dlru-edf" & info [ "p"; "policy" ] ~docv:"POLICY" ~doc)
+  in
+  let delta_arg =
+    let doc = "Reconfiguration charge Δ of the session." in
+    Arg.(value & opt int 4 & info [ "delta" ] ~docv:"DELTA" ~doc)
+  in
+  let colors_arg =
+    let doc = "Size of the color universe." in
+    Arg.(value & opt int 8 & info [ "colors" ] ~docv:"COLORS" ~doc)
+  in
+  let delay_bound_arg =
+    let doc = "Delay bound given to every color (see also $(b,--family))." in
+    Arg.(value & opt int 8 & info [ "delay-bound" ] ~docv:"ROUNDS" ~doc)
+  in
+  let mini_rounds_arg =
+    let doc = "Mini-rounds per round (2 = double-speed)." in
+    Arg.(value & opt int 1 & info [ "mini-rounds" ] ~docv:"K" ~doc)
+  in
+  let family_arg =
+    let doc =
+      "Take Δ, the color universe and the per-color delay bounds from this \
+       workload family (with $(b,--seed)) instead of \
+       $(b,--delta)/$(b,--colors)/$(b,--delay-bound) — the same parameters \
+       $(b,--emit-script) bakes into its script, so the two sides of the \
+       pipe always agree."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "f"; "family" ] ~docv:"FAMILY" ~doc)
+  in
+  let emit_script_arg =
+    let doc =
+      "Do not serve: print the $(b,--family) workload as a protocol script \
+       (submit/step lines, final state + quit) for piping into a serve \
+       process, then exit."
+    in
+    Arg.(value & flag & info [ "emit-script" ] ~doc)
+  in
+  let step_chunk_arg =
+    let doc = "Rounds per $(b,step) line in $(b,--emit-script) output." in
+    Arg.(value & opt int 64 & info [ "step-chunk" ] ~docv:"ROUNDS" ~doc)
+  in
+  let checkpoint_dir_arg =
+    let doc =
+      "Durable state directory ($(b,journal.jsonl) + $(b,checkpoint.json)); \
+       a restart with the same directory restores the session.  Without it \
+       the session is ephemeral."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint-dir" ] ~docv:"DIR" ~doc)
+  in
+  let checkpoint_every_arg =
+    let doc =
+      "Commit a checkpoint every $(docv) applied commands (0 = only on \
+       explicit $(b,checkpoint) commands and at quit)."
+    in
+    Arg.(value & opt int 256 & info [ "checkpoint-every" ] ~docv:"OPS" ~doc)
+  in
+  let retries_arg =
+    let doc =
+      "In-process restarts granted to transient faults (the supervisor \
+       replays the journal and resumes reading)."
+    in
+    Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let crash_after_arg =
+    let doc =
+      "Testing hook: abandon the process (exit 70, no checkpoint, no \
+       goodbye) right after journaling the $(docv)-th applied command — a \
+       deterministic kill for restart drills."
+    in
+    Arg.(value & opt (some int) None & info [ "crash-after" ] ~docv:"OPS" ~doc)
+  in
+  let run policy n delta colors delay_bound mini_rounds family seed emit_script
+      step_chunk checkpoint_dir checkpoint_every retries crash_after
+      heartbeat_file heartbeat_every =
+    let params =
+      match family with
+      | None ->
+          if colors < 1 then Error "--colors must be at least 1"
+          else Ok (delta, Array.make colors delay_bound, None)
+      | Some id -> (
+          match lookup_family id with
+          | Error msg -> Error msg
+          | Ok f ->
+              let instance = f.build ~seed in
+              Ok
+                ( instance.Instance.delta,
+                  Array.copy instance.Instance.delay,
+                  Some instance ))
+    in
+    match params with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok (delta, delay, instance) ->
+        if emit_script then begin
+          match instance with
+          | None ->
+              prerr_endline "--emit-script needs --family";
+              1
+          | Some instance ->
+              let stream = Stream.of_instance instance in
+              let buf = Buffer.create 4096 in
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "# %s: %d rounds, %d colors, delta=%d\n"
+                   instance.Instance.name (Stream.rounds stream)
+                   (Stream.num_colors stream) (Stream.delta stream));
+              Stream.to_script ~step_chunk stream buf;
+              print_string (Buffer.contents buf);
+              0
+        end
+        else begin
+          let heartbeat =
+            match heartbeat_file with
+            | None -> None
+            | Some path ->
+                Some
+                  (Rrs_obs.Heartbeat.create ~every_rounds:heartbeat_every
+                     ~path
+                     ~status_path:(path ^ ".status")
+                     ())
+          in
+          let config =
+            {
+              Server.policy;
+              n;
+              delta;
+              delay;
+              mini_rounds;
+              checkpoint_dir;
+              checkpoint_every;
+              crash_after;
+              retries;
+              heartbeat;
+            }
+          in
+          let code = Server.serve config stdin stdout in
+          Option.iter Rrs_obs.Heartbeat.finish heartbeat;
+          code
+        end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the scheduler as a long-lived service: line commands on \
+          stdin (submit/step/state/reconfigure/checkpoint/quit), journaled \
+          and checkpointed for crash restart (see doc/SERVICE.md)")
+    Term.(
+      const run $ policy_arg $ resources_arg $ delta_arg $ colors_arg
+      $ delay_bound_arg $ mini_rounds_arg $ family_arg $ seed_arg
+      $ emit_script_arg $ step_chunk_arg $ checkpoint_dir_arg
+      $ checkpoint_every_arg $ retries_arg $ crash_after_arg $ heartbeat_arg
+      $ heartbeat_every_arg)
 
 (* ------------------------------------------------------------------ *)
 (* rrs benchdiff                                                       *)
@@ -913,6 +1147,7 @@ let main =
       list_cmd;
       simulate_cmd;
       experiment_cmd;
+      serve_cmd;
       status_cmd;
       benchdiff_cmd;
       opt_cmd;

@@ -1,0 +1,223 @@
+module Json = Rrs_obs.Json
+
+type op =
+  | Submit of { round : int; color : int; count : int }
+  | Step of int
+  | Reconfigure of {
+      delta : int option;
+      n : int option;
+      delay : (int * int) list;
+    }
+
+type header = {
+  version : int;
+  policy : string;
+  n : int;
+  delta : int;
+  delay : int array;
+  mini_rounds : int;
+}
+
+let header_version = 1
+
+let int_array arr =
+  Json.List (Array.to_list arr |> List.map (fun v -> Json.Int v))
+
+let header_to_line h =
+  Json.to_string
+    (Json.Assoc
+       [
+         ("type", Json.String "serve_open");
+         ("version", Json.Int h.version);
+         ("policy", Json.String h.policy);
+         ("n", Json.Int h.n);
+         ("delta", Json.Int h.delta);
+         ("delay", int_array h.delay);
+         ("mini_rounds", Json.Int h.mini_rounds);
+       ])
+
+let op_to_line op =
+  let fields =
+    match op with
+    | Submit { round; color; count } ->
+        [
+          ("op", Json.String "submit");
+          ("round", Json.Int round);
+          ("color", Json.Int color);
+          ("count", Json.Int count);
+        ]
+    | Step k -> [ ("op", Json.String "step"); ("rounds", Json.Int k) ]
+    | Reconfigure { delta; n; delay } ->
+        [ ("op", Json.String "reconfigure") ]
+        @ (match delta with Some d -> [ ("delta", Json.Int d) ] | None -> [])
+        @ (match n with Some v -> [ ("n", Json.Int v) ] | None -> [])
+        @
+        if delay = [] then []
+        else
+          [
+            ( "delay",
+              Json.List
+                (List.map
+                   (fun (c, b) -> Json.List [ Json.Int c; Json.Int b ])
+                   delay) );
+          ]
+  in
+  Json.to_string (Json.Assoc (("type", Json.String "serve_op") :: fields))
+
+let ( let* ) = Result.bind
+
+let field name json =
+  match Json.member name json with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let int_field name json =
+  let* v = field name json in
+  Result.map_error (fun e -> Printf.sprintf "field %S: %s" name e) (Json.to_int v)
+
+let opt_int_field name json =
+  match Json.member name json with
+  | None -> Ok None
+  | Some v ->
+      Result.map_error
+        (fun e -> Printf.sprintf "field %S: %s" name e)
+        (Result.map (fun v -> Some v) (Json.to_int v))
+
+let string_field name json =
+  let* v = field name json in
+  Result.map_error
+    (fun e -> Printf.sprintf "field %S: %s" name e)
+    (Json.to_string_lit v)
+
+let int_array_field name json =
+  let* v = field name json in
+  let* items =
+    Result.map_error (fun e -> Printf.sprintf "field %S: %s" name e)
+      (Json.to_list v)
+  in
+  let* ints =
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        let* v =
+          Result.map_error
+            (fun e -> Printf.sprintf "field %S: %s" name e)
+            (Json.to_int item)
+        in
+        Ok (v :: acc))
+      (Ok []) items
+  in
+  Ok (Array.of_list (List.rev ints))
+
+let header_of_line line =
+  let* json = Json.parse line in
+  let* ty = string_field "type" json in
+  if ty <> "serve_open" then
+    Error (Printf.sprintf "journal header: type %S (want serve_open)" ty)
+  else
+    let* version = int_field "version" json in
+    if version <> header_version then
+      Error
+        (Printf.sprintf "journal header: version %d (want %d)" version
+           header_version)
+    else
+      let* policy = string_field "policy" json in
+      let* n = int_field "n" json in
+      let* delta = int_field "delta" json in
+      let* delay = int_array_field "delay" json in
+      let* mini_rounds = int_field "mini_rounds" json in
+      Ok { version; policy; n; delta; delay; mini_rounds }
+
+let op_of_line line =
+  let* json = Json.parse line in
+  let* ty = string_field "type" json in
+  if ty <> "serve_op" then
+    Error (Printf.sprintf "journal op: type %S (want serve_op)" ty)
+  else
+    let* op = string_field "op" json in
+    match op with
+    | "submit" ->
+        let* round = int_field "round" json in
+        let* color = int_field "color" json in
+        let* count = int_field "count" json in
+        Ok (Submit { round; color; count })
+    | "step" ->
+        let* rounds = int_field "rounds" json in
+        Ok (Step rounds)
+    | "reconfigure" ->
+        let* delta = opt_int_field "delta" json in
+        let* n = opt_int_field "n" json in
+        let* delay =
+          match Json.member "delay" json with
+          | None -> Ok []
+          | Some v ->
+              let* items = Json.to_list v in
+              List.fold_left
+                (fun acc item ->
+                  let* acc = acc in
+                  match item with
+                  | Json.List [ Json.Int c; Json.Int b ] -> Ok ((c, b) :: acc)
+                  | _ -> Error "field \"delay\": want [COLOR, BOUND] pairs")
+                (Ok []) items
+              |> Result.map List.rev
+        in
+        Ok (Reconfigure { delta; n; delay })
+    | op -> Error (Printf.sprintf "journal op: unknown op %S" op)
+
+let load path =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "journal %s: no such file" path)
+  else
+    let lines = In_channel.with_open_text path In_channel.input_lines in
+    let lines = List.filter (fun l -> String.trim l <> "") lines in
+    match lines with
+    | [] -> Error (Printf.sprintf "journal %s: empty" path)
+    | header_line :: op_lines -> (
+        match header_of_line header_line with
+        | Error e -> Error (Printf.sprintf "journal %s: %s" path e)
+        | Ok header ->
+            let total = List.length op_lines in
+            let rec parse i acc = function
+              | [] -> Ok (header, List.rev acc, None)
+              | line :: rest -> (
+                  match op_of_line line with
+                  | Ok op -> parse (i + 1) (op :: acc) rest
+                  | Error e when i = total - 1 && rest = [] ->
+                      (* torn tail: the crash interrupted the final
+                         write; the op was never acked, drop it *)
+                      Ok
+                        ( header,
+                          List.rev acc,
+                          Some
+                            (Printf.sprintf
+                               "dropped torn trailing line %d of %s (%s)"
+                               (i + 2) path e) )
+                  | Error e ->
+                      Error
+                        (Printf.sprintf "journal %s: line %d: %s" path (i + 2)
+                           e))
+            in
+            parse 0 [] op_lines)
+
+type writer = { oc : out_channel }
+
+let create path header =
+  let oc = Out_channel.open_text path in
+  output_string oc (header_to_line header);
+  output_char oc '\n';
+  flush oc;
+  { oc }
+
+let append_to path =
+  let oc =
+    Out_channel.open_gen [ Open_append; Open_creat; Open_text ] 0o644 path
+  in
+  { oc }
+
+let append w op =
+  Rrs_fault.probe "serve.journal";
+  output_string w.oc (op_to_line op);
+  output_char w.oc '\n';
+  flush w.oc
+
+let close w = Out_channel.close_noerr w.oc

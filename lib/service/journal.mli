@@ -1,0 +1,60 @@
+(** The write-ahead journal of a service session.
+
+    One JSONL file: a header line naming the session's creation
+    parameters (policy id, n, Δ, delay bounds, mini-rounds), then one
+    line per state-changing command {e after} it was applied
+    successfully (log-after-apply: a command that crashes the server
+    never reaches the journal, so replay cannot re-crash on it; the
+    client's un-acked command is the at-most-once loss window —
+    doc/SERVICE.md, "Restart semantics").
+
+    Replaying the header + ops through a fresh {!Rrs_core.Engine.Session}
+    reproduces the live session byte-identically — sessions are
+    deterministic functions of this sequence.  {!load} tolerates a torn
+    final line (the crash left a partial write): it is dropped with a
+    warning; a torn line {e earlier} than the tail is corruption and
+    refuses to load. *)
+
+type op =
+  | Submit of { round : int; color : int; count : int }
+      (** [round] is absolute — the server resolves a default-round
+          submit before journaling *)
+  | Step of int
+  | Reconfigure of {
+      delta : int option;
+      n : int option;
+      delay : (int * int) list;
+    }
+
+type header = {
+  version : int;
+  policy : string;
+  n : int;
+  delta : int;
+  delay : int array;
+  mini_rounds : int;
+}
+
+val header_version : int
+
+val header_to_line : header -> string
+val op_to_line : op -> string
+val op_of_line : string -> (op, string) result
+
+val load : string -> (header * op list * string option, string) result
+(** Parse a journal file.  The third component is a warning when a torn
+    trailing line was dropped.  [Error] on a missing file, a bad header,
+    or corruption before the tail. *)
+
+(** An append handle: one line per {!append}, flushed through to the OS
+    so a crash loses at most the in-flight line. *)
+type writer
+
+val create : string -> header -> writer
+(** Truncate [path] and write the header — a fresh session. *)
+
+val append_to : string -> writer
+(** Open an existing journal for appending — a restored session. *)
+
+val append : writer -> op -> unit
+val close : writer -> unit

@@ -1,0 +1,157 @@
+type command =
+  | Submit of { round : int option; color : int; count : int }
+  | Step of int
+  | State
+  | Reconfigure of {
+      delta : int option;
+      n : int option;
+      delay : (int * int) list;
+    }
+  | Checkpoint
+  | Quit
+  | Help
+
+let grammar =
+  String.concat "\n"
+    [
+      "submit [ROUND] COLOR COUNT     inject COUNT jobs of COLOR at ROUND";
+      "                               (default: the current round)";
+      "step [N]                       execute N rounds (default 1)";
+      "state                          emit the session state, one JSON line";
+      "reconfigure KEY=VALUE ...      delta=D | n=N | delay=COLOR:BOUND[,..]";
+      "checkpoint                     force a checkpoint commit now";
+      "quit                           checkpoint, finish, exit";
+      "help                           print this grammar";
+    ]
+
+let int_of_token name tok =
+  match int_of_string_opt tok with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: not an integer: %S" name tok)
+
+let ( let* ) = Result.bind
+
+let parse_delay_spec spec =
+  (* COLOR:BOUND[,COLOR:BOUND...] *)
+  let entries = String.split_on_char ',' spec in
+  List.fold_left
+    (fun acc entry ->
+      let* acc = acc in
+      match String.split_on_char ':' entry with
+      | [ color; bound ] ->
+          let* color = int_of_token "delay color" color in
+          let* bound = int_of_token "delay bound" bound in
+          Ok ((color, bound) :: acc)
+      | _ -> Error (Printf.sprintf "delay: want COLOR:BOUND, got %S" entry))
+    (Ok []) entries
+  |> Result.map List.rev
+
+let parse_reconfigure tokens =
+  let* delta, n, delay =
+    List.fold_left
+      (fun acc tok ->
+        let* delta, n, delay = acc in
+        match String.index_opt tok '=' with
+        | None ->
+            Error
+              (Printf.sprintf "reconfigure: want KEY=VALUE, got %S" tok)
+        | Some i -> (
+            let key = String.sub tok 0 i in
+            let value = String.sub tok (i + 1) (String.length tok - i - 1) in
+            match key with
+            | "delta" ->
+                let* v = int_of_token "delta" value in
+                Ok (Some v, n, delay)
+            | "n" ->
+                let* v = int_of_token "n" value in
+                Ok (delta, Some v, delay)
+            | "delay" ->
+                let* d = parse_delay_spec value in
+                Ok (delta, n, delay @ d)
+            | _ ->
+                Error
+                  (Printf.sprintf
+                     "reconfigure: unknown key %S (want delta, n or delay)" key)
+            ))
+      (Ok (None, None, []))
+      tokens
+  in
+  if delta = None && n = None && delay = [] then
+    Error "reconfigure: nothing to change (want delta=, n= and/or delay=)"
+  else Ok (Reconfigure { delta; n; delay })
+
+let parse line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let tokens =
+    String.split_on_char ' ' (String.trim line)
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun t -> t <> "")
+  in
+  match tokens with
+  | [] -> Ok None
+  | verb :: args -> (
+      let some c = Result.map (fun c -> Some c) c in
+      match (verb, args) with
+      | "submit", [ color; count ] ->
+          some
+            (let* color = int_of_token "color" color in
+             let* count = int_of_token "count" count in
+             Ok (Submit { round = None; color; count }))
+      | "submit", [ round; color; count ] ->
+          some
+            (let* round = int_of_token "round" round in
+             let* color = int_of_token "color" color in
+             let* count = int_of_token "count" count in
+             Ok (Submit { round = Some round; color; count }))
+      | "submit", _ -> Error "submit: want [ROUND] COLOR COUNT"
+      | "step", [] -> Ok (Some (Step 1))
+      | "step", [ k ] ->
+          some
+            (let* k = int_of_token "step count" k in
+             if k < 1 then Error "step: count must be at least 1"
+             else Ok (Step k))
+      | "step", _ -> Error "step: want at most one count"
+      | "state", [] -> Ok (Some State)
+      | "state", _ -> Error "state: takes no arguments"
+      | "reconfigure", [] ->
+          Error "reconfigure: nothing to change (want delta=, n= and/or delay=)"
+      | "reconfigure", args -> some (parse_reconfigure args)
+      | "checkpoint", [] -> Ok (Some Checkpoint)
+      | "checkpoint", _ -> Error "checkpoint: takes no arguments"
+      | "quit", [] -> Ok (Some Quit)
+      | "quit", _ -> Error "quit: takes no arguments"
+      | "help", _ -> Ok (Some Help)
+      | verb, _ ->
+          Error
+            (Printf.sprintf "unknown command %S (try: help)" verb))
+
+let command_to_string = function
+  | Submit { round = None; color; count } ->
+      Printf.sprintf "submit %d %d" color count
+  | Submit { round = Some round; color; count } ->
+      Printf.sprintf "submit %d %d %d" round color count
+  | Step 1 -> "step"
+  | Step k -> Printf.sprintf "step %d" k
+  | State -> "state"
+  | Reconfigure { delta; n; delay } ->
+      let parts =
+        (match delta with Some d -> [ Printf.sprintf "delta=%d" d ] | None -> [])
+        @ (match n with Some v -> [ Printf.sprintf "n=%d" v ] | None -> [])
+        @
+        match delay with
+        | [] -> []
+        | d ->
+            [
+              "delay="
+              ^ String.concat ","
+                  (List.map (fun (c, b) -> Printf.sprintf "%d:%d" c b) d);
+            ]
+      in
+      String.concat " " ("reconfigure" :: parts)
+  | Checkpoint -> "checkpoint"
+  | Quit -> "quit"
+  | Help -> "help"

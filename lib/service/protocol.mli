@@ -1,0 +1,40 @@
+(** The line-oriented command protocol of [rrs serve].
+
+    One command per line; tokens separated by blanks; blank lines and
+    [#]-comments are ignored.  Grammar (doc/SERVICE.md):
+
+    {v
+    submit [ROUND] COLOR COUNT     inject COUNT jobs of COLOR at ROUND
+                                   (default: the current round)
+    step [N]                       execute N rounds (default 1)
+    state                          emit the session state, one JSON line
+    reconfigure KEY=VALUE ...      delta=D | n=N | delay=COLOR:BOUND[,..]
+    checkpoint                     force a checkpoint commit now
+    quit                           checkpoint, finish, exit
+    help                           print this grammar
+    v}
+
+    The parser is total: it returns a typed command or an error string,
+    never raises. *)
+
+type command =
+  | Submit of { round : int option; color : int; count : int }
+  | Step of int
+  | State
+  | Reconfigure of {
+      delta : int option;
+      n : int option;
+      delay : (int * int) list;
+    }
+  | Checkpoint
+  | Quit
+  | Help
+
+val parse : string -> (command option, string) result
+(** [Ok None] for blank lines and comments. *)
+
+val command_to_string : command -> string
+(** Canonical form: what {!parse} accepts and the journal records. *)
+
+val grammar : string
+(** The grammar block above, for [help] and usage errors. *)

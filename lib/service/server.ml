@@ -1,0 +1,411 @@
+module Engine = Rrs_core.Engine
+module Session = Engine.Session
+module Instance = Rrs_core.Instance
+module Supervisor = Rrs_robust.Supervisor
+
+let policies : (string * Rrs_core.Policy.factory) list =
+  [
+    ("dlru-edf", Rrs_core.Lru_edf.policy);
+    ("dlru", Rrs_core.Delta_lru.policy);
+    ("edf", Rrs_core.Edf_policy.policy);
+    ("seq-edf", Rrs_core.Edf_policy.seq_policy);
+    ("black", Rrs_core.Static_policy.black);
+    ("greedy", Rrs_core.Naive_policies.greedy_backlog);
+    ( "greedy-hysteresis",
+      fun instance ~n ->
+        Rrs_core.Naive_policies.greedy_backlog_hysteresis
+          ~threshold:instance.Instance.delta instance ~n );
+    ("round-robin", Rrs_core.Naive_policies.round_robin);
+  ]
+
+let factory_of_id id =
+  match List.assoc_opt id policies with
+  | Some f -> Ok f
+  | None ->
+      Error
+        (Printf.sprintf "unknown policy %S (serve accepts: %s)" id
+           (String.concat ", " (List.map fst policies)))
+
+type config = {
+  policy : string;
+  n : int;
+  delta : int;
+  delay : int array;
+  mini_rounds : int;
+  checkpoint_dir : string option;
+  checkpoint_every : int;
+  crash_after : int option;
+  retries : int;
+  heartbeat : Rrs_obs.Heartbeat.t option;
+}
+
+let default_config =
+  {
+    policy = "dlru-edf";
+    n = 8;
+    delta = 4;
+    delay = Array.make 8 8;
+    mini_rounds = 1;
+    checkpoint_dir = None;
+    checkpoint_every = 256;
+    crash_after = None;
+    retries = 2;
+    heartbeat = None;
+  }
+
+(* Durable-state corruption: the journal or checkpoint cannot be
+   trusted, so a restart must not silently continue.  Fatal under
+   {!Supervisor.classify_default}. *)
+exception Corrupt of string
+
+(* ---- applying ops to the session --------------------------------- *)
+
+let apply session (op : Journal.op) : (string, string) result =
+  match op with
+  | Journal.Submit { round; color; count } -> (
+      match Session.feed session ~round ~color ~count with
+      | Ok () ->
+          Ok
+            (Printf.sprintf "submitted %d job%s of color %d at round %d" count
+               (if count = 1 then "" else "s")
+               color round)
+      | Error e -> Error ("submit: " ^ Session.string_of_feed_error e))
+  | Journal.Step k ->
+      for _ = 1 to k do
+        Session.step session
+      done;
+      Ok
+        (Printf.sprintf "stepped %d round%s to round %d" k
+           (if k = 1 then "" else "s")
+           (Session.round session))
+  | Journal.Reconfigure { delta; n; delay } -> (
+      match Session.reconfigure session ?delta ?n ~delay () with
+      | Ok () ->
+          Ok
+            (Printf.sprintf "reconfigured: n=%d delta=%d" (Session.n session)
+               (Session.delta session))
+      | Error e -> Error ("reconfigure: " ^ Session.string_of_reconfigure_error e))
+
+(* ---- durable state ------------------------------------------------ *)
+
+let journal_path dir = Filename.concat dir "journal.jsonl"
+let checkpoint_path dir = Filename.concat dir "checkpoint.json"
+
+let write_checkpoint path snapshot =
+  Rrs_obs.Sink.with_jsonl path (fun sink ->
+      Rrs_obs.Sink.write_line sink (Snapshot.to_line snapshot))
+
+let load_checkpoint path =
+  if not (Sys.file_exists path) then Ok None
+  else
+    let line = In_channel.with_open_text path In_channel.input_line in
+    match line with
+    | None -> Error (Printf.sprintf "checkpoint %s: empty" path)
+    | Some line -> (
+        match Snapshot.of_line line with
+        | Ok s -> Ok (Some s)
+        | Error e -> Error (Printf.sprintf "checkpoint %s: %s" path e))
+
+let session_of_header (header : Journal.header) =
+  match factory_of_id header.policy with
+  | Error e -> raise (Corrupt e)
+  | Ok factory ->
+      let cfg =
+        Engine.config ~n:header.n ~mini_rounds:header.mini_rounds ()
+      in
+      let session =
+        Session.create
+          ~name:("serve-" ^ header.policy)
+          cfg ~delta:header.delta ~delay:header.delay factory
+      in
+      (* replay must be silent: no ambient heartbeat picked up at
+         create may observe replayed rounds *)
+      Session.set_heartbeat session None;
+      session
+
+(* Rebuild the session by replaying the journal; when the replay passes
+   the checkpoint's journal position, the states must agree — a
+   mismatch means the journal and checkpoint tell different stories and
+   the durable state cannot be trusted. *)
+let replay header ops ~checkpoint =
+  let session = session_of_header header in
+  let applied = ref 0 in
+  List.iter
+    (fun op ->
+      (match apply session op with
+      | Ok _ -> ()
+      | Error e ->
+          raise
+            (Corrupt
+               (Printf.sprintf "journal replay: op %d refused: %s"
+                  (!applied + 1) e)));
+      incr applied;
+      match checkpoint with
+      | Some (ckpt : Snapshot.t) when ckpt.ops = !applied ->
+          let now = Snapshot.of_session ~ops:!applied session in
+          if not (Snapshot.equal now ckpt) then
+            raise
+              (Corrupt
+                 (Format.asprintf
+                    "checkpoint diverges from journal replay at op %d:@ \
+                     checkpoint %a@ replay %a"
+                    !applied Snapshot.pp ckpt Snapshot.pp now))
+      | _ -> ())
+    ops;
+  (session, !applied)
+
+type live = {
+  session : Session.t;
+  writer : Journal.writer option;
+  ckpt_path : string option;
+  restored : bool;
+  warning : string option;
+  mutable ops : int;
+  mutable ckpt_ops : int;  (** ops at the last committed checkpoint *)
+}
+
+let restore_or_init config =
+  match config.checkpoint_dir with
+  | None ->
+      let header =
+        {
+          Journal.version = Journal.header_version;
+          policy = config.policy;
+          n = config.n;
+          delta = config.delta;
+          delay = config.delay;
+          mini_rounds = config.mini_rounds;
+        }
+      in
+      let session = session_of_header header in
+      {
+        session;
+        writer = None;
+        ckpt_path = None;
+        restored = false;
+        warning = None;
+        ops = 0;
+        ckpt_ops = 0;
+      }
+  | Some dir ->
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+      let jpath = journal_path dir in
+      let cpath = checkpoint_path dir in
+      if Sys.file_exists jpath then begin
+        match Journal.load jpath with
+        | Error e -> raise (Corrupt e)
+        | Ok (header, ops, warning) ->
+            let checkpoint =
+              match load_checkpoint cpath with
+              | Ok c -> c
+              | Error e -> raise (Corrupt e)
+            in
+            let session, applied = replay header ops ~checkpoint in
+            {
+              session;
+              writer = Some (Journal.append_to jpath);
+              ckpt_path = Some cpath;
+              restored = true;
+              warning;
+              ops = applied;
+              ckpt_ops =
+                (match checkpoint with Some c -> c.Snapshot.ops | None -> 0);
+            }
+      end
+      else begin
+        let header =
+          {
+            Journal.version = Journal.header_version;
+            policy = config.policy;
+            n = config.n;
+            delta = config.delta;
+            delay = config.delay;
+            mini_rounds = config.mini_rounds;
+          }
+        in
+        let session = session_of_header header in
+        {
+          session;
+          writer = Some (Journal.create jpath header);
+          ckpt_path = Some cpath;
+          restored = false;
+          warning = None;
+          ops = 0;
+          ckpt_ops = 0;
+        }
+      end
+
+let checkpoint_now live =
+  match live.ckpt_path with
+  | None -> None
+  | Some path ->
+      let snapshot = Snapshot.of_session ~ops:live.ops live.session in
+      write_checkpoint path snapshot;
+      live.ckpt_ops <- live.ops;
+      Some snapshot
+
+(* ---- the command loop --------------------------------------------- *)
+
+let serve config ic oc =
+  let respond line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  let config_error msg =
+    respond ("err " ^ msg);
+    2
+  in
+  match factory_of_id config.policy with
+  | Error e -> config_error e
+  | Ok _ -> (
+      match
+        (* surface bad geometry as a config error, not a raise *)
+        if Array.length config.delay > Rrs_core.Packed.max_colors then
+          invalid_arg
+            (Printf.sprintf "%d colors exceed the packed color field (max %d)"
+               (Array.length config.delay) Rrs_core.Packed.max_colors)
+        else
+          ignore
+            (Instance.create ~delta:config.delta
+               ~delay:(Array.copy config.delay) ~arrivals:[] ())
+      with
+      | exception Invalid_argument msg -> config_error msg
+      | () ->
+          if config.checkpoint_every < 0 then
+            config_error "checkpoint-every must be non-negative"
+          else if config.n < 1 then config_error "n must be at least 1"
+          else begin
+            (* ops applied by THIS process (replayed ops excluded):
+               the deterministic kill point counts real work *)
+            let fresh_ops = ref 0 in
+            let attempt () =
+              let live = restore_or_init config in
+              Session.set_heartbeat live.session config.heartbeat;
+              (match live.warning with
+              | Some w -> respond ("ok warning: " ^ w)
+              | None -> ());
+              if live.restored then
+                respond
+                  (Printf.sprintf "ok restored round=%d ops=%d pending=%d"
+                     (Session.round live.session)
+                     live.ops
+                     (Session.pending_jobs live.session))
+              else
+                respond
+                  (Printf.sprintf
+                     "ok session policy=%s n=%d delta=%d colors=%d"
+                     config.policy (Session.n live.session)
+                     (Session.delta live.session)
+                     (Session.num_colors live.session));
+              let graceful () =
+                ignore (checkpoint_now live);
+                Option.iter Journal.close live.writer;
+                let result = Session.finish live.session in
+                respond
+                  (Printf.sprintf
+                     "ok bye round=%d executed=%d dropped=%d recolorings=%d \
+                      cost=%d"
+                     result.Engine.rounds_simulated result.Engine.executed
+                     result.Engine.dropped result.Engine.reconfigurations
+                     (Rrs_core.Cost.total result.Engine.cost));
+                0
+              in
+              let committed op =
+                Option.iter (fun w -> Journal.append w op) live.writer;
+                live.ops <- live.ops + 1;
+                incr fresh_ops;
+                if
+                  config.checkpoint_every > 0
+                  && live.ops - live.ckpt_ops >= config.checkpoint_every
+                then ignore (checkpoint_now live);
+                match config.crash_after with
+                | Some k when !fresh_ops >= k ->
+                    (* simulate a hard kill: no checkpoint, no finish,
+                       no ack — only the journal survives *)
+                    Out_channel.flush oc;
+                    Stdlib.exit 70
+                | _ -> ()
+              in
+              let rec loop () =
+                match In_channel.input_line ic with
+                | None -> graceful ()
+                | Some line -> (
+                    match Protocol.parse line with
+                    | Ok None -> loop ()
+                    | Error e ->
+                        respond ("err " ^ e);
+                        loop ()
+                    | Ok (Some cmd) -> (
+                        Rrs_fault.probe "serve.command";
+                        match cmd with
+                        | Protocol.Help ->
+                            String.split_on_char '\n' Protocol.grammar
+                            |> List.iter (fun l -> respond ("ok " ^ l));
+                            loop ()
+                        | Protocol.State ->
+                            respond
+                              (Snapshot.to_line
+                                 (Snapshot.of_session ~ops:live.ops
+                                    live.session));
+                            loop ()
+                        | Protocol.Checkpoint -> (
+                            match checkpoint_now live with
+                            | None ->
+                                respond
+                                  "err checkpoint: ephemeral session (start \
+                                   with --checkpoint-dir)";
+                                loop ()
+                            | Some snapshot ->
+                                respond
+                                  (Printf.sprintf "ok checkpoint round=%d ops=%d"
+                                     snapshot.Snapshot.round
+                                     snapshot.Snapshot.ops);
+                                loop ())
+                        | Protocol.Quit -> graceful ()
+                        | Protocol.Submit { round; color; count } -> (
+                            let round =
+                              Option.value
+                                ~default:(Session.round live.session)
+                                round
+                            in
+                            let op = Journal.Submit { round; color; count } in
+                            match apply live.session op with
+                            | Ok msg ->
+                                committed op;
+                                respond ("ok " ^ msg);
+                                loop ()
+                            | Error e ->
+                                respond ("err " ^ e);
+                                loop ())
+                        | Protocol.Step k -> (
+                            let op = Journal.Step k in
+                            match apply live.session op with
+                            | Ok msg ->
+                                committed op;
+                                respond ("ok " ^ msg);
+                                loop ()
+                            | Error e ->
+                                respond ("err " ^ e);
+                                loop ())
+                        | Protocol.Reconfigure { delta; n; delay } -> (
+                            let op = Journal.Reconfigure { delta; n; delay } in
+                            match apply live.session op with
+                            | Ok msg ->
+                                committed op;
+                                respond ("ok " ^ msg);
+                                loop ()
+                            | Error e ->
+                                respond ("err " ^ e);
+                                loop ())))
+              in
+              loop ()
+            in
+            let policy = { Supervisor.default with retries = config.retries } in
+            match Supervisor.run ~policy ~name:"serve" attempt with
+            | Ok code -> code
+            | Error f ->
+                respond
+                  (Format.asprintf "err fatal: %a" Supervisor.pp_failure f);
+                1
+          end)

@@ -1,0 +1,51 @@
+(** The long-lived scheduler service: a streaming
+    {!Rrs_core.Engine.Session} driven by the line protocol
+    ({!Protocol}), journaled ({!Journal}), periodically checkpointed
+    ({!Snapshot} through the atomic temp+rename commit), and supervised
+    ({!Rrs_robust.Supervisor}) so contained faults restart the session
+    from its journal instead of killing the process.
+
+    Memory-boundedness contract: the server retains no per-round
+    history — no recorded schedule, no response log; its resident state
+    is the session (pending jobs + fed-ahead arrivals + policy state)
+    and one journal append buffer.  Durable state grows only in the
+    journal file (doc/SERVICE.md). *)
+
+val policies : (string * Rrs_core.Policy.factory) list
+(** Policy ids [rrs serve --policy] accepts (the online subset of the
+    simulate table — the pipeline policy needs the whole instance up
+    front and cannot stream). *)
+
+val factory_of_id : string -> (Rrs_core.Policy.factory, string) result
+
+type config = {
+  policy : string;  (** id from {!policies} *)
+  n : int;
+  delta : int;
+  delay : int array;
+  mini_rounds : int;
+  checkpoint_dir : string option;
+      (** holds [journal.jsonl] + [checkpoint.json]; [None] = ephemeral
+          session, no durability *)
+  checkpoint_every : int;
+      (** commit a checkpoint every that many applied ops; 0 = only on
+          explicit [checkpoint] commands and at quit *)
+  crash_after : int option;
+      (** abandon the process (exit 70, no checkpoint, no finish) after
+          that many applied ops — the deterministic kill the CI
+          restart test uses *)
+  retries : int;  (** supervisor restarts granted to transient faults *)
+  heartbeat : Rrs_obs.Heartbeat.t option;
+      (** attached {e after} restore: journal replay never beats *)
+}
+
+val default_config : config
+(** dlru-edf, n = 8, Δ = 4, 8 colors with delay bounds 8, uni-speed,
+    ephemeral, checkpoint every 256 ops, no crash, 2 retries. *)
+
+val serve : config -> in_channel -> out_channel -> int
+(** Run the service over the channels until [quit] or EOF; returns the
+    process exit code (0 = clean shutdown, 1 = fatal failure or
+    unreadable durable state, 2 = bad configuration).  Every response
+    is one line: [ok ...], [err ...], or a state JSON object; responses
+    are flushed per command so the channel can be a pipe. *)

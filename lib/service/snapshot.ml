@@ -1,0 +1,150 @@
+module Session = Rrs_core.Engine.Session
+module Json = Rrs_obs.Json
+
+type t = {
+  version : int;
+  ops : int;
+  round : int;
+  n : int;
+  delta : int;
+  delay : int array;
+  reconfigurations : int;
+  reconfig_cost : int;
+  executed : int;
+  dropped : int;
+  pending_jobs : int;
+  future_arrivals : int;
+  cache : int array;
+}
+
+let version = 1
+
+let of_session ~ops session =
+  let cost = Session.cost session in
+  {
+    version;
+    ops;
+    round = Session.round session;
+    n = Session.n session;
+    delta = Session.delta session;
+    delay = Session.delay session;
+    reconfigurations = Session.reconfigurations session;
+    reconfig_cost = cost.Rrs_core.Cost.reconfig;
+    executed = Session.executed session;
+    dropped = Session.dropped session;
+    pending_jobs = Session.pending_jobs session;
+    future_arrivals = Session.future_arrivals session;
+    cache = Session.cache session;
+  }
+
+let int_array arr = Json.List (Array.to_list arr |> List.map (fun v -> Json.Int v))
+
+let to_json t =
+  Json.Assoc
+    [
+      ("type", Json.String "serve_state");
+      ("version", Json.Int t.version);
+      ("ops", Json.Int t.ops);
+      ("round", Json.Int t.round);
+      ("n", Json.Int t.n);
+      ("delta", Json.Int t.delta);
+      ("delay", int_array t.delay);
+      ("reconfigurations", Json.Int t.reconfigurations);
+      ("reconfig_cost", Json.Int t.reconfig_cost);
+      ("executed", Json.Int t.executed);
+      ("dropped", Json.Int t.dropped);
+      ("pending_jobs", Json.Int t.pending_jobs);
+      ("future_arrivals", Json.Int t.future_arrivals);
+      ("cache", int_array t.cache);
+    ]
+
+let ( let* ) = Result.bind
+
+let field name json =
+  match Json.member name json with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "checkpoint: missing field %S" name)
+
+let int_field name json =
+  let* v = field name json in
+  Result.map_error
+    (fun e -> Printf.sprintf "checkpoint: field %S: %s" name e)
+    (Json.to_int v)
+
+let int_array_field name json =
+  let* v = field name json in
+  let* items =
+    Result.map_error
+      (fun e -> Printf.sprintf "checkpoint: field %S: %s" name e)
+      (Json.to_list v)
+  in
+  let* ints =
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        let* v =
+          Result.map_error
+            (fun e -> Printf.sprintf "checkpoint: field %S: %s" name e)
+            (Json.to_int item)
+        in
+        Ok (v :: acc))
+      (Ok []) items
+  in
+  Ok (Array.of_list (List.rev ints))
+
+let of_json json =
+  let* v = int_field "version" json in
+  if v <> version then
+    Error (Printf.sprintf "checkpoint: version %d (want %d)" v version)
+  else
+    let* ops = int_field "ops" json in
+    let* round = int_field "round" json in
+    let* n = int_field "n" json in
+    let* delta = int_field "delta" json in
+    let* delay = int_array_field "delay" json in
+    let* reconfigurations = int_field "reconfigurations" json in
+    let* reconfig_cost = int_field "reconfig_cost" json in
+    let* executed = int_field "executed" json in
+    let* dropped = int_field "dropped" json in
+    let* pending_jobs = int_field "pending_jobs" json in
+    let* future_arrivals = int_field "future_arrivals" json in
+    let* cache = int_array_field "cache" json in
+    Ok
+      {
+        version = v;
+        ops;
+        round;
+        n;
+        delta;
+        delay;
+        reconfigurations;
+        reconfig_cost;
+        executed;
+        dropped;
+        pending_jobs;
+        future_arrivals;
+        cache;
+      }
+
+let to_line t = Json.to_string (to_json t)
+
+let of_line line =
+  let* json = Json.parse line in
+  of_json json
+
+let equal a b =
+  a.version = b.version && a.ops = b.ops && a.round = b.round && a.n = b.n
+  && a.delta = b.delta && a.delay = b.delay
+  && a.reconfigurations = b.reconfigurations
+  && a.reconfig_cost = b.reconfig_cost
+  && a.executed = b.executed && a.dropped = b.dropped
+  && a.pending_jobs = b.pending_jobs
+  && a.future_arrivals = b.future_arrivals
+  && a.cache = b.cache
+
+let pp fmt t =
+  Format.fprintf fmt
+    "round %d: n=%d delta=%d colors=%d pending=%d executed=%d dropped=%d \
+     recolorings=%d (ops %d)"
+    t.round t.n t.delta (Array.length t.delay) t.pending_jobs t.executed
+    t.dropped t.reconfigurations t.ops

@@ -1,0 +1,42 @@
+(** Serializable images of a streaming session.
+
+    A snapshot is the session's externally observable state — round,
+    parameters, cost accounting, pending population, the cache coloring
+    — plus the journal position it was taken at.  It is {e not} a full
+    machine image: policies are stateful closures, so restore works by
+    replaying the journal (see {!Journal} and doc/SERVICE.md, "Restart
+    semantics"); the checkpointed snapshot is the integrity anchor a
+    restore verifies itself against when its replay passes the
+    checkpoint's journal position.
+
+    Serialization round-trips byte-exactly through the canonical
+    {!Rrs_obs.Json} encoding: [of_json (to_json s) = Ok s'] with
+    [equal s s'] — the QCheck property in [test/test_service.ml]. *)
+
+type t = {
+  version : int;
+  ops : int;  (** journal ops applied when the snapshot was taken *)
+  round : int;
+  n : int;
+  delta : int;
+  delay : int array;
+  reconfigurations : int;
+  reconfig_cost : int;
+  executed : int;
+  dropped : int;
+  pending_jobs : int;
+  future_arrivals : int;
+  cache : int array;
+}
+
+val version : int
+
+val of_session : ops:int -> Rrs_core.Engine.Session.t -> t
+
+val to_json : t -> Rrs_obs.Json.t
+val of_json : Rrs_obs.Json.t -> (t, string) result
+val to_line : t -> string
+val of_line : string -> (t, string) result
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,88 @@
+module Instance = Rrs_core.Instance
+module Engine = Rrs_core.Engine
+
+type t = {
+  delta : int;
+  delay : int array;
+  num_colors : int;
+  arrivals : (Rrs_core.Types.color * int) list array;
+  rounds : int;
+  mutable cursor : int;
+}
+
+let of_instance (instance : Instance.t) =
+  {
+    delta = instance.delta;
+    delay = instance.delay;
+    num_colors = instance.num_colors;
+    arrivals = Instance.arrivals_by_round instance;
+    rounds = instance.horizon + 1;
+    cursor = 0;
+  }
+
+let delta t = t.delta
+let delay t = Array.copy t.delay
+let num_colors t = t.num_colors
+let rounds t = t.rounds
+
+let next t =
+  if t.cursor >= t.rounds then None
+  else begin
+    let round = t.cursor in
+    let batch =
+      if round < Array.length t.arrivals then t.arrivals.(round) else []
+    in
+    t.cursor <- round + 1;
+    Some (round, batch)
+  end
+
+let peek_round t = if t.cursor >= t.rounds then None else Some t.cursor
+
+let feed_session t session ~upto =
+  let continue = ref true in
+  while !continue do
+    match peek_round t with
+    | Some round when round <= upto ->
+        ignore (next t);
+        let batch =
+          if round < Array.length t.arrivals then t.arrivals.(round) else []
+        in
+        List.iter
+          (fun (color, count) ->
+            match Engine.Session.feed session ~round ~color ~count with
+            | Ok () -> ()
+            | Error e ->
+                invalid_arg
+                  (Printf.sprintf "Arrival_stream.feed_session: %s"
+                     (Engine.Session.string_of_feed_error e)))
+          batch
+    | _ -> continue := false
+  done
+
+let to_script ?(step_chunk = 64) t buf =
+  if step_chunk < 1 then invalid_arg "Arrival_stream.to_script: step_chunk < 1";
+  let pending_steps = ref 0 in
+  let flush_steps () =
+    if !pending_steps > 0 then begin
+      Buffer.add_string buf (Printf.sprintf "step %d\n" !pending_steps);
+      pending_steps := 0
+    end
+  in
+  let continue = ref true in
+  while !continue do
+    match next t with
+    | None -> continue := false
+    | Some (round, batch) ->
+        (* submits name their absolute round, so they may ride ahead of
+           the steps that will execute them *)
+        List.iter
+          (fun (color, count) ->
+            Buffer.add_string buf
+              (Printf.sprintf "submit %d %d %d\n" round color count))
+          batch;
+        incr pending_steps;
+        if !pending_steps >= step_chunk then flush_steps ()
+  done;
+  flush_steps ();
+  Buffer.add_string buf "state\n";
+  Buffer.add_string buf "quit\n"

@@ -160,3 +160,28 @@ let all =
 
 let find id = List.find_opt (fun f -> f.id = id) all
 let ids () = List.map (fun f -> f.id) all
+
+type scale_error =
+  | Fixed_cast of string
+  | Not_positive of int
+  | Too_many_colors of { requested : int; max : int }
+
+let string_of_scale_error = function
+  | Fixed_cast id ->
+      Printf.sprintf
+        "family %s has a fixed cast of services and does not scale" id
+  | Not_positive c -> Printf.sprintf "color count %d is not positive" c
+  | Too_many_colors { requested; max } ->
+      Printf.sprintf
+        "%d colors exceed the packed color field (max %d = 2^17)" requested max
+
+let scale_to family ~num_colors ~seed =
+  match family.scale with
+  | None -> Error (Fixed_cast family.id)
+  | Some scale ->
+      if num_colors < 1 then Error (Not_positive num_colors)
+      else if num_colors > Rrs_core.Packed.max_colors then
+        Error
+          (Too_many_colors
+             { requested = num_colors; max = Rrs_core.Packed.max_colors })
+      else Ok (scale ~num_colors ~seed)

@@ -25,3 +25,22 @@ val find : string -> family option
 val ids : unit -> string list
 
 val layer_to_string : layer -> string
+
+(** Why a scaled build was refused — {!scale_to} checks these before
+    any instance construction, so a CLI can surface the problem instead
+    of an [Invalid_argument] escaping from deep inside [Packed]. *)
+type scale_error =
+  | Fixed_cast of string  (** family id; its [scale] is [None] *)
+  | Not_positive of int
+  | Too_many_colors of { requested : int; max : int }
+      (** [max] is {!Rrs_core.Packed.max_colors} (2{^17}) *)
+
+val string_of_scale_error : scale_error -> string
+
+val scale_to :
+  family ->
+  num_colors:int ->
+  seed:int ->
+  (Rrs_core.Instance.t, scale_error) result
+(** [family.scale] with the color-universe size validated against the
+    packed key layout first. *)

@@ -1,0 +1,587 @@
+(* The service layer's contracts:
+
+   - the protocol parser is total and round-trips its canonical form;
+   - a streamed Session is decision-identical to the batch engine on
+     every family and through both reductions (schedule and all);
+   - Snapshot serialize -> deserialize is an identity on reachable
+     states (QCheck over random command sequences);
+   - a session killed at round k (journal left behind, no graceful
+     shutdown) and restored by a fresh server produces the batch run's
+     exact accounting — the load-bearing kill/restore differential;
+   - an injected transient fault mid-session restarts under the
+     supervisor from the journal and converges to the same state. *)
+
+open Rrs_core
+module Families = Rrs_workload.Families
+module Stream = Rrs_workload.Arrival_stream
+module Protocol = Rrs_service.Protocol
+module Snapshot = Rrs_service.Snapshot
+module Journal = Rrs_service.Journal
+module Server = Rrs_service.Server
+module Session = Engine.Session
+
+(* ---- protocol ----------------------------------------------------- *)
+
+let test_protocol_parse () =
+  let ok line = function
+    | Ok (Some cmd) -> cmd
+    | Ok None -> Alcotest.failf "%S parsed to nothing" line
+    | Error e -> Alcotest.failf "%S refused: %s" line e
+  in
+  let check_cmd line expected =
+    Alcotest.(check bool) (Printf.sprintf "parse %S" line) true
+      (ok line (Protocol.parse line) = expected)
+  in
+  check_cmd "submit 3 7" (Protocol.Submit { round = None; color = 3; count = 7 });
+  check_cmd "submit 12 3 7"
+    (Protocol.Submit { round = Some 12; color = 3; count = 7 });
+  check_cmd "step" (Protocol.Step 1);
+  check_cmd "step 40" (Protocol.Step 40);
+  check_cmd "  state  " Protocol.State;
+  check_cmd "checkpoint" Protocol.Checkpoint;
+  check_cmd "quit" Protocol.Quit;
+  check_cmd "reconfigure delta=5 n=12 delay=0:4,2:16"
+    (Protocol.Reconfigure
+       { delta = Some 5; n = Some 12; delay = [ (0, 4); (2, 16) ] });
+  (* blanks and comments parse to nothing *)
+  Alcotest.(check bool) "blank" true (Protocol.parse "   " = Ok None);
+  Alcotest.(check bool) "comment" true (Protocol.parse "# hi" = Ok None);
+  Alcotest.(check bool)
+    "trailing comment" true
+    (Protocol.parse "step 2 # two" = Ok (Some (Protocol.Step 2)));
+  (* errors are typed strings, never raises *)
+  List.iter
+    (fun line ->
+      match Protocol.parse line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S should not parse" line)
+    [
+      "submit"; "submit x 3"; "step 0"; "step -1"; "frobnicate"; "state 1";
+      "reconfigure"; "reconfigure speed=9"; "reconfigure delay=0";
+    ]
+
+let test_protocol_roundtrip () =
+  List.iter
+    (fun cmd ->
+      match Protocol.parse (Protocol.command_to_string cmd) with
+      | Ok (Some cmd') ->
+          Alcotest.(check bool)
+            (Protocol.command_to_string cmd)
+            true (cmd = cmd')
+      | _ ->
+          Alcotest.failf "canonical form %S did not round-trip"
+            (Protocol.command_to_string cmd))
+    [
+      Protocol.Submit { round = None; color = 1; count = 3 };
+      Protocol.Submit { round = Some 9; color = 0; count = 1 };
+      Protocol.Step 1;
+      Protocol.Step 17;
+      Protocol.State;
+      Protocol.Reconfigure { delta = Some 2; n = None; delay = [ (1, 8) ] };
+      Protocol.Checkpoint;
+      Protocol.Quit;
+      Protocol.Help;
+    ]
+
+(* ---- streamed session == batch engine ----------------------------- *)
+
+let drive_stream ?(cfg_of = fun ~n -> Engine.config ~n ~record_schedule:true ())
+    instance factory ~n =
+  let cfg = cfg_of ~n in
+  let session =
+    Session.create cfg ~delta:instance.Instance.delta
+      ~delay:instance.Instance.delay factory
+  in
+  let stream = Stream.of_instance instance in
+  (* feed each round's batch just before stepping it: the live pattern *)
+  for round = 0 to instance.Instance.horizon do
+    Stream.feed_session stream session ~upto:round;
+    Session.step session
+  done;
+  Session.finish ~expect_drained:true session
+
+let batch ?(cfg_of = fun ~n -> Engine.config ~n ~record_schedule:true ())
+    instance factory ~n =
+  Engine.run (cfg_of ~n) instance factory
+
+let check_stream_matches_batch label instance =
+  let n = 8 in
+  let streamed = drive_stream instance Lru_edf.policy ~n in
+  let batched = batch instance Lru_edf.policy ~n in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s streamed == batch" label)
+    true (streamed = batched)
+
+let test_stream_families () =
+  List.iter
+    (fun id ->
+      let f = Option.get (Families.find id) in
+      check_stream_matches_batch id (f.build ~seed:1))
+    (Families.ids ())
+
+(* Feeding everything up front (the whole future in the buckets) must
+   make the same schedule as feeding just in time. *)
+let test_stream_feed_order () =
+  let f = Option.get (Families.find "bursty") in
+  let instance = f.build ~seed:3 in
+  let n = 8 in
+  let eager =
+    let cfg = Engine.config ~n ~record_schedule:true () in
+    let session =
+      Session.create cfg ~delta:instance.Instance.delta
+        ~delay:instance.Instance.delay Lru_edf.policy
+    in
+    let stream = Stream.of_instance instance in
+    Stream.feed_session stream session ~upto:instance.Instance.horizon;
+    for _ = 0 to instance.Instance.horizon do
+      Session.step session
+    done;
+    Session.finish ~expect_drained:true session
+  in
+  Alcotest.(check bool) "eager == batch" true
+    (eager = batch instance Lru_edf.policy ~n)
+
+(* Both reductions: the streamed engine must price a reduced instance
+   exactly like the batch engine does, projection included. *)
+let test_stream_reductions () =
+  let n = 8 in
+  (* Distribute: oversized batches -> subcolors + cost projection *)
+  let oversized = (Option.get (Families.find "oversized")).build ~seed:1 in
+  let mapping = Distribute.transform oversized in
+  let cfg_of ~n =
+    Engine.config ~n ~record_schedule:true
+      ~cost_projection:(Distribute.project mapping) ()
+  in
+  Alcotest.(check bool) "distribute streamed == batch" true
+    (drive_stream ~cfg_of mapping.Distribute.sub_instance Lru_edf.policy ~n
+    = batch ~cfg_of mapping.Distribute.sub_instance Lru_edf.policy ~n);
+  (* VarBatch: arbitrary arrivals -> batched (then batched -> engine) *)
+  let unbatched = (Option.get (Families.find "unbatched")).build ~seed:1 in
+  let vb = Var_batch.transform unbatched in
+  check_stream_matches_batch "varbatch" vb;
+  (* and the composition the pipeline actually runs *)
+  let mapping2 = Distribute.transform vb in
+  let cfg_of2 ~n =
+    Engine.config ~n ~record_schedule:true
+      ~cost_projection:(Distribute.project mapping2) ()
+  in
+  Alcotest.(check bool) "varbatch+distribute streamed == batch" true
+    (drive_stream ~cfg_of:cfg_of2 mapping2.Distribute.sub_instance
+       Lru_edf.policy ~n
+    = batch ~cfg_of:cfg_of2 mapping2.Distribute.sub_instance Lru_edf.policy ~n)
+
+(* ---- session guards ----------------------------------------------- *)
+
+let fresh_session ?(n = 4) ?(delta = 2) ?(delay = [| 4; 4; 4 |]) () =
+  Session.create (Engine.config ~n ()) ~delta ~delay Edf_policy.seq_policy
+
+let test_feed_guards () =
+  let s = fresh_session () in
+  let expect name err = function
+    | Error e when e = err -> ()
+    | Error _ -> Alcotest.failf "%s: wrong error" name
+    | Ok () -> Alcotest.failf "%s: accepted" name
+  in
+  expect "color range"
+    (`Color_out_of_range (3, 3))
+    (Session.feed s ~round:0 ~color:3 ~count:1);
+  expect "count" (`Count_not_positive 0) (Session.feed s ~round:0 ~color:0 ~count:0);
+  Alcotest.(check bool) "ok feed" true
+    (Session.feed s ~round:2 ~color:0 ~count:1 = Ok ());
+  Session.step s;
+  Session.step s;
+  expect "past round" (`Round_in_past (1, 2))
+    (Session.feed s ~round:1 ~color:0 ~count:1);
+  (* a preloaded session takes no feed *)
+  let instance =
+    Instance.create ~delta:2 ~delay:[| 4 |]
+      ~arrivals:[ { Types.round = 0; color = 0; count = 2 } ]
+      ()
+  in
+  let p =
+    Session.of_instance (Engine.config ~n:2 ()) instance
+      (Edf_policy.seq_policy instance ~n:2)
+  in
+  expect "preloaded" `Preloaded (Session.feed p ~round:0 ~color:0 ~count:1);
+  (* and cannot re-derive a policy for reconfiguration *)
+  (match Session.reconfigure p ~n:4 () with
+  | Error `No_factory -> ()
+  | _ -> Alcotest.fail "of_instance reconfigure should need a factory")
+
+let test_reconfigure_guards () =
+  let s = fresh_session () in
+  let expect name err = function
+    | Error e when e = err -> ()
+    | Error _ -> Alcotest.failf "%s: wrong error" name
+    | Ok () -> Alcotest.failf "%s: accepted" name
+  in
+  expect "bad delta" (`Bad_delta 0) (Session.reconfigure s ~delta:0 ());
+  expect "bad n" (`Bad_n 0) (Session.reconfigure s ~n:0 ());
+  expect "unknown color" (`Unknown_color 7)
+    (Session.reconfigure s ~delay:[ (7, 4) ] ());
+  expect "bad delay" (`Bad_delay (0, 0)) (Session.reconfigure s ~delay:[ (0, 0) ] ());
+  (* shrinking a delay bound under pending jobs would reorder deadlines *)
+  Alcotest.(check bool) "feed" true
+    (Session.feed s ~round:0 ~color:1 ~count:2 = Ok ());
+  Session.step s;
+  expect "delay shrink" (`Delay_reduced_while_pending 1)
+    (Session.reconfigure s ~delay:[ (1, 2) ] ());
+  (* growing it is fine; shrinking an idle color is fine *)
+  Alcotest.(check bool) "grow" true
+    (Session.reconfigure s ~delay:[ (1, 9) ] () = Ok ());
+  Alcotest.(check bool) "shrink idle" true
+    (Session.reconfigure s ~delay:[ (0, 2) ] () = Ok ());
+  (* capacity changes preserve the cache prefix without a charge *)
+  let before = Session.reconfigurations s in
+  Alcotest.(check bool) "grow n" true (Session.reconfigure s ~n:8 () = Ok ());
+  Alcotest.(check int) "no charge" before (Session.reconfigurations s);
+  Alcotest.(check int) "n grew" 8 (Session.n s);
+  Session.step s;
+  ignore (Session.finish s)
+
+let test_scale_guard () =
+  let uniform = Option.get (Families.find "uniform") in
+  (match Families.scale_to uniform ~num_colors:64 ~seed:1 with
+  | Ok i -> Alcotest.(check int) "scaled" 64 i.Instance.num_colors
+  | Error _ -> Alcotest.fail "64 colors should scale");
+  (match Families.scale_to uniform ~num_colors:(Packed.max_colors + 1) ~seed:1 with
+  | Error (Families.Too_many_colors { requested; max }) ->
+      Alcotest.(check int) "requested" (Packed.max_colors + 1) requested;
+      Alcotest.(check int) "max" Packed.max_colors max
+  | _ -> Alcotest.fail "over-sized universe must be refused");
+  (match Families.scale_to uniform ~num_colors:0 ~seed:1 with
+  | Error (Families.Not_positive 0) -> ()
+  | _ -> Alcotest.fail "0 colors must be refused");
+  let datacenter = Option.get (Families.find "datacenter") in
+  match Families.scale_to datacenter ~num_colors:64 ~seed:1 with
+  | Error (Families.Fixed_cast "datacenter") -> ()
+  | _ -> Alcotest.fail "scenario families must refuse scaling"
+
+(* ---- snapshot round-trip (QCheck) --------------------------------- *)
+
+(* A reachable state: whatever a random command sequence leaves behind. *)
+let session_ops_gen =
+  let open QCheck.Gen in
+  let* num_colors = int_range 1 5 in
+  let* delta = int_range 1 4 in
+  let* delays = array_size (return num_colors) (int_range 1 10) in
+  let* ops =
+    list_size (int_range 0 30)
+      (frequency
+         [
+           ( 4,
+             let* ahead = int_range 0 5 in
+             let* color = int_range 0 (num_colors - 1) in
+             let* count = int_range 1 6 in
+             return (`Submit (ahead, color, count)) );
+           (3, let* k = int_range 1 6 in
+               return (`Step k));
+           ( 1,
+             let* d = int_range 1 4 in
+             return (`Reconfig_delta d) );
+           ( 1,
+             let* color = int_range 0 (num_colors - 1) in
+             let* bound = int_range 1 10 in
+             return (`Reconfig_delay (color, bound)) );
+         ])
+  in
+  return (num_colors, delta, delays, ops)
+
+let apply_ops (num_colors, delta, delays, ops) =
+  ignore num_colors;
+  let session =
+    Session.create (Engine.config ~n:4 ()) ~delta ~delay:delays
+      Edf_policy.seq_policy
+  in
+  let applied = ref 0 in
+  List.iter
+    (fun op ->
+      let outcome =
+        match op with
+        | `Submit (ahead, color, count) ->
+            Result.is_ok
+              (Session.feed session
+                 ~round:(Session.round session + ahead)
+                 ~color ~count)
+        | `Step k ->
+            for _ = 1 to k do
+              Session.step session
+            done;
+            true
+        | `Reconfig_delta d ->
+            Result.is_ok (Session.reconfigure session ~delta:d ())
+        | `Reconfig_delay (color, bound) ->
+            Result.is_ok (Session.reconfigure session ~delay:[ (color, bound) ] ())
+      in
+      if outcome then incr applied)
+    ops;
+  Snapshot.of_session ~ops:!applied session
+
+let prop_snapshot_roundtrip =
+  QCheck.Test.make ~count:200
+    ~name:"snapshot serialize/deserialize is an identity on reachable states"
+    (QCheck.make session_ops_gen)
+    (fun setup ->
+      let snapshot = apply_ops setup in
+      match Snapshot.of_line (Snapshot.to_line snapshot) with
+      | Ok snapshot' -> Snapshot.equal snapshot snapshot'
+      | Error e -> QCheck.Test.fail_reportf "did not parse back: %s" e)
+
+(* ---- kill at round k / restore ------------------------------------ *)
+
+let temp_dir =
+  let counter = ref 0 in
+  fun name ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "rrs_service_%s_%d_%d" name (Unix.getpid ()) !counter)
+    in
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    dir
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+(* Run Server.serve over string input, capturing output lines. *)
+let run_server config script =
+  let in_path = Filename.temp_file "serve_in" ".txt" in
+  let out_path = Filename.temp_file "serve_out" ".txt" in
+  Out_channel.with_open_text in_path (fun oc -> output_string oc script);
+  let ic = In_channel.open_text in_path in
+  let oc = Out_channel.open_text out_path in
+  let code = Server.serve config ic oc in
+  In_channel.close ic;
+  Out_channel.close oc;
+  let output = In_channel.with_open_text out_path In_channel.input_lines in
+  Sys.remove in_path;
+  Sys.remove out_path;
+  (code, output)
+
+let submit_ops instance =
+  let stream = Stream.of_instance instance in
+  let rec collect acc =
+    match Stream.next stream with
+    | None -> List.rev acc
+    | Some (round, batch) ->
+        collect
+          (List.rev_append
+             (List.map
+                (fun (color, count) -> Journal.Submit { round; color; count })
+                batch)
+             acc)
+  in
+  collect []
+
+(* Emulate a process killed at round [k]: write the journal a dying
+   server leaves behind (header + ops, flushed per line, no checkpoint,
+   no goodbye), then restore with a fresh server that finishes the
+   stream, and compare its final accounting against the uninterrupted
+   batch run. *)
+let check_kill_restore label instance =
+  let n = 8 in
+  let horizon = instance.Instance.horizon in
+  let k = max 1 ((horizon + 1) / 2) in
+  let dir = temp_dir "kill" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let header =
+    {
+      Journal.version = Journal.header_version;
+      policy = "dlru-edf";
+      n;
+      delta = instance.Instance.delta;
+      delay = Array.copy instance.Instance.delay;
+      mini_rounds = 1;
+    }
+  in
+  let w = Journal.create (Filename.concat dir "journal.jsonl") header in
+  List.iter (fun op -> Journal.append w op) (submit_ops instance);
+  Journal.append w (Journal.Step k);
+  Journal.close w;
+  let config =
+    {
+      Server.default_config with
+      policy = "dlru-edf";
+      n;
+      delta = instance.Instance.delta;
+      delay = Array.copy instance.Instance.delay;
+      checkpoint_dir = Some dir;
+      checkpoint_every = 0;
+    }
+  in
+  let script = Printf.sprintf "step %d\nquit\n" (horizon + 1 - k) in
+  let code, output = run_server config script in
+  Alcotest.(check int) (label ^ " restored exit") 0 code;
+  (match output with
+  | first :: _ ->
+      if not (String.length first >= 11 && String.sub first 0 11 = "ok restored")
+      then Alcotest.failf "%s: expected restore greeting, got %S" label first
+  | [] -> Alcotest.failf "%s: no server output" label);
+  let ckpt =
+    In_channel.with_open_text
+      (Filename.concat dir "checkpoint.json")
+      In_channel.input_line
+  in
+  let snapshot =
+    match Option.map Snapshot.of_line ckpt with
+    | Some (Ok s) -> s
+    | _ -> Alcotest.failf "%s: unreadable final checkpoint" label
+  in
+  let batch = Engine.run (Engine.config ~n ()) instance Lru_edf.policy in
+  Alcotest.(check int) (label ^ " rounds") (horizon + 1) snapshot.Snapshot.round;
+  Alcotest.(check int) (label ^ " executed") batch.Engine.executed
+    snapshot.Snapshot.executed;
+  Alcotest.(check int) (label ^ " dropped") batch.Engine.dropped
+    snapshot.Snapshot.dropped;
+  Alcotest.(check int)
+    (label ^ " recolorings")
+    batch.Engine.reconfigurations snapshot.Snapshot.reconfigurations;
+  Alcotest.(check int)
+    (label ^ " reconfig cost")
+    batch.Engine.cost.Cost.reconfig snapshot.Snapshot.reconfig_cost;
+  Alcotest.(check bool)
+    (label ^ " cache")
+    true
+    (snapshot.Snapshot.cache = batch.Engine.final_cache);
+  Alcotest.(check int) (label ^ " drained") 0 snapshot.Snapshot.pending_jobs
+
+let test_kill_restore_families () =
+  List.iter
+    (fun id ->
+      let f = Option.get (Families.find id) in
+      check_kill_restore id (f.build ~seed:1))
+    (Families.ids ())
+
+(* ---- supervised crash-restart ------------------------------------- *)
+
+(* The 6th command below is a [state] — no journal op, so losing it to
+   the injected crash must not change the final accounting. *)
+let test_fault_restart () =
+  let dir = temp_dir "fault" in
+  let dir2 = temp_dir "clean" in
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf dir;
+      rm_rf dir2)
+  @@ fun () ->
+  let script =
+    String.concat "\n"
+      [
+        "submit 0 0 5";
+        "submit 0 1 3";
+        "step 4";
+        "submit 1 6";
+        "step 2";
+        "state";
+        "step 4";
+        "quit";
+        "";
+      ]
+  in
+  let config dir =
+    {
+      Server.default_config with
+      n = 4;
+      delta = 2;
+      delay = Array.make 4 6;
+      checkpoint_dir = Some dir;
+      checkpoint_every = 2;
+      retries = 2;
+    }
+  in
+  let plan =
+    Rrs_fault.plan ~sleep:ignore
+      [ Rrs_fault.fail_on ~transient:true "serve.command" (Rrs_fault.Nth 6) ]
+  in
+  let code, output =
+    Rrs_fault.with_plan plan (fun () -> run_server (config dir) script)
+  in
+  Alcotest.(check int) "faulted exit" 0 code;
+  Alcotest.(check bool) "supervisor restarted the session" true
+    (List.exists
+       (fun l ->
+         String.length l >= 11 && String.sub l 0 11 = "ok restored")
+       output);
+  let clean_code, _ = run_server (config dir2) script in
+  Alcotest.(check int) "clean exit" 0 clean_code;
+  let load dir =
+    match
+      In_channel.with_open_text
+        (Filename.concat dir "checkpoint.json")
+        In_channel.input_line
+    with
+    | Some line -> (
+        match Snapshot.of_line line with
+        | Ok s -> s
+        | Error e -> Alcotest.failf "checkpoint: %s" e)
+    | None -> Alcotest.fail "no checkpoint"
+  in
+  Alcotest.(check bool) "faulted run converged to the clean state" true
+    (Snapshot.equal (load dir) (load dir2))
+
+(* ---- memory boundedness (no per-round retention) ------------------ *)
+
+let test_bounded_state () =
+  (* a long stream at steady load: live words after the run must not
+     scale with the number of rounds — no schedule, no history *)
+  let delay = Array.make 4 8 in
+  let run rounds =
+    let session =
+      Session.create (Engine.config ~n:4 ()) ~delta:2 ~delay
+        Edf_policy.seq_policy
+    in
+    for round = 0 to rounds - 1 do
+      ignore (Session.feed session ~round ~color:(round mod 4) ~count:2);
+      Session.step session
+    done;
+    ignore (Session.finish session);
+    Gc.full_major ();
+    (Gc.stat ()).Gc.live_words
+  in
+  let short = run 500 in
+  let long = run 20_000 in
+  (* identical steady state: allow slack for GC accounting noise, but
+     40x the rounds must not show up as retained words *)
+  Alcotest.(check bool)
+    (Printf.sprintf "live words flat (%d vs %d)" short long)
+    true
+    (long - short < 10_000)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "parse" `Quick test_protocol_parse;
+          Alcotest.test_case "canonical round-trip" `Quick
+            test_protocol_roundtrip;
+        ] );
+      ( "streamed session",
+        [
+          Alcotest.test_case "families identical to batch" `Quick
+            test_stream_families;
+          Alcotest.test_case "feed order irrelevant" `Quick
+            test_stream_feed_order;
+          Alcotest.test_case "reductions identical to batch" `Quick
+            test_stream_reductions;
+          Alcotest.test_case "feed guards" `Quick test_feed_guards;
+          Alcotest.test_case "reconfigure guards" `Quick
+            test_reconfigure_guards;
+          Alcotest.test_case "scale guard" `Quick test_scale_guard;
+          Alcotest.test_case "bounded state" `Quick test_bounded_state;
+        ] );
+      ( "checkpoint/restore",
+        [
+          QCheck_alcotest.to_alcotest prop_snapshot_roundtrip;
+          Alcotest.test_case "kill at round k, restore, finish" `Quick
+            test_kill_restore_families;
+          Alcotest.test_case "supervised crash-restart" `Quick
+            test_fault_restart;
+        ] );
+    ]
