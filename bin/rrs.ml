@@ -757,6 +757,24 @@ let status_cmd =
               "alloc: %.0f minor words/round, %d major collections@." minor
               majors
         | _ -> ());
+        (* service beats (rrs serve --socket/--tcp) carry the overload
+           and recovery counters; render them when present *)
+        (match int "serve_ops" with
+        | None -> ()
+        | Some ops ->
+            Format.printf
+              "service: %d ops; overload busy %d, shed %d, slow drops %d, \
+               wedged %d@."
+              ops (i0 "serve_busy") (i0 "serve_shed") (i0 "serve_slow_drops")
+              (i0 "serve_wedged");
+            Format.printf
+              "recovery: %d restores (%d session restarts) — torn tail %d, \
+               quarantined %d, refused %d@."
+              (i0 "serve_restores")
+              (i0 "serve_session_restarts")
+              (i0 "serve_recovery_torn_tail")
+              (i0 "serve_recovery_quarantined")
+              (i0 "serve_recovery_refused"));
         Format.printf "window: %d rounds, %.3fs since previous beat@."
           (i0 "rounds_since")
           (Option.value ~default:0. (float "seconds_since"));
@@ -907,9 +925,78 @@ let serve_cmd =
     in
     Arg.(value & opt (some int) None & info [ "crash-after" ] ~docv:"OPS" ~doc)
   in
+  let socket_arg =
+    let doc =
+      "Serve many concurrent clients on a Unix-domain socket at $(docv) \
+       instead of stdin/stdout; clients multiplex named sessions with \
+       $(b,open)/$(b,attach).  SIGTERM/SIGINT drain gracefully (final \
+       checkpoint per session)."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let tcp_arg =
+    let doc =
+      "Serve on a TCP listener at $(docv) (HOST:PORT; port 0 picks a free \
+       port, printed on stderr when bound).  Same semantics as \
+       $(b,--socket)."
+    in
+    Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let max_conns_arg =
+    let doc =
+      "Connections accepted at once (socket modes); later clients get \
+       $(b,busy connections ...) and are closed."
+    in
+    Arg.(value & opt int 64 & info [ "max-conns" ] ~docv:"N" ~doc)
+  in
+  let queue_limit_arg =
+    let doc =
+      "Commands queued per session before admission control answers \
+       $(b,busy queue ... retry-after=...) instead of enqueueing (socket \
+       modes)."
+    in
+    Arg.(value & opt int 64 & info [ "queue-limit" ] ~docv:"N" ~doc)
+  in
+  let shed_threshold_arg =
+    let doc =
+      "Total queued commands above which read-only commands \
+       ($(b,state)/$(b,sessions)/$(b,help)) are shed with $(b,busy shed \
+       ...) so the cycles go to $(b,submit)/$(b,step) (socket modes)."
+    in
+    Arg.(value & opt int 256 & info [ "shed-threshold" ] ~docv:"N" ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Per-command apply budget in seconds (socket modes); a command that \
+       overruns wedges its session (the next command restores it from its \
+       journal) and the client gets $(b,err deadline ...)."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "deadline" ] ~docv:"SECS" ~doc)
+  in
+  let serve_counters metrics =
+    let count name =
+      Rrs_obs.Metrics.(value (counter metrics name))
+    in
+    [
+      ("serve_ops", "ops");
+      ("serve_busy", "busy");
+      ("serve_shed", "shed");
+      ("serve_slow_client_drops", "slow_drops");
+      ("serve_wedged", "wedged");
+      ("serve_session_restarts", "session_restarts");
+      ("serve_restores", "restores");
+      ("serve_recovery_torn_tail", "recovery_torn_tail");
+      ("serve_recovery_checkpoint_quarantined", "recovery_quarantined");
+      ("serve_recovery_refused", "recovery_refused");
+    ]
+    |> List.map (fun (counter, field) ->
+           ("serve_" ^ field, Rrs_obs.Json.Int (count counter)))
+  in
   let run policy n delta colors delay_bound mini_rounds family seed emit_script
       step_chunk checkpoint_dir checkpoint_every retries crash_after
-      heartbeat_file heartbeat_every =
+      heartbeat_file heartbeat_every socket tcp max_conns queue_limit
+      shed_threshold deadline =
     let params =
       match family with
       | None ->
@@ -948,33 +1035,124 @@ let serve_cmd =
               0
         end
         else begin
-          let heartbeat =
-            match heartbeat_file with
-            | None -> None
-            | Some path ->
-                Some
-                  (Rrs_obs.Heartbeat.create ~every_rounds:heartbeat_every
-                     ~path
-                     ~status_path:(path ^ ".status")
-                     ())
+          let address =
+            match (socket, tcp) with
+            | Some _, Some _ -> Error "--socket and --tcp are exclusive"
+            | Some path, None ->
+                Ok (Some (Rrs_service.Transport.Unix_socket path))
+            | None, Some hostport -> (
+                match String.rindex_opt hostport ':' with
+                | None -> Error "--tcp wants HOST:PORT"
+                | Some i -> (
+                    let host = String.sub hostport 0 i in
+                    let port =
+                      String.sub hostport (i + 1)
+                        (String.length hostport - i - 1)
+                    in
+                    match int_of_string_opt port with
+                    | Some port when port >= 0 && port < 65536 ->
+                        Ok (Some (Rrs_service.Transport.Tcp (host, port)))
+                    | _ -> Error ("--tcp: bad port " ^ port)))
+            | None, None -> Ok None
           in
-          let config =
-            {
-              Server.policy;
-              n;
-              delta;
-              delay;
-              mini_rounds;
-              checkpoint_dir;
-              checkpoint_every;
-              crash_after;
-              retries;
-              heartbeat;
-            }
-          in
-          let code = Server.serve config stdin stdout in
-          Option.iter Rrs_obs.Heartbeat.finish heartbeat;
-          code
+          match address with
+          | Error msg ->
+              prerr_endline msg;
+              2
+          | Ok address ->
+              (* socket modes count overload/recovery in a registry the
+                 heartbeat also reports from, so `rrs status` shows them *)
+              let metrics =
+                match address with
+                | None -> None
+                | Some _ -> Some (Rrs_obs.Metrics.create ())
+              in
+              let heartbeat =
+                match heartbeat_file with
+                | None -> None
+                | Some path ->
+                    let extra =
+                      Option.map (fun m () -> serve_counters m) metrics
+                    in
+                    (* exposition needs the registry: only in socket modes *)
+                    let expose_path =
+                      Option.map (fun _ -> path ^ ".prom") metrics
+                    in
+                    Some
+                      (Rrs_obs.Heartbeat.create ~every_rounds:heartbeat_every
+                         ~path
+                         ~status_path:(path ^ ".status")
+                         ?registry:metrics ?expose_path ?extra ())
+              in
+              let config =
+                {
+                  Server.policy;
+                  n;
+                  delta;
+                  delay;
+                  mini_rounds;
+                  checkpoint_dir;
+                  checkpoint_every;
+                  crash_after;
+                  retries;
+                  heartbeat;
+                  metrics;
+                }
+              in
+              let code =
+                match address with
+                | None -> Server.serve config stdin stdout
+                | Some address -> (
+                    let module Transport = Rrs_service.Transport in
+                    let stop = Atomic.make false in
+                    let previous =
+                      List.map
+                        (fun s ->
+                          ( s,
+                            Sys.signal s
+                              (Sys.Signal_handle
+                                 (fun _ -> Atomic.set stop true)) ))
+                        [ Sys.sigterm; Sys.sigint ]
+                    in
+                    let restore () =
+                      List.iter
+                        (fun (s, d) -> try Sys.set_signal s d with _ -> ())
+                        previous
+                    in
+                    let limits =
+                      {
+                        Transport.default_limits with
+                        max_conns;
+                        queue_limit;
+                        shed_threshold;
+                        command_deadline = deadline;
+                      }
+                    in
+                    let result =
+                      Fun.protect ~finally:restore (fun () ->
+                          Transport.run ~limits
+                            ~stop:(fun () -> Atomic.get stop)
+                            ~on_ready:(fun bound ->
+                              Format.eprintf "serving on %a@."
+                                Transport.pp_address bound)
+                            config address)
+                    in
+                    match result with
+                    | Ok stats ->
+                        Format.eprintf
+                          "served %d connections, %d commands (busy %d, \
+                           shed %d, slow drops %d, wedges %d)@."
+                          stats.Transport.conns_accepted
+                          stats.Transport.commands stats.Transport.busy
+                          stats.Transport.shed stats.Transport.slow_drops
+                          stats.Transport.wedges;
+                        0
+                    | Error msg ->
+                        prerr_endline ("serve: " ^ msg);
+                        2)
+              in
+              Option.iter Rrs_obs.Heartbeat.finish heartbeat;
+              code
         end
   in
   Cmd.v
@@ -988,7 +1166,8 @@ let serve_cmd =
       $ delay_bound_arg $ mini_rounds_arg $ family_arg $ seed_arg
       $ emit_script_arg $ step_chunk_arg $ checkpoint_dir_arg
       $ checkpoint_every_arg $ retries_arg $ crash_after_arg $ heartbeat_arg
-      $ heartbeat_every_arg)
+      $ heartbeat_every_arg $ socket_arg $ tcp_arg $ max_conns_arg
+      $ queue_limit_arg $ shed_threshold_arg $ deadline_arg)
 
 (* ------------------------------------------------------------------ *)
 (* rrs benchdiff                                                       *)

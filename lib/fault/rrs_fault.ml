@@ -129,4 +129,14 @@ let hits t = read (fun s -> s.total_hits) t
 let injected t = read (fun s -> s.fired) t
 
 let standard_points =
-  [ "engine.run"; "engine.round"; "harness.run_policy"; "sink.jsonl"; "pool.worker" ]
+  [
+    "engine.run";
+    "engine.round";
+    "harness.run_policy";
+    "sink.jsonl";
+    "pool.worker";
+    "serve.command";
+    "serve.journal";
+    "serve.accept";
+    "serve.write";
+  ]

@@ -84,4 +84,6 @@ val injected : plan -> (string * int) list
 val standard_points : string list
 (** The probe points planted across the repo (see doc/ROBUSTNESS.md):
     ["engine.run"], ["engine.round"], ["harness.run_policy"],
-    ["sink.jsonl"], ["pool.worker"]. *)
+    ["sink.jsonl"], ["pool.worker"], and the service plane's
+    ["serve.command"], ["serve.journal"], ["serve.accept"],
+    ["serve.write"]. *)

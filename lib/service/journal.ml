@@ -164,40 +164,77 @@ let op_of_line line =
         Ok (Reconfigure { delta; n; delay })
     | op -> Error (Printf.sprintf "journal op: unknown op %S" op)
 
+type tear = { line : int; offset : int; reason : string }
+
+let describe_tear ~path t =
+  Printf.sprintf
+    "dropped torn trailing line %d of %s at byte offset %d (truncate the \
+     journal to %d bytes to remove the tear): %s"
+    t.line path t.offset t.offset t.reason
+
+type load_error =
+  | Missing
+  | Empty
+  | Bad_header of { offset : int; reason : string }
+  | Corrupt_body of { line : int; offset : int; reason : string }
+
+let describe_load_error ~path = function
+  | Missing -> Printf.sprintf "journal %s: no such file" path
+  | Empty -> Printf.sprintf "journal %s: empty" path
+  | Bad_header { offset; reason } ->
+      Printf.sprintf "journal %s: header (byte offset %d): %s" path offset
+        reason
+  | Corrupt_body { line; offset; reason } ->
+      Printf.sprintf
+        "journal %s: line %d (byte offset %d): %s — corruption before the \
+         tail, refusing to load"
+        path line offset reason
+
+(* Split the raw contents into (line, 1-based line number, byte offset
+   of the line start), keeping offsets exact so diagnostics can point
+   at the byte an operator would truncate at.  Blank lines are skipped
+   but still advance line numbers and offsets. *)
+let numbered_lines contents =
+  let len = String.length contents in
+  let rec go start line acc =
+    if start >= len then List.rev acc
+    else
+      let stop =
+        match String.index_from_opt contents start '\n' with
+        | Some i -> i
+        | None -> len
+      in
+      let text = String.sub contents start (stop - start) in
+      let acc =
+        if String.trim text = "" then acc else (text, line, start) :: acc
+      in
+      go (stop + 1) (line + 1) acc
+  in
+  go 0 1 []
+
 let load path =
-  if not (Sys.file_exists path) then
-    Error (Printf.sprintf "journal %s: no such file" path)
+  if not (Sys.file_exists path) then Error Missing
   else
-    let lines = In_channel.with_open_text path In_channel.input_lines in
-    let lines = List.filter (fun l -> String.trim l <> "") lines in
-    match lines with
-    | [] -> Error (Printf.sprintf "journal %s: empty" path)
-    | header_line :: op_lines -> (
+    let contents = In_channel.with_open_text path In_channel.input_all in
+    match numbered_lines contents with
+    | [] -> Error Empty
+    | (header_line, _, header_offset) :: op_lines -> (
         match header_of_line header_line with
-        | Error e -> Error (Printf.sprintf "journal %s: %s" path e)
+        | Error reason -> Error (Bad_header { offset = header_offset; reason })
         | Ok header ->
-            let total = List.length op_lines in
-            let rec parse i acc = function
+            let rec parse acc = function
               | [] -> Ok (header, List.rev acc, None)
-              | line :: rest -> (
-                  match op_of_line line with
-                  | Ok op -> parse (i + 1) (op :: acc) rest
-                  | Error e when i = total - 1 && rest = [] ->
+              | (text, line, offset) :: rest -> (
+                  match op_of_line text with
+                  | Ok op -> parse (op :: acc) rest
+                  | Error reason when rest = [] ->
                       (* torn tail: the crash interrupted the final
                          write; the op was never acked, drop it *)
-                      Ok
-                        ( header,
-                          List.rev acc,
-                          Some
-                            (Printf.sprintf
-                               "dropped torn trailing line %d of %s (%s)"
-                               (i + 2) path e) )
-                  | Error e ->
-                      Error
-                        (Printf.sprintf "journal %s: line %d: %s" path (i + 2)
-                           e))
+                      Ok (header, List.rev acc, Some { line; offset; reason })
+                  | Error reason ->
+                      Error (Corrupt_body { line; offset; reason }))
             in
-            parse 0 [] op_lines)
+            parse [] op_lines)
 
 type writer = { oc : out_channel }
 

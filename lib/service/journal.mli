@@ -12,8 +12,10 @@
     reproduces the live session byte-identically — sessions are
     deterministic functions of this sequence.  {!load} tolerates a torn
     final line (the crash left a partial write): it is dropped with a
+    {!tear} report carrying the exact byte offset of the torn line, so
+    an operator can [truncate -s OFFSET] the file to silence the
     warning; a torn line {e earlier} than the tail is corruption and
-    refuses to load. *)
+    refuses to load with an equally precise {!load_error}. *)
 
 type op =
   | Submit of { round : int; color : int; count : int }
@@ -41,10 +43,37 @@ val header_to_line : header -> string
 val op_to_line : op -> string
 val op_of_line : string -> (op, string) result
 
-val load : string -> (header * op list * string option, string) result
-(** Parse a journal file.  The third component is a warning when a torn
-    trailing line was dropped.  [Error] on a missing file, a bad header,
-    or corruption before the tail. *)
+type tear = {
+  line : int;  (** 1-based line number of the dropped torn tail *)
+  offset : int;  (** byte offset where the torn line starts *)
+  reason : string;  (** why its parse failed *)
+}
+(** A torn trailing line {!load} dropped: the crash interrupted the
+    final append, the op was never acked, dropping it is today's
+    documented at-most-once behavior.  [offset] is where the torn
+    bytes begin — truncating the file to exactly [offset] bytes
+    removes the tear. *)
+
+val describe_tear : path:string -> tear -> string
+(** One human line: the dropped line number, the byte offset, the
+    truncation hint, and the parse error. *)
+
+(** Why a journal refused to load.  Every corruption case names the
+    1-based line and the byte offset where the bad bytes start, so
+    diagnostics are precise enough to act on. *)
+type load_error =
+  | Missing
+  | Empty
+  | Bad_header of { offset : int; reason : string }
+  | Corrupt_body of { line : int; offset : int; reason : string }
+      (** an op line before the tail failed to parse — mid-file
+          corruption, not a crash artifact *)
+
+val describe_load_error : path:string -> load_error -> string
+
+val load : string -> (header * op list * tear option, load_error) result
+(** Parse a journal file.  The third component reports a dropped torn
+    trailing line, when there was one. *)
 
 (** An append handle: one line per {!append}, flushed through to the OS
     so a crash loses at most the in-flight line. *)

@@ -8,6 +8,10 @@ type command =
       delay : (int * int) list;
     }
   | Checkpoint
+  | Open of string
+  | Attach of string
+  | Sessions
+  | Shutdown
   | Quit
   | Help
 
@@ -20,9 +24,32 @@ let grammar =
       "state                          emit the session state, one JSON line";
       "reconfigure KEY=VALUE ...      delta=D | n=N | delay=COLOR:BOUND[,..]";
       "checkpoint                     force a checkpoint commit now";
+      "open NAME                      create (or restore) the named session";
+      "                               and make it current";
+      "attach NAME                    switch to an already-open session";
+      "sessions                       list the open sessions, one line each";
+      "shutdown                       drain every session and stop the server";
       "quit                           checkpoint, finish, exit";
       "help                           print this grammar";
     ]
+
+(* Session names become directory components of the durable state tree,
+   so the alphabet is locked down: no separators, no dotfiles. *)
+let valid_session_name name =
+  name <> ""
+  && name.[0] <> '.'
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' -> true
+         | _ -> false)
+       name
+
+let session_name_of_token tok =
+  if valid_session_name tok then Ok tok
+  else
+    Error
+      (Printf.sprintf
+         "session name %S: want [A-Za-z0-9_.-]+ not starting with a dot" tok)
 
 let int_of_token name tok =
   match int_of_string_opt tok with
@@ -122,6 +149,20 @@ let parse line =
       | "reconfigure", args -> some (parse_reconfigure args)
       | "checkpoint", [] -> Ok (Some Checkpoint)
       | "checkpoint", _ -> Error "checkpoint: takes no arguments"
+      | "open", [ name ] ->
+          some
+            (let* name = session_name_of_token name in
+             Ok (Open name))
+      | "open", _ -> Error "open: want exactly one session NAME"
+      | "attach", [ name ] ->
+          some
+            (let* name = session_name_of_token name in
+             Ok (Attach name))
+      | "attach", _ -> Error "attach: want exactly one session NAME"
+      | "sessions", [] -> Ok (Some Sessions)
+      | "sessions", _ -> Error "sessions: takes no arguments"
+      | "shutdown", [] -> Ok (Some Shutdown)
+      | "shutdown", _ -> Error "shutdown: takes no arguments"
       | "quit", [] -> Ok (Some Quit)
       | "quit", _ -> Error "quit: takes no arguments"
       | "help", _ -> Ok (Some Help)
@@ -153,5 +194,9 @@ let command_to_string = function
       in
       String.concat " " ("reconfigure" :: parts)
   | Checkpoint -> "checkpoint"
+  | Open name -> "open " ^ name
+  | Attach name -> "attach " ^ name
+  | Sessions -> "sessions"
+  | Shutdown -> "shutdown"
   | Quit -> "quit"
   | Help -> "help"

@@ -10,12 +10,19 @@
     state                          emit the session state, one JSON line
     reconfigure KEY=VALUE ...      delta=D | n=N | delay=COLOR:BOUND[,..]
     checkpoint                     force a checkpoint commit now
+    open NAME                      create (or restore) the named session
+                                   and make it current
+    attach NAME                    switch to an already-open session
+    sessions                       list the open sessions, one line each
+    shutdown                       drain every session and stop the server
     quit                           checkpoint, finish, exit
     help                           print this grammar
     v}
 
     The parser is total: it returns a typed command or an error string,
-    never raises. *)
+    never raises — [test/test_service.ml] fuzzes it with arbitrary byte
+    strings and near-miss mutations of valid commands to keep that
+    contract honest. *)
 
 type command =
   | Submit of { round : int option; color : int; count : int }
@@ -27,6 +34,10 @@ type command =
       delay : (int * int) list;
     }
   | Checkpoint
+  | Open of string
+  | Attach of string
+  | Sessions
+  | Shutdown
   | Quit
   | Help
 
@@ -35,6 +46,10 @@ val parse : string -> (command option, string) result
 
 val command_to_string : command -> string
 (** Canonical form: what {!parse} accepts and the journal records. *)
+
+val valid_session_name : string -> bool
+(** Session names become directory components of the durable state
+    tree: [[A-Za-z0-9_.-]+], nonempty, not starting with a dot. *)
 
 val grammar : string
 (** The grammar block above, for [help] and usage errors. *)

@@ -2,6 +2,7 @@ module Engine = Rrs_core.Engine
 module Session = Engine.Session
 module Instance = Rrs_core.Instance
 module Supervisor = Rrs_robust.Supervisor
+module Metrics = Rrs_obs.Metrics
 
 let policies : (string * Rrs_core.Policy.factory) list =
   [
@@ -37,6 +38,7 @@ type config = {
   crash_after : int option;
   retries : int;
   heartbeat : Rrs_obs.Heartbeat.t option;
+  metrics : Metrics.t option;
 }
 
 let default_config =
@@ -51,6 +53,7 @@ let default_config =
     crash_after = None;
     retries = 2;
     heartbeat = None;
+    metrics = None;
   }
 
 (* Durable-state corruption: the journal or checkpoint cannot be
@@ -58,9 +61,11 @@ let default_config =
    {!Supervisor.classify_default}. *)
 exception Corrupt of string
 
+let default_session = "default"
+
 (* ---- applying ops to the session --------------------------------- *)
 
-let apply session (op : Journal.op) : (string, string) result =
+let apply_to session (op : Journal.op) : (string, string) result =
   match op with
   | Journal.Submit { round; color; count } -> (
       match Session.feed session ~round ~color ~count with
@@ -90,6 +95,39 @@ let apply session (op : Journal.op) : (string, string) result =
 
 let journal_path dir = Filename.concat dir "journal.jsonl"
 let checkpoint_path dir = Filename.concat dir "checkpoint.json"
+let checkpoint_prev_path dir = checkpoint_path dir ^ ".prev"
+
+let mkdir_p dir =
+  let rec go dir =
+    if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir)
+    then begin
+      go (Filename.dirname dir);
+      try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+(* Quarantine a corrupt artifact to the first free <path>.corrupt-<n>.
+   [`Rename] moves derived state (checkpoints) out of the restore path
+   so the fallback tier engages on the next start too; [`Copy] keeps
+   the source of truth (the journal) in place so restarts keep
+   refusing until an operator intervenes. *)
+let quarantine how path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let rec free n =
+      let candidate = Printf.sprintf "%s.corrupt-%d" path n in
+      if Sys.file_exists candidate then free (n + 1) else candidate
+    in
+    let target = free 1 in
+    (match how with
+    | `Rename -> Sys.rename path target
+    | `Copy ->
+        let contents = In_channel.with_open_bin path In_channel.input_all in
+        Out_channel.with_open_bin target (fun oc ->
+            Out_channel.output_string oc contents));
+    Some target
+  end
 
 let write_checkpoint path snapshot =
   Rrs_obs.Sink.with_jsonl path (fun sink ->
@@ -106,16 +144,15 @@ let load_checkpoint path =
         | Ok s -> Ok (Some s)
         | Error e -> Error (Printf.sprintf "checkpoint %s: %s" path e))
 
-let session_of_header (header : Journal.header) =
+let session_of_header name (header : Journal.header) =
   match factory_of_id header.policy with
   | Error e -> raise (Corrupt e)
   | Ok factory ->
-      let cfg =
-        Engine.config ~n:header.n ~mini_rounds:header.mini_rounds ()
-      in
+      let cfg = Engine.config ~n:header.n ~mini_rounds:header.mini_rounds () in
+      let suffix = if name = default_session then "" else "-" ^ name in
       let session =
         Session.create
-          ~name:("serve-" ^ header.policy)
+          ~name:("serve" ^ suffix ^ "-" ^ header.policy)
           cfg ~delta:header.delta ~delay:header.delay factory
       in
       (* replay must be silent: no ambient heartbeat picked up at
@@ -123,16 +160,107 @@ let session_of_header (header : Journal.header) =
       Session.set_heartbeat session None;
       session
 
+let header_of_config config =
+  {
+    Journal.version = Journal.header_version;
+    policy = config.policy;
+    n = config.n;
+    delta = config.delta;
+    delay = config.delay;
+    mini_rounds = config.mini_rounds;
+  }
+
+(* ---- the session table -------------------------------------------- *)
+
+type session = {
+  name : string;
+  policy_id : string;
+  session : Session.t;
+  reg : Metrics.t;
+  mutable writer : Journal.writer option;
+  dir : string option;
+  restored : bool;
+  notices : string list;
+  mutable ops : int;
+  mutable ckpt_ops : int;  (** ops at the last committed checkpoint *)
+  mutable wedged : string option;
+}
+
+let session_name s = s.name
+let session_ops s = s.ops
+let session_restored s = s.restored
+let session_notices s = s.notices
+let session_wedged s = s.wedged
+let session_snapshot s = Snapshot.of_session ~ops:s.ops s.session
+
+let wedge s reason =
+  if s.wedged = None then begin
+    s.wedged <- Some reason;
+    Metrics.inc (Metrics.counter s.reg "serve_wedged") 1;
+    (* an abandoned command attempt may still be running against this
+       session's in-memory state; make sure it can never reach the
+       journal behind the server's back *)
+    Option.iter Journal.close s.writer;
+    s.writer <- None
+  end
+
+type host = {
+  config : config;
+  metrics : Metrics.t;
+  mutable table : (string * session) list;  (** insertion order *)
+  mutable fresh_ops : int;
+      (** ops applied by THIS process (replayed ops excluded): the
+          deterministic kill point counts real work *)
+  mutable crash_flush : unit -> unit;
+}
+
+let host (config : config) =
+  let metrics =
+    match config.metrics with Some m -> m | None -> Metrics.create ()
+  in
+  { config; metrics; table = []; fresh_ops = 0; crash_flush = ignore }
+
+let host_config h = h.config
+let metrics h = h.metrics
+let sessions h = List.map snd h.table
+let find_session h name = List.assoc_opt name h.table
+let count h name by = Metrics.inc (Metrics.counter h.metrics name) by
+
+let session_dir h name =
+  match h.config.checkpoint_dir with
+  | None -> None
+  | Some root ->
+      if name = default_session then Some root
+      else Some (Filename.concat (Filename.concat root "sessions") name)
+
+(* Recovery instrumentation: every tier bumps its exact counter and,
+   when a flight recorder with a dump directory is ambient, commits a
+   black-box dump so the event window around the recovery survives. *)
+let recovery_event h ~counter ~name ~reason =
+  count h counter 1;
+  match Rrs_obs.Flight_recorder.crash_scope () with
+  | None -> ()
+  | Some (recorder, dir) -> (
+      try ignore (Rrs_obs.Flight_recorder.crash_dump recorder ~dir ~name ~reason)
+      with _ -> ())
+
+let refuse h ~name reason =
+  recovery_event h ~counter:"serve_recovery_refused" ~name:("refuse-" ^ name)
+    ~reason;
+  raise (Corrupt reason)
+
 (* Rebuild the session by replaying the journal; when the replay passes
-   the checkpoint's journal position, the states must agree — a
-   mismatch means the journal and checkpoint tell different stories and
-   the durable state cannot be trusted. *)
-let replay header ops ~checkpoint =
-  let session = session_of_header header in
+   an anchor's journal position, the states must agree — a mismatch
+   means the journal and that checkpoint tell different stories.  Each
+   verdict carries the replay-side snapshot taken at the anchor's op
+   count, so divergence diagnostics can show both witnesses. *)
+let replay name header ops ~anchors =
+  let session = session_of_header name header in
   let applied = ref 0 in
+  let verdicts = ref [] in
   List.iter
     (fun op ->
-      (match apply session op with
+      (match apply_to session op with
       | Ok _ -> ()
       | Error e ->
           raise
@@ -140,111 +268,348 @@ let replay header ops ~checkpoint =
                (Printf.sprintf "journal replay: op %d refused: %s"
                   (!applied + 1) e)));
       incr applied;
-      match checkpoint with
-      | Some (ckpt : Snapshot.t) when ckpt.ops = !applied ->
-          let now = Snapshot.of_session ~ops:!applied session in
-          if not (Snapshot.equal now ckpt) then
-            raise
-              (Corrupt
-                 (Format.asprintf
-                    "checkpoint diverges from journal replay at op %d:@ \
-                     checkpoint %a@ replay %a"
-                    !applied Snapshot.pp ckpt Snapshot.pp now))
-      | _ -> ())
+      List.iter
+        (fun (which, (ckpt : Snapshot.t)) ->
+          if ckpt.ops = !applied then begin
+            let now = Snapshot.of_session ~ops:!applied session in
+            verdicts := (which, ckpt, now, Snapshot.equal now ckpt) :: !verdicts
+          end)
+        anchors)
     ops;
-  (session, !applied)
+  (session, !applied, List.rev !verdicts)
 
-type live = {
-  session : Session.t;
-  writer : Journal.writer option;
-  ckpt_path : string option;
-  restored : bool;
-  warning : string option;
-  mutable ops : int;
-  mutable ckpt_ops : int;  (** ops at the last committed checkpoint *)
-}
+let fresh_session h name ~dir ~writer =
+  {
+    name;
+    policy_id = h.config.policy;
+    session = session_of_header name (header_of_config h.config);
+    reg = h.metrics;
+    writer;
+    dir;
+    restored = false;
+    notices = [];
+    ops = 0;
+    ckpt_ops = 0;
+    wedged = None;
+  }
 
-let restore_or_init config =
-  match config.checkpoint_dir with
-  | None ->
-      let header =
-        {
-          Journal.version = Journal.header_version;
-          policy = config.policy;
-          n = config.n;
-          delta = config.delta;
-          delay = config.delay;
-          mini_rounds = config.mini_rounds;
-        }
+(* The tiered restore ladder (doc/SERVICE.md, "Failure matrix"). *)
+let restore h name ~dir jpath =
+  match Journal.load jpath with
+  | Error Journal.Missing ->
+      fresh_session h name ~dir:(Some dir)
+        ~writer:(Some (Journal.create jpath (header_of_config h.config)))
+  | Error e ->
+      (* tier 3: the source of truth is unreadable — keep a forensic
+         copy aside, leave the original in place so restarts keep
+         refusing, and stop with a precise diagnostic *)
+      let diag = Journal.describe_load_error ~path:jpath e in
+      let diag =
+        match quarantine `Copy jpath with
+        | Some target -> Printf.sprintf "%s (forensic copy: %s)" diag target
+        | None -> diag
       in
-      let session = session_of_header header in
-      {
-        session;
-        writer = None;
-        ckpt_path = None;
-        restored = false;
-        warning = None;
-        ops = 0;
-        ckpt_ops = 0;
-      }
-  | Some dir ->
-      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
-      let jpath = journal_path dir in
+      refuse h ~name diag
+  | Ok (header, ops, tear) ->
+      let notices = ref [] in
+      let notice fmt = Printf.ksprintf (fun m -> notices := m :: !notices) fmt in
+      (match tear with
+      | None -> ()
+      | Some t ->
+          (* tier 1: the crash interrupted the final append; the op was
+             never acked, so dropping it is the documented at-most-once
+             window.  Cut the file at the tear too — otherwise the next
+             append would glue its line onto the torn fragment and turn
+             a benign tail into mid-body corruption *)
+          let msg = Journal.describe_tear ~path:jpath t in
+          recovery_event h ~counter:"serve_recovery_torn_tail"
+            ~name:("torn-tail-" ^ name) ~reason:msg;
+          (try Unix.truncate jpath t.Journal.offset
+           with Unix.Unix_error _ -> ());
+          notice "%s" msg);
       let cpath = checkpoint_path dir in
-      if Sys.file_exists jpath then begin
-        match Journal.load jpath with
-        | Error e -> raise (Corrupt e)
-        | Ok (header, ops, warning) ->
-            let checkpoint =
-              match load_checkpoint cpath with
-              | Ok c -> c
-              | Error e -> raise (Corrupt e)
+      let ppath = checkpoint_prev_path dir in
+      (* tier 2: checkpoints are derived state — an unreadable one is
+         quarantined out of the restore path and replay carries on *)
+      let load_anchor which path =
+        match load_checkpoint path with
+        | Ok c -> Option.map (fun c -> (which, c)) c
+        | Error e ->
+            let target = quarantine `Rename path in
+            let msg =
+              Printf.sprintf "quarantined unreadable %s (%s)%s" which e
+                (match target with Some t -> " to " ^ t | None -> "")
             in
-            let session, applied = replay header ops ~checkpoint in
-            {
-              session;
-              writer = Some (Journal.append_to jpath);
-              ckpt_path = Some cpath;
-              restored = true;
-              warning;
-              ops = applied;
-              ckpt_ops =
-                (match checkpoint with Some c -> c.Snapshot.ops | None -> 0);
-            }
-      end
-      else begin
-        let header =
-          {
-            Journal.version = Journal.header_version;
-            policy = config.policy;
-            n = config.n;
-            delta = config.delta;
-            delay = config.delay;
-            mini_rounds = config.mini_rounds;
-          }
-        in
-        let session = session_of_header header in
-        {
-          session;
-          writer = Some (Journal.create jpath header);
-          ckpt_path = Some cpath;
-          restored = false;
-          warning = None;
-          ops = 0;
-          ckpt_ops = 0;
-        }
-      end
+            recovery_event h ~counter:"serve_recovery_checkpoint_quarantined"
+              ~name:("checkpoint-" ^ name) ~reason:msg;
+            notice "%s" msg;
+            None
+      in
+      let cur = load_anchor "checkpoint" cpath in
+      let prev = load_anchor "previous checkpoint" ppath in
+      let anchors = List.filter_map Fun.id [ cur; prev ] in
+      List.iter
+        (fun (which, (c : Snapshot.t)) ->
+          if c.ops > List.length ops then
+            refuse h ~name
+              (Printf.sprintf
+                 "journal %s holds %d op%s but the %s was committed at op %d: \
+                  acked ops are missing from the journal"
+                 jpath (List.length ops)
+                 (if List.length ops = 1 then "" else "s")
+                 which c.ops))
+        anchors;
+      let session, applied, verdicts = replay name header ops ~anchors in
+      let agreed which =
+        List.exists (fun (w, _, _, ok) -> w = which && ok) verdicts
+      in
+      let diverged which =
+        List.find_opt (fun (w, _, _, ok) -> w = which && not ok) verdicts
+      in
+      (match diverged "checkpoint" with
+      | Some (_, ckpt, now, _) ->
+          if agreed "previous checkpoint" then begin
+            (* two witnesses: the replay and the previous checkpoint
+               agree, so the current checkpoint is the corrupt artifact *)
+            let target = quarantine `Rename cpath in
+            let msg =
+              Printf.sprintf
+                "quarantined checkpoint diverging from journal replay at op \
+                 %d%s (previous checkpoint agrees with the replay)"
+                ckpt.Snapshot.ops
+                (match target with Some t -> " to " ^ t | None -> "")
+            in
+            recovery_event h ~counter:"serve_recovery_checkpoint_quarantined"
+              ~name:("checkpoint-" ^ name) ~reason:msg;
+            notice "%s" msg
+          end
+          else
+            refuse h ~name
+              (Format.asprintf
+                 "checkpoint diverges from journal replay at op %d:@ \
+                  checkpoint %a@ replay %a"
+                 ckpt.Snapshot.ops Snapshot.pp ckpt Snapshot.pp now)
+      | None -> (
+          match diverged "previous checkpoint" with
+          | Some (_, ckpt, _, _) ->
+              (* the dispensable anchor lies but the current one agrees
+                 (or is absent): drop the stale witness, keep serving *)
+              let target = quarantine `Rename ppath in
+              let msg =
+                Printf.sprintf
+                  "quarantined previous checkpoint diverging from journal \
+                   replay at op %d%s"
+                  ckpt.Snapshot.ops
+                  (match target with Some t -> " to " ^ t | None -> "")
+              in
+              recovery_event h
+                ~counter:"serve_recovery_checkpoint_quarantined"
+                ~name:("checkpoint-" ^ name) ~reason:msg;
+              notice "%s" msg
+          | None -> ()));
+      count h "serve_restores" 1;
+      {
+        name;
+        policy_id = header.Journal.policy;
+        session;
+        reg = h.metrics;
+        writer = Some (Journal.append_to jpath);
+        dir = Some dir;
+        restored = true;
+        notices = List.rev !notices;
+        ops = applied;
+        ckpt_ops = (match cur with Some (_, c) -> c.Snapshot.ops | None -> 0);
+        wedged = None;
+      }
 
-let checkpoint_now live =
-  match live.ckpt_path with
+let open_session h name =
+  if not (Protocol.valid_session_name name) then
+    invalid_arg (Printf.sprintf "invalid session name %S" name);
+  (match find_session h name with
+  | Some s when s.wedged = None ->
+      invalid_arg (Printf.sprintf "session %S already open" name)
+  | Some s ->
+      (* reopening a wedged session: the in-memory state is untrusted,
+         discard it and restore from the journal *)
+      Option.iter Journal.close s.writer;
+      s.writer <- None;
+      h.table <- List.remove_assoc name h.table;
+      count h "serve_session_restarts" 1
+  | None -> ());
+  let s =
+    match session_dir h name with
+    | None -> fresh_session h name ~dir:None ~writer:None
+    | Some dir ->
+        mkdir_p dir;
+        let jpath = journal_path dir in
+        if Sys.file_exists jpath then restore h name ~dir jpath
+        else
+          fresh_session h name ~dir:(Some dir)
+            ~writer:(Some (Journal.create jpath (header_of_config h.config)))
+  in
+  Session.set_heartbeat s.session h.config.heartbeat;
+  h.table <- h.table @ [ (name, s) ];
+  s
+
+(* ---- checkpoints and commits -------------------------------------- *)
+
+let checkpoint_session _h s =
+  match s.dir with
   | None -> None
-  | Some path ->
-      let snapshot = Snapshot.of_session ~ops:live.ops live.session in
+  | Some dir ->
+      let path = checkpoint_path dir in
+      (* rotate: the previous checkpoint is the arbitration witness of
+         the divergence tier *)
+      if Sys.file_exists path then Sys.rename path (checkpoint_prev_path dir);
+      let snapshot = Snapshot.of_session ~ops:s.ops s.session in
       write_checkpoint path snapshot;
-      live.ckpt_ops <- live.ops;
+      s.ckpt_ops <- s.ops;
       Some snapshot
 
-(* ---- the command loop --------------------------------------------- *)
+let apply_op s op = apply_to s.session op
+
+let commit h s op =
+  Option.iter (fun w -> Journal.append w op) s.writer;
+  s.ops <- s.ops + 1;
+  h.fresh_ops <- h.fresh_ops + 1;
+  count h "serve_ops" 1;
+  if
+    h.config.checkpoint_every > 0
+    && s.ops - s.ckpt_ops >= h.config.checkpoint_every
+  then ignore (checkpoint_session h s);
+  match h.config.crash_after with
+  | Some k when h.fresh_ops >= k ->
+      (* simulate a hard kill: no checkpoint, no finish, no ack — only
+         the journal survives *)
+      h.crash_flush ();
+      Stdlib.exit 70
+  | _ -> ()
+
+let abandon_session h s =
+  Option.iter Journal.close s.writer;
+  s.writer <- None;
+  h.table <- List.remove_assoc s.name h.table
+
+let close_session h s =
+  ignore (checkpoint_session h s);
+  Option.iter Journal.close s.writer;
+  s.writer <- None;
+  h.table <- List.remove_assoc s.name h.table;
+  Session.finish s.session
+
+(* ---- command execution -------------------------------------------- *)
+
+let greeting s =
+  List.map (fun w -> "ok warning: " ^ w) s.notices
+  @
+  (* the default session keeps the exact single-session format the CI
+     restart test and existing clients grep for; named sessions carry
+     a [name=] field *)
+  let name_part =
+    if s.name = default_session then "" else Printf.sprintf " name=%s" s.name
+  in
+  if s.restored then
+    [
+      Printf.sprintf "ok restored%s round=%d ops=%d pending=%d" name_part
+        (Session.round s.session) s.ops
+        (Session.pending_jobs s.session);
+    ]
+  else
+    [
+      Printf.sprintf "ok session%s policy=%s n=%d delta=%d colors=%d" name_part
+        s.policy_id (Session.n s.session) (Session.delta s.session)
+        (Session.num_colors s.session);
+    ]
+
+type outcome =
+  | Reply of string list
+  | Switch of session * string list
+  | Bye of string list
+  | Stop of string list
+
+let session_line s =
+  Printf.sprintf "ok %s round=%d ops=%d pending=%d%s" s.name
+    (Session.round s.session) s.ops
+    (Session.pending_jobs s.session)
+    (match s.wedged with None -> "" | Some _ -> " wedged")
+
+let exec ?(apply = apply_op) h (current : session) (cmd : Protocol.command) :
+    outcome =
+  let mutate op =
+    match current.wedged with
+    | Some reason ->
+        Reply
+          [
+            Printf.sprintf
+              "err session %s wedged (%s); `open %s` to recover it from its \
+               journal"
+              current.name reason current.name;
+          ]
+    | None -> (
+        match apply current op with
+        | Ok msg ->
+            commit h current op;
+            Reply [ "ok " ^ msg ]
+        | Error e -> Reply [ "err " ^ e ])
+  in
+  match cmd with
+  | Protocol.Help ->
+      Reply
+        (String.split_on_char '\n' Protocol.grammar
+        |> List.map (fun l -> "ok " ^ l))
+  | Protocol.State -> Reply [ Snapshot.to_line (session_snapshot current) ]
+  | Protocol.Checkpoint -> (
+      match checkpoint_session h current with
+      | None ->
+          Reply
+            [ "err checkpoint: ephemeral session (start with --checkpoint-dir)" ]
+      | Some snapshot ->
+          Reply
+            [
+              Printf.sprintf "ok checkpoint round=%d ops=%d"
+                snapshot.Snapshot.round snapshot.Snapshot.ops;
+            ])
+  | Protocol.Submit { round; color; count } ->
+      let round = Option.value ~default:(Session.round current.session) round in
+      mutate (Journal.Submit { round; color; count })
+  | Protocol.Step k -> mutate (Journal.Step k)
+  | Protocol.Reconfigure { delta; n; delay } ->
+      mutate (Journal.Reconfigure { delta; n; delay })
+  | Protocol.Open name -> (
+      match find_session h name with
+      | Some s when s.wedged = None ->
+          if s.name = current.name then
+            Reply [ Printf.sprintf "ok attached %s (already current)" name ]
+          else Switch (s, [ Printf.sprintf "ok attached %s (already open)" name ])
+      | _ -> (
+          match open_session h name with
+          | s -> Switch (s, greeting s)
+          | exception Corrupt diag -> Reply [ "err open: " ^ diag ]
+          | exception Invalid_argument msg -> Reply [ "err open: " ^ msg ]))
+  | Protocol.Attach name -> (
+      match find_session h name with
+      | Some s -> Switch (s, [ "ok attached " ^ name ])
+      | None ->
+          Reply
+            [
+              Printf.sprintf "err attach: no open session %S (try: open %s)"
+                name name;
+            ])
+  | Protocol.Sessions ->
+      Reply
+        (Printf.sprintf "ok sessions %d" (List.length h.table)
+        :: List.map (fun (_, s) -> session_line s) h.table)
+  | Protocol.Shutdown -> Stop [ "ok shutting down" ]
+  | Protocol.Quit -> Bye []
+
+(* ---- the pipe driver ---------------------------------------------- *)
+
+exception Shutdown_signal of int
+
+let signal_name s =
+  if s = Sys.sigterm then "TERM"
+  else if s = Sys.sigint then "INT"
+  else string_of_int s
 
 let serve config ic oc =
   let respond line =
@@ -276,136 +641,107 @@ let serve config ic oc =
             config_error "checkpoint-every must be non-negative"
           else if config.n < 1 then config_error "n must be at least 1"
           else begin
-            (* ops applied by THIS process (replayed ops excluded):
-               the deterministic kill point counts real work *)
-            let fresh_ops = ref 0 in
+            let h = host config in
+            h.crash_flush <- (fun () -> Out_channel.flush oc);
+            (* graceful signal handling: a signal that lands while a
+               command is in flight is deferred until the command's
+               apply + journal + ack sequence finishes (a SIGTERM
+               mid-batch must not widen the at-most-once window into a
+               silent replay gap); a signal that lands while blocked on
+               input raises out of the read so the drain runs now *)
+            let in_command = ref false in
+            let pending_signal = ref (-1) in
+            let handle s =
+              if !in_command then pending_signal := s
+              else raise (Shutdown_signal s)
+            in
+            let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle handle) in
+            let old_int = Sys.signal Sys.sigint (Sys.Signal_handle handle) in
+            let restore_signals () =
+              Sys.set_signal Sys.sigterm old_term;
+              Sys.set_signal Sys.sigint old_int
+            in
+            Fun.protect ~finally:restore_signals @@ fun () ->
             let attempt () =
-              let live = restore_or_init config in
-              Session.set_heartbeat live.session config.heartbeat;
-              (match live.warning with
-              | Some w -> respond ("ok warning: " ^ w)
-              | None -> ());
-              if live.restored then
-                respond
-                  (Printf.sprintf "ok restored round=%d ops=%d pending=%d"
-                     (Session.round live.session)
-                     live.ops
-                     (Session.pending_jobs live.session))
-              else
-                respond
-                  (Printf.sprintf
-                     "ok session policy=%s n=%d delta=%d colors=%d"
-                     config.policy (Session.n live.session)
-                     (Session.delta live.session)
-                     (Session.num_colors live.session));
-              let graceful () =
-                ignore (checkpoint_now live);
-                Option.iter Journal.close live.writer;
-                let result = Session.finish live.session in
-                respond
-                  (Printf.sprintf
-                     "ok bye round=%d executed=%d dropped=%d recolorings=%d \
-                      cost=%d"
-                     result.Engine.rounds_simulated result.Engine.executed
-                     result.Engine.dropped result.Engine.reconfigurations
-                     (Rrs_core.Cost.total result.Engine.cost));
+              (* on a supervised restart the previous attempt's
+                 sessions are untrusted (they crashed mid-command):
+                 drop them without checkpointing so every one is
+                 restored from its journal *)
+              List.iter
+                (fun s ->
+                  Option.iter Journal.close s.writer;
+                  s.writer <- None)
+                (sessions h);
+              h.table <- [];
+              let first = open_session h default_session in
+              List.iter respond (greeting first);
+              let current = ref first in
+              let graceful ?signal () =
+                (match signal with
+                | Some s ->
+                    respond
+                      (Printf.sprintf "ok draining signal=%s" (signal_name s))
+                | None -> ());
+                let result = ref None in
+                List.iter
+                  (fun s ->
+                    let r = close_session h s in
+                    if s.name = !current.name then result := Some r)
+                  (sessions h);
+                (match !result with
+                | Some result ->
+                    respond
+                      (Printf.sprintf
+                         "ok bye round=%d executed=%d dropped=%d \
+                          recolorings=%d cost=%d"
+                         result.Engine.rounds_simulated result.Engine.executed
+                         result.Engine.dropped result.Engine.reconfigurations
+                         (Rrs_core.Cost.total result.Engine.cost))
+                | None -> respond "ok bye");
                 0
               in
-              let committed op =
-                Option.iter (fun w -> Journal.append w op) live.writer;
-                live.ops <- live.ops + 1;
-                incr fresh_ops;
-                if
-                  config.checkpoint_every > 0
-                  && live.ops - live.ckpt_ops >= config.checkpoint_every
-                then ignore (checkpoint_now live);
-                match config.crash_after with
-                | Some k when !fresh_ops >= k ->
-                    (* simulate a hard kill: no checkpoint, no finish,
-                       no ack — only the journal survives *)
-                    Out_channel.flush oc;
-                    Stdlib.exit 70
-                | _ -> ()
-              in
               let rec loop () =
-                match In_channel.input_line ic with
-                | None -> graceful ()
-                | Some line -> (
-                    match Protocol.parse line with
-                    | Ok None -> loop ()
-                    | Error e ->
-                        respond ("err " ^ e);
-                        loop ()
-                    | Ok (Some cmd) -> (
-                        Rrs_fault.probe "serve.command";
-                        match cmd with
-                        | Protocol.Help ->
-                            String.split_on_char '\n' Protocol.grammar
-                            |> List.iter (fun l -> respond ("ok " ^ l));
-                            loop ()
-                        | Protocol.State ->
-                            respond
-                              (Snapshot.to_line
-                                 (Snapshot.of_session ~ops:live.ops
-                                    live.session));
-                            loop ()
-                        | Protocol.Checkpoint -> (
-                            match checkpoint_now live with
-                            | None ->
-                                respond
-                                  "err checkpoint: ephemeral session (start \
-                                   with --checkpoint-dir)";
-                                loop ()
-                            | Some snapshot ->
-                                respond
-                                  (Printf.sprintf "ok checkpoint round=%d ops=%d"
-                                     snapshot.Snapshot.round
-                                     snapshot.Snapshot.ops);
-                                loop ())
-                        | Protocol.Quit -> graceful ()
-                        | Protocol.Submit { round; color; count } -> (
-                            let round =
-                              Option.value
-                                ~default:(Session.round live.session)
-                                round
-                            in
-                            let op = Journal.Submit { round; color; count } in
-                            match apply live.session op with
-                            | Ok msg ->
-                                committed op;
-                                respond ("ok " ^ msg);
-                                loop ()
-                            | Error e ->
-                                respond ("err " ^ e);
-                                loop ())
-                        | Protocol.Step k -> (
-                            let op = Journal.Step k in
-                            match apply live.session op with
-                            | Ok msg ->
-                                committed op;
-                                respond ("ok " ^ msg);
-                                loop ()
-                            | Error e ->
-                                respond ("err " ^ e);
-                                loop ())
-                        | Protocol.Reconfigure { delta; n; delay } -> (
-                            let op = Journal.Reconfigure { delta; n; delay } in
-                            match apply live.session op with
-                            | Ok msg ->
-                                committed op;
-                                respond ("ok " ^ msg);
-                                loop ()
-                            | Error e ->
-                                respond ("err " ^ e);
-                                loop ())))
+                if !pending_signal >= 0 then begin
+                  let s = !pending_signal in
+                  pending_signal := -1;
+                  graceful ~signal:s ()
+                end
+                else
+                  match In_channel.input_line ic with
+                  | None -> graceful ()
+                  | Some line -> (
+                      match Protocol.parse line with
+                      | Ok None -> loop ()
+                      | Error e ->
+                          respond ("err " ^ e);
+                          loop ()
+                      | Ok (Some cmd) -> (
+                          Rrs_fault.probe "serve.command";
+                          in_command := true;
+                          let outcome =
+                            Fun.protect
+                              ~finally:(fun () -> in_command := false)
+                              (fun () -> exec h !current cmd)
+                          in
+                          match outcome with
+                          | Reply lines ->
+                              List.iter respond lines;
+                              loop ()
+                          | Switch (s, lines) ->
+                              current := s;
+                              List.iter respond lines;
+                              loop ()
+                          | Stop lines ->
+                              List.iter respond lines;
+                              graceful ()
+                          | Bye _ -> graceful ()))
               in
-              loop ()
+              try loop () with Shutdown_signal s -> graceful ~signal:s ()
             in
             let policy = { Supervisor.default with retries = config.retries } in
             match Supervisor.run ~policy ~name:"serve" attempt with
             | Ok code -> code
             | Error f ->
-                respond
-                  (Format.asprintf "err fatal: %a" Supervisor.pp_failure f);
+                respond (Format.asprintf "err fatal: %a" Supervisor.pp_failure f);
                 1
           end)

@@ -1,15 +1,47 @@
-(** The long-lived scheduler service: a streaming
-    {!Rrs_core.Engine.Session} driven by the line protocol
+(** The long-lived scheduler service: streaming
+    {!Rrs_core.Engine.Session}s driven by the line protocol
     ({!Protocol}), journaled ({!Journal}), periodically checkpointed
     ({!Snapshot} through the atomic temp+rename commit), and supervised
-    ({!Rrs_robust.Supervisor}) so contained faults restart the session
+    ({!Rrs_robust.Supervisor}) so contained faults restart a session
     from its journal instead of killing the process.
+
+    A server is a {!host}: a table of named sessions multiplexed over
+    one engine process.  The pipe driver ({!serve}, [rrs serve]) opens
+    the {!default_session} on stdin/stdout; the socket driver
+    ({!Transport}) serves many concurrent clients, each addressing the
+    table through [open NAME] / [attach NAME].
 
     Memory-boundedness contract: the server retains no per-round
     history — no recorded schedule, no response log; its resident state
-    is the session (pending jobs + fed-ahead arrivals + policy state)
-    and one journal append buffer.  Durable state grows only in the
-    journal file (doc/SERVICE.md). *)
+    is each session (pending jobs + fed-ahead arrivals + policy state)
+    and one journal append buffer per durable session.  Durable state
+    grows only in the journal files (doc/SERVICE.md).
+
+    {b Tiered recovery} (doc/SERVICE.md, "Failure matrix").  Restoring
+    a durable session classifies what it finds:
+
+    - {e torn journal tail} — the crash interrupted the final append;
+      the un-acked op is dropped with a warning naming its exact byte
+      offset (tier 1, today's at-most-once contract);
+    - {e unreadable checkpoint} — the checkpoint is derived state, so
+      it is quarantined to [checkpoint.json.corrupt-<n>] and the
+      session falls back to journal replay, anchored on the previous
+      checkpoint ([checkpoint.json.prev]) when one survives (tier 2);
+    - {e corrupt journal body} — the source of truth cannot be
+      trusted; a forensic copy is quarantined to
+      [journal.jsonl.corrupt-<n>] (the original stays in place so
+      restarts keep refusing) and the restore refuses with a
+      diagnostic naming the line and byte offset (tier 3);
+    - {e checkpoint/replay divergence} — journal and checkpoint tell
+      different stories; with a surviving previous checkpoint that
+      agrees with the replay, the current checkpoint is the corrupt
+      artifact and tier 2 applies; otherwise the ambiguity refuses
+      (tier 3).
+
+    Every recovery action increments a [serve_recovery_*] counter in
+    the host metrics and, when a flight recorder with a dump directory
+    is ambient, commits a black-box dump
+    ({!Rrs_obs.Flight_recorder.crash_dump}). *)
 
 val policies : (string * Rrs_core.Policy.factory) list
 (** Policy ids [rrs serve --policy] accepts (the online subset of the
@@ -25,27 +57,151 @@ type config = {
   delay : int array;
   mini_rounds : int;
   checkpoint_dir : string option;
-      (** holds [journal.jsonl] + [checkpoint.json]; [None] = ephemeral
-          session, no durability *)
+      (** root of the durable tree: the default session keeps
+          [journal.jsonl] + [checkpoint.json] at the root (compatible
+          with single-session layouts), named sessions live under
+          [sessions/NAME/]; [None] = every session is ephemeral *)
   checkpoint_every : int;
       (** commit a checkpoint every that many applied ops; 0 = only on
           explicit [checkpoint] commands and at quit *)
   crash_after : int option;
       (** abandon the process (exit 70, no checkpoint, no finish) after
           that many applied ops — the deterministic kill the CI
-          restart test uses *)
+          restart test and the torture drills use *)
   retries : int;  (** supervisor restarts granted to transient faults *)
   heartbeat : Rrs_obs.Heartbeat.t option;
       (** attached {e after} restore: journal replay never beats *)
+  metrics : Rrs_obs.Metrics.t option;
+      (** counts [serve_*] service/recovery/overload metrics; [None] =
+          a private registry (readable via {!metrics}) *)
 }
 
 val default_config : config
 (** dlru-edf, n = 8, Δ = 4, 8 colors with delay bounds 8, uni-speed,
-    ephemeral, checkpoint every 256 ops, no crash, 2 retries. *)
+    ephemeral, checkpoint every 256 ops, no crash, 2 retries, private
+    metrics. *)
+
+exception Corrupt of string
+(** Durable-state corruption that refuses restore (recovery tier 3):
+    the journal or checkpoint cannot be trusted, so a restart must not
+    silently continue.  Fatal under {!Rrs_robust.Supervisor.classify_default}. *)
+
+(** {2 The session table} *)
+
+val default_session : string
+(** ["default"] — the session the pipe driver opens, and the one
+    socket clients address before any [open]/[attach]. *)
+
+type session
+
+val session_name : session -> string
+val session_ops : session -> int
+val session_restored : session -> bool
+val session_notices : session -> string list
+(** Recovery notes collected while restoring, oldest first (torn-tail
+    drops, checkpoint quarantines). *)
+
+val session_wedged : session -> string option
+(** Set when a command deadline expired or a journal append failed
+    mid-command: the in-memory state can no longer be trusted to match
+    the journal, so the session refuses further commands until it is
+    reopened (restored from its journal). *)
+
+val wedge : session -> string -> unit
+(** Mark the session wedged with the given reason (counted as
+    [serve_wedged]); closes the journal writer so an abandoned
+    command attempt can never append behind the server's back. *)
+
+val session_snapshot : session -> Snapshot.t
+(** The observable state, at the session's current op count. *)
+
+type host
+
+val host : config -> host
+(** A fresh host with an empty session table.  Raises nothing: config
+    validation happens per driver ({!serve} returns exit code 2, the
+    transport refuses to start). *)
+
+val host_config : host -> config
+val metrics : host -> Rrs_obs.Metrics.t
+val sessions : host -> session list
+(** Open sessions, oldest first. *)
+
+val find_session : host -> string -> session option
+
+val open_session : host -> string -> session
+(** Create — or, when durable state exists, restore through the tiered
+    recovery ladder — the named session and add it to the table.
+    Reopening a wedged session discards the untrusted in-memory state
+    and restores from the journal.
+    @raise Corrupt when recovery refuses (tier 3)
+    @raise Invalid_argument on an invalid name or a name already open
+    (and not wedged) — callers guard with {!find_session}. *)
+
+val checkpoint_session : host -> session -> Snapshot.t option
+(** Commit a checkpoint now (rotating the previous one to
+    [checkpoint.json.prev]); [None] for ephemeral sessions. *)
+
+val close_session : host -> session -> Rrs_core.Engine.result
+(** Final checkpoint, close the journal, finish the engine session and
+    remove it from the table. *)
+
+val abandon_session : host -> session -> unit
+(** Drop the session {e without} a final checkpoint: close the journal
+    writer and remove it from the table, leaving durable state exactly
+    as a kill would — the torture drills use this to build fixtures
+    whose journal extends past the last checkpoint. *)
+
+val apply_op : session -> Journal.op -> (string, string) result
+(** Apply one state-changing op to the live engine session; [Ok] is
+    the human ack line body, [Error] the refusal. *)
+
+val commit : host -> session -> Journal.op -> unit
+(** Journal the (already applied) op, advance the op counters, commit
+    a periodic checkpoint when due, and honor [crash_after].
+    @raise Rrs_fault.Injected when the [serve.journal] probe fires —
+    the caller must contain it ({!wedge} + reopen, or the pipe
+    driver's supervised restart). *)
+
+(** What executing one command means for the connection that sent it. *)
+type outcome =
+  | Reply of string list  (** answer and keep going *)
+  | Switch of session * string list
+      (** [open]/[attach] succeeded: the client's current session
+          changed *)
+  | Bye of string list  (** [quit]: close this client *)
+  | Stop of string list  (** [shutdown]: drain and stop the server *)
+
+val exec :
+  ?apply:(session -> Journal.op -> (string, string) result) ->
+  host ->
+  session ->
+  Protocol.command ->
+  outcome
+(** Execute one parsed command against the client's current session.
+    [apply] (default {!apply_op}) lets the socket driver run the
+    session mutation under a per-command deadline; journaling
+    ({!commit}) always happens on the caller's side of that boundary,
+    {e after} a successful apply, so an abandoned attempt can never
+    reach the journal. *)
+
+val greeting : session -> string list
+(** The lines a client sees when a session becomes current: one
+    ["ok warning: ..."] per recovery notice, then the
+    ["ok session ..."] / ["ok restored ..."] line. *)
+
+(** {2 The pipe driver} *)
 
 val serve : config -> in_channel -> out_channel -> int
-(** Run the service over the channels until [quit] or EOF; returns the
-    process exit code (0 = clean shutdown, 1 = fatal failure or
-    unreadable durable state, 2 = bad configuration).  Every response
-    is one line: [ok ...], [err ...], or a state JSON object; responses
-    are flushed per command so the channel can be a pipe. *)
+(** Run the service over the channels until [quit], [shutdown] or EOF;
+    returns the process exit code (0 = clean shutdown, 1 = fatal
+    failure or unreadable durable state, 2 = bad configuration).
+    Every response is one line: [ok ...], [err ...], [busy ...] or a
+    state JSON object; responses are flushed per command so the
+    channel can be a pipe.
+
+    SIGTERM/SIGINT drain gracefully: an in-flight command finishes
+    (apply + journal + ack are never interrupted mid-sequence), then
+    every session is checkpointed and finished and the process exits 0
+    — no silent replay gap.  The previous signal dispositions are
+    restored on return. *)

@@ -1,0 +1,508 @@
+module Supervisor = Rrs_robust.Supervisor
+module Metrics = Rrs_obs.Metrics
+
+type address = Unix_socket of string | Tcp of string * int
+
+let pp_address ppf = function
+  | Unix_socket path -> Format.fprintf ppf "unix:%s" path
+  | Tcp (host, port) -> Format.fprintf ppf "tcp:%s:%d" host port
+
+type limits = {
+  max_conns : int;
+  queue_limit : int;
+  shed_threshold : int;
+  command_deadline : float option;
+  write_buffer_limit : int;
+  write_stall_timeout : float;
+  max_line : int;
+  retry_after : float;
+}
+
+let default_limits =
+  {
+    max_conns = 64;
+    queue_limit = 64;
+    shed_threshold = 256;
+    command_deadline = None;
+    write_buffer_limit = 1 lsl 20;
+    write_stall_timeout = 5.0;
+    max_line = 1 lsl 16;
+    retry_after = 0.05;
+  }
+
+type stats = {
+  conns_accepted : int;
+  conns_dropped : int;
+  commands : int;
+  busy : int;
+  shed : int;
+  slow_drops : int;
+  wedges : int;
+}
+
+(* One client connection.  Outbound bytes accumulate in [out] and are
+   written from [out_pos] whenever select says the peer can take them;
+   the buffer is the backpressure boundary the slow-client policy
+   measures. *)
+type conn = {
+  fd : Unix.file_descr;
+  peer : string;
+  mutable pending : string;  (** unread partial input line *)
+  cmds : Protocol.command Queue.t;
+  out : Buffer.t;
+  mutable out_pos : int;
+  mutable sname : string;  (** current session, resolved by name *)
+  mutable closing : bool;  (** close once [out] is drained *)
+  mutable last_progress : float;  (** last instant the peer took bytes *)
+}
+
+let out_pending c = Buffer.length c.out - c.out_pos
+
+let validate (config : Server.config) =
+  match Server.factory_of_id config.policy with
+  | Error e -> Error e
+  | Ok _ ->
+      if Array.length config.delay > Rrs_core.Packed.max_colors then
+        Error
+          (Printf.sprintf "%d colors exceed the packed color field (max %d)"
+             (Array.length config.delay) Rrs_core.Packed.max_colors)
+      else if config.checkpoint_every < 0 then
+        Error "checkpoint-every must be non-negative"
+      else if config.n < 1 then Error "n must be at least 1"
+      else (
+        match
+          Rrs_core.Instance.create ~delta:config.delta
+            ~delay:(Array.copy config.delay) ~arrivals:[] ()
+        with
+        | _ -> Ok ()
+        | exception Invalid_argument msg -> Error msg)
+
+let bind_listener address =
+  match address with
+  | Unix_socket path ->
+      if Sys.file_exists path then Sys.remove path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      Unix.set_nonblock fd;
+      (fd, Unix_socket path)
+  | Tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (inet, port));
+      Unix.listen fd 64;
+      Unix.set_nonblock fd;
+      let bound =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> Tcp (host, p)
+        | _ -> Tcp (host, port)
+      in
+      (fd, bound)
+
+let run ?(limits = default_limits) ?(stop = fun () -> false) ?on_ready
+    (config : Server.config) address =
+  match validate config with
+  | Error e -> Error e
+  | Ok () -> (
+      match bind_listener address with
+      | exception Unix.Unix_error (err, fn, arg) ->
+          Error
+            (Printf.sprintf "bind %s: %s(%s): %s"
+               (Format.asprintf "%a" pp_address address)
+               fn arg (Unix.error_message err))
+      | exception e ->
+          Error
+            (Printf.sprintf "bind %s: %s"
+               (Format.asprintf "%a" pp_address address)
+               (Printexc.to_string e))
+      | listener, bound ->
+          (* a peer that closed mid-reply must be an EPIPE we contain,
+             not a process-killing SIGPIPE *)
+          let old_sigpipe =
+            try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+            with Invalid_argument _ -> None
+          in
+          let restore_sigpipe () =
+            match old_sigpipe with
+            | Some d -> ( try Sys.set_signal Sys.sigpipe d with _ -> ())
+            | None -> ()
+          in
+          Fun.protect ~finally:restore_sigpipe @@ fun () ->
+          let h = Server.host config in
+          let m = Server.metrics h in
+          let count name by = Metrics.inc (Metrics.counter m name) by in
+          let counter_value name = Metrics.value (Metrics.counter m name) in
+          Option.iter (fun f -> f bound) on_ready;
+          let conns = ref [] in
+          let shutting = ref false in
+          let now () = Unix.gettimeofday () in
+          let append c line =
+            Buffer.add_string c.out line;
+            Buffer.add_char c.out '\n'
+          in
+          let drop ?(slow = false) c =
+            (try Unix.close c.fd with Unix.Unix_error _ -> ());
+            conns := List.filter (fun c' -> c' != c) !conns;
+            count "serve_conns_dropped" 1;
+            if slow then count "serve_slow_client_drops" 1
+          in
+          (* ---- session routing ------------------------------------ *)
+          let resolve c =
+            match Server.find_session h c.sname with
+            | Some s when Server.session_wedged s = None -> Ok s
+            | Some _ -> (
+                (* wedged by an earlier deadline or fault: the next
+                   command restores it from its journal *)
+                match Server.open_session h c.sname with
+                | s -> Ok s
+                | exception Server.Corrupt d -> Error d
+                | exception Invalid_argument d -> Error d)
+            | None -> (
+                match Server.open_session h c.sname with
+                | s -> Ok s
+                | exception Server.Corrupt d -> Error d
+                | exception Invalid_argument d -> Error d)
+          in
+          let session_depth sname =
+            List.fold_left
+              (fun acc c ->
+                if c.sname = sname then acc + Queue.length c.cmds else acc)
+              0 !conns
+          in
+          let total_queued () =
+            List.fold_left (fun acc c -> acc + Queue.length c.cmds) 0 !conns
+          in
+          (* ---- per-command deadline ------------------------------- *)
+          let deadline_apply s op =
+            match limits.command_deadline with
+            | None -> Server.apply_op s op
+            | Some t -> (
+                let policy =
+                  { Supervisor.default with timeout = Some t; retries = 0 }
+                in
+                match
+                  Supervisor.run ~policy ~name:"transport.apply" (fun () ->
+                      Server.apply_op s op)
+                with
+                | Ok r -> r
+                | Error f ->
+                    (* the abandoned attempt may still be mutating the
+                       in-memory session: wedge it (journal writer
+                       closed) so nothing it does can be acked or
+                       journaled *)
+                    let reason =
+                      Format.asprintf "%a" Supervisor.pp_failure f
+                    in
+                    Server.wedge s reason;
+                    count "serve_deadline_wedges" 1;
+                    Error
+                      (Printf.sprintf
+                         "deadline: %s; session %s wedged, reopen restores \
+                          it from its journal"
+                         reason (Server.session_name s)))
+          in
+          let shed_guard kind =
+            let depth = total_queued () in
+            if depth > limits.shed_threshold then begin
+              count "serve_shed" 1;
+              Some
+                (Printf.sprintf
+                   "busy shed %s queued=%d retry-after=%g" kind depth
+                   limits.retry_after)
+            end
+            else None
+          in
+          let execute c cmd =
+            count "serve_commands" 1;
+            match
+              (match cmd with
+              | Protocol.State | Protocol.Sessions | Protocol.Help -> (
+                  (* shed read-only work before it starves mutations *)
+                  match shed_guard (Protocol.command_to_string cmd) with
+                  | Some busy -> Server.Reply [ busy ]
+                  | None -> (
+                      match resolve c with
+                      | Error d -> Server.Reply [ "err " ^ d ]
+                      | Ok s ->
+                          Rrs_fault.probe "serve.command";
+                          Server.exec ~apply:deadline_apply h s cmd))
+              | _ -> (
+                  match resolve c with
+                  | Error d -> Server.Reply [ "err " ^ d ]
+                  | Ok s ->
+                      Rrs_fault.probe "serve.command";
+                      Server.exec ~apply:deadline_apply h s cmd))
+            with
+            | Server.Reply lines -> List.iter (append c) lines
+            | Server.Switch (s, lines) ->
+                c.sname <- Server.session_name s;
+                List.iter (append c) lines
+            | Server.Stop lines ->
+                List.iter (append c) lines;
+                shutting := true
+            | Server.Bye lines ->
+                List.iter (append c) lines;
+                append c "ok bye";
+                c.closing <- true
+            | exception Rrs_fault.Injected { point; hit; transient } ->
+                (* the probe fires before any mutation: contained to an
+                   error reply, the loop and the session live on *)
+                count "serve_command_faults" 1;
+                append c
+                  (Printf.sprintf
+                     "err transient fault injected at %s (hit %d, %s)" point
+                     hit
+                     (if transient then "transient" else "fatal"))
+            | exception e -> (
+                (* unknown failure mid-command: the session may be
+                   half-mutated, treat it like a deadline expiry *)
+                count "serve_command_faults" 1;
+                append c ("err " ^ Printexc.to_string e);
+                match Server.find_session h c.sname with
+                | Some s -> Server.wedge s (Printexc.to_string e)
+                | None -> ())
+          in
+          (* ---- input parsing -------------------------------------- *)
+          let process_line c line =
+            match Protocol.parse line with
+            | Ok None -> ()
+            | Error e -> append c ("err " ^ e)
+            | Ok (Some cmd) ->
+                let depth = session_depth c.sname in
+                if depth >= limits.queue_limit then begin
+                  (* refuse at admission: nothing enqueued, nothing
+                     acked, the client owns the retry *)
+                  count "serve_busy" 1;
+                  append c
+                    (Printf.sprintf
+                       "busy queue session=%s depth=%d retry-after=%g"
+                       c.sname depth limits.retry_after)
+                end
+                else Queue.push cmd c.cmds
+          in
+          let feed c chunk =
+            c.pending <- c.pending ^ chunk;
+            let continue = ref true in
+            while !continue do
+              match String.index_opt c.pending '\n' with
+              | None ->
+                  if String.length c.pending > limits.max_line then begin
+                    append c
+                      (Printf.sprintf "err line longer than %d bytes"
+                         limits.max_line);
+                    c.closing <- true;
+                    c.pending <- ""
+                  end;
+                  continue := false
+              | Some i ->
+                  let line = String.sub c.pending 0 i in
+                  c.pending <-
+                    String.sub c.pending (i + 1)
+                      (String.length c.pending - i - 1);
+                  if not c.closing then process_line c line
+            done
+          in
+          (* ---- socket IO ------------------------------------------ *)
+          let read_conn c =
+            let buf = Bytes.create 4096 in
+            match Unix.read c.fd buf 0 4096 with
+            | 0 -> drop c (* orderly EOF: abrupt from our side of acks *)
+            | n -> feed c (Bytes.sub_string buf 0 n)
+            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+              ->
+                ()
+            | exception Unix.Unix_error _ -> drop c
+          in
+          let write_conn c =
+            match Rrs_fault.probe "serve.write" with
+            | exception Rrs_fault.Injected _ ->
+                count "serve_write_faults" 1;
+                drop c
+            | () -> (
+                let data = Buffer.contents c.out in
+                let len = String.length data - c.out_pos in
+                let chunk = min len 16384 in
+                match
+                  Unix.write_substring c.fd data c.out_pos chunk
+                with
+                | n ->
+                    c.out_pos <- c.out_pos + n;
+                    if n > 0 then c.last_progress <- now ();
+                    if c.out_pos >= String.length data then begin
+                      Buffer.clear c.out;
+                      c.out_pos <- 0;
+                      if c.closing then drop c
+                    end
+                | exception
+                    Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                    ()
+                | exception Unix.Unix_error _ -> drop c)
+          in
+          let accept_conn () =
+            match Rrs_fault.probe "serve.accept" with
+            | exception Rrs_fault.Injected _ -> (
+                count "serve_accept_faults" 1;
+                (* still drain the pending connection so the backlog
+                   cannot fill with a poisoned accept *)
+                match Unix.accept listener with
+                | fd, _ -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+                | exception Unix.Unix_error _ -> ())
+            | () -> (
+                match Unix.accept listener with
+                | exception
+                    Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                    ()
+                | exception Unix.Unix_error _ -> ()
+                | fd, peer ->
+                    Unix.set_nonblock fd;
+                    let peer =
+                      match peer with
+                      | Unix.ADDR_UNIX _ -> "unix"
+                      | Unix.ADDR_INET (a, p) ->
+                          Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+                    in
+                    let c =
+                      {
+                        fd;
+                        peer;
+                        pending = "";
+                        cmds = Queue.create ();
+                        out = Buffer.create 256;
+                        out_pos = 0;
+                        sname = Server.default_session;
+                        closing = false;
+                        last_progress = now ();
+                      }
+                    in
+                    if List.length !conns >= limits.max_conns then begin
+                      count "serve_busy" 1;
+                      append c
+                        (Printf.sprintf
+                           "busy connections limit=%d retry-after=%g"
+                           limits.max_conns limits.retry_after);
+                      c.closing <- true;
+                      conns := !conns @ [ c ];
+                      count "serve_conns_accepted" 1
+                    end
+                    else begin
+                      count "serve_conns_accepted" 1;
+                      (match resolve c with
+                      | Ok s -> List.iter (append c) (Server.greeting s)
+                      | Error d ->
+                          append c ("err " ^ d);
+                          c.closing <- true);
+                      conns := !conns @ [ c ]
+                    end)
+          in
+          (* ---- the loop ------------------------------------------- *)
+          let select_round () =
+            let readers =
+              (if !shutting then [] else [ listener ])
+              @ List.filter_map
+                  (fun c -> if c.closing then None else Some c.fd)
+                  !conns
+            in
+            let writers =
+              List.filter_map
+                (fun c -> if out_pending c > 0 then Some c.fd else None)
+                !conns
+            in
+            let timeout = if total_queued () > 0 then 0.0 else 0.05 in
+            match Unix.select readers writers [] timeout with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
+            | r, w, _ -> (r, w)
+          in
+          let stall_check () =
+            let t = now () in
+            List.iter
+              (fun c ->
+                if
+                  out_pending c > 0
+                  && t -. c.last_progress > limits.write_stall_timeout
+                then drop ~slow:true c
+                else if Buffer.length c.out > limits.write_buffer_limit then
+                  drop ~slow:true c)
+              !conns
+          in
+          let rec loop () =
+            if !shutting || stop () then ()
+            else begin
+              let readable, writable = select_round () in
+              if List.memq listener readable then accept_conn ();
+              List.iter
+                (fun c -> if List.memq c.fd readable then read_conn c)
+                !conns;
+              (* one command per connection per round: fair service,
+                 and reply order per connection matches command order *)
+              List.iter
+                (fun c ->
+                  if (not c.closing) && not (Queue.is_empty c.cmds) then
+                    execute c (Queue.pop c.cmds))
+                !conns;
+              List.iter
+                (fun c ->
+                  if List.memq c.fd writable && out_pending c > 0 then
+                    write_conn c)
+                !conns;
+              stall_check ();
+              loop ()
+            end
+          in
+          loop ();
+          (* ---- drain ---------------------------------------------- *)
+          (* no new reads: finish every queued command (acked work is
+             never dropped by shutdown), say goodbye, flush bounded *)
+          List.iter
+            (fun c ->
+              while not (Queue.is_empty c.cmds) do
+                execute c (Queue.pop c.cmds)
+              done)
+            !conns;
+          List.iter
+            (fun c ->
+              if not c.closing then append c "ok bye shutdown";
+              c.closing <- true)
+            !conns;
+          let grace_end = now () +. limits.write_stall_timeout in
+          let rec flush_all () =
+            let pending =
+              List.filter_map
+                (fun c -> if out_pending c > 0 then Some c.fd else None)
+                !conns
+            in
+            if pending <> [] && now () < grace_end then begin
+              (match Unix.select [] pending [] 0.05 with
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+              | _, writable, _ ->
+                  List.iter
+                    (fun c ->
+                      if List.memq c.fd writable && out_pending c > 0 then
+                        write_conn c)
+                    !conns);
+              (* write_conn drops drained closing conns itself *)
+              flush_all ()
+            end
+          in
+          flush_all ();
+          List.iter (fun c -> drop c) !conns;
+          List.iter
+            (fun s -> ignore (Server.close_session h s))
+            (Server.sessions h);
+          (try Unix.close listener with Unix.Unix_error _ -> ());
+          (match bound with
+          | Unix_socket path -> ( try Sys.remove path with Sys_error _ -> ())
+          | Tcp _ -> ());
+          Ok
+            {
+              conns_accepted = counter_value "serve_conns_accepted";
+              conns_dropped = counter_value "serve_conns_dropped";
+              commands = counter_value "serve_commands";
+              busy = counter_value "serve_busy";
+              shed = counter_value "serve_shed";
+              slow_drops = counter_value "serve_slow_client_drops";
+              wedges = counter_value "serve_wedged";
+            })

@@ -1,0 +1,99 @@
+(** The socket transport: many concurrent clients multiplexed over one
+    {!Server.host} — a single-threaded [select] event loop speaking the
+    {!Protocol} line protocol over a Unix-domain or TCP listener.
+
+    Each connection addresses the shared session table by name
+    ([open NAME] / [attach NAME]); on accept it is attached to
+    {!Server.default_session} and greeted exactly like a pipe client.
+    All session mutations are serialized by the loop, so two clients
+    attached to the same session never race; per-connection reply order
+    always matches command order.
+
+    {b Overload control} ({!limits}):
+
+    - {e admission}: a command arriving for a session whose queue
+      already holds [queue_limit] commands is refused immediately with
+      [busy queue session=NAME depth=D retry-after=SECONDS] and counted
+      as [serve_busy] — nothing is enqueued, so no acked op is ever
+      dropped;
+    - {e load shedding}: when the total queued backlog exceeds
+      [shed_threshold], read-only commands ([state], [sessions],
+      [help]) are answered with [busy shed ...] at execution time
+      (preserving reply pairing) so the cycles go to [submit]/[step];
+      counted as [serve_shed];
+    - {e slow clients}: a connection whose outbound buffer exceeds
+      [write_buffer_limit] bytes, or that has not accepted a byte for
+      [write_stall_timeout] seconds while output is pending, is dropped
+      and counted as [serve_slow_client_drops] — one reader that stops
+      reading cannot wedge the loop or grow memory unboundedly;
+    - {e deadlines}: with [command_deadline = Some t], each mutating
+      command's apply runs under a {!Rrs_robust.Supervisor} timeout.
+      On expiry the session is {!Server.wedge}d (the abandoned domain
+      may still be running: the journal writer is closed so it can
+      never append) and the client gets an [err deadline ...]; the next
+      command addressed to the session restores it from its journal
+      ([serve_session_restarts]).
+
+    Faults injected at the [serve.accept] and [serve.write] probes are
+    contained to the connection they hit (counted, connection dropped);
+    the loop itself never dies from a client.
+
+    Shutdown: [shutdown] from any client, or the [stop] callback
+    returning [true] (the CLI wires SIGTERM/SIGINT to it), stops
+    accepting, executes every already-queued command, flushes replies
+    on a bounded grace budget, closes every connection and then every
+    session (final checkpoint each).  Unix-domain socket files are
+    unlinked on exit. *)
+
+type address =
+  | Unix_socket of string  (** path of the socket file (created fresh) *)
+  | Tcp of string * int  (** bind host, port; port 0 picks a free port *)
+
+val pp_address : Format.formatter -> address -> unit
+
+type limits = {
+  max_conns : int;
+      (** accepted connections beyond this are greeted with
+          [busy connections ...] and closed *)
+  queue_limit : int;  (** per-session queued-command bound *)
+  shed_threshold : int;
+      (** total queued commands above which read-only commands shed *)
+  command_deadline : float option;
+      (** per-command apply budget, seconds; [None] = no deadline *)
+  write_buffer_limit : int;  (** outbound bytes per connection *)
+  write_stall_timeout : float;
+      (** seconds a connection may refuse bytes while output is pending *)
+  max_line : int;  (** longest accepted command line, bytes *)
+  retry_after : float;  (** the hint in [busy] replies, seconds *)
+}
+
+val default_limits : limits
+(** 64 connections, 64 queued commands per session, shed above 256
+    queued total, no deadline, 1 MiB write buffer, 5 s write stall,
+    64 KiB lines, retry-after 0.05 s. *)
+
+type stats = {
+  conns_accepted : int;
+  conns_dropped : int;
+  commands : int;
+  busy : int;
+  shed : int;
+  slow_drops : int;
+  wedges : int;
+}
+(** Mirror of the [serve_*] counters, returned from {!run} so drivers
+    without a metrics registry still see what happened. *)
+
+val run :
+  ?limits:limits ->
+  ?stop:(unit -> bool) ->
+  ?on_ready:(address -> unit) ->
+  Server.config ->
+  address ->
+  (stats, string) result
+(** Listen, serve until shutdown, tear down.  [on_ready] fires once
+    with the bound address (the actual port for [Tcp (_, 0)]) before
+    the first [accept] — tests use it to learn where to connect.
+    [stop] is polled between select rounds (at most ~50 ms apart).
+    [Error] is a configuration or bind failure; client misbehavior is
+    never an [Error]. *)

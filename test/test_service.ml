@@ -553,6 +553,338 @@ let test_bounded_state () =
     true
     (long - short < 10_000)
 
+(* ---- protocol fuzz (QCheck) --------------------------------------- *)
+
+module Torture = Rrs_service.Torture
+
+(* the parser's totality contract: any byte string gets Ok/Error, never
+   an exception, and anything it does accept re-parses from its
+   canonical form to the same command *)
+let parse_never_raises input =
+  match Protocol.parse input with
+  | Ok None | Error _ -> true
+  | Ok (Some cmd) -> (
+      let canonical = Protocol.command_to_string cmd in
+      match Protocol.parse canonical with
+      | Ok (Some cmd') -> cmd' = cmd
+      | _ -> false)
+  | exception e ->
+      QCheck.Test.fail_reportf "parse raised %s on %S"
+        (Printexc.to_string e) input
+
+let prop_parse_arbitrary_bytes =
+  let gen = QCheck.Gen.(string_size ~gen:char (0 -- 80)) in
+  QCheck.Test.make ~count:2000 ~name:"parse is total on arbitrary bytes"
+    (QCheck.make ~print:(Printf.sprintf "%S") gen)
+    parse_never_raises
+
+(* near misses: start from a valid command and damage it a little —
+   the parser must degrade to a clean error or another valid parse,
+   never an exception or a raise from int_of_string and friends *)
+let valid_commands =
+  [
+    "submit 3 2 4";
+    "submit 2 4";
+    "step 7";
+    "step 1";
+    "state";
+    "reconfigure delta=3 n=9 delay=0:4,1:6";
+    "reconfigure delay=2:5";
+    "checkpoint";
+    "open side-1";
+    "attach side-1";
+    "sessions";
+    "shutdown";
+    "quit";
+    "help";
+  ]
+
+let mutate_gen =
+  let open QCheck.Gen in
+  let* base = oneofl valid_commands in
+  let* kind = int_bound 5 in
+  let len = String.length base in
+  let* i = int_bound (max 0 (len - 1)) in
+  let* c = char in
+  return
+    (match kind with
+    | 0 when len > 0 ->
+        (* flip one byte *)
+        String.mapi (fun j x -> if j = i then c else x) base
+    | 1 ->
+        (* insert one byte *)
+        String.sub base 0 i ^ String.make 1 c
+        ^ String.sub base i (len - i)
+    | 2 when len > 0 ->
+        (* delete one byte *)
+        String.sub base 0 i ^ String.sub base (i + 1) (len - i - 1)
+    | 3 ->
+        (* duplicate the tail *)
+        base ^ " " ^ String.sub base i (len - i)
+    | 4 ->
+        (* huge number where a field may be *)
+        base ^ " 99999999999999999999999"
+    | _ -> String.uppercase_ascii base)
+
+let prop_parse_near_miss =
+  QCheck.Test.make ~count:2000 ~name:"parse survives near-miss mutations"
+    (QCheck.make ~print:(Printf.sprintf "%S") mutate_gen)
+    parse_never_raises
+
+(* ---- torn journal tail: exact byte offsets ------------------------ *)
+
+let torture_config =
+  {
+    Server.default_config with
+    n = 4;
+    delta = 2;
+    delay = Array.make 4 6;
+    checkpoint_every = 6;
+  }
+
+let write_torn_journal dir =
+  let path = Filename.concat dir "journal.jsonl" in
+  let header =
+    {
+      Journal.version = Journal.header_version;
+      policy = torture_config.Server.policy;
+      n = torture_config.Server.n;
+      delta = torture_config.Server.delta;
+      delay = torture_config.Server.delay;
+      mini_rounds = torture_config.Server.mini_rounds;
+    }
+  in
+  let w = Journal.create path header in
+  Journal.append w (Journal.Submit { round = 0; color = 1; count = 2 });
+  Journal.append w (Journal.Step 1);
+  Journal.close w;
+  let intact = (Unix.stat path).Unix.st_size in
+  let oc = Out_channel.open_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "{\"type\":\"serve_op\",\"op\":\"su";
+  Out_channel.close oc;
+  (path, intact)
+
+let test_torn_tail_offset () =
+  let dir = temp_dir "torn" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let path, intact = write_torn_journal dir in
+  (match Journal.load path with
+  | Ok (_, ops, Some tear) ->
+      Alcotest.(check int) "ops before the tear" 2 (List.length ops);
+      Alcotest.(check int) "tear offset" intact tear.Journal.offset;
+      let msg = Journal.describe_tear ~path tear in
+      Alcotest.(check bool)
+        (Printf.sprintf "describe_tear names offset %d: %s" intact msg)
+        true
+        (let needle = string_of_int intact in
+         let n = String.length needle and m = String.length msg in
+         let rec find i =
+           i + n <= m && (String.sub msg i n = needle || find (i + 1))
+         in
+         find 0)
+  | Ok (_, _, None) -> Alcotest.fail "tear not detected"
+  | Error e ->
+      Alcotest.failf "load failed: %s"
+        (Journal.describe_load_error ~path e));
+  (* the server restore drops the tear (tier 1), reports it, and
+     truncates the file so the next append cannot glue onto it *)
+  let h = Server.host { torture_config with checkpoint_dir = Some dir } in
+  let s = Server.open_session h Server.default_session in
+  Alcotest.(check int) "restored ops" 2 (Server.session_ops s);
+  Alcotest.(check bool) "a recovery notice names the offset" true
+    (List.exists
+       (fun notice ->
+         let needle = string_of_int intact in
+         let n = String.length needle and m = String.length notice in
+         let rec find i =
+           i + n <= m && (String.sub notice i n = needle || find (i + 1))
+         in
+         find 0)
+       (Server.session_notices s));
+  Alcotest.(check int) "journal truncated to the tear offset" intact
+    (Unix.stat path).Unix.st_size;
+  Server.abandon_session h s
+
+(* ---- tiered recovery ---------------------------------------------- *)
+
+let torture_ops = Torture.ops_of_seed ~count:24 ~colors:4 5
+
+let rec rm_rf_deep path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter
+        (fun e -> rm_rf_deep (Filename.concat path e))
+        (Sys.readdir path);
+      Unix.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let with_fixture_dir name f =
+  let dir = temp_dir name in
+  Fun.protect ~finally:(fun () -> rm_rf_deep dir) @@ fun () ->
+  Torture.build_fixture torture_config torture_ops dir;
+  f dir
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let test_checkpoint_quarantine () =
+  with_fixture_dir "ckptq" @@ fun dir ->
+  let cpath = Filename.concat dir "checkpoint.json" in
+  write_file cpath "this is not a snapshot\n";
+  let v = Torture.restore_case ~case:"ckpt-garbage" torture_config dir in
+  Alcotest.(check int) "tier 2 (quarantine + replay)" 2 v.Torture.tier;
+  Alcotest.(check bool) "contained" true v.Torture.contained;
+  Alcotest.(check bool) "no divergence" false v.Torture.diverged;
+  Alcotest.(check bool) "corrupt checkpoint quarantined" true
+    (Sys.file_exists (cpath ^ ".corrupt-1"));
+  Alcotest.(check bool) "no replacement checkpoint left behind" true
+    (not (Sys.file_exists cpath) || read_file cpath <> "this is not a snapshot\n")
+
+let test_journal_body_refuses () =
+  with_fixture_dir "bodyq" @@ fun dir ->
+  let jpath = Filename.concat dir "journal.jsonl" in
+  let lines = String.split_on_char '\n' (read_file jpath) in
+  let mangled =
+    List.mapi (fun i l -> if i = 8 then "definitely not an op" else l) lines
+  in
+  write_file jpath (String.concat "\n" mangled);
+  let original = read_file jpath in
+  let refuses case =
+    let v = Torture.restore_case ~case torture_config dir in
+    Alcotest.(check int) (case ^ " tier 3") 3 v.Torture.tier;
+    Alcotest.(check bool) (case ^ " contained") true v.Torture.contained
+  in
+  refuses "journal-body";
+  Alcotest.(check bool) "forensic copy quarantined" true
+    (Sys.file_exists (jpath ^ ".corrupt-1"));
+  Alcotest.(check string) "original journal untouched" original
+    (read_file jpath);
+  (* the original stays put, so a blind restart refuses again *)
+  refuses "journal-body-again"
+
+let tamper_checkpoint cpath =
+  match Snapshot.of_line (String.trim (read_file cpath)) with
+  | Error e -> Alcotest.failf "fixture checkpoint unreadable: %s" e
+  | Ok s ->
+      write_file cpath
+        (Snapshot.to_line { s with Snapshot.executed = s.Snapshot.executed + 7 }
+        ^ "\n")
+
+let test_prev_checkpoint_arbitration () =
+  with_fixture_dir "arbit" @@ fun dir ->
+  let cpath = Filename.concat dir "checkpoint.json" in
+  Alcotest.(check bool) "fixture rotated a previous checkpoint" true
+    (Sys.file_exists (cpath ^ ".prev"));
+  tamper_checkpoint cpath;
+  (* replay and the surviving previous checkpoint agree: the tampered
+     current one is the corrupt artifact — quarantine, don't refuse *)
+  let v = Torture.restore_case ~case:"arbitration" torture_config dir in
+  Alcotest.(check int) "tier 2" 2 v.Torture.tier;
+  Alcotest.(check bool) "contained" true v.Torture.contained;
+  Alcotest.(check bool) "lying checkpoint quarantined" true
+    (Sys.file_exists (cpath ^ ".corrupt-1"))
+
+let test_lone_divergence_refuses () =
+  with_fixture_dir "lonediv" @@ fun dir ->
+  let cpath = Filename.concat dir "checkpoint.json" in
+  Sys.remove (cpath ^ ".prev");
+  tamper_checkpoint cpath;
+  (* no second witness: journal and checkpoint tell different stories
+     and neither can be arbitrated — the restore must refuse *)
+  let v = Torture.restore_case ~case:"lone-divergence" torture_config dir in
+  Alcotest.(check int) "tier 3" 3 v.Torture.tier;
+  Alcotest.(check bool) "contained" true v.Torture.contained
+
+(* ---- prefix-replay property (satellite: checkpoint at prefix +
+   replay of suffix == straight line, for every prefix) -------------- *)
+
+let apply_all h s ops =
+  List.iter
+    (fun op ->
+      match Server.apply_op s op with
+      | Ok _ -> Server.commit h s op
+      | Error _ -> ())
+    ops
+
+let rec take k = function
+  | [] -> []
+  | _ when k = 0 -> []
+  | x :: tl -> x :: take (k - 1) tl
+
+let rec drop k = function
+  | [] -> []
+  | l when k = 0 -> l
+  | _ :: tl -> drop (k - 1) tl
+
+let test_prefix_replay () =
+  List.iter
+    (fun seed ->
+      let ops = Torture.ops_of_seed ~count:20 ~colors:4 seed in
+      let full = Torture.straight_line torture_config ops in
+      List.iteri
+        (fun k () ->
+          let dir = temp_dir (Printf.sprintf "prefix_%d_%d" seed k) in
+          Fun.protect ~finally:(fun () -> rm_rf_deep dir) @@ fun () ->
+          let durable =
+            { torture_config with Server.checkpoint_dir = Some dir }
+          in
+          (* run the prefix, checkpoint it, die without a goodbye *)
+          let h = Server.host durable in
+          let s = Server.open_session h Server.default_session in
+          apply_all h s (take k ops);
+          ignore (Server.checkpoint_session h s);
+          Server.abandon_session h s;
+          (* a fresh process restores the checkpointed prefix... *)
+          let h2 = Server.host durable in
+          let s2 = Server.open_session h2 Server.default_session in
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: restored prefix %d" seed k)
+            true
+            (Snapshot.equal
+               (Server.session_snapshot s2)
+               (Torture.straight_line torture_config (take k ops)));
+          (* ...and replaying the suffix lands on the straight line *)
+          apply_all h2 s2 (drop k ops);
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: prefix %d + suffix = straight line"
+               seed k)
+            true
+            (Snapshot.equal (Server.session_snapshot s2) full);
+          Server.abandon_session h2 s2)
+        (List.init (List.length ops + 1) (fun _ -> ())))
+    [ 1; 2; 3 ]
+
+(* ---- torture campaign smoke (full campaigns run in bench/torture) - *)
+
+let test_torture_smoke () =
+  let check name verdicts =
+    let s = Torture.summarize verdicts in
+    List.iter
+      (fun (v : Torture.verdict) ->
+        if not v.Torture.contained then
+          Alcotest.failf "%s: %s uncontained: %s" name v.Torture.case
+            v.Torture.detail)
+      verdicts;
+    Alcotest.(check int) (name ^ " divergences") 0 s.Torture.divergences;
+    Alcotest.(check int) (name ^ " uncontained") 0 s.Torture.uncontained
+  in
+  let dir = temp_dir "campaign" in
+  Fun.protect ~finally:(fun () -> rm_rf_deep dir) @@ fun () ->
+  let ops = torture_ops in
+  check "truncate"
+    (Torture.journal_truncate_campaign ~stride:23 torture_config ~ops ~dir);
+  check "flip"
+    (Torture.journal_flip_campaign ~stride:23 torture_config ~ops ~dir);
+  check "dup" (Torture.journal_dup_campaign torture_config ~ops ~dir);
+  check "checkpoint"
+    (Torture.checkpoint_campaign ~stride:11 torture_config ~ops ~dir);
+  check "prefix" (Torture.prefix_campaign ~torn:false torture_config ~ops ~dir);
+  check "prefix-torn"
+    (Torture.prefix_campaign ~torn:true torture_config ~ops ~dir)
+
 let () =
   Alcotest.run "service"
     [
@@ -561,6 +893,8 @@ let () =
           Alcotest.test_case "parse" `Quick test_protocol_parse;
           Alcotest.test_case "canonical round-trip" `Quick
             test_protocol_roundtrip;
+          QCheck_alcotest.to_alcotest prop_parse_arbitrary_bytes;
+          QCheck_alcotest.to_alcotest prop_parse_near_miss;
         ] );
       ( "streamed session",
         [
@@ -583,5 +917,22 @@ let () =
             test_kill_restore_families;
           Alcotest.test_case "supervised crash-restart" `Quick
             test_fault_restart;
+          Alcotest.test_case "prefix checkpoint + suffix replay" `Quick
+            test_prefix_replay;
+        ] );
+      ( "tiered recovery",
+        [
+          Alcotest.test_case "torn tail reports its byte offset" `Quick
+            test_torn_tail_offset;
+          Alcotest.test_case "corrupt checkpoint quarantined" `Quick
+            test_checkpoint_quarantine;
+          Alcotest.test_case "corrupt journal body refuses" `Quick
+            test_journal_body_refuses;
+          Alcotest.test_case "previous checkpoint arbitrates" `Quick
+            test_prev_checkpoint_arbitration;
+          Alcotest.test_case "lone divergence refuses" `Quick
+            test_lone_divergence_refuses;
+          Alcotest.test_case "torture campaigns (sampled)" `Quick
+            test_torture_smoke;
         ] );
     ]

@@ -1,0 +1,333 @@
+(* The socket transport's contracts:
+
+   - a Unix-domain client sees the same greeting/ack lines as a pipe
+     client, and acked ops survive a graceful stop into the journal;
+   - named sessions are multiplexed: two clients addressing the same
+     session observe one op stream, in order;
+   - admission control refuses (busy, nothing enqueued) when the
+     per-session queue is full, and read-only commands shed under
+     backlog pressure while mutations keep flowing;
+   - an abrupt client disconnect never hurts the server or the
+     session other clients share;
+   - a command deadline wedges the session (no journal append from the
+     abandoned attempt) and the next command restores it;
+   - shutdown executes every queued command before closing. *)
+
+module Transport = Rrs_service.Transport
+module Server = Rrs_service.Server
+module Metrics = Rrs_obs.Metrics
+
+let temp_dir =
+  let counter = ref 0 in
+  fun name ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "rrs_transport_%s_%d_%d" name (Unix.getpid ()) !counter)
+    in
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    dir
+
+let rm_rf dir =
+  let rec go path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> go (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  if Sys.file_exists dir then go dir
+
+(* ---- a tiny blocking client --------------------------------------- *)
+
+type client = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let rec try_connect n =
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> ()
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when n > 0 ->
+        Unix.sleepf 0.02;
+        try_connect (n - 1)
+  in
+  try_connect 250;
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let send c line =
+  output_string c.oc line;
+  output_char c.oc '\n';
+  flush c.oc
+
+let recv c =
+  match In_channel.input_line c.ic with
+  | Some l -> l
+  | None -> Alcotest.fail "connection closed early"
+
+let close_client c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+(* ---- server harness ----------------------------------------------- *)
+
+type server = {
+  sock : string;
+  stop : bool Atomic.t;
+  handle : (Transport.stats, string) result Domain.t;
+}
+
+let start ?(limits = Transport.default_limits) ?plan config dir =
+  let sock = Filename.concat dir "rrs.sock" in
+  let stop = Atomic.make false in
+  let ready = Atomic.make false in
+  let handle =
+    Domain.spawn (fun () ->
+        let body () =
+          Transport.run ~limits
+            ~stop:(fun () -> Atomic.get stop)
+            ~on_ready:(fun _ -> Atomic.set ready true)
+            config (Transport.Unix_socket sock)
+        in
+        match plan with
+        | None -> body ()
+        | Some plan -> Rrs_fault.with_plan plan body)
+  in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while (not (Atomic.get ready)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done;
+  { sock; stop; handle }
+
+let finish server =
+  Atomic.set server.stop true;
+  match Domain.join server.handle with
+  | Ok stats -> stats
+  | Error e -> Alcotest.failf "transport: %s" e
+
+let config ?checkpoint_dir () =
+  {
+    Server.default_config with
+    n = 4;
+    delta = 2;
+    delay = Array.make 4 6;
+    checkpoint_dir;
+    checkpoint_every = 4;
+  }
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* ---- tests -------------------------------------------------------- *)
+
+let test_roundtrip () =
+  let dir = temp_dir "roundtrip" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let ckpt = Filename.concat dir "state" in
+  Unix.mkdir ckpt 0o755;
+  let server = start (config ~checkpoint_dir:ckpt ()) dir in
+  let c = connect server.sock in
+  Alcotest.(check bool) "greeting" true (starts_with "ok session" (recv c));
+  send c "submit 0 1 5";
+  Alcotest.(check bool)
+    "submit acked" true
+    (starts_with "ok submitted 5 jobs" (recv c));
+  send c "step 3";
+  Alcotest.(check bool) "step acked" true (starts_with "ok stepped 3" (recv c));
+  send c "state";
+  let state = recv c in
+  Alcotest.(check bool) "state is json" true (starts_with "{" state);
+  send c "quit";
+  Alcotest.(check bool) "bye" true (starts_with "ok bye" (recv c));
+  close_client c;
+  let stats = finish server in
+  Alcotest.(check int) "one client" 1 stats.Transport.conns_accepted;
+  Alcotest.(check int) "four commands" 4 stats.Transport.commands;
+  (* acked ops reached the journal: a pipe-mode restart sees them *)
+  let code, output =
+    let in_path = Filename.temp_file "transport_in" ".txt" in
+    let out_path = Filename.temp_file "transport_out" ".txt" in
+    Out_channel.with_open_text in_path (fun oc ->
+        output_string oc "state\nquit\n");
+    let ic = In_channel.open_text in_path in
+    let oc = Out_channel.open_text out_path in
+    let code =
+      Server.serve { (config ~checkpoint_dir:ckpt ()) with retries = 0 } ic oc
+    in
+    In_channel.close ic;
+    Out_channel.close oc;
+    let out = In_channel.with_open_text out_path In_channel.input_lines in
+    Sys.remove in_path;
+    Sys.remove out_path;
+    (code, out)
+  in
+  Alcotest.(check int) "restart exit" 0 code;
+  Alcotest.(check bool)
+    "restored both acked ops" true
+    (List.exists (fun l -> starts_with "ok restored round=3 ops=2" l) output)
+
+let test_multiplex () =
+  let dir = temp_dir "multiplex" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let server = start (config ()) dir in
+  let a = connect server.sock in
+  let b = connect server.sock in
+  ignore (recv a);
+  ignore (recv b);
+  send a "open shared";
+  Alcotest.(check bool)
+    "fresh named session" true
+    (starts_with "ok session name=shared" (recv a));
+  send a "submit 0 1 4";
+  ignore (recv a);
+  send b "attach shared";
+  Alcotest.(check bool) "attach" true (starts_with "ok attached shared" (recv b));
+  send b "step 2";
+  Alcotest.(check bool)
+    "b steps the shared session" true
+    (starts_with "ok stepped 2 rounds to round 2" (recv b));
+  send a "sessions";
+  let header = recv a in
+  Alcotest.(check bool) "two sessions" true (starts_with "ok sessions 2" header);
+  ignore (recv a);
+  let shared_line = recv a in
+  Alcotest.(check bool)
+    "shared shows both clients' ops" true
+    (starts_with "ok shared round=2 ops=2" shared_line);
+  close_client a;
+  close_client b;
+  ignore (finish server)
+
+let test_busy_admission () =
+  let dir = temp_dir "busy" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  (* queue_limit 0: every command is refused at admission — the
+     degenerate bound proves the refusal path acks nothing *)
+  let limits = { Transport.default_limits with queue_limit = 0 } in
+  let server = start ~limits (config ()) dir in
+  let c = connect server.sock in
+  ignore (recv c);
+  send c "submit 0 1 5";
+  let reply = recv c in
+  Alcotest.(check bool)
+    "busy, not acked" true
+    (starts_with "busy queue session=default" reply);
+  close_client c;
+  let stats = finish server in
+  Alcotest.(check int) "counted busy" 1 stats.Transport.busy;
+  Alcotest.(check int) "no command executed" 0 stats.Transport.commands
+
+let test_shed () =
+  let dir = temp_dir "shed" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  (* threshold -1: any backlog sheds read-only commands, while the
+     mutation stream keeps flowing *)
+  let limits = { Transport.default_limits with shed_threshold = -1 } in
+  let server = start ~limits (config ()) dir in
+  let c = connect server.sock in
+  ignore (recv c);
+  send c "state";
+  Alcotest.(check bool) "state shed" true (starts_with "busy shed" (recv c));
+  send c "submit 0 1 2";
+  Alcotest.(check bool)
+    "mutation still served" true
+    (starts_with "ok submitted" (recv c));
+  close_client c;
+  let stats = finish server in
+  Alcotest.(check int) "counted shed" 1 stats.Transport.shed
+
+let test_abrupt_disconnect () =
+  let dir = temp_dir "abrupt" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let server = start (config ()) dir in
+  let rude = connect server.sock in
+  ignore (recv rude);
+  send rude "submit 0 1 3";
+  (* vanish without reading the ack *)
+  close_client rude;
+  let polite = connect server.sock in
+  ignore (recv polite);
+  send polite "state";
+  Alcotest.(check bool)
+    "server alive after abrupt disconnect" true
+    (starts_with "{" (recv polite));
+  close_client polite;
+  let stats = finish server in
+  Alcotest.(check int) "both clients counted" 2 stats.Transport.conns_accepted
+
+let test_deadline_wedge () =
+  let dir = temp_dir "deadline" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  (* a Delay injection at the engine's own probe point makes the step
+     overshoot its 50 ms budget deterministically *)
+  let plan =
+    Rrs_fault.plan
+      [ Rrs_fault.delay_on "engine.round" (Rrs_fault.Nth 1) ~seconds:0.5 ]
+  in
+  let limits =
+    { Transport.default_limits with command_deadline = Some 0.05 }
+  in
+  let server = start ~limits ~plan (config ()) dir in
+  let c = connect server.sock in
+  ignore (recv c);
+  send c "step 1";
+  let reply = recv c in
+  Alcotest.(check bool)
+    "deadline reply"
+    true
+    (starts_with "err deadline" reply);
+  (* the next command restores the wedged session from scratch
+     (ephemeral: no journal, so a fresh greeting-equivalent state) *)
+  send c "submit 0 1 2";
+  Alcotest.(check bool)
+    "restored session serves again" true
+    (starts_with "ok submitted" (recv c));
+  close_client c;
+  let stats = finish server in
+  Alcotest.(check bool) "wedge counted" true (stats.Transport.wedges >= 1)
+
+let test_shutdown_drains () =
+  let dir = temp_dir "drain" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let ckpt = Filename.concat dir "state" in
+  Unix.mkdir ckpt 0o755;
+  let server = start (config ~checkpoint_dir:ckpt ()) dir in
+  let c = connect server.sock in
+  ignore (recv c);
+  (* queue a burst, then stop the server without reading a byte:
+     every queued command must still execute and reach the journal *)
+  for i = 1 to 8 do
+    send c (Printf.sprintf "submit 0 %d 1" (i mod 4))
+  done;
+  Unix.sleepf 0.2;
+  Atomic.set server.stop true;
+  let stats =
+    match Domain.join server.handle with
+    | Ok stats -> stats
+    | Error e -> Alcotest.failf "transport: %s" e
+  in
+  close_client c;
+  Alcotest.(check int) "all queued commands executed" 8 stats.Transport.commands;
+  let journal = Filename.concat ckpt "journal.jsonl" in
+  let lines = In_channel.with_open_text journal In_channel.input_lines in
+  Alcotest.(check int) "all ops journaled" 9 (List.length lines)
+
+let () =
+  Alcotest.run "transport"
+    [
+      ( "socket",
+        [
+          Alcotest.test_case "round-trip + durable acks" `Quick test_roundtrip;
+          Alcotest.test_case "multiplexed sessions" `Quick test_multiplex;
+          Alcotest.test_case "abrupt disconnect" `Quick test_abrupt_disconnect;
+        ] );
+      ( "overload",
+        [
+          Alcotest.test_case "busy at admission" `Quick test_busy_admission;
+          Alcotest.test_case "shed read-only" `Quick test_shed;
+          Alcotest.test_case "deadline wedges, reopen restores" `Quick
+            test_deadline_wedge;
+          Alcotest.test_case "shutdown drains the queue" `Quick
+            test_shutdown_drains;
+        ] );
+    ]
